@@ -1,0 +1,215 @@
+//! The per-thread execution context.
+
+use crate::ids::{Addr, BarrierId, CondId, MutexId, RwLockId, Tid};
+
+/// A unit of work executed by one thread of a DMT program.
+pub type Job = Box<dyn FnOnce(&mut dyn ThreadCtx) + Send + 'static>;
+
+/// Per-thread handle through which workload code interacts with a runtime.
+///
+/// All shared state — memory, locks, condition variables, barriers, thread
+/// management — is reached through this trait, which is what lets one
+/// benchmark kernel run under five different runtimes.
+///
+/// # Instruction accounting
+///
+/// Deterministic runtimes order synchronization by a logical clock of
+/// retired user instructions (Kendo-style). The paper reads hardware
+/// performance counters; here workloads declare their work explicitly with
+/// [`tick`](ThreadCtx::tick) (the paper notes compiler-inserted counting is
+/// an equally sound clock source). Shared-memory accesses advance the clock
+/// automatically. Runtime-internal work never advances the logical clock
+/// (the paper's `clockPause`) but is charged to virtual time.
+///
+/// # Determinism contract
+///
+/// Under a deterministic runtime, for a fixed program, input and thread
+/// count: thread ids, all synchronization outcomes, every value read from
+/// shared memory, and the final heap contents are identical on every run —
+/// even for programs with data races (resolved by deterministic
+/// byte-granularity last-writer-wins merging).
+///
+/// # Panics
+///
+/// Implementations panic on API misuse — out-of-bounds addresses, unlocking
+/// a mutex the thread does not hold, waiting on a condition variable without
+/// holding the named mutex, or joining an unknown thread. Misuse is a
+/// program bug, mirroring undefined behaviour in pthreads.
+pub trait ThreadCtx {
+    /// This thread's deterministic id.
+    fn tid(&self) -> Tid;
+
+    /// Declares `n` logical instructions of local work. Advances both the
+    /// deterministic logical clock and virtual time.
+    fn tick(&mut self, n: u64);
+
+    /// Current virtual time of this thread, in cycles.
+    fn vtime(&self) -> u64;
+
+    /// Current logical (deterministic) clock of this thread.
+    fn logical_clock(&self) -> u64;
+
+    /// Reads `buf.len()` bytes of shared memory at `addr`.
+    fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]);
+
+    /// Writes `data` to shared memory at `addr`.
+    fn write_bytes(&mut self, addr: Addr, data: &[u8]);
+
+    /// Reads a little-endian `u64` at `addr` (need not be aligned).
+    fn ld_u64(&mut self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr` (need not be aligned).
+    fn st_u64(&mut self, addr: Addr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Acquires a deterministic mutex, blocking until available.
+    fn mutex_lock(&mut self, m: MutexId);
+
+    /// Releases a deterministic mutex held by this thread.
+    fn mutex_unlock(&mut self, m: MutexId);
+
+    /// Atomically releases `m` and blocks on `c`; re-acquires `m` before
+    /// returning. The calling thread must hold `m`.
+    fn cond_wait(&mut self, c: CondId, m: MutexId);
+
+    /// Wakes one waiter of `c` (deterministically the earliest), if any.
+    fn cond_signal(&mut self, c: CondId);
+
+    /// Wakes all waiters of `c`.
+    fn cond_broadcast(&mut self, c: CondId);
+
+    /// Waits at barrier `b` until all parties have arrived.
+    fn barrier_wait(&mut self, b: BarrierId);
+
+    /// Acquires `l` for shared reading; concurrent readers are allowed.
+    fn rw_read_lock(&mut self, l: RwLockId) {
+        let _ = l;
+        unimplemented!("this runtime does not provide read-write locks")
+    }
+
+    /// Releases a shared-read hold on `l`.
+    fn rw_read_unlock(&mut self, l: RwLockId) {
+        let _ = l;
+        unimplemented!("this runtime does not provide read-write locks")
+    }
+
+    /// Acquires `l` exclusively for writing.
+    fn rw_write_lock(&mut self, l: RwLockId) {
+        let _ = l;
+        unimplemented!("this runtime does not provide read-write locks")
+    }
+
+    /// Releases an exclusive hold on `l`.
+    fn rw_write_unlock(&mut self, l: RwLockId) {
+        let _ = l;
+        unimplemented!("this runtime does not provide read-write locks")
+    }
+
+    /// Atomically adds `v` to the `u64` at `addr`, returning the previous
+    /// value.
+    ///
+    /// §2.7 of the Consequence paper notes that plain atomic instructions
+    /// lose their atomicity under thread isolation and proposes replacing
+    /// them with "a Consequence operation that acquires the token, performs
+    /// the operation, and commits". This is that operation: deterministic
+    /// runtimes implement it as a token-protected read-modify-write on the
+    /// latest committed state, restoring both atomicity and determinism.
+    /// The default implementation is a plain (non-atomic) RMW for contexts
+    /// that are sequential anyway.
+    fn atomic_fetch_add_u64(&mut self, addr: Addr, v: u64) -> u64 {
+        let old = self.ld_u64(addr);
+        self.st_u64(addr, old.wrapping_add(v));
+        old
+    }
+
+    /// Atomically compares the `u64` at `addr` with `expect` and, on a
+    /// match, stores `new`. Returns the previous value (compare with
+    /// `expect` to detect success). See
+    /// [`atomic_fetch_add_u64`](ThreadCtx::atomic_fetch_add_u64).
+    fn atomic_cas_u64(&mut self, addr: Addr, expect: u64, new: u64) -> u64 {
+        let old = self.ld_u64(addr);
+        if old == expect {
+            self.st_u64(addr, new);
+        }
+        old
+    }
+
+    /// Spawns a new thread running `job`; returns its deterministic id.
+    fn spawn(&mut self, job: Job) -> Tid;
+
+    /// Blocks until thread `t` has finished.
+    fn join(&mut self, t: Tid);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal mock proving the trait is object-safe and that the default
+    /// `ld_u64`/`st_u64` round-trip through the byte interface.
+    struct Mock {
+        mem: Vec<u8>,
+        clock: u64,
+    }
+
+    impl ThreadCtx for Mock {
+        fn tid(&self) -> Tid {
+            Tid(0)
+        }
+        fn tick(&mut self, n: u64) {
+            self.clock += n;
+        }
+        fn vtime(&self) -> u64 {
+            self.clock
+        }
+        fn logical_clock(&self) -> u64 {
+            self.clock
+        }
+        fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+            buf.copy_from_slice(&self.mem[addr..addr + buf.len()]);
+        }
+        fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+            self.mem[addr..addr + data.len()].copy_from_slice(data);
+        }
+        fn mutex_lock(&mut self, _: MutexId) {}
+        fn mutex_unlock(&mut self, _: MutexId) {}
+        fn cond_wait(&mut self, _: CondId, _: MutexId) {}
+        fn cond_signal(&mut self, _: CondId) {}
+        fn cond_broadcast(&mut self, _: CondId) {}
+        fn barrier_wait(&mut self, _: BarrierId) {}
+        fn spawn(&mut self, _: Job) -> Tid {
+            Tid(1)
+        }
+        fn join(&mut self, _: Tid) {}
+    }
+
+    #[test]
+    fn default_u64_accessors_round_trip() {
+        let mut m = Mock {
+            mem: vec![0; 64],
+            clock: 0,
+        };
+        let ctx: &mut dyn ThreadCtx = &mut m;
+        ctx.st_u64(8, 0xdead_beef_cafe_f00d);
+        assert_eq!(ctx.ld_u64(8), 0xdead_beef_cafe_f00d);
+        // Unaligned round trip.
+        ctx.st_u64(3, 42);
+        assert_eq!(ctx.ld_u64(3), 42);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut m = Mock {
+            mem: vec![0; 8],
+            clock: 0,
+        };
+        let ctx: &mut dyn ThreadCtx = &mut m;
+        ctx.tick(5);
+        assert_eq!(ctx.logical_clock(), 5);
+    }
+}

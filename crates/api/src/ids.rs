@@ -1,0 +1,103 @@
+//! Identifier types shared by all runtimes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A byte address within a runtime's shared heap.
+pub type Addr = usize;
+
+/// Deterministic thread identifier.
+///
+/// Thread ids are assigned in spawn order under the runtime's deterministic
+/// total order of synchronization operations, so a given program always sees
+/// the same ids. The main job is always `Tid(0)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// Main-thread id.
+    pub const MAIN: Tid = Tid(0);
+
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+macro_rules! object_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the id as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+object_id!(
+    /// Handle to a runtime mutex created with [`crate::Runtime::create_mutex`].
+    MutexId
+);
+object_id!(
+    /// Handle to a runtime condition variable created with
+    /// [`crate::Runtime::create_cond`].
+    CondId
+);
+object_id!(
+    /// Handle to a runtime barrier created with
+    /// [`crate::Runtime::create_barrier`].
+    BarrierId
+);
+object_id!(
+    /// Handle to a runtime read-write lock created with
+    /// [`crate::Runtime::create_rwlock`].
+    RwLockId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_ordering_is_numeric() {
+        assert!(Tid(1) < Tid(2));
+        assert_eq!(Tid::MAIN, Tid(0));
+        assert_eq!(Tid(7).index(), 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Tid(3).to_string(), "T3");
+        assert_eq!(MutexId(4).to_string(), "MutexId(4)");
+        assert_eq!(CondId(0).to_string(), "CondId(0)");
+        assert_eq!(BarrierId(9).to_string(), "BarrierId(9)");
+    }
+
+    #[test]
+    fn ids_are_hashable_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(MutexId(1), "a");
+        assert_eq!(m[&MutexId(1)], "a");
+    }
+}

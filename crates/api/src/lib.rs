@@ -1,0 +1,46 @@
+//! Runtime-agnostic API for deterministic multithreading (DMT) runtimes.
+//!
+//! This crate defines the contract shared by every runtime in the
+//! Consequence reproduction: the nondeterministic pthreads baseline, the
+//! DThreads and DWC baselines, and Consequence itself (round-robin and
+//! instruction-count ordered). A benchmark kernel is written once against
+//! [`ThreadCtx`] / [`Runtime`] and runs unmodified under all five.
+//!
+//! # Model
+//!
+//! A program is a [`Job`] — a closure receiving a [`ThreadCtx`] — started by
+//! [`Runtime::run`]. Jobs may spawn further jobs, synchronize through
+//! mutexes / condition variables / barriers created before the run, and
+//! share a flat byte-addressable heap accessed through the context.
+//!
+//! Time is **virtual**: each thread accrues virtual cycles for the work it
+//! declares via [`ThreadCtx::tick`], for its memory accesses, and for the
+//! runtime-internal operations priced by a [`CostModel`]. Blocking
+//! propagates virtual time along wake edges, so the reported
+//! [`RunReport::virtual_cycles`] is the critical-path execution time on an
+//! idealized machine with one core per thread. See `DESIGN.md` at the
+//! workspace root for the rationale (the evaluation host is single-core).
+
+pub mod cost;
+pub mod ctx;
+pub mod hash;
+pub mod ids;
+pub mod mem;
+pub mod report;
+pub mod runtime;
+pub mod vclock;
+
+pub use cost::CostModel;
+pub use ctx::{Job, ThreadCtx};
+pub use hash::Fnv1a;
+pub use ids::{Addr, BarrierId, CondId, MutexId, RwLockId, Tid};
+pub use mem::{MemExt, RuntimeMemExt};
+pub use report::{Breakdown, Counters, RunReport};
+pub use runtime::{CommonConfig, Runtime};
+pub use vclock::VectorClock;
+
+/// Page size used by every versioned-memory runtime, in bytes.
+///
+/// This mirrors the 4 KiB hardware page granularity at which the paper's
+/// Conversion kernel module tracks modifications.
+pub const PAGE_SIZE: usize = 4096;

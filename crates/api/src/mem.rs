@@ -1,0 +1,153 @@
+//! Typed shared-memory access helpers.
+//!
+//! Workload kernels deal in `u64`, `f64` and `u32` cells; these extension
+//! traits provide typed accessors over the raw byte interface of
+//! [`ThreadCtx`] and [`Runtime`]. All encodings are little-endian.
+
+use crate::ctx::ThreadCtx;
+use crate::ids::Addr;
+use crate::runtime::Runtime;
+
+/// Typed accessors for workload code running inside a thread.
+pub trait MemExt: ThreadCtx {
+    /// Reads an `f64` at `addr`.
+    fn ld_f64(&mut self, addr: Addr) -> f64 {
+        f64::from_bits(self.ld_u64(addr))
+    }
+
+    /// Writes an `f64` at `addr`.
+    fn st_f64(&mut self, addr: Addr, v: f64) {
+        self.st_u64(addr, v.to_bits());
+    }
+
+    /// Reads a `u32` at `addr`.
+    fn ld_u32(&mut self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a `u32` at `addr`.
+    fn st_u32(&mut self, addr: Addr, v: u32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Reads an `i64` at `addr`.
+    fn ld_i64(&mut self, addr: Addr) -> i64 {
+        self.ld_u64(addr) as i64
+    }
+
+    /// Writes an `i64` at `addr`.
+    fn st_i64(&mut self, addr: Addr, v: i64) {
+        self.st_u64(addr, v as u64);
+    }
+
+    /// Reads `out.len()` consecutive `u64` cells starting at `addr`.
+    fn ld_u64_slice(&mut self, addr: Addr, out: &mut [u64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.ld_u64(addr + 8 * i);
+        }
+    }
+
+    /// Writes the `u64` cells of `vals` consecutively starting at `addr`.
+    fn st_u64_slice(&mut self, addr: Addr, vals: &[u64]) {
+        for (i, v) in vals.iter().enumerate() {
+            self.st_u64(addr + 8 * i, *v);
+        }
+    }
+
+    /// Reads `out.len()` consecutive `f64` cells starting at `addr`.
+    fn ld_f64_slice(&mut self, addr: Addr, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.ld_f64(addr + 8 * i);
+        }
+    }
+
+    /// Writes the `f64` cells of `vals` consecutively starting at `addr`.
+    fn st_f64_slice(&mut self, addr: Addr, vals: &[f64]) {
+        for (i, v) in vals.iter().enumerate() {
+            self.st_f64(addr + 8 * i, *v);
+        }
+    }
+
+    /// Adds `v` to the `u64` cell at `addr` and returns the new value.
+    ///
+    /// Note: this is **not** atomic — it is a plain load-modify-store, the
+    /// point being that under a deterministic runtime even this racy pattern
+    /// yields a reproducible (if surprising) result, per §2.7 of the paper.
+    fn fetch_add_u64(&mut self, addr: Addr, v: u64) -> u64 {
+        let n = self.ld_u64(addr).wrapping_add(v);
+        self.st_u64(addr, n);
+        n
+    }
+
+    /// Adds `v` to the `f64` cell at `addr`.
+    fn add_f64(&mut self, addr: Addr, v: f64) {
+        let n = self.ld_f64(addr) + v;
+        self.st_f64(addr, n);
+    }
+}
+
+impl<T: ThreadCtx + ?Sized> MemExt for T {}
+
+/// Typed heap initialization/readback helpers for a [`Runtime`], used before
+/// a run starts and after it completes.
+pub trait RuntimeMemExt: Runtime {
+    /// Writes a `u64` into the heap before the run.
+    fn init_u64(&mut self, addr: Addr, v: u64) {
+        self.init_write(addr, &v.to_le_bytes());
+    }
+
+    /// Writes an `f64` into the heap before the run.
+    fn init_f64(&mut self, addr: Addr, v: f64) {
+        self.init_u64(addr, v.to_bits());
+    }
+
+    /// Writes consecutive `u64` cells into the heap before the run.
+    fn init_u64_slice(&mut self, addr: Addr, vals: &[u64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.init_write(addr, &bytes);
+    }
+
+    /// Writes consecutive `f64` cells into the heap before the run.
+    fn init_f64_slice(&mut self, addr: Addr, vals: &[f64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self.init_write(addr, &bytes);
+    }
+
+    /// Reads a `u64` from the final heap after the run.
+    fn final_u64(&self, addr: Addr) -> u64 {
+        let mut b = [0u8; 8];
+        self.final_read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads an `f64` from the final heap after the run.
+    fn final_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.final_u64(addr))
+    }
+
+    /// Reads consecutive `u64` cells from the final heap after the run.
+    fn final_u64_slice(&self, addr: Addr, out: &mut [u64]) {
+        let mut bytes = vec![0u8; out.len() * 8];
+        self.final_read(addr, &mut bytes);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = u64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().unwrap());
+        }
+    }
+
+    /// FNV-1a digest of `len` bytes of the final heap starting at `addr`.
+    fn final_hash(&self, addr: Addr, len: usize) -> u64 {
+        let mut bytes = vec![0u8; len];
+        self.final_read(addr, &mut bytes);
+        crate::hash::Fnv1a::hash(&bytes)
+    }
+}
+
+impl<T: Runtime + ?Sized> RuntimeMemExt for T {}

@@ -1,0 +1,98 @@
+//! Baseline runtimes for the Consequence evaluation.
+//!
+//! The paper (Figure 10–12) compares Consequence-IC against:
+//!
+//! * **pthreads** — the nondeterministic baseline every result is
+//!   normalized to ([`PthreadsRuntime`]);
+//! * **DThreads** — round-robin ordering, *synchronous* commits (all
+//!   threads rendezvous at every synchronization point and commit
+//!   serially), `mprotect`-style isolation and a single global lock
+//!   ([`DThreadsRuntime`]);
+//! * **DWC** — DThreads-with-Conversion: round-robin ordering but
+//!   asynchronous commits (a [`consequence::ConsequenceRuntime`] preset);
+//! * **Consequence-RR** — Consequence with round-robin ordering (another
+//!   preset).
+//!
+//! [`RuntimeKind`] and [`make_runtime`] give harnesses one switch for all
+//! five systems.
+
+pub mod dthreads;
+pub mod pthreads;
+
+use consequence::{ConsequenceRuntime, Options};
+use dmt_api::{CommonConfig, Runtime};
+
+pub use dthreads::DThreadsRuntime;
+pub use pthreads::PthreadsRuntime;
+
+/// The five runtimes evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RuntimeKind {
+    /// Nondeterministic pthreads.
+    Pthreads,
+    /// DThreads: round robin + synchronous commits + single global lock.
+    DThreads,
+    /// DThreads-with-Conversion: round robin + asynchronous commits.
+    Dwc,
+    /// Consequence with round-robin ordering.
+    ConsequenceRr,
+    /// Consequence with instruction-count (GMIC) ordering — the paper's
+    /// headline system.
+    ConsequenceIc,
+}
+
+impl RuntimeKind {
+    /// All five, in the paper's presentation order.
+    pub const ALL: [RuntimeKind; 5] = [
+        RuntimeKind::Pthreads,
+        RuntimeKind::DThreads,
+        RuntimeKind::Dwc,
+        RuntimeKind::ConsequenceRr,
+        RuntimeKind::ConsequenceIc,
+    ];
+
+    /// Short display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Pthreads => "pthreads",
+            RuntimeKind::DThreads => "dthreads",
+            RuntimeKind::Dwc => "dwc",
+            RuntimeKind::ConsequenceRr => "consequence-rr",
+            RuntimeKind::ConsequenceIc => "consequence-ic",
+        }
+    }
+}
+
+/// Builds a runtime of the given kind.
+pub fn make_runtime(kind: RuntimeKind, cfg: CommonConfig) -> Box<dyn Runtime> {
+    match kind {
+        RuntimeKind::Pthreads => Box::new(PthreadsRuntime::new(cfg)),
+        RuntimeKind::DThreads => Box::new(DThreadsRuntime::new(cfg)),
+        RuntimeKind::Dwc => Box::new(ConsequenceRuntime::new(cfg, Options::dwc())),
+        RuntimeKind::ConsequenceRr => {
+            Box::new(ConsequenceRuntime::new(cfg, Options::consequence_rr()))
+        }
+        RuntimeKind::ConsequenceIc => {
+            Box::new(ConsequenceRuntime::new(cfg, Options::consequence_ic()))
+        }
+    }
+}
+
+/// Builds a Consequence-IC runtime with custom options (ablations, Fig 13/14).
+pub fn make_consequence(cfg: CommonConfig, opts: Options) -> Box<dyn Runtime> {
+    Box::new(ConsequenceRuntime::new(cfg, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_all_kinds() {
+        for kind in RuntimeKind::ALL {
+            let rt = make_runtime(kind, CommonConfig::default());
+            assert_eq!(rt.name(), kind.label());
+            assert_eq!(rt.is_deterministic(), kind != RuntimeKind::Pthreads);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Criterion benches, one group per paper figure.
+//!
+//! These run reduced configurations (2 threads, scale 1, representative
+//! benchmark subsets) so `cargo bench` terminates quickly; the full figure
+//! data comes from the `figures` binary. Each group's measured quantity is
+//! the wall time of regenerating the figure's core comparison, which tracks
+//! the end-to-end cost of the runtimes under test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dmt_baselines::RuntimeKind;
+use dmt_bench::*;
+
+fn quick() -> Bench {
+    Bench {
+        pthreads_reps: 1,
+        ..Bench::default()
+    }
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let b = quick();
+    let mut g = c.benchmark_group("fig10_normalized");
+    g.sample_size(10);
+    for name in ["histogram", "reverse_index"] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| black_box(fig10(&b, &[2], &[name])));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let b = quick();
+    let mut g = c.benchmark_group("fig11_scaling");
+    g.sample_size(10);
+    g.bench_function("kmeans_1_to_4", |bench| {
+        bench.iter(|| black_box(fig11(&b, &[1, 4], &["kmeans"])));
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let b = quick();
+    let mut g = c.benchmark_group("fig12_memory");
+    g.sample_size(10);
+    g.bench_function("canneal_peak_pages", |bench| {
+        bench.iter(|| black_box(fig12(&b, &[2], &["canneal"])));
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let b = quick();
+    let mut g = c.benchmark_group("fig13_ablation");
+    g.sample_size(10);
+    g.bench_function("reverse_index_ablations", |bench| {
+        bench.iter(|| black_box(fig13(&b, 2, &["reverse_index"])));
+    });
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let b = quick();
+    let mut g = c.benchmark_group("fig14_coarsening");
+    g.sample_size(10);
+    g.bench_function("reverse_index_levels", |bench| {
+        bench.iter(|| black_box(fig14(&b, 2, &["reverse_index"], &[4_096, 65_536])));
+    });
+    g.finish();
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let b = quick();
+    let mut g = c.benchmark_group("fig15_breakdown");
+    g.sample_size(10);
+    g.bench_function("ocean_cp_breakdown", |bench| {
+        bench.iter(|| black_box(fig15(&b, 2, &["ocean_cp"])));
+    });
+    g.finish();
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    let b = quick();
+    let mut g = c.benchmark_group("fig16_lrc");
+    g.sample_size(10);
+    g.bench_function("ocean_cp_lrc", |bench| {
+        bench.iter(|| black_box(fig16(&b, 2, &["ocean_cp"])));
+    });
+    g.finish();
+}
+
+fn bench_runtimes_direct(c: &mut Criterion) {
+    // Direct wall-time comparison of one kernel under each runtime —
+    // a sanity anchor for the virtual-time results.
+    let b = quick();
+    let mut g = c.benchmark_group("runtime_wall_time");
+    g.sample_size(10);
+    for kind in RuntimeKind::ALL {
+        g.bench_function(kind.label(), |bench| {
+            bench.iter(|| black_box(run_one(&b, kind, "histogram", 2)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_fig16,
+    bench_runtimes_direct
+);
+criterion_main!(figures);

@@ -1,0 +1,415 @@
+//! CLI regenerating the paper's figures.
+//!
+//! ```text
+//! cargo run -p dmt-bench --release --bin figures -- all
+//! cargo run -p dmt-bench --release --bin figures -- fig10 [--quick]
+//! ```
+//!
+//! Prints the rows/series each figure reports and writes JSON to
+//! `target/figures/figN.json`.
+
+use std::fs;
+use std::time::Instant;
+
+use dmt_bench::*;
+
+fn dump<T: serde::Serialize>(name: &str, rows: &T) {
+    let dir = "target/figures";
+    let _ = fs::create_dir_all(dir);
+    let path = format!("{dir}/{name}.json");
+    match serde_json::to_string_pretty(rows) {
+        Ok(s) => {
+            if fs::write(&path, s).is_ok() {
+                eprintln!("  [json: {path}]");
+            }
+        }
+        Err(e) => eprintln!("  [json dump failed: {e}]"),
+    }
+}
+
+struct Cfg {
+    bench: Bench,
+    threads_sweep: Vec<usize>,
+    detail_threads: usize,
+}
+
+fn cfg(quick: bool) -> Cfg {
+    if quick {
+        Cfg {
+            bench: Bench {
+                pthreads_reps: 1,
+                ..Bench::default()
+            },
+            threads_sweep: vec![2, 4],
+            detail_threads: 4,
+        }
+    } else {
+        Cfg {
+            bench: Bench::default(),
+            threads_sweep: vec![1, 2, 4, 8],
+            detail_threads: 8,
+        }
+    }
+}
+
+fn fig10_cmd(c: &Cfg) {
+    let sweep: Vec<usize> = c
+        .threads_sweep
+        .iter()
+        .copied()
+        .filter(|t| *t >= 2)
+        .collect();
+    println!("== Figure 10: runtime normalized to pthreads (best over {sweep:?} threads)");
+    println!(
+        "{:<18} {:>9} {:>9} {:>15} {:>15}",
+        "benchmark", "dthreads", "dwc", "consequence-rr", "consequence-ic"
+    );
+    let rows = fig10(&c.bench, &sweep, &ALL_BENCHMARKS);
+    for r in &rows {
+        println!(
+            "{:<18} {:>9.2} {:>9.2} {:>15.2} {:>15.2}",
+            r.benchmark, r.dthreads, r.dwc, r.consequence_rr, r.consequence_ic
+        );
+    }
+    let max = |f: fn(&Fig10Row) -> f64| rows.iter().map(f).fold(0.0f64, f64::max);
+    println!(
+        "max slowdown: dthreads {:.1}x  dwc {:.1}x  cons-rr {:.1}x  cons-ic {:.1}x",
+        max(|r| r.dthreads),
+        max(|r| r.dwc),
+        max(|r| r.consequence_rr),
+        max(|r| r.consequence_ic)
+    );
+    // The paper's headline: mean improvement on the five most challenging
+    // programs (those with the highest dthreads slowdown).
+    let mut hard: Vec<&Fig10Row> = rows.iter().collect();
+    hard.sort_by(|a, b| b.dthreads.total_cmp(&a.dthreads));
+    let hard = &hard[..5.min(hard.len())];
+    let mean = |f: fn(&Fig10Row) -> f64| hard.iter().map(|r| f(r)).sum::<f64>() / hard.len() as f64;
+    println!(
+        "five hardest ({}): IC improves {:.1}x over dthreads, {:.1}x over dwc",
+        hard.iter()
+            .map(|r| r.benchmark.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+        mean(|r| r.dthreads) / mean(|r| r.consequence_ic),
+        mean(|r| r.dwc) / mean(|r| r.consequence_ic),
+    );
+    dump("fig10", &rows);
+}
+
+fn fig11_cmd(c: &Cfg) {
+    let benches = [
+        "ocean_cp",
+        "lu_ncb",
+        "ferret",
+        "kmeans",
+        "water_nsquared",
+        "canneal",
+    ];
+    println!("== Figure 11: runtime (normalized to 1-thread pthreads) vs thread count");
+    let pts = fig11(&c.bench, &c.threads_sweep, &benches);
+    for name in benches {
+        println!("-- {name}");
+        print!("{:<16}", "runtime\\threads");
+        for t in &c.threads_sweep {
+            print!("{t:>8}");
+        }
+        println!();
+        for kind in [
+            "pthreads",
+            "dthreads",
+            "dwc",
+            "consequence-rr",
+            "consequence-ic",
+        ] {
+            print!("{kind:<16}");
+            for t in &c.threads_sweep {
+                let p = pts
+                    .iter()
+                    .find(|p| p.benchmark == name && p.runtime == kind && p.threads == *t)
+                    .unwrap();
+                print!("{:>8.2}", p.normalized);
+            }
+            println!();
+        }
+    }
+    dump("fig11", &pts);
+}
+
+fn fig12_cmd(c: &Cfg) {
+    let benches = ["canneal", "lu_ncb", "ocean_cp", "reverse_index"];
+    println!("== Figure 12: peak memory (4 KiB pages), Consequence vs DThreads");
+    let pts = fig12(&c.bench, &c.threads_sweep, &benches);
+    for name in benches {
+        println!("-- {name}");
+        for kind in ["dthreads", "consequence-ic"] {
+            print!("{kind:<16}");
+            for t in &c.threads_sweep {
+                let p = pts
+                    .iter()
+                    .find(|p| p.benchmark == name && p.runtime == kind && p.threads == *t)
+                    .unwrap();
+                print!("{:>9}", p.peak_pages);
+            }
+            println!();
+        }
+    }
+    dump("fig12", &pts);
+}
+
+fn fig13_cmd(c: &Cfg) {
+    println!(
+        "== Figure 13: speedup of each optimization on the hard benchmarks ({} threads)",
+        c.detail_threads
+    );
+    let bars = fig13(&c.bench, c.detail_threads, &HARD_BENCHMARKS);
+    print!("{:<16}", "benchmark");
+    for o in OPTIMIZATIONS {
+        print!("{o:>19}");
+    }
+    println!();
+    for name in HARD_BENCHMARKS {
+        print!("{name:<16}");
+        for o in OPTIMIZATIONS {
+            let bar = bars
+                .iter()
+                .find(|x| x.benchmark == name && x.optimization == o)
+                .unwrap();
+            print!("{:>18.2}x", bar.speedup);
+        }
+        println!();
+    }
+    dump("fig13", &bars);
+}
+
+fn fig14_cmd(c: &Cfg) {
+    let levels = [1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576];
+    println!(
+        "== Figure 14: static coarsening levels vs adaptive ({} threads; virtual Mcycles)",
+        c.detail_threads
+    );
+    let pts = fig14(
+        &c.bench,
+        c.detail_threads,
+        &["reverse_index", "ferret"],
+        &levels,
+    );
+    for name in ["reverse_index", "ferret"] {
+        print!("{name:<16}");
+        for p in pts.iter().filter(|p| p.benchmark == name) {
+            match p.level {
+                Some(l) => print!("  {}k:{:.1}", l / 1024, p.virtual_cycles as f64 / 1e6),
+                None => print!("  adaptive:{:.1}", p.virtual_cycles as f64 / 1e6),
+            }
+        }
+        println!();
+    }
+    dump("fig14", &pts);
+}
+
+fn fig15_cmd(c: &Cfg) {
+    let benches = [
+        "string_match",
+        "kmeans",
+        "ferret",
+        "dedup",
+        "reverse_index",
+        "ocean_cp",
+        "lu_cb",
+        "lu_ncb",
+        "canneal",
+        "water_nsquared",
+        "water_spatial",
+    ];
+    println!(
+        "== Figure 15: time breakdown (% of total) at {} threads",
+        c.detail_threads
+    );
+    println!(
+        "{:<22}{:<16}{:>7}{:>8}{:>8}{:>8}{:>8}{:>7}{:>6}",
+        "benchmark", "runtime", "chunk", "dwait", "bwait", "commit", "update", "fault", "lib"
+    );
+    let bars = fig15(&c.bench, c.detail_threads, &benches);
+    for bar in &bars {
+        let t = bar.breakdown.total().max(1) as f64;
+        let pct = |x: u64| 100.0 * x as f64 / t;
+        println!(
+            "{:<22}{:<16}{:>6.1}%{:>7.1}%{:>7.1}%{:>7.1}%{:>7.1}%{:>6.1}%{:>5.1}%",
+            bar.label,
+            bar.runtime,
+            pct(bar.breakdown.chunk),
+            pct(bar.breakdown.determ_wait),
+            pct(bar.breakdown.barrier_wait),
+            pct(bar.breakdown.commit),
+            pct(bar.breakdown.update),
+            pct(bar.breakdown.fault),
+            pct(bar.breakdown.lib),
+        );
+    }
+    dump("fig15", &bars);
+}
+
+fn fig16_cmd(c: &Cfg) {
+    // The paper uses the 12 benchmarks with ≥10K page updates.
+    let benches = [
+        "canneal",
+        "lu_ncb",
+        "lu_cb",
+        "ocean_cp",
+        "radix",
+        "water_nsquared",
+        "water_spatial",
+        "kmeans",
+        "streamcluster",
+        "reverse_index",
+        "word_count",
+        "ferret",
+    ];
+    println!(
+        "== Figure 16: pages propagated, TSO (Consequence) vs LRC estimate ({} threads)",
+        c.detail_threads
+    );
+    println!(
+        "{:<18}{:>12}{:>12}{:>12}",
+        "benchmark", "tso", "lrc", "reduction"
+    );
+    let rows = fig16(&c.bench, c.detail_threads, &benches);
+    let mut total_red = 0.0;
+    for r in &rows {
+        println!(
+            "{:<18}{:>12}{:>12}{:>11.0}%",
+            r.benchmark,
+            r.tso_pages,
+            r.lrc_pages,
+            100.0 * r.reduction
+        );
+        total_red += r.reduction;
+    }
+    println!(
+        "mean reduction: {:.0}%",
+        100.0 * total_red / rows.len() as f64
+    );
+    dump("fig16", &rows);
+}
+
+fn extras_cmd(c: &Cfg) {
+    println!(
+        "== Extra ablations (DESIGN.md): overflow sweep, GC budget, thread pool ({} threads)",
+        c.detail_threads
+    );
+    println!("-- §3.2 overflow interval sweep (kmeans): virtual Mcycles / publications");
+    let pts = overflow_sweep(
+        &c.bench,
+        c.detail_threads,
+        "kmeans",
+        &[500, 2_000, 5_000, 20_000, 100_000, 1_000_000],
+    );
+    for p in &pts {
+        match p.interval {
+            Some(iv) => print!(
+                "  {iv}:{:.2}M/{}",
+                p.virtual_cycles as f64 / 1e6,
+                p.publications
+            ),
+            None => print!(
+                "  adaptive:{:.2}M/{}",
+                p.virtual_cycles as f64 / 1e6,
+                p.publications
+            ),
+        }
+    }
+    println!();
+    dump("extras_overflow", &pts);
+
+    println!("-- Conversion GC budget sweep (reverse_index): peak pages");
+    let pts = gc_sweep(
+        &c.bench,
+        c.detail_threads,
+        "reverse_index",
+        &[0, 1, 4, 16, usize::MAX],
+    );
+    for p in &pts {
+        let b = if p.budget == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            p.budget.to_string()
+        };
+        print!("  budget {b}: {} pages", p.peak_pages);
+    }
+    println!();
+    dump("extras_gc", &pts);
+
+    println!("-- §4.1 blocking vs Kendo-style polling locks (virtual Mcycles)");
+    let rows = lock_design(
+        &c.bench,
+        c.detail_threads,
+        &["water_nsquared", "reverse_index"],
+        &[100, 1_000, 10_000],
+    );
+    for r in &rows {
+        print!(
+            "  {:<16} blocking:{:.1}",
+            r.benchmark,
+            r.blocking as f64 / 1e6
+        );
+        for (inc, v) in &r.polling {
+            print!("  poll@{inc}:{:.1}", *v as f64 / 1e6);
+        }
+        println!();
+    }
+    dump("extras_lockdesign", &rows);
+
+    println!("-- §3.3 thread pool ablation");
+    let rows = pool_ablation(&c.bench, c.detail_threads, &["kmeans", "histogram"]);
+    for r in &rows {
+        println!(
+            "  {:<12} with={}M without={}M hits={} speedup={:.2}x",
+            r.benchmark,
+            r.with_pool / 1_000_000,
+            r.without_pool / 1_000_000,
+            r.pool_hits,
+            r.speedup
+        );
+    }
+    dump("extras_pool", &rows);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+    let c = cfg(quick);
+    let t0 = Instant::now();
+    for w in which {
+        match w {
+            "fig10" => fig10_cmd(&c),
+            "fig11" => fig11_cmd(&c),
+            "fig12" => fig12_cmd(&c),
+            "fig13" => fig13_cmd(&c),
+            "fig14" => fig14_cmd(&c),
+            "fig15" => fig15_cmd(&c),
+            "fig16" => fig16_cmd(&c),
+            "extras" => extras_cmd(&c),
+            "all" => {
+                fig10_cmd(&c);
+                fig11_cmd(&c);
+                fig12_cmd(&c);
+                fig13_cmd(&c);
+                fig14_cmd(&c);
+                fig15_cmd(&c);
+                fig16_cmd(&c);
+                extras_cmd(&c);
+            }
+            other => {
+                eprintln!("unknown figure {other}; use fig10..fig16 or all");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,25 @@
+//! Prints per-run counters for calibration work.
+use dmt_baselines::RuntimeKind;
+use dmt_bench::*;
+
+fn main() {
+    let b = Bench {
+        pthreads_reps: 1,
+        ..Bench::default()
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        ALL_BENCHMARKS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for name in names {
+        let pt = run_one(&b, RuntimeKind::Pthreads, name, 4);
+        let ic = run_one(&b, RuntimeKind::ConsequenceIc, name, 4);
+        let c = &ic.report.counters;
+        println!("{name:<18} pthreads_v={:>10} ic_v={:>11} slow={:>5.1} tok={:>6} coarse={:>6} commits={:>6} pages={:>7} faults={:>6} pub={:>7}",
+            pt.virtual_cycles, ic.virtual_cycles,
+            ic.virtual_cycles as f64 / pt.virtual_cycles as f64,
+            c.token_acquisitions, c.coarsened_chunks, c.commits, c.pages_committed, c.faults, c.publications);
+    }
+}

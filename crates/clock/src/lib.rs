@@ -1,0 +1,27 @@
+//! Deterministic logical clocks (§2.1, §3.2, §3.5 of the Consequence paper).
+//!
+//! A deterministic logical clock produces a total order over synchronization
+//! operations that is a pure function of program behaviour. Two policies are
+//! implemented:
+//!
+//! * **Instruction count (Kendo/GMIC):** a sync op performed at logical
+//!   clock `c` by thread `t` is ordered by the pair `(c, t)`; a thread may
+//!   proceed only when it holds the global minimum among threads that could
+//!   still perform an earlier operation.
+//! * **Round robin** (DThreads/DWC): threads take turns in id order; a
+//!   thread's sync op waits for its turn regardless of how much work others
+//!   still have — the Figure 1b pathology.
+//!
+//! The [`ClockTable`] is a passive state machine mutated under the owning
+//! runtime's global lock. Crucially it also propagates **virtual time**
+//! along wake edges: whenever an event (clock publication, departure, turn
+//! advance) makes a waiting thread eligible, the event's virtual timestamp
+//! is folded into the waiter's `pending_wake` accumulator, so the waiter
+//! resumes no earlier (in virtual time) than the event that released it.
+//! This is what makes reported runtimes reflect deterministic waiting.
+
+pub mod overflow;
+pub mod table;
+
+pub use overflow::OverflowPolicy;
+pub use table::{ClockTable, OrderPolicy, ThreadState};

@@ -1,0 +1,120 @@
+//! Adaptive counter-overflow policy (§3.2 of the Consequence paper).
+//!
+//! A running thread's logical clock is visible to others only when
+//! *published* — in the paper, when the hardware performance counter
+//! overflows and raises an interrupt. Overflow frequency trades sequential
+//! overhead (each publication costs an interrupt) against notification
+//! latency (a waiter learns it is the new GMIC only at the next overflow).
+//! The frequency has **no effect on determinism**, only on real time, which
+//! is exactly why it can be adapted freely.
+//!
+//! The paper's three rules, implemented verbatim:
+//!
+//! 1. at chunk start, reset the interval to a conservative base
+//!    (5 000 retired instructions);
+//! 2. if a thread is waiting to become the GMIC, aim the next overflow at
+//!    the point where our clock first exceeds that waiter's clock;
+//! 3. otherwise double the interval at every overflow.
+
+/// Per-thread overflow threshold calculator.
+#[derive(Clone, Debug)]
+pub struct OverflowPolicy {
+    base: u64,
+    adaptive: bool,
+    interval: u64,
+}
+
+/// The paper's conservative base overflow interval (rule 1).
+pub const BASE_OVERFLOW: u64 = 5_000;
+
+impl OverflowPolicy {
+    /// A policy with the given base interval. When `adaptive` is false the
+    /// interval stays fixed at `base` (the ablation baseline of Fig. 13).
+    pub fn new(base: u64, adaptive: bool) -> OverflowPolicy {
+        OverflowPolicy {
+            base,
+            adaptive,
+            interval: base,
+        }
+    }
+
+    /// The paper's configuration.
+    pub fn paper(adaptive: bool) -> OverflowPolicy {
+        OverflowPolicy::new(BASE_OVERFLOW, adaptive)
+    }
+
+    /// Rule 1: reset at chunk start.
+    pub fn chunk_start(&mut self) {
+        self.interval = self.base;
+    }
+
+    /// Computes the logical-clock value at which the next publication
+    /// should occur, given the current clock `now` and the earliest waiting
+    /// thread's clock, if any.
+    pub fn next_threshold(&mut self, now: u64, min_waiter: Option<u64>) -> u64 {
+        if !self.adaptive {
+            return now + self.base;
+        }
+        if let Some(w) = min_waiter {
+            // Rule 2: overflow just as our clock passes the waiter's.
+            return w.max(now) + 1;
+        }
+        // Rule 3: no one to notify — back off exponentially.
+        let t = now + self.interval;
+        self.interval = self.interval.saturating_mul(2);
+        t
+    }
+
+    /// Current interval (exposed for tests and stats).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_ignores_waiters_and_never_backs_off() {
+        let mut p = OverflowPolicy::new(1_000, false);
+        assert_eq!(p.next_threshold(0, Some(50)), 1_000);
+        assert_eq!(p.next_threshold(1_000, None), 2_000);
+        assert_eq!(p.interval(), 1_000);
+    }
+
+    #[test]
+    fn rule2_targets_waiter_crossing() {
+        let mut p = OverflowPolicy::paper(true);
+        // Waiter at 12 000, we are at 10 000: publish at 12 001.
+        assert_eq!(p.next_threshold(10_000, Some(12_000)), 12_001);
+        // Waiter already below us: publish immediately (now + 1).
+        assert_eq!(p.next_threshold(10_000, Some(9_000)), 10_001);
+    }
+
+    #[test]
+    fn rule3_doubles_without_waiters() {
+        let mut p = OverflowPolicy::paper(true);
+        assert_eq!(p.next_threshold(0, None), 5_000);
+        assert_eq!(p.next_threshold(5_000, None), 15_000);
+        assert_eq!(p.next_threshold(15_000, None), 35_000);
+    }
+
+    #[test]
+    fn rule1_resets_at_chunk_start() {
+        let mut p = OverflowPolicy::paper(true);
+        p.next_threshold(0, None);
+        p.next_threshold(0, None);
+        assert!(p.interval() > BASE_OVERFLOW);
+        p.chunk_start();
+        assert_eq!(p.interval(), BASE_OVERFLOW);
+    }
+
+    #[test]
+    fn doubling_saturates() {
+        let mut p = OverflowPolicy::new(u64::MAX / 2, true);
+        p.next_threshold(0, None);
+        p.next_threshold(0, None);
+        assert_eq!(p.interval(), u64::MAX);
+    }
+}

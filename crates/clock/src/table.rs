@@ -1,0 +1,530 @@
+//! The clock table: per-thread logical clocks and token eligibility.
+
+use dmt_api::Tid;
+
+/// Which deterministic total order the table enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderPolicy {
+    /// Kendo-style: order sync ops by `(logical clock, tid)`.
+    InstructionCount,
+    /// DThreads-style: threads take turns in id order.
+    RoundRobin,
+}
+
+/// Scheduling state of one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Executing a chunk; `published` is a monotone lower bound of its true
+    /// logical clock.
+    Running,
+    /// Blocked at a synchronization operation with this exact clock,
+    /// waiting for eligibility.
+    AtSync(u64),
+    /// Removed itself from GMIC consideration (`clockDepart()`): blocked on
+    /// a lock, condition variable, barrier or join.
+    Departed,
+    /// Exited.
+    Finished,
+}
+
+/// A clock value standing in for "will never block anyone again" (departed
+/// or finished threads).
+const UNBLOCKED: u64 = u64::MAX;
+
+#[derive(Clone, Debug)]
+struct Entry {
+    state: ThreadState,
+    published: u64,
+    /// Publication history: every externally visible change of this
+    /// thread's effective clock bound, as `(bound, virtual time)`. A
+    /// departure records `(UNBLOCKED, v)`; a reactivation records the
+    /// restored (possibly lower) bound. The sequence is a deterministic
+    /// function of the program, which is what makes virtual-time waits
+    /// reproducible: a waiter's wake time is looked up here rather than
+    /// taken from racy wall-clock arrival order.
+    history: Vec<(u64, u64)>,
+}
+
+/// Per-thread logical clocks plus the eligibility rule for the global token.
+///
+/// All methods must be called under one external lock (the runtime's global
+/// mutex); the table itself performs no synchronization.
+#[derive(Debug)]
+pub struct ClockTable {
+    policy: OrderPolicy,
+    entries: Vec<Option<Entry>>,
+    /// Round-robin: index of the thread whose turn it is, and the virtual
+    /// time of the event that moved the turn there.
+    rr_turn: usize,
+    rr_turn_v: u64,
+}
+
+impl ClockTable {
+    /// An empty table with room for `slots` threads.
+    pub fn new(policy: OrderPolicy, slots: usize) -> ClockTable {
+        ClockTable {
+            policy,
+            entries: vec![None; slots],
+            rr_turn: 0,
+            rr_turn_v: 0,
+        }
+    }
+
+    /// The ordering policy in force.
+    pub fn policy(&self) -> OrderPolicy {
+        self.policy
+    }
+
+    fn entry(&self, t: Tid) -> &Entry {
+        self.entries[t.index()].as_ref().expect("unregistered tid")
+    }
+
+    fn entry_mut(&mut self, t: Tid) -> &mut Entry {
+        self.entries[t.index()].as_mut().expect("unregistered tid")
+    }
+
+    /// Registers a new thread with an inherited starting clock, at the
+    /// spawner's virtual time `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is taken or out of range.
+    pub fn register(&mut self, t: Tid, clock: u64, v: u64) {
+        let slot = &mut self.entries[t.index()];
+        assert!(slot.is_none(), "tid {t} registered twice");
+        *slot = Some(Entry {
+            state: ThreadState::Running,
+            published: clock,
+            history: vec![(clock, v)],
+        });
+        self.rr_fixup(v);
+    }
+
+    /// Current state of `t`.
+    pub fn state(&self, t: Tid) -> ThreadState {
+        self.entry(t).state
+    }
+
+    /// Last published clock of `t`.
+    pub fn published(&self, t: Tid) -> u64 {
+        self.entry(t).published
+    }
+
+    /// Publishes a running thread's clock (a counter overflow) at virtual
+    /// time `v`. Returns `true` if the published value advanced (waiters
+    /// may have become eligible — a notification hint).
+    pub fn publish(&mut self, t: Tid, clock: u64, v: u64) -> bool {
+        let e = self.entry_mut(t);
+        debug_assert!(matches!(e.state, ThreadState::Running));
+        let old = e.published;
+        debug_assert!(clock >= old, "published clock must be monotone");
+        e.published = clock;
+        e.history.push((clock, v));
+        clock > old
+    }
+
+    /// Thread `t` arrives at a synchronization operation with exact clock
+    /// `clock`, at virtual time `v`.
+    pub fn arrive_sync(&mut self, t: Tid, clock: u64, v: u64) {
+        let e = self.entry_mut(t);
+        e.published = clock.max(e.published);
+        e.state = ThreadState::AtSync(clock);
+        let p = e.published;
+        e.history.push((p, v));
+    }
+
+    /// Thread `t` removes itself from GMIC consideration (`clockDepart`)
+    /// at virtual time `v`.
+    pub fn depart(&mut self, t: Tid, v: u64) {
+        let e = self.entry_mut(t);
+        e.state = ThreadState::Departed;
+        e.history.push((UNBLOCKED, v));
+        if self.policy == OrderPolicy::RoundRobin && self.rr_turn == t.index() {
+            self.rr_advance(v);
+        }
+    }
+
+    /// Thread `t` finishes at virtual time `v`.
+    pub fn finish(&mut self, t: Tid, v: u64) {
+        let e = self.entry_mut(t);
+        e.state = ThreadState::Finished;
+        e.history.push((UNBLOCKED, v));
+        if self.policy == OrderPolicy::RoundRobin && self.rr_turn == t.index() {
+            self.rr_advance(v);
+        }
+    }
+
+    /// A departed thread is woken by an event at virtual time `v` (lock
+    /// hand-off, signal, exit) and rejoins GMIC consideration with clock
+    /// `clock` — which may *lower* its effective bound again.
+    pub fn reactivate(&mut self, t: Tid, clock: u64, v: u64) {
+        let e = self.entry_mut(t);
+        debug_assert!(matches!(e.state, ThreadState::Departed));
+        e.state = ThreadState::Running;
+        e.published = e.published.max(clock);
+        let p = e.published;
+        e.history.push((p, v));
+        self.rr_fixup(v);
+    }
+
+    /// Thread `t` resumes running after completing a sync op at clock
+    /// `clock` (possibly fast-forwarded) and virtual time `v`.
+    pub fn resume(&mut self, t: Tid, clock: u64, v: u64) {
+        let e = self.entry_mut(t);
+        e.state = ThreadState::Running;
+        e.published = e.published.max(clock);
+        let p = e.published;
+        e.history.push((p, v));
+    }
+
+    /// Whether `t` (which must be `AtSync`) may proceed under the policy.
+    ///
+    /// Instruction count: no other live thread could still perform an
+    /// earlier-ordered sync op — every Running/AtSync thread's published
+    /// clock is lexicographically past `(clock, t)`. Round robin: it is
+    /// `t`'s turn.
+    pub fn eligible(&self, t: Tid) -> bool {
+        let ThreadState::AtSync(c) = self.entry(t).state else {
+            return false;
+        };
+        match self.policy {
+            OrderPolicy::InstructionCount => self.entries.iter().enumerate().all(|(i, e)| {
+                let Some(e) = e else { return true };
+                if i == t.index() {
+                    return true;
+                }
+                match e.state {
+                    ThreadState::Departed | ThreadState::Finished => true,
+                    ThreadState::Running | ThreadState::AtSync(_) => {
+                        (e.published, i as u32) > (c, t.0)
+                    }
+                }
+            }),
+            OrderPolicy::RoundRobin => self.rr_turn == t.index(),
+        }
+    }
+
+    /// Virtual time of the event that made `t` (waiting at clock `c`)
+    /// eligible: for every other thread, the final transition of its
+    /// effective bound from "could still order before `(c, t)`" to "cannot".
+    ///
+    /// Because every history is a deterministic function of the program,
+    /// this wake time is reproducible regardless of physical arrival order.
+    /// Must be called at token acquisition, when eligibility holds.
+    pub fn crossing_v(&self, t: Tid, c: u64) -> u64 {
+        let mut wake = 0;
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(e) = e else { continue };
+            if i == t.index() {
+                continue;
+            }
+            // Walk backwards to the start of the final non-blocking run.
+            // If no entry ever blocked `(c, t)`, this thread imposes no
+            // wake constraint at all.
+            let mut cross = None;
+            let mut blocked = false;
+            for &(bound, v) in e.history.iter().rev() {
+                if (bound, i as u32) > (c, t.0) {
+                    cross = Some(v);
+                } else {
+                    blocked = true;
+                    break;
+                }
+            }
+            if blocked {
+                if let Some(v) = cross {
+                    wake = wake.max(v);
+                }
+            }
+        }
+        wake
+    }
+
+    /// Round robin only: advances the turn past the current holder to the
+    /// next live, non-departed thread; `v` is the virtual time of the
+    /// advancing event. No-op if no such thread exists.
+    pub fn rr_advance(&mut self, v: u64) {
+        debug_assert_eq!(self.policy, OrderPolicy::RoundRobin);
+        let n = self.entries.len();
+        for step in 1..=n {
+            let i = (self.rr_turn + step) % n;
+            if let Some(e) = &self.entries[i] {
+                if matches!(e.state, ThreadState::Running | ThreadState::AtSync(_)) {
+                    self.rr_turn = i;
+                    self.rr_turn_v = self.rr_turn_v.max(v);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Round robin: if the turn points at a thread that can no longer take
+    /// it (departed/finished — e.g. everyone was blocked when the turn
+    /// last advanced), move it to the next eligible thread. Called when a
+    /// thread joins or rejoins the rotation; a no-op under instruction
+    /// count or while the holder is live.
+    fn rr_fixup(&mut self, v: u64) {
+        if self.policy != OrderPolicy::RoundRobin {
+            return;
+        }
+        let ok = self.entries[self.rr_turn]
+            .as_ref()
+            .map(|e| matches!(e.state, ThreadState::Running | ThreadState::AtSync(_)))
+            .unwrap_or(false);
+        if !ok {
+            self.rr_advance(v);
+        }
+    }
+
+    /// Round robin only: current turn holder.
+    pub fn rr_holder(&self) -> usize {
+        self.rr_turn
+    }
+
+    /// Round robin only: virtual time at which the current turn was set.
+    pub fn rr_turn_v(&self) -> u64 {
+        self.rr_turn_v
+    }
+
+    /// Smallest `(clock, tid)` among threads waiting at a sync op, other
+    /// than `t`. Drives the §3.2 adaptive overflow target.
+    pub fn min_waiting_other(&self, t: Tid) -> Option<(u64, u32)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != t.index())
+            .filter_map(|(i, e)| match e {
+                Some(Entry {
+                    state: ThreadState::AtSync(c),
+                    ..
+                }) => Some((*c, i as u32)),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Number of threads in each non-finished state:
+    /// `(running, at_sync, departed)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut r = (0, 0, 0);
+        for e in self.entries.iter().flatten() {
+            match e.state {
+                ThreadState::Running => r.0 += 1,
+                ThreadState::AtSync(_) => r.1 += 1,
+                ThreadState::Departed => r.2 += 1,
+                ThreadState::Finished => {}
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ic(slots: usize) -> ClockTable {
+        ClockTable::new(OrderPolicy::InstructionCount, slots)
+    }
+
+    #[test]
+    fn lone_thread_is_always_eligible() {
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.arrive_sync(Tid(0), 100, 0);
+        assert!(t.eligible(Tid(0)));
+    }
+
+    #[test]
+    fn lower_clock_wins() {
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(0), 50, 0);
+        t.arrive_sync(Tid(1), 40, 0);
+        assert!(!t.eligible(Tid(0)));
+        assert!(t.eligible(Tid(1)));
+    }
+
+    #[test]
+    fn equal_clocks_tie_break_by_tid() {
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(0), 50, 0);
+        t.arrive_sync(Tid(1), 50, 0);
+        assert!(t.eligible(Tid(0)));
+        assert!(!t.eligible(Tid(1)));
+    }
+
+    #[test]
+    fn running_thread_with_low_published_clock_blocks_waiter() {
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 50, 7);
+        assert!(!t.eligible(Tid(1)));
+        let hint = t.publish(Tid(0), 60, 123);
+        assert!(hint);
+        assert!(t.eligible(Tid(1)));
+        // The crossing event carries T0's virtual time.
+        assert_eq!(t.crossing_v(Tid(1), 50), 123);
+    }
+
+    #[test]
+    fn crossing_is_found_even_when_waiter_arrives_late() {
+        // T0 crosses 50 at v=123 while nobody waits; T1 arrives later and
+        // must still observe the same deterministic wake time.
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.publish(Tid(0), 60, 123);
+        t.arrive_sync(Tid(1), 50, 200);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.crossing_v(Tid(1), 50), 123);
+    }
+
+    #[test]
+    fn thread_that_never_blocked_adds_no_constraint() {
+        let mut t = ic(4);
+        t.register(Tid(0), 100, 999);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 50, 5);
+        // T0 started above 50: it never blocked T1, so no wake constraint.
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.crossing_v(Tid(1), 50), 0);
+    }
+
+    #[test]
+    fn publication_at_equal_clock_respects_tid_tiebreak() {
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 50, 0);
+        t.publish(Tid(0), 50, 5);
+        assert!(!t.eligible(Tid(1)), "T0 could still sync at (50, 0)");
+        t.publish(Tid(0), 51, 9);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.crossing_v(Tid(1), 50), 9);
+    }
+
+    #[test]
+    fn departed_threads_do_not_block_and_carry_their_departure_time() {
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 50, 0);
+        assert!(!t.eligible(Tid(1)));
+        t.depart(Tid(0), 77);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.crossing_v(Tid(1), 50), 77);
+    }
+
+    #[test]
+    fn finished_threads_do_not_block() {
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 50, 0);
+        t.finish(Tid(0), 31);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.crossing_v(Tid(1), 50), 31);
+    }
+
+    #[test]
+    fn reactivated_thread_blocks_again_and_recrosses() {
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.depart(Tid(0), 10);
+        t.arrive_sync(Tid(1), 50, 0);
+        assert!(t.eligible(Tid(1)));
+        // T0 is woken with its old clock 10 (< 50): T1 is blocked again.
+        t.reactivate(Tid(0), 10, 12);
+        assert!(!t.eligible(Tid(1)));
+        // T0 then runs past 50: the *final* crossing is what counts.
+        t.publish(Tid(0), 90, 300);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.crossing_v(Tid(1), 50), 300);
+    }
+
+    #[test]
+    fn min_waiting_other_finds_earliest_sync_waiter() {
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.register(Tid(2), 0, 0);
+        assert_eq!(t.min_waiting_other(Tid(0)), None);
+        t.arrive_sync(Tid(1), 70, 0);
+        t.arrive_sync(Tid(2), 30, 0);
+        assert_eq!(t.min_waiting_other(Tid(0)), Some((30, 2)));
+        assert_eq!(t.min_waiting_other(Tid(2)), Some((70, 1)));
+    }
+
+    #[test]
+    fn round_robin_takes_turns_in_tid_order() {
+        let mut t = ClockTable::new(OrderPolicy::RoundRobin, 4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.register(Tid(2), 0, 0);
+        t.arrive_sync(Tid(1), 10, 0);
+        t.arrive_sync(Tid(2), 5, 0);
+        t.arrive_sync(Tid(0), 99, 0);
+        assert!(t.eligible(Tid(0)), "clocks are irrelevant under RR");
+        assert!(!t.eligible(Tid(2)));
+        t.rr_advance(11);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.rr_turn_v(), 11);
+        t.rr_advance(12);
+        assert!(t.eligible(Tid(2)));
+        t.rr_advance(13);
+        assert!(t.eligible(Tid(0)), "rotation wraps");
+    }
+
+    #[test]
+    fn round_robin_skips_departed_and_finished() {
+        let mut t = ClockTable::new(OrderPolicy::RoundRobin, 4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.register(Tid(2), 0, 0);
+        t.depart(Tid(1), 0);
+        t.arrive_sync(Tid(0), 1, 0);
+        t.arrive_sync(Tid(2), 1, 0);
+        assert!(t.eligible(Tid(0)));
+        t.rr_advance(5);
+        assert_eq!(t.rr_holder(), 2, "skips departed T1");
+        t.finish(Tid(2), 6);
+        assert_eq!(t.rr_holder(), 0, "finish advances past holder");
+    }
+
+    #[test]
+    fn rr_departure_of_holder_advances_turn() {
+        let mut t = ClockTable::new(OrderPolicy::RoundRobin, 2);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 1, 0);
+        assert!(!t.eligible(Tid(1)));
+        t.depart(Tid(0), 42);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.rr_turn_v(), 42);
+    }
+
+    #[test]
+    fn census_counts_states() {
+        let mut t = ic(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.register(Tid(2), 0, 0);
+        t.arrive_sync(Tid(1), 1, 0);
+        t.depart(Tid(2), 0);
+        assert_eq!(t.census(), (1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_panics() {
+        let mut t = ic(2);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(0), 0, 0);
+    }
+}

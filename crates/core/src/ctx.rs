@@ -1,0 +1,1292 @@
+//! The per-thread protocol engine: Consequence's implementation of
+//! [`ThreadCtx`].
+//!
+//! Every synchronization operation follows the paper's token discipline
+//! (Figures 7–9): pause the clock, acquire the global token when eligible
+//! under the deterministic order, commit/update versioned memory, perform
+//! the operation, release the token. Adaptive coarsening (§3.1) short-cuts
+//! this by *retaining* the token across operations and deferring the
+//! commit, which is safe precisely because the token holder is the only
+//! thread that can commit: its isolated view stays current.
+
+use std::sync::Arc;
+
+use conversion::Workspace;
+use det_clock::{OrderPolicy, OverflowPolicy};
+use dmt_api::{
+    Addr, BarrierId, Breakdown, CondId, CostModel, Counters, Job, MutexId, RwLockId, ThreadCtx, Tid,
+};
+
+use crate::coarsen::CoarsenState;
+use crate::lrc::LrcObject;
+use crate::shared::{BarPhase, Inner, Msg, Shared, ThreadSt};
+
+/// Consequence's per-thread execution context.
+pub(crate) struct Ctx {
+    sh: Arc<Shared>,
+    tid: Tid,
+    /// Taken at [`Ctx::finish`] (pooled or dropped); always `Some` before.
+    ws: Option<Workspace>,
+    /// Channel with which this worker re-pools itself at exit (§3.3);
+    /// `None` for the main thread and for non-pooling configurations.
+    pool_tx: Option<std::sync::mpsc::Sender<Msg>>,
+    /// Deterministic logical clock (retired user instructions).
+    clock: u64,
+    /// Virtual time in cycles.
+    v: u64,
+    /// Logical clock at which the next publication fires.
+    next_pub: u64,
+    ovf: OverflowPolicy,
+    coarsen: CoarsenState,
+    /// True between token acquisition and release — including across
+    /// coarsened synchronization operations.
+    holding_token: bool,
+    /// Whether `commit_and_update` has run since the current token
+    /// acquisition, i.e. the isolated view is current. A coarsened run may
+    /// only begin from a current view (Fig. 6 keeps the first global
+    /// coordination phase whole; only subsequent phases are merged).
+    current_since_acquire: bool,
+    /// Logical clock when the token was acquired (coarsening budget).
+    token_start_clock: u64,
+    last_sync_end_clock: u64,
+    chunk_start_clock: u64,
+    bd: Breakdown,
+    cnt: Counters,
+    cost: CostModel,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        sh: Arc<Shared>,
+        tid: Tid,
+        ws: Workspace,
+        clock: u64,
+        v: u64,
+        pool_tx: Option<std::sync::mpsc::Sender<Msg>>,
+    ) -> Ctx {
+        let opts = &sh.opts;
+        let mut ovf = OverflowPolicy::new(opts.base_overflow, opts.adaptive_overflow);
+        let next_pub = ovf.next_threshold(clock, None);
+        let coarsen = CoarsenState::new(
+            opts.coarsen_initial,
+            opts.coarsen_min,
+            opts.coarsen_cap,
+            opts.static_coarsen,
+        );
+        let cost = sh.cfg.cost;
+        Ctx {
+            sh,
+            tid,
+            ws: Some(ws),
+            pool_tx,
+            clock,
+            v,
+            next_pub,
+            ovf,
+            coarsen,
+            holding_token: false,
+            current_since_acquire: false,
+            token_start_clock: clock,
+            last_sync_end_clock: clock,
+            chunk_start_clock: clock,
+            bd: Breakdown::default(),
+            cnt: Counters::default(),
+            cost,
+        }
+    }
+
+    #[inline]
+    fn ws(&mut self) -> &mut Workspace {
+        self.ws.as_mut().expect("workspace present until finish")
+    }
+
+    /// Advances the logical clock and virtual time for user work, firing
+    /// publications and the ad-hoc chunk limit as thresholds pass.
+    ///
+    /// Large advances are split at publication thresholds: a hardware
+    /// counter overflows *during* a long chunk, not at its end, and the
+    /// interrupt's virtual timestamp must sit at the crossing point —
+    /// otherwise a waiter's wake time inherits the whole chunk.
+    #[inline]
+    fn advance(&mut self, dclock: u64, dv: u64) {
+        if self.clock.saturating_add(dclock) < self.next_pub {
+            // Fast path: no threshold inside this advance.
+            self.clock += dclock;
+            self.v += dv;
+            self.bd.chunk += dv;
+        } else {
+            let mut dclock = dclock;
+            let mut dv = dv;
+            while dclock > 0 {
+                if self.clock >= self.next_pub {
+                    // A clock jump (fast-forward, barrier) passed the
+                    // threshold already; publish and recompute it.
+                    self.maybe_publish();
+                    continue;
+                }
+                if self.clock.saturating_add(dclock) < self.next_pub {
+                    self.clock += dclock;
+                    self.v += dv;
+                    self.bd.chunk += dv;
+                    break;
+                }
+                // Advance exactly to the threshold, charging virtual time
+                // pro rata, and fire the publication there.
+                let step = (self.next_pub - self.clock).min(dclock);
+                let vstep = if dclock > 0 { dv * step / dclock } else { 0 };
+                self.clock += step;
+                self.v += vstep;
+                self.bd.chunk += vstep;
+                dclock -= step;
+                dv -= vstep;
+                self.maybe_publish();
+            }
+        }
+        if let Some(lim) = self.sh.opts.chunk_limit {
+            if self.clock - self.chunk_start_clock >= lim {
+                self.forced_commit();
+            }
+        }
+    }
+
+    #[inline(never)]
+    fn maybe_publish(&mut self) {
+        if self.sh.opts.order != OrderPolicy::InstructionCount {
+            // Round-robin eligibility ignores clocks entirely; publication
+            // would be pure overhead, and the paper's RR systems have none.
+            self.next_pub = u64::MAX;
+            return;
+        }
+        if self.holding_token {
+            // Nobody can pass the token order while we hold the token;
+            // defer publication to the end of the coarsened chunk.
+            self.next_pub = self.clock + self.ovf.interval().max(1);
+            return;
+        }
+        let c = self.cost.overflow_irq;
+        self.v += c;
+        self.bd.lib += c;
+        self.cnt.publications += 1;
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        let hint = inner.table.publish(self.tid, self.clock, self.v);
+        let min_w = if self.sh.opts.adaptive_overflow {
+            inner
+                .table
+                .min_waiting_other(self.tid)
+                .map(|(c, _)| c)
+                .filter(|c| *c >= self.clock)
+        } else {
+            None
+        };
+        drop(inner);
+        self.next_pub = self.ovf.next_threshold(self.clock, min_w);
+        if hint {
+            sh.cv.notify_all();
+        }
+    }
+
+    /// §2.7: forcibly end the current chunk so spinning threads observe
+    /// remote commits.
+    fn forced_commit(&mut self) {
+        self.acquire_token();
+        self.commit_and_update();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        inner.table.resume(self.tid, self.clock, self.v);
+        self.release_token_locked(&mut inner);
+    }
+
+    fn sync_prologue(&mut self) {
+        let c = self.cost.sync_op;
+        self.v += c;
+        self.bd.lib += c;
+    }
+
+    /// Arrives at a synchronization operation and acquires the global token.
+    /// Returns `true` on a fresh acquisition and `false` when the token was
+    /// already held by this thread (a coarsened operation).
+    fn acquire_token(&mut self) -> bool {
+        // Chunk-end counter read: a syscall to the kernel clock module, or
+        // a cheap user-space read inside a coarsened chunk (§3.4).
+        // Round-robin ordering needs no instruction counters at all.
+        if self.sh.opts.order == OrderPolicy::InstructionCount {
+            let read = if self.holding_token && self.sh.opts.user_counter_read {
+                self.cost.counter_read_user
+            } else {
+                self.cost.counter_read_kernel
+            };
+            self.v += read;
+            self.bd.lib += read;
+            self.cnt.publications += 1;
+        }
+        let chunk_len = self.clock - self.last_sync_end_clock;
+        self.coarsen.thread_est.update(chunk_len);
+        if self.holding_token {
+            return false;
+        }
+
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        let arrival_clock = self.clock;
+        inner.table.arrive_sync(self.tid, arrival_clock, self.v);
+        sh.cv.notify_all();
+        let wait_from = self.v;
+        loop {
+            if inner.token.is_none() && inner.table.eligible(self.tid) {
+                break;
+            }
+            // In debug builds, a very long token wait dumps the scheduler
+            // state: deadlocks here are runtime bugs, not program bugs.
+            #[cfg(debug_assertions)]
+            {
+                let timed_out = sh
+                    .cv
+                    .wait_for(&mut inner, std::time::Duration::from_secs(5))
+                    .timed_out();
+                if timed_out && std::env::var_os("CONSEQ_DEBUG").is_some() {
+                    eprintln!(
+                        "[conseq] {} stuck at clock {} (token={:?}, census={:?})",
+                        self.tid,
+                        arrival_clock,
+                        inner.token,
+                        inner.table.census()
+                    );
+                    for i in 0..inner.next_tid {
+                        let t = Tid(i);
+                        eprintln!(
+                            "[conseq]   {t}: state={:?} published={}",
+                            inner.table.state(t),
+                            inner.table.published(t)
+                        );
+                    }
+                }
+            }
+            #[cfg(not(debug_assertions))]
+            sh.cv.wait(&mut inner);
+        }
+        inner.token = Some(self.tid);
+        if self.sh.opts.record_schedule {
+            inner.schedule.push((self.tid, arrival_clock));
+        }
+        // Deterministic wake time: the token is exclusive (chain off the
+        // previous release), plus the policy-specific release event. Under
+        // instruction count that is the final clock crossing of each
+        // blocking thread, looked up in its publication history; under
+        // round robin it is the event that handed us the turn (clock
+        // crossings are meaningless there and would inject noise).
+        let mut wake = inner.last_release_v;
+        match self.sh.opts.order {
+            OrderPolicy::InstructionCount => {
+                wake = wake.max(inner.table.crossing_v(self.tid, arrival_clock));
+            }
+            OrderPolicy::RoundRobin => {
+                wake = wake.max(inner.table.rr_turn_v());
+            }
+        }
+        self.v = self.v.max(wake);
+        self.bd.determ_wait += self.v - wait_from;
+        let top = self.cost.token_op;
+        self.v += top;
+        self.bd.lib += top;
+        self.cnt.token_acquisitions += 1;
+        // Fast-forward (§3.5): catch up to the last token releaser.
+        if self.sh.opts.fast_forward && self.clock < inner.last_release_clock {
+            self.clock = inner.last_release_clock;
+        }
+        // Coarsening budget adaptation (§3.1, multiplicative up/down).
+        let same = inner.last_entrant == Some(self.tid);
+        inner.last_entrant = Some(self.tid);
+        if self.sh.opts.coarsening {
+            self.coarsen.adapt(same);
+        }
+        drop(inner);
+        self.holding_token = true;
+        self.current_since_acquire = false;
+        self.token_start_clock = self.clock;
+        self.ovf.chunk_start();
+        true
+    }
+
+    /// Releases the token under the runtime lock, chaining virtual time to
+    /// every waiter and advancing the round-robin turn if we hold it.
+    fn release_token_locked(&mut self, inner: &mut Inner) {
+        self.release_token_locked_ex(inner, true);
+    }
+
+    /// As [`release_token_locked`], optionally keeping the round-robin
+    /// turn: consecutive spawns coalesce into one rotation slot, as real
+    /// DThreads-family runtimes batch thread creation (otherwise every
+    /// create would wait a full rotation behind freshly started workers).
+    fn release_token_locked_ex(&mut self, inner: &mut Inner, advance_rr: bool) {
+        debug_assert_eq!(inner.token, Some(self.tid), "token not held");
+        let top = self.cost.token_op;
+        self.v += top;
+        self.bd.lib += top;
+        inner.token = None;
+        inner.last_release_clock = self.clock;
+        inner.last_release_v = self.v;
+        if advance_rr
+            && self.sh.opts.order == OrderPolicy::RoundRobin
+            && inner.table.rr_holder() == self.tid.index()
+        {
+            inner.table.rr_advance(self.v);
+        }
+        self.holding_token = false;
+        self.sh.cv.notify_all();
+    }
+
+    /// Commits dirty pages and pulls remote versions (Fig. 7 line 6:
+    /// `convCommitAndUpdateMem`). Requires the token.
+    fn commit_and_update(&mut self) {
+        debug_assert!(self.holding_token);
+        let sh = Arc::clone(&self.sh);
+        let cr = sh.seg.commit(self.ws(), None);
+        let c = self.cost.commit_base
+            + cr.pages as u64 * self.cost.page_commit
+            + cr.merged as u64 * self.cost.page_merge;
+        self.v += c;
+        self.bd.commit += c;
+        self.cnt.commits += 1;
+        self.cnt.pages_committed += cr.pages as u64;
+        self.cnt.pages_merged += cr.merged as u64;
+        let ur = sh.seg.update(self.ws());
+        let u = self.cost.update_base + ur.pages_propagated * self.cost.page_update;
+        self.v += u;
+        self.bd.update += u;
+        self.cnt.pages_propagated += ur.pages_propagated;
+        sh.seg.gc(self.sh.cfg.gc_budget);
+        self.cnt.chunks += 1;
+        self.chunk_start_clock = self.clock;
+        self.current_since_acquire = true;
+        if cr.pages > 0 && self.sh.cfg.track_lrc {
+            let mut inner = self.sh.inner.lock();
+            if let Some(l) = inner.lrc.as_mut() {
+                l.on_commit(self.tid, cr.pages);
+            }
+        }
+    }
+
+    /// Ends a coarsenable synchronization operation: either retain the
+    /// token across the next chunk (deferring commits — §3.1) or commit
+    /// and release. While the token is retained no other thread can
+    /// commit, so the holder's isolated view stays current and skipping
+    /// the commit/update pair is sound.
+    fn end_op(&mut self, predicted_next: u64) {
+        self.last_sync_end_clock = self.clock;
+        if self.sh.opts.coarsening {
+            let consumed = self.clock.saturating_sub(self.token_start_clock);
+            if self.coarsen.should_retain(consumed, predicted_next) {
+                // A coarsened run must begin from a current view: commit
+                // and update once at its first coordination phase, then
+                // skip coordination for the merged phases that follow.
+                if !self.current_since_acquire {
+                    self.commit_and_update();
+                }
+                self.cnt.coarsened_chunks += 1;
+                let sh = Arc::clone(&self.sh);
+                let mut inner = sh.inner.lock();
+                inner.table.resume(self.tid, self.clock, self.v);
+                sh.cv.notify_all();
+                return;
+            }
+        }
+        self.commit_and_update();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        inner.table.resume(self.tid, self.clock, self.v);
+        self.release_token_locked(&mut inner);
+    }
+
+    /// Blocks until this thread's wake flag is raised, folding the waker's
+    /// virtual time into ours. Caller must have departed and released the
+    /// token; `inner` is consumed and re-acquired across the wait.
+    fn block_until_woken(&mut self, inner: &mut parking_lot::MutexGuard<'_, Inner>) {
+        let sh = Arc::clone(&self.sh);
+        let from = self.v;
+        while !inner.threads[self.tid.index()].wake {
+            #[cfg(debug_assertions)]
+            {
+                let timed_out = sh
+                    .cv
+                    .wait_for(inner, std::time::Duration::from_secs(5))
+                    .timed_out();
+                if timed_out && std::env::var_os("CONSEQ_DEBUG").is_some() {
+                    eprintln!(
+                        "[conseq] {} blocked awaiting wake (token={:?}, census={:?}, mutexes={:?})",
+                        self.tid,
+                        inner.token,
+                        inner.table.census(),
+                        inner
+                            .mutexes
+                            .iter()
+                            .map(|m| (m.owner, m.waiters.clone()))
+                            .collect::<Vec<_>>()
+                    );
+                }
+                continue;
+            }
+            #[allow(unreachable_code)]
+            sh.cv.wait(inner);
+        }
+        let st = &mut inner.threads[self.tid.index()];
+        st.wake = false;
+        self.v = self.v.max(st.wake_v);
+        self.bd.determ_wait += self.v - from;
+    }
+
+    fn resolve_mutex(&self, m: MutexId) -> MutexId {
+        if self.sh.opts.single_global_lock {
+            MutexId(0)
+        } else {
+            m
+        }
+    }
+
+    /// Releases mutex `m`'s state and wakes its earliest waiter, if any.
+    /// Caller holds the token and the runtime lock. Returns whether a
+    /// waiter was woken.
+    fn unlock_state(&mut self, inner: &mut Inner, m: MutexId) -> bool {
+        let mst = &mut inner.mutexes[m.index()];
+        assert_eq!(
+            mst.owner,
+            Some(self.tid),
+            "{} unlocking {m} it does not hold",
+            self.tid
+        );
+        mst.owner = None;
+        let cs_len = self.clock.saturating_sub(mst.cs_start_clock);
+        mst.cs_est.update(cs_len);
+        let mut woke = false;
+        if let Some(w) = mst.waiters.pop_front() {
+            let wk = self.cost.wakeup;
+            self.v += wk;
+            self.bd.lib += wk;
+            inner.threads[w.index()].wake = true;
+            inner.threads[w.index()].wake_v = self.v;
+            let saved = inner.threads[w.index()].saved_clock;
+            inner.table.reactivate(w, saved, self.v);
+            woke = true;
+        }
+        if let Some(l) = inner.lrc.as_mut() {
+            l.on_release(self.tid, LrcObject::Mutex(m.0));
+        }
+        woke
+    }
+
+    /// A null synchronization operation performed at thread birth under
+    /// round-robin ordering (see `runtime::worker_loop`).
+    pub(crate) fn birth_sync(&mut self) {
+        self.sync_prologue();
+        self.acquire_token();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        inner.table.resume(self.tid, self.clock, self.v);
+        self.release_token_locked(&mut inner);
+        drop(inner);
+        self.last_sync_end_clock = self.clock;
+    }
+
+    /// The §2.7 atomic-operation protocol: acquire the token, bring the
+    /// view current, apply the read-modify-write, and commit before any
+    /// other thread can take the token. Returns the previous value.
+    fn atomic_rmw(&mut self, addr: Addr, f: impl FnOnce(u64) -> u64) -> u64 {
+        self.sync_prologue();
+        let fresh = self.acquire_token();
+        if fresh {
+            // A coarsened (retained-token) view is already current.
+            self.commit_and_update();
+        }
+        let old = self.ld_u64(addr);
+        self.st_u64(addr, f(old));
+        self.commit_and_update();
+        self.end_op(self.coarsen.thread_est.get());
+        old
+    }
+
+    /// Hands the rwlock to the head of its queue: one writer, or every
+    /// leading reader — granting directly (the woken thread owns the lock
+    /// when it wakes). Caller holds the token and the runtime lock.
+    fn rw_wake_head(&mut self, inner: &mut Inner, l: RwLockId) {
+        loop {
+            let Some(&(w, is_writer)) = inner.rwlocks[l.index()].waiters.front() else {
+                return;
+            };
+            {
+                let st = &mut inner.rwlocks[l.index()];
+                if is_writer {
+                    if st.readers > 0 || st.writer.is_some() {
+                        return;
+                    }
+                    st.waiters.pop_front();
+                    st.writer = Some(w);
+                } else {
+                    if st.writer.is_some() {
+                        return;
+                    }
+                    st.waiters.pop_front();
+                    st.readers += 1;
+                }
+            }
+            let wk = self.cost.wakeup;
+            self.v += wk;
+            self.bd.lib += wk;
+            inner.threads[w.index()].wake = true;
+            inner.threads[w.index()].wake_v = self.v;
+            let saved = inner.threads[w.index()].saved_clock;
+            inner.table.reactivate(w, saved, self.v);
+            if is_writer {
+                return;
+            }
+            // Keep granting consecutive readers.
+        }
+    }
+
+    /// A queued rwlock waiter was granted by its waker: take the token to
+    /// refresh the isolated view (acquire semantics), then continue.
+    fn rw_post_grant(&mut self) {
+        let _ = self.acquire_token();
+        self.commit_and_update();
+        self.finish_rw_op();
+    }
+
+    /// Ends an rwlock operation that was granted: these ops always commit
+    /// and release (they never coarsen — wakes must stay fair, and reader
+    /// concurrency is the point).
+    fn finish_rw_op(&mut self) {
+        self.commit_and_update();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        inner.table.resume(self.tid, self.clock, self.v);
+        self.release_token_locked(&mut inner);
+        drop(inner);
+        self.last_sync_end_clock = self.clock;
+    }
+
+    /// Exit protocol: final commit, wake joiners, leave the clock table,
+    /// and — while still holding the token, so pool contents are a
+    /// deterministic function of the token order — park this worker's
+    /// workspace in the thread pool (§3.3).
+    pub(crate) fn finish(mut self) {
+        self.sync_prologue();
+        self.acquire_token();
+        self.commit_and_update();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        let joiners = std::mem::take(&mut inner.threads[self.tid.index()].joiners);
+        for j in joiners {
+            let wk = self.cost.wakeup;
+            self.v += wk;
+            self.bd.lib += wk;
+            inner.threads[j.index()].wake = true;
+            inner.threads[j.index()].wake_v = self.v;
+            let saved = inner.threads[j.index()].saved_clock;
+            inner.table.reactivate(j, saved, self.v);
+        }
+        if let Some(l) = inner.lrc.as_mut() {
+            l.on_release(self.tid, LrcObject::Thread(self.tid.0));
+        }
+        let st = &mut inner.threads[self.tid.index()];
+        st.finished = true;
+        st.exit_clock = self.clock;
+        st.exit_v = self.v;
+        inner.table.finish(self.tid, self.v);
+        let ws = self.ws.take().expect("workspace present at finish");
+        match self.pool_tx.take() {
+            Some(tx) if self.sh.opts.thread_pool => {
+                inner.pool.push(crate::shared::PoolEntry { tx, ws });
+            }
+            _ => {
+                sh.seg.detach(self.tid);
+                drop(ws);
+            }
+        }
+        self.release_token_locked(&mut inner);
+        inner.live -= 1;
+        inner.max_exit_v = inner.max_exit_v.max(self.v);
+        inner.reports.push((self.tid, self.bd));
+        let mut cnt = self.cnt;
+        cnt.lrc_pages_propagated = 0; // aggregated once, from the tracker
+        inner.counters += cnt;
+        sh.cv.notify_all();
+    }
+}
+
+impl ThreadCtx for Ctx {
+    fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    fn tick(&mut self, n: u64) {
+        self.advance(n, n);
+    }
+
+    fn vtime(&self) -> u64 {
+        self.v
+    }
+
+    fn logical_clock(&self) -> u64 {
+        self.clock
+    }
+
+    fn read_bytes(&mut self, addr: Addr, buf: &mut [u8]) {
+        self.ws().read_bytes(addr, buf);
+        let w = buf.len().div_ceil(8) as u64;
+        self.advance(w, self.cost.mem_access(buf.len()));
+    }
+
+    fn write_bytes(&mut self, addr: Addr, data: &[u8]) {
+        let faults = self.ws().write_bytes(addr, data) as u64;
+        if faults > 0 {
+            let fc = faults * self.cost.fault;
+            self.v += fc;
+            self.bd.fault += fc;
+            self.cnt.faults += faults;
+        }
+        let w = data.len().div_ceil(8) as u64;
+        self.advance(w, self.cost.mem_access(data.len()));
+    }
+
+    fn ld_u64(&mut self, addr: Addr) -> u64 {
+        let v = self.ws().ld_u64(addr);
+        self.advance(1, self.cost.mem_access(8));
+        v
+    }
+
+    fn st_u64(&mut self, addr: Addr, val: u64) {
+        let faults = self.ws().st_u64(addr, val) as u64;
+        if faults > 0 {
+            let fc = faults * self.cost.fault;
+            self.v += fc;
+            self.bd.fault += fc;
+            self.cnt.faults += faults;
+        }
+        self.advance(1, self.cost.mem_access(8));
+    }
+
+    /// Deterministic blocking mutex acquisition (Fig. 7) — or, with
+    /// `Options::polling_locks`, Kendo's §4.1 polling variant: on failure
+    /// the thread keeps its place in the clock order by bumping its clock
+    /// past the contention point and retrying, never departing.
+    fn mutex_lock(&mut self, m: MutexId) {
+        let m = self.resolve_mutex(m);
+        self.sync_prologue();
+        loop {
+            let fresh = self.acquire_token();
+            let sh = Arc::clone(&self.sh);
+            let mut inner = sh.inner.lock();
+            let mst = &mut inner.mutexes[m.index()];
+            if mst.owner.is_none() {
+                mst.owner = Some(self.tid);
+                mst.cs_start_clock = self.clock;
+                let predicted = mst.cs_est.get();
+                self.cnt.lock_acquires += 1;
+                if let Some(l) = inner.lrc.as_mut() {
+                    l.on_acquire(self.tid, LrcObject::Mutex(m.0));
+                }
+                drop(inner);
+                if fresh {
+                    // Fig. 7 line 6: a fresh acquisition must pull the
+                    // latest committed state before the critical section.
+                    // A coarsened (token-retained) acquisition is already
+                    // current: nobody else could commit meanwhile.
+                    self.commit_and_update();
+                }
+                self.end_op(predicted);
+                return;
+            }
+            drop(inner);
+            if sh.opts.polling_locks {
+                // Kendo §4.1: release the token, add the tuned increment
+                // to our clock so the next-lowest thread can proceed, and
+                // poll again. Progress for others is preserved, but every
+                // retry costs a full token round trip — the latency the
+                // paper's blocking design eliminates.
+                let mut inner = sh.inner.lock();
+                inner.table.resume(self.tid, self.clock, self.v);
+                self.release_token_locked(&mut inner);
+                drop(inner);
+                let bump = sh.opts.polling_increment.max(1);
+                self.advance(bump, bump / 4);
+                continue;
+            }
+            // Lock held: commit buffered writes (we may hold data of locks
+            // we released inside a coarsened chunk, and blocking with an
+            // unpublished store could starve ad-hoc readers forever), then
+            // remove ourselves from GMIC consideration (clockDepart) and
+            // queue on the lock (Fig. 7 lines 10-13).
+            self.commit_and_update();
+            let mut inner = sh.inner.lock();
+            inner.mutexes[m.index()].waiters.push_back(self.tid);
+            inner.threads[self.tid.index()].saved_clock = self.clock;
+            inner.table.depart(self.tid, self.v);
+            self.release_token_locked(&mut inner);
+            self.block_until_woken(&mut inner);
+        }
+    }
+
+    /// Deterministic mutex release (Fig. 9).
+    fn mutex_unlock(&mut self, m: MutexId) {
+        let m = self.resolve_mutex(m);
+        self.sync_prologue();
+        self.acquire_token();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        let woke = self.unlock_state(&mut inner, m);
+        sh.cv.notify_all();
+        drop(inner);
+        if woke {
+            // A woken waiter must get a fair shot at the lock: retaining
+            // the token here would let us re-acquire the lock before the
+            // waiter can ever contend (a deterministic livelock).
+            self.commit_and_update();
+            let mut inner = sh.inner.lock();
+            inner.table.resume(self.tid, self.clock, self.v);
+            self.release_token_locked(&mut inner);
+            return;
+        }
+        let predicted = self.coarsen.thread_est.get();
+        self.end_op(predicted);
+    }
+
+    fn cond_wait(&mut self, c: CondId, m: MutexId) {
+        let m = self.resolve_mutex(m);
+        self.sync_prologue();
+        self.cnt.cond_waits += 1;
+        self.acquire_token();
+        // Condition operations end any coarsened chunk (§3.1).
+        self.commit_and_update();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        let _ = self.unlock_state(&mut inner, m);
+        inner.conds[c.index()].waiters.push_back(self.tid);
+        inner.threads[self.tid.index()].saved_clock = self.clock;
+        inner.table.depart(self.tid, self.v);
+        self.release_token_locked(&mut inner);
+        self.block_until_woken(&mut inner);
+        if let Some(l) = inner.lrc.as_mut() {
+            l.on_acquire(self.tid, LrcObject::Cond(c.0));
+        }
+        drop(inner);
+        self.last_sync_end_clock = self.clock;
+        // Re-acquire the mutex before returning, as pthreads does.
+        self.mutex_lock(m);
+    }
+
+    fn cond_signal(&mut self, c: CondId) {
+        self.sync_prologue();
+        self.acquire_token();
+        self.commit_and_update();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        if let Some(w) = inner.conds[c.index()].waiters.pop_front() {
+            let wk = self.cost.wakeup;
+            self.v += wk;
+            self.bd.lib += wk;
+            inner.threads[w.index()].wake = true;
+            inner.threads[w.index()].wake_v = self.v;
+            let saved = inner.threads[w.index()].saved_clock;
+            inner.table.reactivate(w, saved, self.v);
+        }
+        if let Some(l) = inner.lrc.as_mut() {
+            l.on_release(self.tid, LrcObject::Cond(c.0));
+        }
+        inner.table.resume(self.tid, self.clock, self.v);
+        self.release_token_locked(&mut inner);
+        drop(inner);
+        self.last_sync_end_clock = self.clock;
+    }
+
+    fn cond_broadcast(&mut self, c: CondId) {
+        self.sync_prologue();
+        self.acquire_token();
+        self.commit_and_update();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        while let Some(w) = inner.conds[c.index()].waiters.pop_front() {
+            let wk = self.cost.wakeup;
+            self.v += wk;
+            self.bd.lib += wk;
+            inner.threads[w.index()].wake = true;
+            inner.threads[w.index()].wake_v = self.v;
+            let saved = inner.threads[w.index()].saved_clock;
+            inner.table.reactivate(w, saved, self.v);
+        }
+        if let Some(l) = inner.lrc.as_mut() {
+            l.on_release(self.tid, LrcObject::Cond(c.0));
+        }
+        inner.table.resume(self.tid, self.clock, self.v);
+        self.release_token_locked(&mut inner);
+        drop(inner);
+        self.last_sync_end_clock = self.clock;
+    }
+
+    /// Deterministic barrier with two-phase parallel commit (§4.2).
+    fn barrier_wait(&mut self, b: BarrierId) {
+        self.sync_prologue();
+        self.cnt.barrier_waits += 1;
+        let fresh = self.acquire_token();
+        if !fresh {
+            // Arriving out of a coarsened run: data protected by locks we
+            // released (with commits deferred) is still buffered, and we
+            // are about to give the token up. Registration in the parallel
+            // commit is not visible until install, so flush properly now.
+            self.commit_and_update();
+        }
+        let sh = Arc::clone(&self.sh);
+        let parallel = sh.opts.parallel_barrier;
+
+        // Arrival: register under the token. Wait out stragglers of the
+        // previous generation first (they do not need the token to leave).
+        let (gen, parties, is_last, pc) = {
+            let mut inner = sh.inner.lock();
+            loop {
+                if inner.barriers[b.index()].phase == BarPhase::Collecting {
+                    break;
+                }
+                sh.cv.wait(&mut inner);
+            }
+            if let Some(l) = inner.lrc.as_mut() {
+                l.on_release(self.tid, LrcObject::Barrier(b.0));
+            }
+            let bst = &mut inner.barriers[b.index()];
+            bst.arrived.push(self.tid);
+            bst.max_arrival_clock = bst.max_arrival_clock.max(self.clock);
+            let pc = parallel.then(|| {
+                Arc::clone(
+                    bst.pc
+                        .get_or_insert_with(|| Arc::new(conversion::ParallelCommit::new())),
+                )
+            });
+            (bst.gen, bst.parties, bst.arrived.len() == bst.parties, pc)
+        };
+
+        // Phase 1 (token-serialized): register dirty pages, or commit
+        // serially when the parallel barrier is disabled (DWC behaviour).
+        let my_idx = if let Some(pc) = &pc {
+            let (idx, registered) = pc.register(&sh.seg, self.ws(), None);
+            let c = self.cost.commit_base / 2 + registered as u64 * self.cost.page_register;
+            self.v += c;
+            self.bd.commit += c;
+            self.cnt.commits += 1;
+            Some(idx)
+        } else {
+            self.commit_and_update();
+            None
+        };
+
+        // Hand off: the last arriver keeps the token through phase 2 and
+        // installation so no foreign commit can interleave; earlier
+        // arrivers depart and wait for the phase change.
+        {
+            let mut inner = sh.inner.lock();
+            if is_last {
+                let bst = &mut inner.barriers[b.index()];
+                if parallel {
+                    pc.as_ref().expect("parallel pc").seal(&sh.seg);
+                    bst.phase = BarPhase::Merging;
+                    bst.merge_start_v = self.v;
+                } else {
+                    bst.phase = BarPhase::Installed;
+                    bst.install_v = self.v;
+                    bst.install_version = sh.seg.latest_id();
+                    for _ in 0..bst.parties {
+                        sh.seg.pin(bst.install_version);
+                    }
+                    // Reactivate every departed participant here, in
+                    // arrival order, while we hold the token: reactivation
+                    // mutates the deterministic order (round-robin turn),
+                    // so it must not happen at each leaver's racy wake-up.
+                    let others: Vec<Tid> = bst
+                        .arrived
+                        .iter()
+                        .copied()
+                        .filter(|t| *t != self.tid)
+                        .collect();
+                    let ff = bst.max_arrival_clock;
+                    for t in others {
+                        inner.table.reactivate(t, ff, self.v);
+                    }
+                    inner.table.resume(self.tid, self.clock, self.v);
+                    self.release_token_locked(&mut inner);
+                }
+                sh.cv.notify_all();
+            } else {
+                inner.threads[self.tid.index()].saved_clock = self.clock;
+                inner.table.depart(self.tid, self.v);
+                self.release_token_locked(&mut inner);
+                let from = self.v;
+                loop {
+                    let bst = &inner.barriers[b.index()];
+                    if bst.gen == gen && bst.phase != BarPhase::Collecting {
+                        break;
+                    }
+                    sh.cv.wait(&mut inner);
+                }
+                let bst = &inner.barriers[b.index()];
+                let start = if parallel {
+                    bst.merge_start_v
+                } else {
+                    bst.install_v
+                };
+                self.v = self.v.max(start);
+                self.bd.barrier_wait += self.v - from;
+            }
+        }
+
+        // Phase 2 (parallel): merge assigned pages, then the last arriver
+        // installs and opens the barrier.
+        if let (Some(pc), Some(idx)) = (&pc, my_idx) {
+            let w = pc.merge_for(idx);
+            let c = w.pages as u64 * self.cost.page_commit + w.merged as u64 * self.cost.page_merge;
+            self.v += c;
+            self.bd.commit += c;
+            self.cnt.pages_merged += w.merged as u64;
+            let mut inner = sh.inner.lock();
+            {
+                let bst = &mut inner.barriers[b.index()];
+                bst.phase2_done += 1;
+                bst.phase2_max_v = bst.phase2_max_v.max(self.v);
+            }
+            sh.cv.notify_all();
+            if is_last {
+                loop {
+                    if inner.barriers[b.index()].phase2_done == parties {
+                        break;
+                    }
+                    sh.cv.wait(&mut inner);
+                }
+                drop(inner);
+                let installed = pc.install(&sh.seg);
+                let mut inner = sh.inner.lock();
+                // Page accounting uses the installed (merged) counts so the
+                // TSO and LRC page metrics share units.
+                for (t, pages) in &installed {
+                    self.cnt.pages_committed += *pages as u64;
+                    if let Some(l) = inner.lrc.as_mut() {
+                        l.on_commit(*t, *pages);
+                    }
+                }
+                let ic = self.cost.commit_base;
+                let p2max = inner.barriers[b.index()].phase2_max_v;
+                self.v = self.v.max(p2max) + ic;
+                self.bd.commit += ic;
+                let bst = &mut inner.barriers[b.index()];
+                bst.install_v = self.v;
+                bst.install_version = sh.seg.latest_id();
+                for _ in 0..bst.parties {
+                    sh.seg.pin(bst.install_version);
+                }
+                bst.phase = BarPhase::Installed;
+                let others: Vec<Tid> = bst
+                    .arrived
+                    .iter()
+                    .copied()
+                    .filter(|t| *t != self.tid)
+                    .collect();
+                let ff = bst.max_arrival_clock;
+                for t in others {
+                    inner.table.reactivate(t, ff, self.v);
+                }
+                inner.table.resume(self.tid, self.clock, self.v);
+                self.release_token_locked(&mut inner);
+            } else {
+                let from = self.v;
+                loop {
+                    let bst = &inner.barriers[b.index()];
+                    if bst.gen == gen && bst.phase == BarPhase::Installed {
+                        break;
+                    }
+                    sh.cv.wait(&mut inner);
+                }
+                self.v = self.v.max(inner.barriers[b.index()].install_v);
+                self.bd.barrier_wait += self.v - from;
+            }
+        }
+
+        // Everyone: pull the installed state (exactly — later commits by
+        // non-participants must not change our update work) and leave.
+        let upto = {
+            let inner = sh.inner.lock();
+            inner.barriers[b.index()].install_version
+        };
+        let ur = sh.seg.update_to(self.ws(), upto);
+        sh.seg.unpin(upto);
+        let u = self.cost.update_base + ur.pages_propagated * self.cost.page_update;
+        self.v += u;
+        self.bd.update += u;
+        self.cnt.pages_propagated += ur.pages_propagated;
+
+        {
+            let mut inner = sh.inner.lock();
+            let bst = &mut inner.barriers[b.index()];
+            // Deterministic fast-forward: all parties leave at the latest
+            // arrival clock, so the next chunk starts even.
+            self.clock = self.clock.max(bst.max_arrival_clock);
+            bst.leaving += 1;
+            if bst.leaving == parties {
+                bst.reset();
+            }
+            if let Some(l) = inner.lrc.as_mut() {
+                l.on_acquire(self.tid, LrcObject::Barrier(b.0));
+            }
+            sh.cv.notify_all();
+        }
+        self.cnt.chunks += 1;
+        self.chunk_start_clock = self.clock;
+        self.last_sync_end_clock = self.clock;
+        self.ovf.chunk_start();
+    }
+
+    /// Deterministic shared-reader acquisition: granted under the token
+    /// when no writer holds the lock and the FIFO queue is empty;
+    /// otherwise queue. Queued threads are *granted by the waker* (direct
+    /// hand-off) — a retry model could re-queue behind newly arrived
+    /// writers and strand the whole queue.
+    fn rw_read_lock(&mut self, l: RwLockId) {
+        self.sync_prologue();
+        let _ = self.acquire_token();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        let st = &mut inner.rwlocks[l.index()];
+        if st.writer.is_none() && st.waiters.is_empty() {
+            st.readers += 1;
+            if let Some(t) = inner.lrc.as_mut() {
+                t.on_acquire(self.tid, LrcObject::RwLock(l.0));
+            }
+            drop(inner);
+            self.finish_rw_op();
+            return;
+        }
+        st.waiters.push_back((self.tid, false));
+        inner.threads[self.tid.index()].saved_clock = self.clock;
+        inner.table.depart(self.tid, self.v);
+        drop(inner);
+        // Commit before departing (see `mutex_lock`).
+        self.commit_and_update();
+        let mut inner = sh.inner.lock();
+        self.release_token_locked(&mut inner);
+        self.block_until_woken(&mut inner);
+        if let Some(t) = inner.lrc.as_mut() {
+            t.on_acquire(self.tid, LrcObject::RwLock(l.0));
+        }
+        drop(inner);
+        // The waker granted us the read hold; refresh our view under the
+        // token (acquire semantics).
+        self.rw_post_grant();
+    }
+
+    /// Releases a shared-reader hold; the last reader hands off to the
+    /// queue head.
+    fn rw_read_unlock(&mut self, l: RwLockId) {
+        self.sync_prologue();
+        self.acquire_token();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        let st = &mut inner.rwlocks[l.index()];
+        assert!(
+            st.readers > 0,
+            "{} read-unlocking {l} with no readers",
+            self.tid
+        );
+        st.readers -= 1;
+        if st.readers == 0 {
+            self.rw_wake_head(&mut inner, l);
+        }
+        if let Some(t) = inner.lrc.as_mut() {
+            t.on_release(self.tid, LrcObject::RwLock(l.0));
+        }
+        inner.table.resume(self.tid, self.clock, self.v);
+        drop(inner);
+        self.commit_and_update();
+        let mut inner = sh.inner.lock();
+        self.release_token_locked(&mut inner);
+        drop(inner);
+        self.last_sync_end_clock = self.clock;
+    }
+
+    /// Deterministic exclusive acquisition (direct hand-off when queued).
+    fn rw_write_lock(&mut self, l: RwLockId) {
+        self.sync_prologue();
+        let _ = self.acquire_token();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        let st = &mut inner.rwlocks[l.index()];
+        if st.writer.is_none() && st.readers == 0 && st.waiters.is_empty() {
+            st.writer = Some(self.tid);
+            if let Some(t) = inner.lrc.as_mut() {
+                t.on_acquire(self.tid, LrcObject::RwLock(l.0));
+            }
+            drop(inner);
+            self.finish_rw_op();
+            return;
+        }
+        st.waiters.push_back((self.tid, true));
+        inner.threads[self.tid.index()].saved_clock = self.clock;
+        inner.table.depart(self.tid, self.v);
+        drop(inner);
+        self.commit_and_update();
+        let mut inner = sh.inner.lock();
+        self.release_token_locked(&mut inner);
+        self.block_until_woken(&mut inner);
+        if let Some(t) = inner.lrc.as_mut() {
+            t.on_acquire(self.tid, LrcObject::RwLock(l.0));
+        }
+        drop(inner);
+        self.rw_post_grant();
+    }
+
+    /// Releases the exclusive hold; hands off to the queued writer or
+    /// every leading reader.
+    fn rw_write_unlock(&mut self, l: RwLockId) {
+        self.sync_prologue();
+        self.acquire_token();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        assert_eq!(
+            inner.rwlocks[l.index()].writer,
+            Some(self.tid),
+            "{} write-unlocking {l} it does not hold",
+            self.tid
+        );
+        inner.rwlocks[l.index()].writer = None;
+        self.rw_wake_head(&mut inner, l);
+        if let Some(t) = inner.lrc.as_mut() {
+            t.on_release(self.tid, LrcObject::RwLock(l.0));
+        }
+        inner.table.resume(self.tid, self.clock, self.v);
+        drop(inner);
+        self.commit_and_update();
+        let mut inner = sh.inner.lock();
+        self.release_token_locked(&mut inner);
+        drop(inner);
+        self.last_sync_end_clock = self.clock;
+    }
+
+    /// §2.7: a deterministic atomic — token-protected RMW on the latest
+    /// committed state, committed before the token can move on.
+    fn atomic_fetch_add_u64(&mut self, addr: Addr, v: u64) -> u64 {
+        self.atomic_rmw(addr, |old| old.wrapping_add(v))
+    }
+
+    /// §2.7: deterministic compare-and-swap (see `atomic_fetch_add_u64`).
+    fn atomic_cas_u64(&mut self, addr: Addr, expect: u64, new: u64) -> u64 {
+        self.atomic_rmw(addr, |old| if old == expect { new } else { old })
+    }
+
+    /// Deterministic thread creation with pool reuse (§3.3).
+    fn spawn(&mut self, job: Job) -> Tid {
+        self.sync_prologue();
+        self.acquire_token();
+        // Creation is a release edge: the child must see our writes.
+        self.commit_and_update();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        assert!(
+            (inner.next_tid as usize) < sh.cfg.max_threads,
+            "thread limit {} exceeded",
+            sh.cfg.max_threads
+        );
+        let child = Tid(inner.next_tid);
+        inner.next_tid += 1;
+        inner.threads.push(ThreadSt::default());
+        inner.live += 1;
+        inner.table.register(child, self.clock, self.v);
+        self.cnt.spawns += 1;
+        if let Some(l) = inner.lrc.as_mut() {
+            l.on_spawn(self.tid, child);
+        }
+
+        let reuse = sh.opts.thread_pool && !inner.pool.is_empty();
+        let spawn_cost;
+        if reuse {
+            let entry = inner.pool.pop().expect("checked non-empty");
+            let mut ws = entry.ws;
+            sh.seg.adopt(&mut ws, child);
+            // The reused workspace only needs the delta since it was pooled
+            // (much cheaper than a fork, as §3.3 observes).
+            let ur = sh.seg.update(&mut ws);
+            spawn_cost = self.cost.pool_reuse + ur.pages_propagated * self.cost.page_update;
+            self.cnt.pool_hits += 1;
+            self.v += spawn_cost;
+            self.bd.lib += spawn_cost;
+            // The worker holds its own Sender clone and re-pools itself
+            // with it when this job exits.
+            entry
+                .tx
+                .send(Msg::Start {
+                    tid: child,
+                    job,
+                    clock: self.clock,
+                    v: self.v,
+                    ws,
+                })
+                .expect("pooled worker hung up");
+        } else {
+            // Fork: copy every mapped page-table entry into the child.
+            let (ws, mapped) = sh.seg.new_workspace(child);
+            spawn_cost = self.cost.spawn_base + mapped as u64 * self.cost.page_map;
+            self.v += spawn_cost;
+            self.bd.lib += spawn_cost;
+            let tx = crate::runtime::spawn_worker(&sh, &mut inner);
+            tx.send(Msg::Start {
+                tid: child,
+                job,
+                clock: self.clock,
+                v: self.v,
+                ws,
+            })
+            .expect("fresh worker hung up");
+        }
+        inner.table.resume(self.tid, self.clock, self.v);
+        // Keep the rotation turn: back-to-back creates form one phase.
+        self.release_token_locked_ex(&mut inner, false);
+        drop(inner);
+        self.last_sync_end_clock = self.clock;
+        child
+    }
+
+    fn join(&mut self, t: Tid) {
+        assert_ne!(t, self.tid, "thread joining itself");
+        self.sync_prologue();
+        loop {
+            self.acquire_token();
+            let sh = Arc::clone(&self.sh);
+            let mut inner = sh.inner.lock();
+            assert!(
+                (t.index()) < inner.threads.len(),
+                "join on unknown thread {t}"
+            );
+            if inner.threads[t.index()].finished {
+                let ev = inner.threads[t.index()].exit_v;
+                let ec = inner.threads[t.index()].exit_clock;
+                self.v = self.v.max(ev);
+                if sh.opts.fast_forward {
+                    self.clock = self.clock.max(ec);
+                }
+                if let Some(l) = inner.lrc.as_mut() {
+                    l.on_acquire(self.tid, LrcObject::Thread(t.0));
+                }
+                drop(inner);
+                // Join is an acquire: pull the exited thread's commits.
+                self.commit_and_update();
+                let mut inner = sh.inner.lock();
+                inner.table.resume(self.tid, self.clock, self.v);
+                self.release_token_locked(&mut inner);
+                drop(inner);
+                self.last_sync_end_clock = self.clock;
+                return;
+            }
+            drop(inner);
+            // Commit before blocking: a joiner may hold the only copy of
+            // data an ad-hoc reader is spinning on.
+            self.commit_and_update();
+            let mut inner = sh.inner.lock();
+            inner.threads[t.index()].joiners.push(self.tid);
+            inner.threads[self.tid.index()].saved_clock = self.clock;
+            inner.table.depart(self.tid, self.v);
+            self.release_token_locked(&mut inner);
+            self.block_until_woken(&mut inner);
+        }
+    }
+}

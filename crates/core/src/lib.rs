@@ -1,0 +1,39 @@
+//! **Consequence**: high-performance deterministic multithreading with
+//! total-store-order consistency.
+//!
+//! This crate is the core of the reproduction of Merrifield, Devietti &
+//! Eriksson, *"High-Performance Determinism with Total Store Order
+//! Consistency"* (EuroSys 2015). It provides [`ConsequenceRuntime`], a
+//! deterministic implementation of the [`dmt_api::Runtime`] contract:
+//! programs written against [`dmt_api::ThreadCtx`] execute with
+//! reproducible synchronization outcomes, reproducible data-race
+//! resolutions, and reproducible final memory — while retaining the TSO
+//! memory model of x86.
+//!
+//! # Architecture
+//!
+//! * ordering — a Kendo-style instruction-count logical clock with a
+//!   single global token ([`det_clock`]), or round-robin for the
+//!   Consequence-RR / DWC configurations;
+//! * isolation — version-controlled memory with byte-granularity
+//!   last-writer-wins merging ([`conversion`]);
+//! * synchronization — blocking deterministic mutexes with wait queues and
+//!   `clockDepart`, condition variables, and a barrier with two-phase
+//!   parallel commit (§4);
+//! * adaptation — adaptive chunk coarsening, adaptive counter overflow,
+//!   clock fast-forward, user-space counter reads, and thread-pool reuse
+//!   (§3), each independently toggleable through [`Options`] for the
+//!   Figure 13 ablations;
+//! * measurement — deterministic virtual-time accounting (see the
+//!   workspace `DESIGN.md`) and the §5.3 LRC propagation estimator
+//!   ([`lrc`]).
+
+pub mod coarsen;
+mod ctx;
+pub mod lrc;
+pub mod options;
+pub mod runtime;
+mod shared;
+
+pub use options::Options;
+pub use runtime::ConsequenceRuntime;

@@ -1,0 +1,234 @@
+//! Happens-before tracking for the §5.3 LRC memory-propagation study.
+//!
+//! The paper asks: how much less memory would a lazy-release-consistency
+//! (LRC) deterministic system propagate than TSO Consequence? To answer, it
+//! augments Consequence with vector clocks on threads, synchronization
+//! objects and commits; at every acquire operation it counts the pages that
+//! would have to flow along happens-before edges. This module is that
+//! estimator (Figure 16). It observes the run without influencing it.
+//!
+//! A commit by thread `u` carrying `u`'s vector clock `C` must be
+//! propagated to thread `t` at the first acquire where `C ≤ V_t`. Because
+//! `C` is dominated by its own component (`u`'s commit counter), `C ≤ V_t`
+//! exactly when `V_t[u] ≥ C[u]`, which lets each thread track a per-committer
+//! *received frontier* instead of scanning all commits.
+
+use std::collections::HashMap;
+
+use dmt_api::{Tid, VectorClock};
+
+/// A synchronization object participating in happens-before edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LrcObject {
+    /// A deterministic mutex.
+    Mutex(u32),
+    /// A condition variable.
+    Cond(u32),
+    /// A barrier.
+    Barrier(u32),
+    /// A read-write lock (treated as one release/acquire chain).
+    RwLock(u32),
+    /// A thread's spawn/exit edges (creation and join).
+    Thread(u32),
+}
+
+/// The Figure 16 estimator.
+#[derive(Debug)]
+pub struct LrcTracker {
+    /// Per-thread vector clock.
+    threads: Vec<VectorClock>,
+    /// Per-object vector clock (created lazily).
+    objects: HashMap<LrcObject, VectorClock>,
+    /// Pages committed by each thread, indexed by that thread's commit
+    /// counter (`pages[u][k-1]` = pages in `u`'s `k`-th commit).
+    pages: Vec<Vec<u32>>,
+    /// `frontier[t][u]`: how many of `u`'s commits thread `t` has received.
+    frontier: Vec<Vec<u64>>,
+    /// Total pages an LRC system would have propagated.
+    propagated: u64,
+}
+
+impl LrcTracker {
+    /// Tracker for up to `slots` threads.
+    pub fn new(slots: usize) -> LrcTracker {
+        LrcTracker {
+            threads: (0..slots).map(|_| VectorClock::new(slots)).collect(),
+            objects: HashMap::new(),
+            pages: vec![Vec::new(); slots],
+            frontier: vec![vec![0; slots]; slots],
+            propagated: 0,
+        }
+    }
+
+    /// Pages an LRC system would have propagated so far.
+    pub fn pages_propagated(&self) -> u64 {
+        self.propagated
+    }
+
+    /// Records a commit of `npages` pages by `t`.
+    pub fn on_commit(&mut self, t: Tid, npages: u32) {
+        if npages == 0 {
+            return;
+        }
+        self.threads[t.index()].tick(t);
+        self.pages[t.index()].push(npages);
+        // A thread trivially possesses its own commit.
+        self.frontier[t.index()][t.index()] = self.threads[t.index()].get(t);
+    }
+
+    /// Release edge: `t`'s knowledge flows into `obj`.
+    pub fn on_release(&mut self, t: Tid, obj: LrcObject) {
+        let n = self.threads.len();
+        let vc = self
+            .objects
+            .entry(obj)
+            .or_insert_with(|| VectorClock::new(n));
+        vc.join(&self.threads[t.index()]);
+    }
+
+    /// Acquire edge: `obj`'s knowledge flows into `t`, and every commit
+    /// that now happened-before `t` is charged as LRC propagation.
+    pub fn on_acquire(&mut self, t: Tid, obj: LrcObject) {
+        if let Some(vc) = self.objects.get(&obj) {
+            self.threads[t.index()].join(vc);
+        }
+        self.settle(t);
+    }
+
+    /// Thread-start edge: the child inherits the parent's knowledge *and*
+    /// its received set — a forked process starts with a copy of the
+    /// parent's memory, so nothing propagates at creation.
+    pub fn on_spawn(&mut self, parent: Tid, child: Tid) {
+        let pvc = self.threads[parent.index()].clone();
+        self.threads[child.index()].join(&pvc);
+        let pf = self.frontier[parent.index()].clone();
+        for (c, p) in self.frontier[child.index()].iter_mut().zip(&pf) {
+            *c = (*c).max(*p);
+        }
+        // Anything beyond the inherited frontier that already happened
+        // before the child (rare: pool hand-me-downs) settles normally.
+        self.settle(child);
+    }
+
+    /// Charges every newly happened-before commit to `t`'s received set.
+    fn settle(&mut self, t: Tid) {
+        let ti = t.index();
+        for u in 0..self.threads.len() {
+            if u == ti {
+                // A thread's own commits are local, never propagated.
+                self.frontier[ti][u] = self.threads[ti].get(Tid(u as u32));
+                continue;
+            }
+            let known = self.threads[ti].get(Tid(u as u32));
+            let from = self.frontier[ti][u];
+            for k in from..known {
+                self.propagated += self.pages[u][k as usize] as u64;
+            }
+            self.frontier[ti][u] = known;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrelated_commits_are_not_propagated() {
+        let mut l = LrcTracker::new(4);
+        l.on_commit(Tid(0), 10);
+        l.on_acquire(Tid(1), LrcObject::Mutex(0));
+        assert_eq!(
+            l.pages_propagated(),
+            0,
+            "no happens-before edge from T0's commit to T1's acquire"
+        );
+    }
+
+    #[test]
+    fn release_acquire_chain_propagates_once() {
+        let mut l = LrcTracker::new(4);
+        l.on_commit(Tid(0), 10);
+        l.on_release(Tid(0), LrcObject::Mutex(0));
+        l.on_acquire(Tid(1), LrcObject::Mutex(0));
+        assert_eq!(l.pages_propagated(), 10);
+        // Re-acquiring adds nothing new.
+        l.on_acquire(Tid(1), LrcObject::Mutex(0));
+        assert_eq!(l.pages_propagated(), 10);
+    }
+
+    #[test]
+    fn own_commits_never_count() {
+        let mut l = LrcTracker::new(2);
+        l.on_commit(Tid(0), 5);
+        l.on_release(Tid(0), LrcObject::Mutex(0));
+        l.on_acquire(Tid(0), LrcObject::Mutex(0));
+        assert_eq!(l.pages_propagated(), 0);
+    }
+
+    #[test]
+    fn point_to_point_vs_barrier_broadcast() {
+        // Under LRC, a commit released through lock A reaches only the
+        // thread that acquires A; a barrier release reaches everyone.
+        let mut per_lock = LrcTracker::new(3);
+        per_lock.on_commit(Tid(0), 4);
+        per_lock.on_release(Tid(0), LrcObject::Mutex(0));
+        per_lock.on_acquire(Tid(1), LrcObject::Mutex(0));
+        // T2 never touches lock 0: nothing flows to it.
+        assert_eq!(per_lock.pages_propagated(), 4);
+
+        let mut barrier = LrcTracker::new(3);
+        barrier.on_commit(Tid(0), 4);
+        for t in 0..3 {
+            barrier.on_release(Tid(t), LrcObject::Barrier(0));
+        }
+        for t in 0..3 {
+            barrier.on_acquire(Tid(t), LrcObject::Barrier(0));
+        }
+        assert_eq!(
+            barrier.pages_propagated(),
+            8,
+            "both other threads receive T0's 4 pages"
+        );
+    }
+
+    #[test]
+    fn transitive_happens_before_counts() {
+        let mut l = LrcTracker::new(3);
+        l.on_commit(Tid(0), 3);
+        l.on_release(Tid(0), LrcObject::Mutex(0));
+        l.on_acquire(Tid(1), LrcObject::Mutex(0)); // +3
+        l.on_commit(Tid(1), 2);
+        l.on_release(Tid(1), LrcObject::Mutex(1));
+        // T2 acquires lock 1: receives T1's commit AND, transitively,
+        // T0's commit carried by T1's vector clock.
+        l.on_acquire(Tid(2), LrcObject::Mutex(1)); // +2 +3
+        assert_eq!(l.pages_propagated(), 8);
+    }
+
+    #[test]
+    fn spawn_edge_is_free_fork_copies_memory() {
+        let mut l = LrcTracker::new(2);
+        l.on_commit(Tid(0), 6);
+        l.on_spawn(Tid(0), Tid(1));
+        assert_eq!(
+            l.pages_propagated(),
+            0,
+            "a forked child starts with the parent's memory"
+        );
+        // But later commits do flow.
+        l.on_commit(Tid(0), 2);
+        l.on_release(Tid(0), LrcObject::Mutex(0));
+        l.on_acquire(Tid(1), LrcObject::Mutex(0));
+        assert_eq!(l.pages_propagated(), 2);
+    }
+
+    #[test]
+    fn empty_commits_are_free() {
+        let mut l = LrcTracker::new(2);
+        l.on_commit(Tid(0), 0);
+        l.on_release(Tid(0), LrcObject::Mutex(0));
+        l.on_acquire(Tid(1), LrcObject::Mutex(0));
+        assert_eq!(l.pages_propagated(), 0);
+    }
+}

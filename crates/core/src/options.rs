@@ -1,0 +1,196 @@
+//! Runtime options: the paper's optimizations as independent toggles.
+//!
+//! Figure 13 evaluates Consequence with each optimization disabled in turn;
+//! these options are that ablation surface. The presets at the bottom
+//! configure the runtime as Consequence-IC, Consequence-RR and DWC.
+
+use det_clock::OrderPolicy;
+
+/// Consequence configuration.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Deterministic ordering policy: instruction count (Consequence-IC)
+    /// or round robin (Consequence-RR / DWC).
+    pub order: OrderPolicy,
+    /// Adaptive coarsening of chunks (§3.1).
+    pub coarsening: bool,
+    /// Fixed coarsening budget in instructions, for the Figure 14 static
+    /// sweep. `None` means the adaptive multiplicative-increase /
+    /// multiplicative-decrease policy.
+    pub static_coarsen: Option<u64>,
+    /// Fast-forward lagging logical clocks on token acquisition (§3.5).
+    pub fast_forward: bool,
+    /// Two-phase parallel barrier commit (§4.2); otherwise barrier commits
+    /// are serial, as in DWC.
+    pub parallel_barrier: bool,
+    /// Adaptive counter-overflow notification (§3.2); otherwise a fixed
+    /// overflow interval.
+    pub adaptive_overflow: bool,
+    /// Read performance counters from user space during coarsened chunks
+    /// (§3.4); otherwise every read costs a syscall.
+    pub user_counter_read: bool,
+    /// Reuse exited threads for new spawns (§3.3).
+    pub thread_pool: bool,
+    /// Commit forcibly after this many instructions in one chunk —
+    /// the §2.7 ad-hoc synchronization escape hatch. The paper evaluates
+    /// with this disabled (`None`).
+    pub chunk_limit: Option<u64>,
+    /// Alias every mutex to one global lock, as DThreads and DWC do.
+    pub single_global_lock: bool,
+    /// Kendo-style polling locks (§4.1): a failed acquire does not block
+    /// and depart; instead the thread bumps its logical clock past the
+    /// current minimum and retries. The paper contrasts its blocking
+    /// queue-based mutex (the default) against this design — polling burns
+    /// token acquisitions and needs a program-specific clock increment.
+    pub polling_locks: bool,
+    /// Clock increment added on each failed polling acquire (Kendo's
+    /// tuning knob; only used with `polling_locks`).
+    pub polling_increment: u64,
+    /// Record the token-grant schedule — `(thread, logical clock)` per
+    /// grant — retrievable after the run via
+    /// [`crate::ConsequenceRuntime::take_schedule`]. The schedule is the
+    /// runtime's deterministic total order of synchronization; recording
+    /// it costs memory proportional to the number of sync operations.
+    pub record_schedule: bool,
+    /// Base overflow interval in instructions (§3.2 uses 5 000).
+    pub base_overflow: u64,
+    /// Initial adaptive maximum coarsened-chunk length, in instructions.
+    pub coarsen_initial: u64,
+    /// Lower bound for the adaptive maximum chunk length.
+    pub coarsen_min: u64,
+    /// Upper bound for the adaptive maximum chunk length.
+    pub coarsen_cap: u64,
+}
+
+impl Options {
+    /// Consequence-IC: the paper's headline configuration.
+    pub fn consequence_ic() -> Options {
+        Options {
+            order: OrderPolicy::InstructionCount,
+            coarsening: true,
+            static_coarsen: None,
+            fast_forward: true,
+            parallel_barrier: true,
+            adaptive_overflow: true,
+            user_counter_read: true,
+            thread_pool: true,
+            chunk_limit: None,
+            single_global_lock: false,
+            polling_locks: false,
+            polling_increment: 1_000,
+            record_schedule: false,
+            base_overflow: det_clock::overflow::BASE_OVERFLOW,
+            coarsen_initial: 32_768,
+            coarsen_min: 16_384,
+            coarsen_cap: 4 << 20,
+        }
+    }
+
+    /// Consequence-RR: identical except for round-robin ordering.
+    pub fn consequence_rr() -> Options {
+        Options {
+            order: OrderPolicy::RoundRobin,
+            ..Options::consequence_ic()
+        }
+    }
+
+    /// DWC (DThreads-with-Conversion): round-robin ordering, asynchronous
+    /// commits at sync ops, serial barrier commits, single global lock, no
+    /// Consequence optimizations.
+    pub fn dwc() -> Options {
+        Options {
+            order: OrderPolicy::RoundRobin,
+            coarsening: false,
+            static_coarsen: None,
+            fast_forward: false,
+            parallel_barrier: false,
+            adaptive_overflow: false,
+            user_counter_read: false,
+            thread_pool: false,
+            chunk_limit: None,
+            single_global_lock: true,
+            polling_locks: false,
+            polling_increment: 1_000,
+            record_schedule: false,
+            base_overflow: det_clock::overflow::BASE_OVERFLOW,
+            coarsen_initial: 32_768,
+            coarsen_min: 16_384,
+            coarsen_cap: 4 << 20,
+        }
+    }
+
+    /// Disables one named optimization, for Figure 13 ablations.
+    ///
+    /// Recognized names: `"coarsening"`, `"fast_forward"`,
+    /// `"parallel_barrier"`, `"adaptive_overflow"`, `"user_counter_read"`,
+    /// `"thread_pool"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name.
+    pub fn without(mut self, opt: &str) -> Options {
+        match opt {
+            "coarsening" => self.coarsening = false,
+            "fast_forward" => self.fast_forward = false,
+            "parallel_barrier" => self.parallel_barrier = false,
+            "adaptive_overflow" => self.adaptive_overflow = false,
+            "user_counter_read" => self.user_counter_read = false,
+            "thread_pool" => self.thread_pool = false,
+            other => panic!("unknown optimization {other:?}"),
+        }
+        self
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options::consequence_ic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_the_paper_says() {
+        let ic = Options::consequence_ic();
+        let rr = Options::consequence_rr();
+        let dwc = Options::dwc();
+        assert_eq!(ic.order, OrderPolicy::InstructionCount);
+        assert_eq!(rr.order, OrderPolicy::RoundRobin);
+        assert!(ic.coarsening && !dwc.coarsening);
+        assert!(ic.parallel_barrier && !dwc.parallel_barrier);
+        assert!(!ic.single_global_lock && dwc.single_global_lock);
+    }
+
+    #[test]
+    fn without_disables_each_named_optimization() {
+        for name in [
+            "coarsening",
+            "fast_forward",
+            "parallel_barrier",
+            "adaptive_overflow",
+            "user_counter_read",
+            "thread_pool",
+        ] {
+            let o = Options::consequence_ic().without(name);
+            let disabled = match name {
+                "coarsening" => !o.coarsening,
+                "fast_forward" => !o.fast_forward,
+                "parallel_barrier" => !o.parallel_barrier,
+                "adaptive_overflow" => !o.adaptive_overflow,
+                "user_counter_read" => !o.user_counter_read,
+                "thread_pool" => !o.thread_pool,
+                _ => unreachable!(),
+            };
+            assert!(disabled, "{name} not disabled");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown optimization")]
+    fn without_unknown_panics() {
+        let _ = Options::consequence_ic().without("warp_drive");
+    }
+}

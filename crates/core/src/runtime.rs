@@ -1,0 +1,231 @@
+//! The Consequence runtime: lifecycle, worker threads, report assembly.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dmt_api::{
+    Addr, BarrierId, CommonConfig, CondId, Job, MutexId, RunReport, Runtime, RwLockId, Tid,
+};
+
+use crate::ctx::Ctx;
+use crate::options::Options;
+use crate::shared::{BarrierSt, CondSt, Inner, Msg, MutexSt, RwSt, Shared, ThreadSt};
+
+/// A deterministic multithreading runtime with TSO consistency.
+///
+/// Construct with [`ConsequenceRuntime::new`], create synchronization
+/// objects and initialize the heap, then call [`Runtime::run`] once.
+///
+/// # Examples
+///
+/// ```
+/// use consequence::{ConsequenceRuntime, Options};
+/// use dmt_api::{CommonConfig, Runtime, RuntimeMemExt, ThreadCtx};
+///
+/// let mut rt = ConsequenceRuntime::new(CommonConfig::default(), Options::consequence_ic());
+/// rt.init_u64(0, 41);
+/// let report = rt.run(Box::new(|ctx| {
+///     let v = ctx.ld_u64(0);
+///     ctx.st_u64(0, v + 1);
+/// }));
+/// assert_eq!(rt.final_u64(0), 42);
+/// assert!(report.virtual_cycles > 0);
+/// ```
+pub struct ConsequenceRuntime {
+    sh: Arc<Shared>,
+    name: &'static str,
+    ran: bool,
+}
+
+impl ConsequenceRuntime {
+    /// Creates a runtime with the given configuration and options.
+    pub fn new(cfg: CommonConfig, opts: Options) -> ConsequenceRuntime {
+        let name = match (opts.order, opts.single_global_lock) {
+            (det_clock::OrderPolicy::InstructionCount, _) => "consequence-ic",
+            (det_clock::OrderPolicy::RoundRobin, false) => "consequence-rr",
+            (det_clock::OrderPolicy::RoundRobin, true) => "dwc",
+        };
+        ConsequenceRuntime {
+            sh: Shared::new(cfg, opts),
+            name,
+            ran: false,
+        }
+    }
+
+    /// The active options (for tests and harnesses).
+    pub fn options(&self) -> &Options {
+        &self.sh.opts
+    }
+
+    /// Takes the recorded token-grant schedule: the deterministic total
+    /// order of synchronization operations as `(thread, logical clock)`
+    /// pairs. Empty unless [`Options::record_schedule`] was set. Two runs
+    /// of a deterministic configuration produce identical schedules — the
+    /// strongest witness this runtime offers, and a practical debugging
+    /// trace ("which thread synchronized when").
+    pub fn take_schedule(&mut self) -> Vec<(Tid, u64)> {
+        std::mem::take(&mut self.sh.inner.lock().schedule)
+    }
+
+    fn assert_not_started(&self) {
+        assert!(
+            !self.sh.inner.lock().started,
+            "objects must be created before run()"
+        );
+    }
+}
+
+impl Runtime for ConsequenceRuntime {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    fn create_mutex(&mut self) -> MutexId {
+        self.assert_not_started();
+        let mut inner = self.sh.inner.lock();
+        inner.mutexes.push(MutexSt::default());
+        MutexId(inner.mutexes.len() as u32 - 1)
+    }
+
+    fn create_cond(&mut self) -> CondId {
+        self.assert_not_started();
+        let mut inner = self.sh.inner.lock();
+        inner.conds.push(CondSt::default());
+        CondId(inner.conds.len() as u32 - 1)
+    }
+
+    fn create_rwlock(&mut self) -> RwLockId {
+        self.assert_not_started();
+        let mut inner = self.sh.inner.lock();
+        inner.rwlocks.push(RwSt::default());
+        RwLockId(inner.rwlocks.len() as u32 - 1)
+    }
+
+    fn create_barrier(&mut self, parties: usize) -> BarrierId {
+        self.assert_not_started();
+        assert!(parties > 0, "barrier needs at least one party");
+        let mut inner = self.sh.inner.lock();
+        inner.barriers.push(BarrierSt::new(parties));
+        BarrierId(inner.barriers.len() as u32 - 1)
+    }
+
+    fn heap_len(&self) -> usize {
+        self.sh.seg.len()
+    }
+
+    fn init_write(&mut self, addr: Addr, data: &[u8]) {
+        self.assert_not_started();
+        self.sh.seg.init_write(addr, data);
+    }
+
+    fn final_read(&self, addr: Addr, buf: &mut [u8]) {
+        self.sh.seg.read_latest(addr, buf);
+    }
+
+    fn run(&mut self, main: Job) -> RunReport {
+        assert!(!self.ran, "run() may only be called once");
+        self.ran = true;
+        let sh = Arc::clone(&self.sh);
+        let start = Instant::now();
+
+        // Register the main job as Tid(0).
+        {
+            let mut inner = sh.inner.lock();
+            inner.started = true;
+            inner.next_tid = 1;
+            inner.live = 1;
+            inner.threads.push(ThreadSt::default());
+            inner.table.register(Tid::MAIN, 0, 0);
+        }
+        let (ws, _mapped) = sh.seg.new_workspace(Tid::MAIN);
+        let mut ctx = Ctx::new(Arc::clone(&sh), Tid::MAIN, ws, 0, 0, None);
+        main(&mut ctx);
+        ctx.finish();
+
+        // Wait for every spawned thread to finish — and, when pooling, for
+        // every worker to park itself back in the pool — then shut down.
+        let (reports, counters, max_v, threads) = {
+            let mut inner = sh.inner.lock();
+            while inner.live > 0 || (sh.opts.thread_pool && inner.pool.len() < inner.handles.len())
+            {
+                sh.cv.wait(&mut inner);
+            }
+            for entry in inner.pool.drain(..) {
+                let _ = entry.tx.send(Msg::Shutdown);
+            }
+            let handles = std::mem::take(&mut inner.handles);
+            let mut reports = std::mem::take(&mut inner.reports);
+            reports.sort_by_key(|(t, _)| *t);
+            let mut counters = inner.counters;
+            if let Some(l) = inner.lrc.as_ref() {
+                counters.lrc_pages_propagated = l.pages_propagated();
+            }
+            let out = (reports, counters, inner.max_exit_v, inner.next_tid);
+            drop(inner);
+            for h in handles {
+                let _ = h.join();
+            }
+            out
+        };
+
+        let mut breakdown = dmt_api::Breakdown::default();
+        for (_, b) in &reports {
+            breakdown += *b;
+        }
+        RunReport {
+            virtual_cycles: max_v,
+            wall: start.elapsed(),
+            breakdown,
+            per_thread: reports,
+            counters,
+            peak_pages: sh.seg.tracker().peak(),
+            commit_log_hash: sh.seg.log_hash(),
+            threads,
+        }
+    }
+}
+
+/// Spawns a worker OS thread and returns the channel to hand it jobs.
+/// Called with the runtime lock held (the worker blocks on its receiver
+/// first, so it cannot deadlock against the caller).
+pub(crate) fn spawn_worker(sh: &Arc<Shared>, inner: &mut Inner) -> Sender<Msg> {
+    let (tx, rx): (Sender<Msg>, Receiver<Msg>) = channel();
+    let sh2 = Arc::clone(sh);
+    let self_tx = tx.clone();
+    let handle = std::thread::spawn(move || worker_loop(sh2, rx, self_tx));
+    inner.handles.push(handle);
+    tx
+}
+
+fn worker_loop(sh: Arc<Shared>, rx: Receiver<Msg>, self_tx: Sender<Msg>) {
+    // Without pooling, drop our own sender so the channel disconnects once
+    // the single spawner's sender is gone, ending the loop.
+    let self_tx = sh.opts.thread_pool.then_some(self_tx);
+    while let Ok(Msg::Start {
+        tid,
+        job,
+        clock,
+        v,
+        ws,
+    }) = rx.recv()
+    {
+        let mut ctx = Ctx::new(Arc::clone(&sh), tid, ws, clock, v, self_tx.clone());
+        // Under round-robin ordering a newborn thread holds a rotation slot
+        // it will not use until its first synchronization operation, which
+        // would serialize the spawner behind this thread's first chunk
+        // (real DThreads children rendezvous with the runtime at birth).
+        // A null sync op at birth keeps the rotation moving.
+        if sh.opts.order == det_clock::OrderPolicy::RoundRobin {
+            ctx.birth_sync();
+        }
+        job(&mut ctx);
+        // The exit protocol pools the workspace (or detaches it) while
+        // holding the token, keeping pool contents deterministic.
+        ctx.finish();
+    }
+}

@@ -1,0 +1,218 @@
+//! Shared runtime state: the global coordination structures every
+//! Consequence thread mutates under one lock.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use conversion::{ParallelCommit, Segment, Workspace};
+use det_clock::ClockTable;
+use dmt_api::{Breakdown, CommonConfig, Counters, Job, Tid};
+
+use crate::coarsen::Ewma;
+use crate::lrc::LrcTracker;
+use crate::options::Options;
+
+/// A deterministic mutex.
+#[derive(Debug, Default)]
+pub(crate) struct MutexSt {
+    pub owner: Option<Tid>,
+    /// FIFO wait queue; push order is token order, hence deterministic.
+    pub waiters: VecDeque<Tid>,
+    /// Per-lock EWMA of critical-section length (coarsening predictor).
+    pub cs_est: Ewma,
+    /// Clock at which the current owner acquired the lock.
+    pub cs_start_clock: u64,
+}
+
+/// A deterministic condition variable.
+#[derive(Debug, Default)]
+pub(crate) struct CondSt {
+    pub waiters: VecDeque<Tid>,
+}
+
+/// A deterministic read-write lock.
+#[derive(Debug, Default)]
+pub(crate) struct RwSt {
+    pub writer: Option<Tid>,
+    pub readers: u32,
+    /// FIFO wait queue; `true` marks a writer.
+    pub waiters: VecDeque<(Tid, bool)>,
+}
+
+/// Barrier lifecycle within one generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BarPhase {
+    /// Accepting arrivals.
+    Collecting,
+    /// Parallel barrier only: phase 2 merging in progress.
+    Merging,
+    /// Commits installed; waiters may update and leave.
+    Installed,
+}
+
+/// A deterministic barrier.
+pub(crate) struct BarrierSt {
+    pub parties: usize,
+    pub phase: BarPhase,
+    pub gen: u64,
+    pub arrived: Vec<Tid>,
+    pub max_arrival_clock: u64,
+    /// Two-phase commit of the current generation (parallel barrier only).
+    pub pc: Option<Arc<ParallelCommit>>,
+    /// Virtual time at which phase 2 may begin (the sealing event).
+    pub merge_start_v: u64,
+    pub phase2_done: usize,
+    pub phase2_max_v: u64,
+    /// Virtual time at which the barrier opened.
+    pub install_v: u64,
+    /// Version committed when the barrier opened; leavers update exactly
+    /// to it so update work is deterministic.
+    pub install_version: u64,
+    pub leaving: usize,
+}
+
+impl BarrierSt {
+    pub fn new(parties: usize) -> BarrierSt {
+        BarrierSt {
+            parties,
+            phase: BarPhase::Collecting,
+            gen: 0,
+            arrived: Vec::new(),
+            max_arrival_clock: 0,
+            pc: None,
+            merge_start_v: 0,
+            phase2_done: 0,
+            phase2_max_v: 0,
+            install_v: 0,
+            install_version: 0,
+            leaving: 0,
+        }
+    }
+
+    /// Resets for the next generation once every party has left.
+    pub fn reset(&mut self) {
+        self.phase = BarPhase::Collecting;
+        self.gen += 1;
+        self.arrived.clear();
+        self.max_arrival_clock = 0;
+        self.pc = None;
+        self.merge_start_v = 0;
+        self.phase2_done = 0;
+        self.phase2_max_v = 0;
+        self.install_v = 0;
+        self.install_version = 0;
+        self.leaving = 0;
+    }
+}
+
+/// Per-thread runtime bookkeeping.
+#[derive(Debug, Default)]
+pub(crate) struct ThreadSt {
+    /// Wake flag for threads blocked on a lock/condvar/join.
+    pub wake: bool,
+    /// Virtual time of the event that raised `wake` (deterministic: the
+    /// waker and its virtual time are functions of the token order).
+    pub wake_v: u64,
+    /// Threads blocked in `join` on this thread.
+    pub joiners: Vec<Tid>,
+    pub finished: bool,
+    pub exit_clock: u64,
+    pub exit_v: u64,
+    /// Logical clock at the thread's most recent departure.
+    pub saved_clock: u64,
+}
+
+/// Message to a worker OS thread.
+pub(crate) enum Msg {
+    Start {
+        tid: Tid,
+        job: Job,
+        clock: u64,
+        v: u64,
+        ws: Workspace,
+    },
+    Shutdown,
+}
+
+/// A pooled worker: its channel and the workspace it retained (§3.3).
+pub(crate) struct PoolEntry {
+    pub tx: Sender<Msg>,
+    pub ws: Workspace,
+}
+
+/// Lock-protected mutable runtime state.
+pub(crate) struct Inner {
+    pub table: ClockTable,
+    pub token: Option<Tid>,
+    /// Clock of the last thread to release the token (§3.5 fast-forward).
+    pub last_release_clock: u64,
+    /// Virtual time of the last token release (wake-edge chaining).
+    pub last_release_v: u64,
+    /// Previous entrant into global coordination (coarsening MIMD signal).
+    pub last_entrant: Option<Tid>,
+    pub mutexes: Vec<MutexSt>,
+    pub conds: Vec<CondSt>,
+    pub rwlocks: Vec<RwSt>,
+    pub barriers: Vec<BarrierSt>,
+    pub threads: Vec<ThreadSt>,
+    pub next_tid: u32,
+    /// Registered, not yet finished threads.
+    pub live: u32,
+    pub pool: Vec<PoolEntry>,
+    pub handles: Vec<JoinHandle<()>>,
+    pub reports: Vec<(Tid, Breakdown)>,
+    pub counters: Counters,
+    pub max_exit_v: u64,
+    pub lrc: Option<LrcTracker>,
+    pub started: bool,
+    /// Token-grant schedule, recorded when `Options::record_schedule`.
+    pub schedule: Vec<(Tid, u64)>,
+}
+
+/// State shared between the runtime handle and every worker thread.
+pub(crate) struct Shared {
+    pub cfg: CommonConfig,
+    pub opts: Options,
+    pub seg: Segment,
+    pub inner: Mutex<Inner>,
+    pub cv: Condvar,
+}
+
+impl Shared {
+    pub fn new(cfg: CommonConfig, opts: Options) -> Arc<Shared> {
+        let seg = Segment::new(cfg.heap_pages, cfg.max_threads);
+        let lrc = cfg.track_lrc.then(|| LrcTracker::new(cfg.max_threads));
+        Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                table: ClockTable::new(opts.order, cfg.max_threads),
+                token: None,
+                last_release_clock: 0,
+                last_release_v: 0,
+                last_entrant: None,
+                mutexes: Vec::new(),
+                conds: Vec::new(),
+                rwlocks: Vec::new(),
+                barriers: Vec::new(),
+                threads: Vec::new(),
+                next_tid: 0,
+                live: 0,
+                pool: Vec::new(),
+                handles: Vec::new(),
+                reports: Vec::new(),
+                counters: Counters::default(),
+                max_exit_v: 0,
+                lrc,
+                started: false,
+                schedule: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            cfg,
+            opts,
+            seg,
+        })
+    }
+}

@@ -1,0 +1,516 @@
+//! Behavioural tests for the Consequence runtime: determinism, mutual
+//! exclusion, condition variables, barriers, thread lifecycle, coarsening
+//! and the ad-hoc chunk limit.
+
+use consequence::{ConsequenceRuntime, Options};
+use dmt_api::{
+    CommonConfig, CostModel, Job, MemExt, RunReport, Runtime, RuntimeMemExt, ThreadCtx, Tid,
+};
+
+fn cfg() -> CommonConfig {
+    CommonConfig {
+        heap_pages: 64,
+        max_threads: 16,
+        cost: CostModel::default(),
+        track_lrc: false,
+        gc_budget: usize::MAX,
+    }
+}
+
+fn run_with(opts: Options, main: impl Fn() -> Job) -> (RunReport, ConsequenceRuntime) {
+    let mut rt = ConsequenceRuntime::new(cfg(), opts);
+    let r = rt.run(main());
+    (r, rt)
+}
+
+#[test]
+fn single_thread_read_write() {
+    let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+    rt.init_u64(8, 5);
+    let report = rt.run(Box::new(|ctx| {
+        let v = ctx.ld_u64(8);
+        ctx.st_u64(16, v * 3);
+        ctx.tick(100);
+    }));
+    assert_eq!(rt.final_u64(16), 15);
+    assert!(report.virtual_cycles >= 100);
+    assert_eq!(report.threads, 1);
+    assert_eq!(report.counters.faults, 1);
+}
+
+#[test]
+fn spawn_join_propagates_memory() {
+    let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+    let report = rt.run(Box::new(|ctx| {
+        let t = ctx.spawn(Box::new(|c| {
+            c.tick(50);
+            c.st_u64(0, 7);
+        }));
+        assert_eq!(t, Tid(1));
+        ctx.join(t);
+        let v = ctx.ld_u64(0);
+        ctx.st_u64(8, v + 1);
+    }));
+    assert_eq!(rt.final_u64(0), 7);
+    assert_eq!(rt.final_u64(8), 8);
+    assert_eq!(report.threads, 2);
+    assert_eq!(report.counters.spawns, 1);
+}
+
+/// Two threads increment a shared counter under a mutex; the result must be
+/// exact (mutual exclusion) on every run.
+#[test]
+fn mutex_provides_mutual_exclusion() {
+    for _ in 0..3 {
+        let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+        let m = rt.create_mutex();
+        let report = rt.run(Box::new(move |ctx| {
+            let kids: Vec<Tid> = (0..4)
+                .map(|_| {
+                    ctx.spawn(Box::new(move |c| {
+                        for _ in 0..25 {
+                            c.mutex_lock(m);
+                            let v = c.ld_u64(0);
+                            c.tick(20);
+                            c.st_u64(0, v + 1);
+                            c.mutex_unlock(m);
+                            c.tick(100);
+                        }
+                    }))
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        }));
+        assert_eq!(rt.final_u64(0), 100);
+        assert!(report.counters.lock_acquires >= 100);
+    }
+}
+
+/// A racy (unsynchronized) increment loses updates, but must lose them
+/// DETERMINISTICALLY: same final value and same commit log on every run.
+#[test]
+fn racy_increments_are_deterministic() {
+    let run = || {
+        let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+        let m = rt.create_mutex();
+        let report = rt.run(Box::new(move |ctx| {
+            let kids: Vec<Tid> = (0..4)
+                .map(|i| {
+                    ctx.spawn(Box::new(move |c| {
+                        for j in 0..10 {
+                            // Unsynchronized read-modify-write on address 0.
+                            let v = c.ld_u64(0);
+                            c.tick((i as u64 + 1) * 13 + j);
+                            c.st_u64(0, v + 1);
+                            // Periodic sync op to force commits.
+                            c.mutex_lock(m);
+                            c.mutex_unlock(m);
+                        }
+                    }))
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        }));
+        (rt.final_u64(0), report.commit_log_hash)
+    };
+    let a = run();
+    let b = run();
+    let c = run();
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+/// Virtual time must also be deterministic when adaptive overflow
+/// notification is disabled (fixed publication points).
+#[test]
+fn virtual_time_is_deterministic_with_fixed_overflow() {
+    let opts = || Options::consequence_ic().without("adaptive_overflow");
+    let run = || {
+        let (r, rt) = run_with(opts(), || {
+            Box::new(|ctx: &mut dyn ThreadCtx| {
+                let a = ctx.spawn(Box::new(|c| {
+                    for _ in 0..50 {
+                        c.tick(997);
+                        c.fetch_add_u64(64, 1);
+                    }
+                }));
+                let b = ctx.spawn(Box::new(|c| {
+                    for _ in 0..80 {
+                        c.tick(311);
+                        c.fetch_add_u64(128, 1);
+                    }
+                }));
+                ctx.join(a);
+                ctx.join(b);
+            })
+        });
+        (r.virtual_cycles, r.commit_log_hash, rt.final_hash(0, 4096))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn barrier_releases_all_parties_with_consistent_memory() {
+    for &parallel in &[true, false] {
+        let mut opts = Options::consequence_ic();
+        opts.parallel_barrier = parallel;
+        let mut rt = ConsequenceRuntime::new(cfg(), opts);
+        let b = rt.create_barrier(4);
+        let report = rt.run(Box::new(move |ctx| {
+            let kids: Vec<Tid> = (1..4)
+                .map(|i| {
+                    ctx.spawn(Box::new(move |c| {
+                        c.st_u64(i * 8, i as u64 + 10);
+                        c.barrier_wait(b);
+                        // After the barrier, everyone sees everyone's write.
+                        let mut sum = 0;
+                        for j in 0..4 {
+                            sum += c.ld_u64(j * 8);
+                        }
+                        c.st_u64(4096 + i * 8, sum);
+                    }))
+                })
+                .collect();
+            ctx.st_u64(0, 10);
+            ctx.barrier_wait(b);
+            let mut sum = 0;
+            for j in 0..4usize {
+                sum += ctx.ld_u64(j * 8);
+            }
+            ctx.st_u64(4096, sum);
+            for k in kids {
+                ctx.join(k);
+            }
+        }));
+        let expect = 10 + 11 + 12 + 13;
+        for i in 0..4usize {
+            assert_eq!(
+                rt.final_u64(4096 + i * 8),
+                expect,
+                "parallel={parallel}, thread {i}"
+            );
+        }
+        assert_eq!(report.counters.barrier_waits, 4);
+    }
+}
+
+#[test]
+fn barrier_reusable_across_generations() {
+    let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+    let b = rt.create_barrier(2);
+    rt.run(Box::new(move |ctx| {
+        let k = ctx.spawn(Box::new(move |c| {
+            for i in 0..5u64 {
+                c.fetch_add_u64(0, i);
+                c.barrier_wait(b);
+                c.barrier_wait(b);
+            }
+        }));
+        for _ in 0..5 {
+            ctx.barrier_wait(b);
+            ctx.barrier_wait(b);
+        }
+        ctx.join(k);
+    }));
+    assert_eq!(rt.final_u64(0), 0 + 1 + 2 + 3 + 4);
+}
+
+#[test]
+fn condvar_signal_wakes_waiter() {
+    let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+    let m = rt.create_mutex();
+    let c = rt.create_cond();
+    rt.run(Box::new(move |ctx| {
+        let consumer = ctx.spawn(Box::new(move |t| {
+            t.mutex_lock(m);
+            while t.ld_u64(0) == 0 {
+                t.cond_wait(c, m);
+            }
+            let v = t.ld_u64(0);
+            t.st_u64(8, v * 2);
+            t.mutex_unlock(m);
+        }));
+        ctx.tick(10_000);
+        ctx.mutex_lock(m);
+        ctx.st_u64(0, 21);
+        ctx.cond_signal(c);
+        ctx.mutex_unlock(m);
+        ctx.join(consumer);
+    }));
+    assert_eq!(rt.final_u64(8), 42);
+}
+
+#[test]
+fn cond_broadcast_wakes_all() {
+    let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+    let m = rt.create_mutex();
+    let c = rt.create_cond();
+    rt.run(Box::new(move |ctx| {
+        let kids: Vec<Tid> = (1..4)
+            .map(|i| {
+                ctx.spawn(Box::new(move |t| {
+                    t.mutex_lock(m);
+                    while t.ld_u64(0) == 0 {
+                        t.cond_wait(c, m);
+                    }
+                    t.mutex_unlock(m);
+                    t.st_u64(i * 8, 1);
+                }))
+            })
+            .collect();
+        ctx.tick(50_000);
+        ctx.mutex_lock(m);
+        ctx.st_u64(0, 1);
+        ctx.cond_broadcast(c);
+        ctx.mutex_unlock(m);
+        for k in kids {
+            ctx.join(k);
+        }
+    }));
+    for i in 1..4usize {
+        assert_eq!(rt.final_u64(i * 8), 1, "waiter {i} not woken");
+    }
+}
+
+/// The paper's §2.7 scenario: a thread spins on a flag that another thread
+/// sets. Without a chunk limit the spinner would never see the update; with
+/// one, it must terminate.
+#[test]
+fn chunk_limit_supports_ad_hoc_synchronization() {
+    let mut opts = Options::consequence_ic();
+    opts.chunk_limit = Some(10_000);
+    let mut rt = ConsequenceRuntime::new(cfg(), opts);
+    rt.run(Box::new(move |ctx| {
+        let spinner = ctx.spawn(Box::new(|c| {
+            // Ad-hoc spin on address 0 with no explicit synchronization.
+            while c.ld_u64(0) == 0 {
+                c.tick(10);
+            }
+            c.st_u64(8, 99);
+        }));
+        ctx.tick(30_000);
+        ctx.st_u64(0, 1);
+        // The setter must also commit; its own chunk limit forces that.
+        ctx.join(spinner);
+    }));
+    assert_eq!(rt.final_u64(8), 99);
+}
+
+/// Thread-pool reuse: sequentially spawned threads should hit the pool.
+#[test]
+fn thread_pool_reuses_workers() {
+    let (report, rt) = run_with(Options::consequence_ic(), || {
+        Box::new(|ctx: &mut dyn ThreadCtx| {
+            for i in 0..6u64 {
+                let t = ctx.spawn(Box::new(move |c| {
+                    c.fetch_add_u64(0, i);
+                }));
+                ctx.join(t);
+            }
+        })
+    });
+    assert_eq!(rt.final_u64(0), 15);
+    assert!(
+        report.counters.pool_hits >= 4,
+        "expected pool reuse, got {} hits",
+        report.counters.pool_hits
+    );
+
+    // With the pool disabled, every spawn forks.
+    let (report2, _) = run_with(Options::consequence_ic().without("thread_pool"), || {
+        Box::new(|ctx: &mut dyn ThreadCtx| {
+            for i in 0..6u64 {
+                let t = ctx.spawn(Box::new(move |c| {
+                    c.fetch_add_u64(0, i);
+                }));
+                ctx.join(t);
+            }
+        })
+    });
+    assert_eq!(report2.counters.pool_hits, 0);
+}
+
+/// Fine-grained locks must actually allow disjoint critical sections; two
+/// threads on different locks must both make progress and the outcome must
+/// be deterministic.
+#[test]
+fn distinct_locks_do_not_alias() {
+    let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+    let m0 = rt.create_mutex();
+    let m1 = rt.create_mutex();
+    rt.run(Box::new(move |ctx| {
+        let a = ctx.spawn(Box::new(move |c| {
+            for _ in 0..20 {
+                c.mutex_lock(m0);
+                c.fetch_add_u64(0, 1);
+                c.mutex_unlock(m0);
+            }
+        }));
+        let b = ctx.spawn(Box::new(move |c| {
+            for _ in 0..20 {
+                c.mutex_lock(m1);
+                c.fetch_add_u64(8, 1);
+                c.mutex_unlock(m1);
+            }
+        }));
+        ctx.join(a);
+        ctx.join(b);
+    }));
+    assert_eq!(rt.final_u64(0), 20);
+    assert_eq!(rt.final_u64(8), 20);
+}
+
+/// Under the DWC preset all mutexes alias one global lock, yet the program
+/// result must be identical.
+#[test]
+fn dwc_single_global_lock_still_correct() {
+    let mut rt = ConsequenceRuntime::new(cfg(), Options::dwc());
+    assert_eq!(rt.name(), "dwc");
+    let m0 = rt.create_mutex();
+    let m1 = rt.create_mutex();
+    rt.run(Box::new(move |ctx| {
+        let a = ctx.spawn(Box::new(move |c| {
+            for _ in 0..10 {
+                c.mutex_lock(m0);
+                c.fetch_add_u64(0, 1);
+                c.mutex_unlock(m0);
+            }
+        }));
+        let b = ctx.spawn(Box::new(move |c| {
+            for _ in 0..10 {
+                c.mutex_lock(m1);
+                c.fetch_add_u64(8, 1);
+                c.mutex_unlock(m1);
+            }
+        }));
+        ctx.join(a);
+        ctx.join(b);
+    }));
+    assert_eq!(rt.final_u64(0), 10);
+    assert_eq!(rt.final_u64(8), 10);
+}
+
+/// Consequence-RR must produce the same program results as Consequence-IC
+/// for race-free programs (the schedules differ, the outcome must not).
+#[test]
+fn rr_and_ic_agree_on_race_free_output() {
+    let program = |rt: &mut ConsequenceRuntime| {
+        let m = rt.create_mutex();
+        rt.run(Box::new(move |ctx| {
+            let kids: Vec<Tid> = (0..3)
+                .map(|i| {
+                    ctx.spawn(Box::new(move |c| {
+                        for _ in 0..10 {
+                            c.tick(100 * (i + 1));
+                            c.mutex_lock(m);
+                            let v = c.ld_u64(0);
+                            c.st_u64(0, v + i + 1);
+                            c.mutex_unlock(m);
+                        }
+                    }))
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        }));
+        rt.final_u64(0)
+    };
+    let mut ic = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+    let mut rr = ConsequenceRuntime::new(cfg(), Options::consequence_rr());
+    assert_eq!(program(&mut ic), 10 * (1 + 2 + 3));
+    assert_eq!(program(&mut rr), 10 * (1 + 2 + 3));
+}
+
+/// Coarsening changes the deterministic schedule (that is the point), but
+/// it must preserve program correctness: a commutative reduction under a
+/// mutex gives the same total with coarsening on or off, and each
+/// configuration is individually deterministic across runs.
+#[test]
+fn coarsening_is_semantically_transparent() {
+    let result = |coarsen: bool| {
+        let opts = if coarsen {
+            Options::consequence_ic()
+        } else {
+            Options::consequence_ic().without("coarsening")
+        };
+        let mut rt = ConsequenceRuntime::new(cfg(), opts);
+        let m = rt.create_mutex();
+        rt.run(Box::new(move |ctx| {
+            let kids: Vec<Tid> = (0..3)
+                .map(|i| {
+                    ctx.spawn(Box::new(move |c| {
+                        for j in 0..30u64 {
+                            c.mutex_lock(m);
+                            let v = c.ld_u64(0);
+                            c.tick(5);
+                            c.st_u64(0, v + i * 100 + j);
+                            c.mutex_unlock(m);
+                            c.tick(50);
+                        }
+                    }))
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        }));
+        rt.final_u64(0)
+    };
+    let expected: u64 = (0..3u64)
+        .flat_map(|i| (0..30u64).map(move |j| i * 100 + j))
+        .sum();
+    assert_eq!(result(true), expected);
+    assert_eq!(result(false), expected);
+}
+
+/// With short critical sections and gaps, adaptive coarsening should
+/// actually fire.
+#[test]
+fn coarsening_fires_on_fine_grained_locking() {
+    let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+    let m = rt.create_mutex();
+    let report = rt.run(Box::new(move |ctx| {
+        for _ in 0..200 {
+            ctx.mutex_lock(m);
+            ctx.tick(10);
+            ctx.mutex_unlock(m);
+            ctx.tick(20);
+        }
+    }));
+    // Single-threaded fine-grained locking: nearly every op coalesces.
+    assert!(
+        report.counters.coarsened_chunks > 100,
+        "coarsening barely fired: {}",
+        report.counters.coarsened_chunks
+    );
+}
+
+#[test]
+fn report_breakdown_accounts_all_threads() {
+    let (report, _) = run_with(Options::consequence_ic(), || {
+        Box::new(|ctx: &mut dyn ThreadCtx| {
+            let t = ctx.spawn(Box::new(|c| c.tick(1_000)));
+            ctx.tick(500);
+            ctx.join(t);
+        })
+    });
+    assert_eq!(report.per_thread.len(), 2);
+    assert!(report.breakdown.chunk >= 1_500);
+    assert!(report.virtual_cycles >= 1_000);
+    assert!(report.peak_pages > 0);
+}
+
+#[test]
+#[should_panic(expected = "unlocking")]
+fn unlock_without_lock_panics() {
+    let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+    let m = rt.create_mutex();
+    rt.run(Box::new(move |ctx| {
+        ctx.mutex_unlock(m);
+    }));
+}

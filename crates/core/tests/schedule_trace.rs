@@ -1,0 +1,81 @@
+//! The recorded token-grant schedule: a practical trace of the
+//! deterministic total order, and the strongest reproducibility witness.
+
+use consequence::{ConsequenceRuntime, Options};
+use dmt_api::{CommonConfig, CostModel, MemExt, Runtime, ThreadCtx, Tid};
+
+fn cfg() -> CommonConfig {
+    CommonConfig {
+        heap_pages: 16,
+        max_threads: 16,
+        cost: CostModel::default(),
+        track_lrc: false,
+        gc_budget: usize::MAX,
+    }
+}
+
+fn traced_run(opts: Options) -> Vec<(Tid, u64)> {
+    let mut opts = opts;
+    opts.record_schedule = true;
+    let mut rt = ConsequenceRuntime::new(cfg(), opts);
+    let m = rt.create_mutex();
+    rt.run(Box::new(move |ctx| {
+        let kids: Vec<Tid> = (0..3u64)
+            .map(|i| {
+                ctx.spawn(Box::new(move |c| {
+                    for j in 0..10 {
+                        c.tick(71 * (i + 1) + j);
+                        c.mutex_lock(m);
+                        c.fetch_add_u64(0, 1);
+                        c.mutex_unlock(m);
+                    }
+                }))
+            })
+            .collect();
+        for k in kids {
+            ctx.join(k);
+        }
+    }));
+    rt.take_schedule()
+}
+
+#[test]
+fn schedule_is_recorded_and_identical_across_runs() {
+    let a = traced_run(Options::consequence_ic());
+    let b = traced_run(Options::consequence_ic());
+    assert!(!a.is_empty(), "schedule should be recorded");
+    assert_eq!(a, b, "token-grant schedules must be bit-identical");
+}
+
+#[test]
+fn schedule_grants_follow_clock_tid_order_locally() {
+    // Under IC ordering, among grants that were *waiting simultaneously*
+    // the lower (clock, tid) goes first. We can't reconstruct waiting sets
+    // from the trace, but the schedule must at least be per-thread clock
+    // monotone (a thread's own grants happen in its program order).
+    let s = traced_run(Options::consequence_ic());
+    let mut last: std::collections::HashMap<Tid, u64> = std::collections::HashMap::new();
+    for (t, c) in s {
+        if let Some(prev) = last.get(&t) {
+            assert!(c >= *prev, "thread {t} clock went backwards: {prev} -> {c}");
+        }
+        last.insert(t, c);
+    }
+}
+
+#[test]
+fn rr_and_ic_schedules_differ_but_are_each_stable() {
+    let ic = traced_run(Options::consequence_ic());
+    let rr = traced_run(Options::consequence_rr());
+    assert_eq!(rr, traced_run(Options::consequence_rr()));
+    // Different policies produce different (deterministic) orders for this
+    // skewed-rate program.
+    assert_ne!(ic, rr, "IC and RR should schedule this program differently");
+}
+
+#[test]
+fn schedule_off_by_default_costs_nothing() {
+    let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
+    rt.run(Box::new(|ctx| ctx.tick(100)));
+    assert!(rt.take_schedule().is_empty());
+}

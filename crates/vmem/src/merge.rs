@@ -1,0 +1,135 @@
+//! Byte-granularity page merging.
+//!
+//! Conversion resolves page-level write conflicts by comparing a thread's
+//! working copy against the pristine *twin* it saved at fault time: bytes
+//! the thread actually changed win over the concurrently committed page
+//! (last-writer-wins, in commit order); untouched bytes take the remote
+//! value. This is what makes false sharing within a page survive
+//! deterministic isolation.
+
+use dmt_api::PAGE_SIZE;
+
+/// Merges one committed page.
+///
+/// `twin` is the page as it looked when the committing thread faulted it,
+/// `work` the thread's working copy, and `latest` the currently committed
+/// page (which may contain other threads' newer writes). The result takes
+/// `work[i]` wherever the thread modified byte `i` and `latest[i]`
+/// elsewhere. Returns the number of bytes the committing thread contributed.
+pub fn merge_into(
+    twin: &[u8; PAGE_SIZE],
+    work: &[u8; PAGE_SIZE],
+    latest: &[u8; PAGE_SIZE],
+    out: &mut [u8; PAGE_SIZE],
+) -> usize {
+    let mut changed = 0;
+    for i in 0..PAGE_SIZE {
+        if work[i] != twin[i] {
+            out[i] = work[i];
+            changed += 1;
+        } else {
+            out[i] = latest[i];
+        }
+    }
+    changed
+}
+
+/// Applies a thread's diff (`work` vs `twin`) in place onto `out`.
+///
+/// Equivalent to [`merge_into`] with `latest` pre-loaded into `out`; used by
+/// the parallel barrier commit, which applies several diffs to one page in
+/// commit order.
+pub fn apply_diff(
+    twin: &[u8; PAGE_SIZE],
+    work: &[u8; PAGE_SIZE],
+    out: &mut [u8; PAGE_SIZE],
+) -> usize {
+    let mut changed = 0;
+    for i in 0..PAGE_SIZE {
+        if work[i] != twin[i] {
+            out[i] = work[i];
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Whether `work` differs from `twin` anywhere (i.e. the fault was followed
+/// by an actual modification).
+pub fn is_modified(twin: &[u8; PAGE_SIZE], work: &[u8; PAGE_SIZE]) -> bool {
+    twin != work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(f: impl Fn(usize) -> u8) -> Box<[u8; PAGE_SIZE]> {
+        let mut p = Box::new([0u8; PAGE_SIZE]);
+        for i in 0..PAGE_SIZE {
+            p[i] = f(i);
+        }
+        p
+    }
+
+    #[test]
+    fn local_changes_win_remote_fills_rest() {
+        let twin = page(|_| 0);
+        let mut work = page(|_| 0);
+        work[10] = 7;
+        let mut latest = page(|_| 0);
+        latest[10] = 9; // remote also wrote byte 10
+        latest[20] = 5; // remote wrote byte 20, we did not
+        let mut out = Box::new([0u8; PAGE_SIZE]);
+        let changed = merge_into(&twin, &work, &latest, &mut out);
+        assert_eq!(changed, 1);
+        assert_eq!(out[10], 7, "committer's byte wins (last writer)");
+        assert_eq!(out[20], 5, "remote byte is preserved");
+    }
+
+    #[test]
+    fn unmodified_page_merges_to_latest() {
+        let twin = page(|i| (i % 251) as u8);
+        let work = page(|i| (i % 251) as u8);
+        let latest = page(|i| (i % 13) as u8);
+        let mut out = Box::new([0u8; PAGE_SIZE]);
+        assert_eq!(merge_into(&twin, &work, &latest, &mut out), 0);
+        assert_eq!(&out[..], &latest[..]);
+        assert!(!is_modified(&twin, &work));
+    }
+
+    #[test]
+    fn apply_diff_matches_merge_into() {
+        let twin = page(|i| (i % 7) as u8);
+        let mut work = page(|i| (i % 7) as u8);
+        work[0] = 0xff;
+        work[4095] = 0xee;
+        let latest = page(|i| (i % 11) as u8);
+        let mut out_a = Box::new([0u8; PAGE_SIZE]);
+        merge_into(&twin, &work, &latest, &mut out_a);
+        let mut out_b = Box::new(*latest);
+        let changed = apply_diff(&twin, &work, &mut out_b);
+        assert_eq!(changed, 2);
+        assert_eq!(&out_a[..], &out_b[..]);
+    }
+
+    #[test]
+    fn disjoint_writers_both_survive() {
+        // Two threads write disjoint bytes of the same page; whoever commits
+        // second must preserve the first committer's bytes.
+        let base = page(|_| 0);
+        let mut work_a = page(|_| 0);
+        work_a[100] = 1;
+        let mut work_b = page(|_| 0);
+        work_b[200] = 2;
+
+        // A commits first: latest is base, so result has byte 100 = 1.
+        let mut after_a = Box::new([0u8; PAGE_SIZE]);
+        merge_into(&base, &work_a, &base, &mut after_a);
+        // B commits second against A's result.
+        let mut after_b = Box::new([0u8; PAGE_SIZE]);
+        merge_into(&base, &work_b, &after_a, &mut after_b);
+        assert_eq!(after_b[100], 1);
+        assert_eq!(after_b[200], 2);
+    }
+}

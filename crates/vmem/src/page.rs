@@ -1,0 +1,141 @@
+//! Pages and live-page accounting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dmt_api::PAGE_SIZE;
+
+/// Shared, immutable reference to a committed or snapshot page.
+pub type PageRef = Arc<PageBuf>;
+
+/// Tracks the number of distinct live pages so a run can report its peak
+/// memory footprint (Figure 12 of the Consequence paper).
+///
+/// Every [`PageBuf`] holds a handle to the tracker of the segment that
+/// created it; construction increments the live count and `Drop` decrements
+/// it, so the count covers pages reachable from the latest version, retained
+/// old versions, workspace snapshots, twins and working copies — exactly the
+/// segment's physical footprint.
+#[derive(Debug, Default)]
+pub struct PageTracker {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl PageTracker {
+    /// Creates a tracker with zero live pages.
+    pub fn new() -> Arc<Self> {
+        Arc::new(PageTracker::default())
+    }
+
+    /// Currently live pages.
+    pub fn live(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Highest live-page count observed so far.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    fn incr(&self) {
+        let now = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn decr(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One 4 KiB page of segment memory.
+///
+/// Pages are immutable once wrapped in a [`PageRef`]; mutation happens only
+/// on a thread's private working copy (a `Box<PageBuf>`) before it is
+/// committed.
+#[derive(Debug)]
+pub struct PageBuf {
+    data: Box<[u8; PAGE_SIZE]>,
+    tracker: Arc<PageTracker>,
+}
+
+impl PageBuf {
+    /// A zero-filled page accounted against `tracker`.
+    pub fn zeroed(tracker: &Arc<PageTracker>) -> PageBuf {
+        tracker.incr();
+        PageBuf {
+            data: Box::new([0u8; PAGE_SIZE]),
+            tracker: Arc::clone(tracker),
+        }
+    }
+
+    /// A copy of `src` accounted against the same tracker.
+    pub fn duplicate(src: &PageBuf) -> PageBuf {
+        src.tracker.incr();
+        PageBuf {
+            data: Box::new(*src.data),
+            tracker: Arc::clone(&src.tracker),
+        }
+    }
+
+    /// Read access to the page bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Write access to the page bytes (only possible pre-publication, while
+    /// the page is still uniquely owned).
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+}
+
+impl Drop for PageBuf {
+    fn drop(&mut self) {
+        self.tracker.decr();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_live_and_peak() {
+        let t = PageTracker::new();
+        let a = PageBuf::zeroed(&t);
+        let b = PageBuf::duplicate(&a);
+        assert_eq!(t.live(), 2);
+        drop(a);
+        assert_eq!(t.live(), 1);
+        assert_eq!(t.peak(), 2);
+        drop(b);
+        assert_eq!(t.live(), 0);
+        assert_eq!(t.peak(), 2);
+    }
+
+    #[test]
+    fn duplicate_copies_bytes() {
+        let t = PageTracker::new();
+        let mut a = PageBuf::zeroed(&t);
+        a.bytes_mut()[17] = 0xab;
+        let b = PageBuf::duplicate(&a);
+        assert_eq!(b.bytes()[17], 0xab);
+        // And the copy is independent.
+        a.bytes_mut()[17] = 0xcd;
+        assert_eq!(b.bytes()[17], 0xab);
+    }
+
+    #[test]
+    fn arc_sharing_does_not_inflate_count() {
+        let t = PageTracker::new();
+        let a: PageRef = Arc::new(PageBuf::zeroed(&t));
+        let b = Arc::clone(&a);
+        assert_eq!(t.live(), 1);
+        drop(a);
+        drop(b);
+        assert_eq!(t.live(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-thread base-version registry, consulted by the garbage collector.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dmt_api::Tid;
+
+/// Sentinel base for threads that are not attached to the segment.
+const DEAD: u64 = u64::MAX;
+
+/// Tracks, for each thread slot, the version its workspace is based on.
+///
+/// The collector may only reclaim versions every live workspace has already
+/// replayed, i.e. versions with id ≤ the minimum registered base.
+#[derive(Debug)]
+pub struct Registry {
+    bases: Vec<AtomicU64>,
+}
+
+impl Registry {
+    /// Registry with `slots` thread slots, all initially dead.
+    pub fn new(slots: usize) -> Self {
+        Registry {
+            bases: (0..slots).map(|_| AtomicU64::new(DEAD)).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Marks `tid` live with base version `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` exceeds the slot count.
+    pub fn set_base(&self, tid: Tid, base: u64) {
+        self.bases[tid.index()].store(base, Ordering::Release);
+    }
+
+    /// Marks `tid` detached; its workspace no longer pins versions.
+    pub fn mark_dead(&self, tid: Tid) {
+        self.bases[tid.index()].store(DEAD, Ordering::Release);
+    }
+
+    /// Minimum base version across live threads, or `None` if no thread is
+    /// attached.
+    pub fn min_live_base(&self) -> Option<u64> {
+        let min = self
+            .bases
+            .iter()
+            .map(|b| b.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(DEAD);
+        if min == DEAD {
+            None
+        } else {
+            Some(min)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_has_no_min() {
+        let r = Registry::new(4);
+        assert_eq!(r.min_live_base(), None);
+    }
+
+    #[test]
+    fn min_tracks_live_threads_only() {
+        let r = Registry::new(4);
+        r.set_base(Tid(0), 10);
+        r.set_base(Tid(2), 7);
+        assert_eq!(r.min_live_base(), Some(7));
+        r.mark_dead(Tid(2));
+        assert_eq!(r.min_live_base(), Some(10));
+        r.mark_dead(Tid(0));
+        assert_eq!(r.min_live_base(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_tid_panics() {
+        let r = Registry::new(2);
+        r.set_base(Tid(5), 0);
+    }
+}

@@ -1,0 +1,720 @@
+//! The versioned shared-memory segment.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dmt_api::{Addr, Fnv1a, Tid, VectorClock, PAGE_SIZE};
+
+use crate::merge;
+use crate::page::{PageBuf, PageRef, PageTracker};
+use crate::registry::Registry;
+use crate::version::Version;
+use crate::workspace::Workspace;
+
+/// Outcome of a [`Segment::commit`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommitResult {
+    /// Id of the created version, or the pre-existing latest id if the
+    /// workspace had no modifications to publish.
+    pub version: u64,
+    /// Pages published.
+    pub pages: u32,
+    /// Pages that conflicted with a remote commit and were byte-merged.
+    pub merged: u32,
+}
+
+/// Outcome of a [`Segment::update`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateResult {
+    /// Version the workspace is now based on.
+    pub new_base: u64,
+    /// Pages applied that were committed by *other* threads — the paper's
+    /// "pages propagated" metric.
+    pub pages_propagated: u64,
+    /// Versions replayed.
+    pub versions_applied: u64,
+}
+
+struct SegInner {
+    /// Id the next commit will receive; the latest committed id is
+    /// `next_id - 1` (id 0 is the implicit zero-filled initial version).
+    next_id: u64,
+    /// Id of `versions.front()`, when non-empty.
+    first_retained: u64,
+    /// Retained version history (trimmed by [`Segment::gc`]).
+    versions: VecDeque<Version>,
+    /// Version ids some protocol will still `update_to` exactly; the
+    /// collector must not squash across them. Refcounted.
+    pins: std::collections::BTreeMap<u64, u32>,
+    /// Per-version page counts for propagation accounting, parallel to
+    /// `versions` but never squashed (16 bytes per commit), so the
+    /// "pages propagated" metric is independent of collector progress.
+    counts: VecDeque<(u64, u32, Tid)>,
+    /// Materialized latest page table.
+    latest: Vec<PageRef>,
+    /// Running digest of `(id, committer, page, content)` for every commit:
+    /// the determinism witness.
+    log: Fnv1a,
+}
+
+/// A version-controlled memory segment (user-space Conversion).
+///
+/// Thread safety: all methods take `&self`; internal state is lock-
+/// protected. **Determinism is the caller's contract** — commits must be
+/// externally serialized in a deterministic order (Consequence holds the
+/// global token around every commit), and updates must happen at
+/// deterministic points. The segment then guarantees deterministic
+/// contents: byte-granularity last-writer-wins in commit order.
+pub struct Segment {
+    inner: Mutex<SegInner>,
+    tracker: Arc<PageTracker>,
+    registry: Registry,
+    npages: usize,
+}
+
+impl Segment {
+    /// A zero-filled segment of `npages` pages, with `slots` thread slots.
+    pub fn new(npages: usize, slots: usize) -> Segment {
+        let tracker = PageTracker::new();
+        let latest: Vec<PageRef> = (0..npages)
+            .map(|_| Arc::new(PageBuf::zeroed(&tracker)))
+            .collect();
+        Segment {
+            inner: Mutex::new(SegInner {
+                next_id: 1,
+                first_retained: 1,
+                versions: VecDeque::new(),
+                pins: std::collections::BTreeMap::new(),
+                counts: VecDeque::new(),
+                latest,
+                log: Fnv1a::new(),
+            }),
+            tracker,
+            registry: Registry::new(slots),
+            npages,
+        }
+    }
+
+    /// Segment length in bytes.
+    pub fn len(&self) -> usize {
+        self.npages * PAGE_SIZE
+    }
+
+    /// Whether the segment has zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.npages == 0
+    }
+
+    /// Number of 4 KiB pages.
+    pub fn num_pages(&self) -> usize {
+        self.npages
+    }
+
+    /// Live/peak page accounting.
+    pub fn tracker(&self) -> &Arc<PageTracker> {
+        &self.tracker
+    }
+
+    /// Registry of workspace base versions (for GC).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Latest committed version id.
+    pub fn latest_id(&self) -> u64 {
+        self.inner.lock().next_id - 1
+    }
+
+    /// Number of retained (not yet collected) versions.
+    pub fn retained_versions(&self) -> usize {
+        self.inner.lock().versions.len()
+    }
+
+    /// Current commit-log digest (determinism witness).
+    pub fn log_hash(&self) -> u64 {
+        self.inner.lock().log.digest()
+    }
+
+    /// Writes initial contents. Only valid before any workspace exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or a page is already shared
+    /// with a workspace snapshot.
+    pub fn init_write(&self, addr: Addr, data: &[u8]) {
+        assert!(addr + data.len() <= self.len(), "init_write out of bounds");
+        let mut inner = self.inner.lock();
+        let mut a = addr;
+        let mut done = 0;
+        while done < data.len() {
+            let p = a / PAGE_SIZE;
+            let off = a % PAGE_SIZE;
+            let n = (PAGE_SIZE - off).min(data.len() - done);
+            let page = Arc::get_mut(&mut inner.latest[p])
+                .expect("init_write after workspaces were created");
+            page.bytes_mut()[off..off + n].copy_from_slice(&data[done..done + n]);
+            a += n;
+            done += n;
+        }
+    }
+
+    /// Reads from the latest committed version (used after a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_latest(&self, addr: Addr, buf: &mut [u8]) {
+        assert!(addr + buf.len() <= self.len(), "read_latest out of bounds");
+        let inner = self.inner.lock();
+        let mut a = addr;
+        let mut done = 0;
+        while done < buf.len() {
+            let p = a / PAGE_SIZE;
+            let off = a % PAGE_SIZE;
+            let n = (PAGE_SIZE - off).min(buf.len() - done);
+            buf[done..done + n].copy_from_slice(&inner.latest[p].bytes()[off..off + n]);
+            a += n;
+            done += n;
+        }
+    }
+
+    /// Attaches a fresh workspace for `tid`, snapshotting the latest
+    /// version. Returns the workspace and the number of page-table entries
+    /// copied (the paper's fork cost, §3.3).
+    pub fn new_workspace(&self, tid: Tid) -> (Workspace, usize) {
+        let inner = self.inner.lock();
+        let snap = inner.latest.clone();
+        let base = inner.next_id - 1;
+        drop(inner);
+        self.registry.set_base(tid, base);
+        let n = snap.len();
+        (Workspace::new(tid, base, snap), n)
+    }
+
+    /// Detaches `tid`'s workspace from GC consideration.
+    pub fn detach(&self, tid: Tid) {
+        self.registry.mark_dead(tid);
+    }
+
+    /// Hands a pooled workspace to a new thread id (thread reuse, §3.3 of
+    /// the Consequence paper): the old slot is released and the new slot
+    /// pins the workspace's base version.
+    pub fn adopt(&self, ws: &mut Workspace, new: Tid) {
+        self.registry.mark_dead(ws.tid());
+        ws.retag(new);
+        self.registry.set_base(new, ws.base());
+    }
+
+    /// Re-attaches a pooled workspace (thread reuse, §3.3) so its base
+    /// version pins history again. Must be called before the workspace is
+    /// used, and the workspace's base must still be retained.
+    pub fn reattach(&self, ws: &Workspace) {
+        self.registry.set_base(ws.tid(), ws.base());
+    }
+
+    /// Publishes `ws`'s dirty pages as a new version.
+    ///
+    /// **Caller must serialize commits deterministically** (hold the global
+    /// token). Pages whose working copy equals its twin are dropped; pages
+    /// whose underlying latest page changed since fault time are merged at
+    /// byte granularity, local changes winning.
+    pub fn commit(&self, ws: &mut Workspace, vc: Option<Arc<VectorClock>>) -> CommitResult {
+        let dirty = ws.take_dirty();
+        let mut inner = self.inner.lock();
+        let mut pages: Vec<(u32, PageRef)> = Vec::with_capacity(dirty.len());
+        let mut merged = 0u32;
+        for (p, d) in dirty {
+            if !merge::is_modified(d.twin.bytes(), d.work.bytes()) {
+                continue;
+            }
+            let latest = &inner.latest[p as usize];
+            let new_ref: PageRef = if Arc::ptr_eq(latest, &d.twin) {
+                // No remote commit touched this page: adopt the working
+                // copy wholesale (zero-copy publish).
+                PageRef::from(d.work)
+            } else {
+                let mut out = Box::new(PageBuf::duplicate(latest));
+                merge::merge_into(
+                    d.twin.bytes(),
+                    d.work.bytes(),
+                    latest.bytes(),
+                    out.bytes_mut(),
+                );
+                merged += 1;
+                PageRef::from(out)
+            };
+            inner.latest[p as usize] = Arc::clone(&new_ref);
+            ws.snap_mut()[p as usize] = Arc::clone(&new_ref);
+            pages.push((p, new_ref));
+        }
+        if pages.is_empty() {
+            return CommitResult {
+                version: inner.next_id - 1,
+                pages: 0,
+                merged: 0,
+            };
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.log.update_u64(id);
+        inner.log.update_u64(ws.tid().0 as u64);
+        for (p, r) in &pages {
+            inner.log.update_u64(*p as u64);
+            inner.log.update_u64(Fnv1a::hash(r.bytes()));
+        }
+        let npages = pages.len() as u32;
+        inner.counts.push_back((id, npages, ws.tid()));
+        inner.versions.push_back(Version {
+            id,
+            base_id: id,
+            committer: ws.tid(),
+            pages,
+            vc,
+        });
+        CommitResult {
+            version: id,
+            pages: npages,
+            merged,
+        }
+    }
+
+    /// Installs pre-merged versions produced by a
+    /// [`crate::ParallelCommit`]. Caller must serialize with other commits.
+    pub(crate) fn install_versions(
+        &self,
+        built: Vec<(Tid, Vec<(u32, PageRef)>, Option<Arc<VectorClock>>)>,
+    ) -> Vec<u64> {
+        let mut inner = self.inner.lock();
+        let mut ids = Vec::with_capacity(built.len());
+        for (tid, pages, vc) in built {
+            if pages.is_empty() {
+                continue;
+            }
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.log.update_u64(id);
+            inner.log.update_u64(tid.0 as u64);
+            for (p, r) in &pages {
+                inner.latest[*p as usize] = Arc::clone(r);
+                inner.log.update_u64(*p as u64);
+                inner.log.update_u64(Fnv1a::hash(r.bytes()));
+            }
+            inner.counts.push_back((id, pages.len() as u32, tid));
+            inner.versions.push_back(Version {
+                id,
+                base_id: id,
+                committer: tid,
+                pages,
+                vc,
+            });
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Snapshot of the latest page table entry for `p` (phase-1 capture of
+    /// the parallel commit).
+    pub(crate) fn latest_page(&self, p: u32) -> PageRef {
+        Arc::clone(&self.inner.lock().latest[p as usize])
+    }
+
+    /// Pins version `id`: some protocol stored it as an exact `update_to`
+    /// target, so the collector must not squash a later version across it
+    /// (which would silently hand the updater newer state). Refcounted;
+    /// release with [`Segment::unpin`].
+    pub fn pin(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        *inner.pins.entry(id).or_insert(0) += 1;
+    }
+
+    /// Releases one reference to a pinned `update_to` target.
+    pub fn unpin(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(n) = inner.pins.get_mut(&id) {
+            *n -= 1;
+            if *n == 0 {
+                inner.pins.remove(&id);
+            }
+        }
+    }
+
+    /// Brings `ws` forward to the latest version by replaying deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` still has dirty pages (commit first), or if needed
+    /// versions were garbage collected (a GC-safety bug).
+    pub fn update(&self, ws: &mut Workspace) -> UpdateResult {
+        let latest = self.latest_id();
+        self.update_to(ws, latest)
+    }
+
+    /// Brings `ws` forward to version `upto` exactly — no further, even if
+    /// later versions exist. Deterministic runtimes record the version id
+    /// at a synchronization event and update to it, so the amount of work
+    /// an update does cannot depend on racing commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` still has dirty pages, if `upto` exceeds the latest
+    /// version, or if needed versions were garbage collected.
+    pub fn update_to(&self, ws: &mut Workspace, upto: u64) -> UpdateResult {
+        assert_eq!(ws.dirty_count(), 0, "update requires a committed workspace");
+        let inner = self.inner.lock();
+        assert!(upto <= inner.next_id - 1, "update_to a future version");
+        let mut propagated = 0u64;
+        let mut applied = 0u64;
+        if ws.base() < upto {
+            // `first_retained` counts *dropped* versions only; squashed
+            // versions still cover their whole id range, so this is the
+            // precise safety bound.
+            assert!(
+                ws.base() + 1 >= inner.first_retained,
+                "versions needed by update were collected (GC safety violation)"
+            );
+            // Version ids are increasing but not necessarily dense (the
+            // collector squashes adjacent versions), so locate by search.
+            let start = inner.versions.partition_point(|v| v.id <= ws.base());
+            for v in inner.versions.iter().skip(start) {
+                debug_assert!(v.id > ws.base());
+                if v.id > upto {
+                    // A squashed version spanning `upto` would smuggle in
+                    // newer state; pinning must prevent that.
+                    assert!(
+                        v.base_id > upto,
+                        "update_to({upto}) target was squashed away (GC pin bug)"
+                    );
+                    break;
+                }
+                for (p, r) in &v.pages {
+                    ws.snap_mut()[*p as usize] = Arc::clone(r);
+                }
+                applied += 1;
+            }
+            // Propagation accounting comes from the never-squashed count
+            // records so it cannot depend on collector progress; the walk
+            // above may traverse squashed (merged) representations.
+            let cstart = inner.counts.partition_point(|(id, _, _)| *id <= ws.base());
+            for (id, npages, committer) in inner.counts.iter().skip(cstart) {
+                if *id > upto {
+                    break;
+                }
+                if *committer != ws.tid() {
+                    propagated += *npages as u64;
+                }
+            }
+            ws.set_base(upto);
+        }
+        drop(inner);
+        self.registry.set_base(ws.tid(), ws.base());
+        UpdateResult {
+            new_base: ws.base(),
+            pages_propagated: propagated,
+            versions_applied: applied,
+        }
+    }
+
+    /// Performs up to `budget` units of collector work. Returns the units
+    /// spent.
+    ///
+    /// Two kinds of unit, applied front- (oldest-) first:
+    ///
+    /// * **drop** a version every live workspace has already replayed;
+    /// * **squash** the two oldest retained versions into one (union of
+    ///   their page sets, newer content winning). Squashing is safe for an
+    ///   updater based exactly between the two: the extra pages it applies
+    ///   carry content it already has. This is how superseded page copies
+    ///   get reclaimed even while a blocked thread pins an old base —
+    ///   Conversion's collector does the equivalent at the page level.
+    ///
+    /// A finite budget models the paper's single-threaded collector: under
+    /// high page churn retained versions (and thus live pages) outrun it,
+    /// which is exactly the Figure 12 memory blow-up on `canneal`/
+    /// `lu_ncb`. The paper's proposed multi-threaded collector corresponds
+    /// to a large budget.
+    pub fn gc(&self, budget: usize) -> usize {
+        let mut inner = self.inner.lock();
+        let min = self.registry.min_live_base().unwrap_or(inner.next_id - 1);
+        let mut spent = 0;
+        while spent < budget {
+            match inner.versions.front() {
+                Some(v) if v.id <= min => {
+                    let dropped_to = v.id;
+                    inner.versions.pop_front();
+                    while inner
+                        .counts
+                        .front()
+                        .map(|(id, _, _)| *id <= dropped_to)
+                        .unwrap_or(false)
+                    {
+                        inner.counts.pop_front();
+                    }
+                    inner.first_retained += 1;
+                    spent += 1;
+                }
+                _ => break,
+            }
+        }
+        // Squash the oldest retained pair per remaining unit of budget —
+        // but never across a pinned `update_to` target (the merged version
+        // could no longer reproduce the pinned point exactly).
+        while spent < budget && inner.versions.len() >= 2 {
+            {
+                let va = &inner.versions[0];
+                let vb = &inner.versions[1];
+                let lo = va.base_id;
+                let hi = vb.id;
+                if inner.pins.range(lo..hi).next().is_some() {
+                    break;
+                }
+            }
+            let va = inner.versions.pop_front().expect("len checked");
+            let vb = inner.versions.front_mut().expect("len checked");
+            // Union, newer (vb) content winning; both lists are sorted.
+            let mut merged: Vec<(u32, PageRef)> =
+                Vec::with_capacity(va.pages.len() + vb.pages.len());
+            let mut ai = va.pages.into_iter().peekable();
+            let mut bi = std::mem::take(&mut vb.pages).into_iter().peekable();
+            loop {
+                match (ai.peek(), bi.peek()) {
+                    (Some((pa, _)), Some((pb, _))) => {
+                        if pa < pb {
+                            merged.push(ai.next().expect("peeked"));
+                        } else if pb < pa {
+                            merged.push(bi.next().expect("peeked"));
+                        } else {
+                            let _ = ai.next();
+                            merged.push(bi.next().expect("peeked"));
+                        }
+                    }
+                    (Some(_), None) => merged.push(ai.next().expect("peeked")),
+                    (None, Some(_)) => merged.push(bi.next().expect("peeked")),
+                    (None, None) => break,
+                }
+            }
+            vb.pages = merged;
+            vb.base_id = va.base_id;
+            spent += 1;
+        }
+        spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_write_visible_to_new_workspace() {
+        let seg = Segment::new(4, 4);
+        seg.init_write(10, b"abc");
+        let (ws, mapped) = seg.new_workspace(Tid(0));
+        assert_eq!(mapped, 4);
+        let mut b = [0u8; 3];
+        ws.read_bytes(10, &mut b);
+        assert_eq!(&b, b"abc");
+    }
+
+    #[test]
+    fn commit_then_update_propagates_between_threads() {
+        let seg = Segment::new(4, 4);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        let (mut b, _) = seg.new_workspace(Tid(1));
+        a.write_bytes(0, &[7]);
+        let cr = seg.commit(&mut a, None);
+        assert_eq!(cr.pages, 1);
+        assert_eq!(cr.merged, 0);
+        // B does not see it until it updates.
+        let mut buf = [0u8; 1];
+        b.read_bytes(0, &mut buf);
+        assert_eq!(buf[0], 0);
+        let ur = seg.update(&mut b);
+        assert_eq!(ur.pages_propagated, 1);
+        b.read_bytes(0, &mut buf);
+        assert_eq!(buf[0], 7);
+    }
+
+    #[test]
+    fn own_commits_do_not_count_as_propagation() {
+        let seg = Segment::new(2, 2);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        a.write_bytes(0, &[1]);
+        seg.commit(&mut a, None);
+        let ur = seg.update(&mut a);
+        assert_eq!(ur.pages_propagated, 0);
+        assert_eq!(ur.new_base, 1);
+    }
+
+    #[test]
+    fn conflicting_commits_merge_at_byte_granularity() {
+        let seg = Segment::new(1, 4);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        let (mut b, _) = seg.new_workspace(Tid(1));
+        a.write_bytes(100, &[1]);
+        b.write_bytes(200, &[2]);
+        seg.commit(&mut a, None);
+        let cr = seg.commit(&mut b, None);
+        assert_eq!(cr.merged, 1, "B's page conflicted and was merged");
+        let mut buf = [0u8; 1];
+        seg.read_latest(100, &mut buf);
+        assert_eq!(buf[0], 1);
+        seg.read_latest(200, &mut buf);
+        assert_eq!(buf[0], 2);
+    }
+
+    #[test]
+    fn last_writer_wins_on_same_byte() {
+        let seg = Segment::new(1, 4);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        let (mut b, _) = seg.new_workspace(Tid(1));
+        a.write_bytes(0, &[10]);
+        b.write_bytes(0, &[20]);
+        seg.commit(&mut a, None);
+        seg.commit(&mut b, None); // B commits second: B wins.
+        let mut buf = [0u8; 1];
+        seg.read_latest(0, &mut buf);
+        assert_eq!(buf[0], 20);
+    }
+
+    #[test]
+    fn unmodified_faulted_pages_are_not_published() {
+        let seg = Segment::new(2, 2);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        let before = a.ld_u64(0);
+        a.st_u64(0, before); // fault, but write the same value
+        let cr = seg.commit(&mut a, None);
+        assert_eq!(cr.pages, 0);
+        assert_eq!(seg.latest_id(), 0, "no version created");
+    }
+
+    #[test]
+    fn commit_log_hash_is_deterministic() {
+        let run = || {
+            let seg = Segment::new(2, 2);
+            let (mut a, _) = seg.new_workspace(Tid(0));
+            let (mut b, _) = seg.new_workspace(Tid(1));
+            a.write_bytes(0, &[1, 2, 3]);
+            seg.commit(&mut a, None);
+            b.write_bytes(4096, &[4]);
+            seg.commit(&mut b, None);
+            seg.log_hash()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gc_respects_live_bases_and_budget() {
+        let seg = Segment::new(1, 2);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        let (mut b, _) = seg.new_workspace(Tid(1));
+        for i in 0..5 {
+            a.write_bytes(0, &[i as u8 + 1]);
+            seg.commit(&mut a, None);
+            seg.update(&mut a);
+        }
+        assert_eq!(seg.retained_versions(), 5);
+        // B is still at base 0: nothing can be dropped, but the pinned
+        // history can be squashed down to a single version.
+        assert_eq!(seg.gc(usize::MAX), 4, "four squash units");
+        assert_eq!(seg.retained_versions(), 1);
+        // B replays the squashed history and sees the final value.
+        seg.update(&mut b);
+        let mut buf = [0u8; 1];
+        b.read_bytes(0, &mut buf);
+        assert_eq!(buf[0], 5);
+        // Now everything is droppable.
+        assert_eq!(seg.gc(usize::MAX), 1);
+        assert_eq!(seg.retained_versions(), 0);
+    }
+
+    #[test]
+    fn gc_budget_limits_work_per_call() {
+        let seg = Segment::new(1, 2);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        let (_b, _) = seg.new_workspace(Tid(1)); // pins base 0
+        for i in 0..6 {
+            a.write_bytes(0, &[i as u8 + 1]);
+            seg.commit(&mut a, None);
+            seg.update(&mut a);
+        }
+        assert_eq!(seg.gc(2), 2);
+        assert_eq!(seg.retained_versions(), 4);
+    }
+
+    #[test]
+    fn squashed_history_preserves_multi_page_replay() {
+        let seg = Segment::new(3, 2);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        let (mut b, _) = seg.new_workspace(Tid(1)); // pinned at base 0
+                                                    // Three commits touching overlapping page sets.
+        a.write_bytes(0, &[1]);
+        a.write_bytes(4096, &[2]);
+        seg.commit(&mut a, None);
+        seg.update(&mut a);
+        a.write_bytes(4096, &[3]);
+        a.write_bytes(8192, &[4]);
+        seg.commit(&mut a, None);
+        seg.update(&mut a);
+        a.write_bytes(0, &[5]);
+        seg.commit(&mut a, None);
+        seg.update(&mut a);
+        seg.gc(usize::MAX); // squash everything B pins
+        seg.update(&mut b);
+        let mut buf = [0u8; 1];
+        b.read_bytes(0, &mut buf);
+        assert_eq!(buf[0], 5);
+        b.read_bytes(4096, &mut buf);
+        assert_eq!(buf[0], 3);
+        b.read_bytes(8192, &mut buf);
+        assert_eq!(buf[0], 4);
+    }
+
+    #[test]
+    fn detach_unpins_history() {
+        let seg = Segment::new(1, 2);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        let (_b, _) = seg.new_workspace(Tid(1));
+        a.write_bytes(0, &[1]);
+        seg.commit(&mut a, None);
+        seg.update(&mut a);
+        assert_eq!(seg.gc(usize::MAX), 0, "B pins version 1");
+        seg.detach(Tid(1));
+        assert_eq!(seg.gc(usize::MAX), 1);
+    }
+
+    #[test]
+    fn peak_pages_grow_with_uncollected_versions() {
+        let seg = Segment::new(1, 1);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        let base = seg.tracker().live();
+        for i in 0..8 {
+            a.write_bytes(0, &[i + 1]);
+            seg.commit(&mut a, None);
+            seg.update(&mut a);
+        }
+        // Without GC, all 8 page versions are retained.
+        assert!(seg.tracker().live() >= base + 7);
+        seg.gc(usize::MAX);
+        assert!(seg.tracker().live() < base + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "update requires a committed workspace")]
+    fn update_with_dirty_pages_panics() {
+        let seg = Segment::new(1, 1);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        a.write_bytes(0, &[1]);
+        seg.update(&mut a);
+    }
+
+    #[test]
+    fn empty_commit_returns_latest() {
+        let seg = Segment::new(1, 1);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        let cr = seg.commit(&mut a, None);
+        assert_eq!(cr.version, 0);
+        assert_eq!(cr.pages, 0);
+    }
+}

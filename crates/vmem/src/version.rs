@@ -1,0 +1,42 @@
+//! Committed versions of a segment.
+
+use std::sync::Arc;
+
+use dmt_api::{Tid, VectorClock};
+
+use crate::page::PageRef;
+
+/// One committed version: the set of pages that changed relative to the
+/// previous version.
+///
+/// Version ids are assigned densely in commit order, which is the total
+/// store order every thread agrees on. A workspace at base version `b`
+/// reaches version `v` by replaying the page lists of versions `b+1..=v`.
+#[derive(Clone, Debug)]
+pub struct Version {
+    /// Monotonically increasing id (commit order). After collector
+    /// squashing a version may cover a *range* of original ids,
+    /// `base_id..=id`.
+    pub id: u64,
+    /// Lowest original id merged into this version (`id` when unsquashed).
+    pub base_id: u64,
+    /// Thread that committed this version ([`crate::BARRIER_COMMITTER`] for
+    /// merged barrier commits attributed per page instead).
+    pub committer: Tid,
+    /// Changed pages: `(page index, content)`, sorted by page index.
+    pub pages: Vec<(u32, PageRef)>,
+    /// Happens-before tag for the §5.3 LRC estimator, when enabled.
+    pub vc: Option<Arc<VectorClock>>,
+}
+
+impl Version {
+    /// Number of pages this version changed.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the version changed no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}

@@ -1,0 +1,46 @@
+//! Kernel implementations, grouped by originating suite.
+
+pub mod parsec;
+pub mod phoenix;
+pub mod splash;
+
+use dmt_api::{Job, ThreadCtx, Tid};
+
+use crate::spec::Workload;
+
+/// All 19 benchmarks in the paper's presentation order.
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        // Phoenix
+        Box::new(phoenix::Histogram),
+        Box::new(phoenix::LinearRegression),
+        Box::new(phoenix::StringMatch),
+        Box::new(phoenix::MatrixMultiply),
+        Box::new(phoenix::Pca),
+        Box::new(phoenix::Kmeans),
+        Box::new(phoenix::WordCount),
+        Box::new(phoenix::ReverseIndex),
+        // PARSEC
+        Box::new(parsec::Ferret),
+        Box::new(parsec::Dedup),
+        Box::new(parsec::Canneal),
+        Box::new(parsec::Streamcluster),
+        Box::new(parsec::Swaptions),
+        // SPLASH-2
+        Box::new(splash::OceanCp),
+        Box::new(splash::LuCb),
+        Box::new(splash::LuNcb),
+        Box::new(splash::WaterNsquared),
+        Box::new(splash::WaterSpatial),
+        Box::new(splash::Radix),
+    ]
+}
+
+/// Spawns `n` workers built by `make` and joins them all — the fork-join
+/// skeleton most kernels use.
+pub(crate) fn fork_join(ctx: &mut dyn ThreadCtx, n: usize, make: impl Fn(usize) -> Job) {
+    let kids: Vec<Tid> = (0..n).map(|w| ctx.spawn(make(w))).collect();
+    for k in kids {
+        ctx.join(k);
+    }
+}

@@ -1,0 +1,663 @@
+//! PARSEC kernels: pipeline programs (ferret, dedup) and barrier-heavy
+//! data-parallel programs (canneal, streamcluster), plus the embarrassingly
+//! parallel swaptions.
+
+use dmt_api::{MemExt, Runtime, RuntimeMemExt};
+
+use crate::kernels::fork_join;
+use crate::layout::{partition, Layout};
+use crate::queue::{ShmQueue, PILL};
+use crate::rng::{mix64, SplitMix64};
+use crate::spec::{Params, Prepared, Validation, Workload};
+
+// ------------------------------------------------------------------ ferret
+
+/// Content-similarity pipeline: a fast loader stage performing very many
+/// short queue operations (the paper's `ferret_1`) feeding two pools of
+/// heavier stages, with the main thread as ranking sink (`ferret_n`
+/// oscillates between long chunks and condition-variable waits).
+pub struct Ferret;
+
+const FERRET_RANK_SALT: u64 = 0xfe44e7;
+
+fn ferret_shape(threads: usize) -> (usize, usize) {
+    // loader = 1, sink = main; split the rest between the two middle pools.
+    let rest = threads.saturating_sub(2).max(2);
+    let seg = rest / 2;
+    (seg.max(1), (rest - seg).max(1))
+}
+
+const FERRET_PAYLOAD: usize = 512; // cells per item (4 KiB — an image segment)
+const FERRET_SEG_SALT: u64 = 0x5e95e9;
+
+impl Workload for Ferret {
+    fn name(&self) -> &'static str {
+        "ferret"
+    }
+
+    fn suite(&self) -> &'static str {
+        "parsec"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let items = 192 * p.scale as usize;
+        let mut l = Layout::new();
+        for _ in 0..3 {
+            l.cells_page_aligned(4 + 16);
+        }
+        l.cells_page_aligned(4);
+        l.cells_page_aligned(items * FERRET_PAYLOAD);
+        l.pages() + 2
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let items = 192 * p.scale as usize;
+        let (nseg, nrank) = ferret_shape(p.threads);
+        let mut l = Layout::new();
+        let q1 = ShmQueue::create(rt, &mut l, 16);
+        let q2 = ShmQueue::create(rt, &mut l, 16);
+        let q3 = ShmQueue::create(rt, &mut l, 16);
+        let counters = l.cells_page_aligned(4); // [seg_done, rank_done, out_sum]
+                                                // Per-item image payloads flow through shared memory, so every
+                                                // stage's commit carries real pages — the cost profile that makes
+                                                // ferret hard for page-based DMT systems.
+        let payloads = l.cells_page_aligned(items * FERRET_PAYLOAD);
+        let seg_done_lock = rt.create_mutex();
+        let rank_done_lock = rt.create_mutex();
+        for q in [&q1, &q2, &q3] {
+            q.init(rt);
+        }
+
+        let seed = p.seed;
+        let gen_cell = move |i: u64, j: u64| mix64(seed ^ mix64(i * 1_000_003 + j));
+        // Reference: the full pipeline applied sequentially.
+        let expect: u64 = (0..items as u64)
+            .map(|i| {
+                // Segmentation stage transform, then the rank fold.
+                let mut rank = 0u64;
+                for j in 0..FERRET_PAYLOAD as u64 {
+                    let seg = mix64(gen_cell(i, j) ^ FERRET_SEG_SALT);
+                    rank = mix64(rank ^ seg);
+                }
+                mix64(rank ^ FERRET_RANK_SALT)
+            })
+            .fold(0u64, |a, b| a.wrapping_add(b));
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            // Stage 1: loader (high-rate short critical sections).
+            ctx.spawn(Box::new(move |c| {
+                for i in 0..items as u64 {
+                    let base = payloads + 8 * (i as usize * FERRET_PAYLOAD);
+                    for j in 0..FERRET_PAYLOAD as u64 {
+                        c.st_u64(base + 8 * j as usize, gen_cell(i, j));
+                    }
+                    c.tick(2_500);
+                    q1.push(c, i);
+                }
+                q1.push(c, PILL);
+            }));
+            // Stage 2 pool: segmentation (rewrites the payload in place).
+            for _ in 0..nseg {
+                ctx.spawn(Box::new(move |c| {
+                    loop {
+                        let i = q1.pop(c);
+                        if i == PILL {
+                            break;
+                        }
+                        let base = payloads + 8 * (i as usize * FERRET_PAYLOAD);
+                        for j in 0..FERRET_PAYLOAD {
+                            let v = c.ld_u64(base + 8 * j);
+                            c.st_u64(base + 8 * j, mix64(v ^ FERRET_SEG_SALT));
+                        }
+                        c.tick(150_000);
+                        q2.push(c, i);
+                    }
+                    // Last segmenter poisons the next stage.
+                    c.mutex_lock(seg_done_lock);
+                    let done = c.fetch_add_u64(counters, 1);
+                    c.mutex_unlock(seg_done_lock);
+                    if done == nseg as u64 {
+                        q2.push(c, PILL);
+                    }
+                }));
+            }
+            // Stage 3 pool: ranking (reads the payload, emits one rank).
+            for _ in 0..nrank {
+                ctx.spawn(Box::new(move |c| {
+                    loop {
+                        let i = q2.pop(c);
+                        if i == PILL {
+                            break;
+                        }
+                        let base = payloads + 8 * (i as usize * FERRET_PAYLOAD);
+                        let mut rank = 0u64;
+                        for j in 0..FERRET_PAYLOAD {
+                            rank = mix64(rank ^ c.ld_u64(base + 8 * j));
+                        }
+                        c.tick(300_000);
+                        q3.push(c, mix64(rank ^ FERRET_RANK_SALT));
+                    }
+                    c.mutex_lock(rank_done_lock);
+                    let done = c.fetch_add_u64(counters + 8, 1);
+                    c.mutex_unlock(rank_done_lock);
+                    if done == nrank as u64 {
+                        q3.push(c, PILL);
+                    }
+                }));
+            }
+            // Sink: the main thread aggregates (order-independent sum).
+            let mut sum = 0u64;
+            let mut seen = 0;
+            while seen < items {
+                let v = q3.pop(ctx);
+                if v == PILL {
+                    break;
+                }
+                sum = sum.wrapping_add(v);
+                seen += 1;
+                ctx.tick(5_000);
+            }
+            ctx.st_u64(counters + 16, sum);
+            // Threads drain on the pills; run() waits for them all.
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let got = rt.final_u64(counters + 16);
+            Validation {
+                output_hash: got,
+                matches_reference: got == expect,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ------------------------------------------------------------------- dedup
+
+/// Deduplicating compression pipeline: loader → worker pool with hashed
+/// bucket locks → sink counting unique chunks.
+pub struct Dedup;
+
+const DD_BUCKETS: usize = 32;
+const DD_SLOTS: usize = 64;
+
+const DD_PAYLOAD: usize = 256; // cells per chunk (2 KiB)
+
+impl Workload for Dedup {
+    fn name(&self) -> &'static str {
+        "dedup"
+    }
+
+    fn suite(&self) -> &'static str {
+        "parsec"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let items = 384 * p.scale as usize;
+        let mut l = Layout::new();
+        for _ in 0..2 {
+            l.cells_page_aligned(4 + 16);
+        }
+        l.cells_page_aligned(DD_BUCKETS * DD_SLOTS);
+        l.cells_page_aligned(4);
+        l.cells_page_aligned(items * DD_PAYLOAD);
+        l.pages() + 2
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let items = 384 * p.scale as usize;
+        let distinct = 96u64;
+        let workers = p.threads.saturating_sub(2).max(1);
+        let mut l = Layout::new();
+        let q1 = ShmQueue::create(rt, &mut l, 16);
+        let q3 = ShmQueue::create(rt, &mut l, 16);
+        let table = l.cells_page_aligned(DD_BUCKETS * DD_SLOTS);
+        let counters = l.cells_page_aligned(4); // [workers_done, uniq, digest]
+                                                // Chunk contents live in shared memory, one region per item, so
+                                                // fingerprinting reads and the loader's writes move real pages.
+        let payloads = l.cells_page_aligned(items * DD_PAYLOAD);
+        let done_lock = rt.create_mutex();
+        let bucket_locks: Vec<_> = (0..DD_BUCKETS).map(|_| rt.create_mutex()).collect();
+        q1.init(rt);
+        q3.init(rt);
+
+        let seed = p.seed;
+        let chunk_value = move |i: u64| {
+            let mut g = SplitMix64::derive(seed, 10 + i);
+            g.below(distinct) + 1
+        };
+        // Chunk content is a function of its value: duplicates share bytes.
+        let content_cell = move |val: u64, j: u64| mix64(val.wrapping_mul(0x9e37) ^ j);
+        let fingerprint = move |val: u64| {
+            let mut h = 0u64;
+            for j in 0..DD_PAYLOAD as u64 {
+                h = mix64(h ^ content_cell(val, j));
+            }
+            h
+        };
+
+        let mut seen = std::collections::HashSet::new();
+        let mut edigest = 0u64;
+        for i in 0..items as u64 {
+            let v = chunk_value(i);
+            if seen.insert(v) {
+                edigest = edigest.wrapping_add(mix64(fingerprint(v)));
+            }
+        }
+        let euniq = seen.len() as u64;
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            // Loader: writes each chunk's content and enqueues its index.
+            ctx.spawn(Box::new(move |c| {
+                for i in 0..items as u64 {
+                    let val = chunk_value(i);
+                    let base = payloads + 8 * (i as usize * DD_PAYLOAD);
+                    for j in 0..DD_PAYLOAD as u64 {
+                        c.st_u64(base + 8 * j as usize, content_cell(val, j));
+                    }
+                    c.tick(6_000);
+                    q1.push(c, i);
+                }
+                q1.push(c, PILL);
+            }));
+            // Dedup + compress pool.
+            for _ in 0..workers {
+                let locks = bucket_locks.clone();
+                ctx.spawn(Box::new(move |c| {
+                    loop {
+                        let i = q1.pop(c);
+                        if i == PILL {
+                            break;
+                        }
+                        // Fingerprint the chunk content.
+                        let base = payloads + 8 * (i as usize * DD_PAYLOAD);
+                        let mut fp = 0u64;
+                        for j in 0..DD_PAYLOAD {
+                            fp = mix64(fp ^ c.ld_u64(base + 8 * j));
+                        }
+                        c.tick(60_000);
+                        let b = (mix64(fp) as usize) % DD_BUCKETS;
+                        let tbase = table + 8 * (b * DD_SLOTS);
+                        let mut fresh = false;
+                        c.mutex_lock(locks[b]);
+                        let mut slot = 0;
+                        loop {
+                            assert!(slot < DD_SLOTS, "dedup bucket overflow");
+                            let key = c.ld_u64(tbase + 8 * slot);
+                            if key == fp {
+                                break;
+                            }
+                            if key == 0 {
+                                c.st_u64(tbase + 8 * slot, fp);
+                                fresh = true;
+                                break;
+                            }
+                            slot += 1;
+                        }
+                        c.mutex_unlock(locks[b]);
+                        if fresh {
+                            c.tick(250_000); // compress the new chunk
+                            q3.push(c, fp);
+                        }
+                    }
+                    c.mutex_lock(done_lock);
+                    let done = c.fetch_add_u64(counters, 1);
+                    c.mutex_unlock(done_lock);
+                    if done == workers as u64 {
+                        q3.push(c, PILL);
+                    }
+                }));
+            }
+            // Sink: the main thread writes the archive summary.
+            let mut uniq = 0u64;
+            let mut digest = 0u64;
+            loop {
+                let v = q3.pop(ctx);
+                if v == PILL {
+                    break;
+                }
+                uniq += 1;
+                digest = digest.wrapping_add(mix64(v));
+                ctx.tick(8_000);
+            }
+            ctx.st_u64(counters + 8, uniq);
+            ctx.st_u64(counters + 16, digest);
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let uniq = rt.final_u64(counters + 8);
+            let digest = rt.final_u64(counters + 16);
+            Validation {
+                output_hash: digest,
+                matches_reference: uniq == euniq && digest == edigest,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ----------------------------------------------------------------- canneal
+
+/// Simulated-annealing element swaps: barrier per temperature step, with a
+/// large scattered write footprint (the paper's page-propagation stress and
+/// Figure 12 memory-churn case). Swap candidates are partitioned by
+/// residue class, so the result is exact while the page-level conflict rate
+/// stays high.
+pub struct Canneal;
+
+const CN_ITERS: usize = 5;
+const CN_SWAPS: usize = 192;
+
+impl Workload for Canneal {
+    fn name(&self) -> &'static str {
+        "canneal"
+    }
+
+    fn suite(&self) -> &'static str {
+        "parsec"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let e = 16 * 1024 * p.scale as usize;
+        let mut l = Layout::new();
+        l.cells(e);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let e = 16 * 1024 * p.scale as usize;
+        let mut l = Layout::new();
+        let elems = l.cells(e);
+        let threads = p.threads.max(1);
+        let bar = rt.create_barrier(threads);
+
+        let seed = p.seed;
+        let mut g = SplitMix64::derive(seed, 11);
+        let mut init = vec![0u64; e];
+        g.fill(&mut init);
+        rt.init_u64_slice(elems, &init);
+
+        let swaps = CN_SWAPS * p.scale as usize;
+        // Sequential reference replaying the same per-(iter, worker) swap
+        // streams; classes are disjoint so worker order is irrelevant.
+        let mut expect = init;
+        for it in 0..CN_ITERS {
+            for w in 0..threads {
+                let mut g = SplitMix64::derive(seed, 12 + (it * 64 + w) as u64);
+                let class = e / threads;
+                for _ in 0..swaps {
+                    let i = (g.below(class as u64) as usize) * threads + w;
+                    let j = (g.below(class as u64) as usize) * threads + w;
+                    expect.swap(i.min(e - 1), j.min(e - 1));
+                }
+            }
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    let class = e / threads;
+                    for it in 0..CN_ITERS {
+                        let mut g = SplitMix64::derive(seed, 12 + (it * 64 + w) as u64);
+                        for _ in 0..swaps {
+                            let i = ((g.below(class as u64) as usize) * threads + w).min(e - 1);
+                            let j = ((g.below(class as u64) as usize) * threads + w).min(e - 1);
+                            let a = c.ld_u64(elems + 8 * i);
+                            let b = c.ld_u64(elems + 8 * j);
+                            c.tick(1_600); // routing-cost evaluation
+                            c.st_u64(elems + 8 * i, b);
+                            c.st_u64(elems + 8 * j, a);
+                        }
+                        c.barrier_wait(bar);
+                    }
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let mut got = vec![0u64; e];
+            rt.final_u64_slice(elems, &mut got);
+            let mut h = dmt_api::Fnv1a::new();
+            for v in &got {
+                h.update_u64(*v);
+            }
+            Validation {
+                output_hash: h.digest(),
+                matches_reference: got == expect,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ------------------------------------------------------------ streamcluster
+
+/// Iterative clustering: assignment scan + cost reduction + barrier, with
+/// thread 0 recentering between iterations.
+pub struct Streamcluster;
+
+const SC_D: usize = 4;
+const SC_K: usize = 8;
+const SC_ITERS: usize = 4;
+
+impl Workload for Streamcluster {
+    fn name(&self) -> &'static str {
+        "streamcluster"
+    }
+
+    fn suite(&self) -> &'static str {
+        "parsec"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let n = 4096 * p.scale as usize;
+        let mut l = Layout::new();
+        l.cells(n * SC_D + n + SC_K * SC_D + 2);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let n = 4096 * p.scale as usize;
+        let mut l = Layout::new();
+        let pts = l.cells(n * SC_D);
+        let assign = l.cells(n);
+        let centers = l.cells(SC_K * SC_D);
+        let cost = l.cells_page_aligned(1);
+        let threads = p.threads.max(1);
+        let bar = rt.create_barrier(threads);
+        let cost_lock = rt.create_mutex();
+
+        let mut g = SplitMix64::derive(p.seed, 13);
+        let pv: Vec<f64> = (0..n * SC_D).map(|_| g.f64() * 50.0).collect();
+        rt.init_f64_slice(pts, &pv);
+        let cv: Vec<f64> = (0..SC_K * SC_D)
+            .map(|i| pv[(i / SC_D) * (n / SC_K) * SC_D + i % SC_D])
+            .collect();
+        rt.init_f64_slice(centers, &cv);
+
+        // Reference.
+        let mut ec = cv.clone();
+        let mut eassign = vec![0u64; n];
+        for _ in 0..SC_ITERS {
+            for i in 0..n {
+                let mut best = 0;
+                let mut bd = f64::INFINITY;
+                for k in 0..SC_K {
+                    let mut d2 = 0.0;
+                    for d in 0..SC_D {
+                        let diff = pv[i * SC_D + d] - ec[k * SC_D + d];
+                        d2 += diff * diff;
+                    }
+                    if d2 < bd {
+                        bd = d2;
+                        best = k;
+                    }
+                }
+                eassign[i] = best as u64;
+            }
+            let mut acc = vec![0.0f64; SC_K * SC_D];
+            let mut cnt = vec![0u64; SC_K];
+            for i in 0..n {
+                let k = eassign[i] as usize;
+                cnt[k] += 1;
+                for d in 0..SC_D {
+                    acc[k * SC_D + d] += pv[i * SC_D + d];
+                }
+            }
+            for k in 0..SC_K {
+                if cnt[k] > 0 {
+                    for d in 0..SC_D {
+                        ec[k * SC_D + d] = acc[k * SC_D + d] / cnt[k] as f64;
+                    }
+                }
+            }
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    let (s, e) = partition(n, threads, w);
+                    for _ in 0..SC_ITERS {
+                        let mut cent = vec![0.0f64; SC_K * SC_D];
+                        c.ld_f64_slice(centers, &mut cent);
+                        let mut local_cost = 0.0;
+                        for i in s..e {
+                            let mut pt = [0.0f64; SC_D];
+                            c.ld_f64_slice(pts + 8 * i * SC_D, &mut pt);
+                            let mut best = 0usize;
+                            let mut bd = f64::INFINITY;
+                            for k in 0..SC_K {
+                                let mut d2 = 0.0;
+                                for d in 0..SC_D {
+                                    let diff = pt[d] - cent[k * SC_D + d];
+                                    d2 += diff * diff;
+                                }
+                                if d2 < bd {
+                                    bd = d2;
+                                    best = k;
+                                }
+                            }
+                            c.tick((14 * SC_K * SC_D) as u64);
+                            c.st_u64(assign + 8 * i, best as u64);
+                            local_cost += bd;
+                        }
+                        c.mutex_lock(cost_lock);
+                        c.add_f64(cost, local_cost);
+                        c.mutex_unlock(cost_lock);
+                        c.barrier_wait(bar);
+                        if w == 0 {
+                            // Recenter.
+                            let mut acc = vec![0.0f64; SC_K * SC_D];
+                            let mut cnt = vec![0u64; SC_K];
+                            for i in 0..n {
+                                let k = c.ld_u64(assign + 8 * i) as usize;
+                                cnt[k] += 1;
+                                for d in 0..SC_D {
+                                    acc[k * SC_D + d] += c.ld_f64(pts + 8 * (i * SC_D + d));
+                                }
+                            }
+                            c.tick((8 * n) as u64);
+                            for k in 0..SC_K {
+                                if cnt[k] > 0 {
+                                    for d in 0..SC_D {
+                                        c.st_f64(
+                                            centers + 8 * (k * SC_D + d),
+                                            acc[k * SC_D + d] / cnt[k] as f64,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        c.barrier_wait(bar);
+                    }
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let mut got = vec![0u64; n];
+            rt.final_u64_slice(assign, &mut got);
+            Validation {
+                output_hash: hash_cells(rt, assign, n),
+                matches_reference: got == eassign,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+fn hash_cells(rt: &dyn Runtime, addr: usize, cells: usize) -> u64 {
+    let mut buf = vec![0u8; cells * 8];
+    rt.final_read(addr, &mut buf);
+    dmt_api::Fnv1a::hash(&buf)
+}
+
+// --------------------------------------------------------------- swaptions
+
+/// Monte-Carlo swaption pricing: embarrassingly parallel, compute bound.
+pub struct Swaptions;
+
+impl Workload for Swaptions {
+    fn name(&self) -> &'static str {
+        "swaptions"
+    }
+
+    fn suite(&self) -> &'static str {
+        "parsec"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let s = p.threads.max(1) * 2;
+        let mut l = Layout::new();
+        l.cells(s);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let threads = p.threads.max(1);
+        let swaptions = threads * 2;
+        let trials = 16384 * p.scale as usize;
+        let mut l = Layout::new();
+        let out = l.cells(swaptions);
+        let _ = rt; // no sync objects needed
+
+        let seed = p.seed;
+        let price = move |s: usize| -> f64 {
+            let mut g = SplitMix64::derive(seed, 14 + s as u64);
+            let mut acc = 0.0;
+            for _ in 0..trials {
+                let r = g.f64();
+                acc += (r * 1.07 - 0.035).max(0.0);
+            }
+            acc / trials as f64
+        };
+        let expect: Vec<f64> = (0..swaptions).map(price).collect();
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    let (s, e) = partition(swaptions, threads, w);
+                    for sw in s..e {
+                        let mut g = SplitMix64::derive(seed, 14 + sw as u64);
+                        let mut acc = 0.0;
+                        for _ in 0..trials {
+                            let r = g.f64();
+                            acc += (r * 1.07 - 0.035).max(0.0);
+                            c.tick(110);
+                        }
+                        c.st_f64(out + 8 * sw, acc / trials as f64);
+                    }
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let ok = (0..swaptions).all(|s| rt.final_f64(out + 8 * s) == expect[s]);
+            Validation {
+                output_hash: hash_cells(rt, out, swaptions),
+                matches_reference: ok,
+            }
+        });
+        Prepared { job, validate }
+    }
+}

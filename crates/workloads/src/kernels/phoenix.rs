@@ -1,0 +1,843 @@
+//! Phoenix map-reduce kernels.
+//!
+//! Phoenix programs are mostly embarrassingly parallel scans with a short
+//! reduction, which is why the paper calls several of them uninformative
+//! ("embarrassingly parallel to start with"); `kmeans`, `word_count` and
+//! `reverse_index` are the interesting ones — fork-join reuse and
+//! fine-grained locking.
+
+use dmt_api::{Fnv1a, MemExt, Runtime, RuntimeMemExt};
+
+use crate::kernels::fork_join;
+use crate::layout::{partition, Layout};
+use crate::rng::{mix64, SplitMix64};
+use crate::spec::{Params, Prepared, Validation, Workload};
+
+fn hash_region(rt: &dyn Runtime, addr: usize, cells: usize) -> u64 {
+    let mut buf = vec![0u8; cells * 8];
+    rt.final_read(addr, &mut buf);
+    Fnv1a::hash(&buf)
+}
+
+fn f64_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+// ---------------------------------------------------------------- histogram
+
+/// Byte-value histogram over a pseudo-random image (embarrassingly
+/// parallel; one merge lock).
+pub struct Histogram;
+
+impl Workload for Histogram {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn suite(&self) -> &'static str {
+        "phoenix"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let words = 256 * 1024 * p.scale as usize;
+        let mut l = Layout::new();
+        l.cells(words);
+        l.cells_page_aligned(256);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let words = 256 * 1024 * p.scale as usize;
+        let mut l = Layout::new();
+        let input = l.cells(words);
+        let out = l.cells_page_aligned(256);
+        let lock = rt.create_mutex();
+        let threads = p.threads.max(1);
+
+        let mut g = SplitMix64::derive(p.seed, 1);
+        let mut data = vec![0u64; words];
+        g.fill(&mut data);
+        rt.init_u64_slice(input, &data);
+
+        // Sequential reference.
+        let mut expect = [0u64; 256];
+        for w in &data {
+            for b in w.to_le_bytes() {
+                expect[b as usize] += 1;
+            }
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    let (s, e) = partition(words, threads, w);
+                    let mut local = [0u64; 256];
+                    for i in s..e {
+                        let v = c.ld_u64(input + 8 * i);
+                        for b in v.to_le_bytes() {
+                            local[b as usize] += 1;
+                        }
+                        c.tick(60);
+                    }
+                    c.mutex_lock(lock);
+                    for (k, &n) in local.iter().enumerate() {
+                        if n > 0 {
+                            c.fetch_add_u64(out + 8 * k, n);
+                        }
+                    }
+                    c.mutex_unlock(lock);
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let mut got = vec![0u64; 256];
+            rt.final_u64_slice(out, &mut got);
+            Validation {
+                output_hash: hash_region(rt, out, 256),
+                matches_reference: got == expect,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ------------------------------------------------------- linear_regression
+
+/// Least-squares partial-sum reduction (embarrassingly parallel, very
+/// short runtime — the paper's noisiest benchmark).
+pub struct LinearRegression;
+
+impl Workload for LinearRegression {
+    fn name(&self) -> &'static str {
+        "linear_regression"
+    }
+
+    fn suite(&self) -> &'static str {
+        "phoenix"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let n = 128 * 1024 * p.scale as usize;
+        let mut l = Layout::new();
+        l.cells(2 * n);
+        l.cells_page_aligned(8);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let n = 128 * 1024 * p.scale as usize;
+        let mut l = Layout::new();
+        let pts = l.cells(2 * n);
+        let out = l.cells_page_aligned(8); // sx, sy, sxx, syy, sxy
+        let lock = rt.create_mutex();
+        let threads = p.threads.max(1);
+
+        let mut g = SplitMix64::derive(p.seed, 2);
+        let mut sums = [0.0f64; 5];
+        for i in 0..n {
+            let x = g.f64() * 100.0;
+            let y = 3.0 * x + 7.0 + g.f64();
+            rt.init_f64(pts + 16 * i, x);
+            rt.init_f64(pts + 16 * i + 8, y);
+            sums[0] += x;
+            sums[1] += y;
+            sums[2] += x * x;
+            sums[3] += y * y;
+            sums[4] += x * y;
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    let (s, e) = partition(n, threads, w);
+                    let mut acc = [0.0f64; 5];
+                    for i in s..e {
+                        let x = c.ld_f64(pts + 16 * i);
+                        let y = c.ld_f64(pts + 16 * i + 8);
+                        acc[0] += x;
+                        acc[1] += y;
+                        acc[2] += x * x;
+                        acc[3] += y * y;
+                        acc[4] += x * y;
+                        c.tick(70);
+                    }
+                    c.mutex_lock(lock);
+                    for (k, v) in acc.iter().enumerate() {
+                        c.add_f64(out + 8 * k, *v);
+                    }
+                    c.mutex_unlock(lock);
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            // Summation order differs per thread count, so compare with a
+            // floating-point tolerance.
+            let ok = (0..5).all(|k| f64_close(rt.final_f64(out + 8 * k), sums[k]));
+            Validation {
+                output_hash: hash_region(rt, out, 5),
+                matches_reference: ok,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ------------------------------------------------------------ string_match
+
+/// Scan of fixed-width keys against a small set of target keys.
+pub struct StringMatch;
+
+impl Workload for StringMatch {
+    fn name(&self) -> &'static str {
+        "string_match"
+    }
+
+    fn suite(&self) -> &'static str {
+        "phoenix"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let n = 96 * 1024 * p.scale as usize;
+        let mut l = Layout::new();
+        l.cells(2 * n + 8);
+        l.cells_page_aligned(4);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let n = 96 * 1024 * p.scale as usize;
+        let mut l = Layout::new();
+        let keys = l.cells(2 * n);
+        let targets = l.cells(8);
+        let out = l.cells_page_aligned(4);
+        let lock = rt.create_mutex();
+        let threads = p.threads.max(1);
+
+        let mut g = SplitMix64::derive(p.seed, 3);
+        let mut data = vec![0u64; 2 * n];
+        // Low-entropy keys so targets actually match.
+        for d in data.iter_mut() {
+            *d = g.below(64);
+        }
+        rt.init_u64_slice(keys, &data);
+        let mut tg = [0u64; 8];
+        for t in 0..4 {
+            let pick = g.below(n as u64) as usize;
+            tg[2 * t] = data[2 * pick];
+            tg[2 * t + 1] = data[2 * pick + 1];
+        }
+        rt.init_u64_slice(targets, &tg);
+
+        let mut expect = [0u64; 4];
+        for i in 0..n {
+            for t in 0..4 {
+                if data[2 * i] == tg[2 * t] && data[2 * i + 1] == tg[2 * t + 1] {
+                    expect[t] += 1;
+                }
+            }
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    let (s, e) = partition(n, threads, w);
+                    let mut tg = [0u64; 8];
+                    c.ld_u64_slice(targets, &mut tg);
+                    let mut local = [0u64; 4];
+                    for i in s..e {
+                        let a = c.ld_u64(keys + 16 * i);
+                        let b = c.ld_u64(keys + 16 * i + 8);
+                        for t in 0..4 {
+                            if a == tg[2 * t] && b == tg[2 * t + 1] {
+                                local[t] += 1;
+                            }
+                        }
+                        c.tick(90);
+                    }
+                    c.mutex_lock(lock);
+                    for (t, &v) in local.iter().enumerate() {
+                        if v > 0 {
+                            c.fetch_add_u64(out + 8 * t, v);
+                        }
+                    }
+                    c.mutex_unlock(lock);
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let mut got = [0u64; 4];
+            rt.final_u64_slice(out, &mut got);
+            Validation {
+                output_hash: hash_region(rt, out, 4),
+                matches_reference: got == expect,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// -------------------------------------------------------- matrix_multiply
+
+/// Dense `C = A × B` with row-partitioned output (embarrassingly parallel,
+/// no locks at all).
+pub struct MatrixMultiply;
+
+fn mm_dim(p: &Params) -> usize {
+    96 + 16 * (p.scale as usize - 1).min(8)
+}
+
+impl Workload for MatrixMultiply {
+    fn name(&self) -> &'static str {
+        "matrix_multiply"
+    }
+
+    fn suite(&self) -> &'static str {
+        "phoenix"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let n = mm_dim(p);
+        let mut l = Layout::new();
+        l.cells(3 * n * n);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let n = mm_dim(p);
+        let mut l = Layout::new();
+        let a = l.cells(n * n);
+        let b = l.cells(n * n);
+        let cmat = l.cells(n * n);
+        let threads = p.threads.max(1);
+
+        let mut g = SplitMix64::derive(p.seed, 4);
+        let av: Vec<f64> = (0..n * n).map(|_| g.f64() - 0.5).collect();
+        let bv: Vec<f64> = (0..n * n).map(|_| g.f64() - 0.5).collect();
+        rt.init_f64_slice(a, &av);
+        rt.init_f64_slice(b, &bv);
+
+        // Sequential reference (same loop order = identical floats).
+        let mut expect = vec![0.0f64; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let x = av[i * n + k];
+                for j in 0..n {
+                    expect[i * n + j] += x * bv[k * n + j];
+                }
+            }
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    let (s, e) = partition(n, threads, w);
+                    let mut row = vec![0.0f64; n];
+                    for i in s..e {
+                        row.iter_mut().for_each(|r| *r = 0.0);
+                        for k in 0..n {
+                            let x = c.ld_f64(a + 8 * (i * n + k));
+                            for (j, r) in row.iter_mut().enumerate() {
+                                *r += x * c.ld_f64(b + 8 * (k * n + j));
+                            }
+                            c.tick(10 * n as u64);
+                        }
+                        c.st_f64_slice(cmat + 8 * i * n, &row);
+                    }
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let mut got = vec![0u64; n * n];
+            rt.final_u64_slice(cmat, &mut got);
+            let ok = got
+                .iter()
+                .zip(&expect)
+                .all(|(g, e)| f64::from_bits(*g) == *e);
+            Validation {
+                output_hash: hash_region(rt, cmat, n * n),
+                matches_reference: ok,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ------------------------------------------------------------------- pca
+
+/// Column means then covariance, in two barrier-separated phases.
+pub struct Pca;
+
+impl Workload for Pca {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    fn suite(&self) -> &'static str {
+        "phoenix"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let (r, c) = (256 * p.scale as usize, 48);
+        let mut l = Layout::new();
+        l.cells(r * c + c + c * c);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let (rows, cols) = (256 * p.scale as usize, 48usize);
+        let mut l = Layout::new();
+        let m = l.cells(rows * cols);
+        let means = l.cells(cols);
+        let cov = l.cells(cols * cols);
+        let threads = p.threads.max(1);
+        let bar = rt.create_barrier(threads);
+
+        let mut g = SplitMix64::derive(p.seed, 5);
+        let mv: Vec<f64> = (0..rows * cols).map(|_| g.f64() * 10.0).collect();
+        rt.init_f64_slice(m, &mv);
+
+        // Reference.
+        let mut emeans = vec![0.0f64; cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                emeans[c] += mv[r * cols + c];
+            }
+        }
+        for e in emeans.iter_mut() {
+            *e /= rows as f64;
+        }
+        let mut ecov = vec![0.0f64; cols * cols];
+        for a in 0..cols {
+            for b in a..cols {
+                let mut s = 0.0;
+                for r in 0..rows {
+                    s += (mv[r * cols + a] - emeans[a]) * (mv[r * cols + b] - emeans[b]);
+                }
+                ecov[a * cols + b] = s / (rows - 1) as f64;
+            }
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    // Phase 1: column means (columns partitioned).
+                    let (s, e) = partition(cols, threads, w);
+                    for col in s..e {
+                        let mut acc = 0.0;
+                        for r in 0..rows {
+                            acc += c.ld_f64(m + 8 * (r * cols + col));
+                        }
+                        c.tick(12 * rows as u64);
+                        c.st_f64(means + 8 * col, acc / rows as f64);
+                    }
+                    c.barrier_wait(bar);
+                    // Phase 2: covariance rows (a partitioned).
+                    for a in s..e {
+                        let ma = c.ld_f64(means + 8 * a);
+                        for b in a..cols {
+                            let mb = c.ld_f64(means + 8 * b);
+                            let mut acc = 0.0;
+                            for r in 0..rows {
+                                acc += (c.ld_f64(m + 8 * (r * cols + a)) - ma)
+                                    * (c.ld_f64(m + 8 * (r * cols + b)) - mb);
+                            }
+                            c.tick(16 * rows as u64);
+                            c.st_f64(cov + 8 * (a * cols + b), acc / (rows - 1) as f64);
+                        }
+                    }
+                    c.barrier_wait(bar);
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let ok = (0..cols).all(|a| {
+                (a..cols)
+                    .all(|b| f64_close(rt.final_f64(cov + 8 * (a * cols + b)), ecov[a * cols + b]))
+            });
+            Validation {
+                output_hash: hash_region(rt, cov, cols * cols),
+                matches_reference: ok,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ---------------------------------------------------------------- kmeans
+
+/// Lloyd iterations with fork-join workers per iteration (exercising §3.3
+/// thread-pool reuse) and one lock per cluster.
+pub struct Kmeans;
+
+const KM_K: usize = 8;
+const KM_D: usize = 4;
+const KM_ITERS: usize = 6;
+
+impl Workload for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn suite(&self) -> &'static str {
+        "phoenix"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let n = 4096 * p.scale as usize;
+        let mut l = Layout::new();
+        l.cells(n * KM_D + KM_K * KM_D + KM_K * (KM_D + 1));
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let n = 4096 * p.scale as usize;
+        let mut l = Layout::new();
+        let pts = l.cells(n * KM_D);
+        let centroids = l.cells(KM_K * KM_D);
+        let sums = l.cells_page_aligned(KM_K * (KM_D + 1)); // per cluster: d sums + count
+        let threads = p.threads.max(1);
+        let locks: Vec<_> = (0..KM_K).map(|_| rt.create_mutex()).collect();
+
+        let mut g = SplitMix64::derive(p.seed, 6);
+        let pv: Vec<f64> = (0..n * KM_D).map(|_| g.f64() * 100.0).collect();
+        rt.init_f64_slice(pts, &pv);
+        let init_c: Vec<f64> = (0..KM_K * KM_D)
+            .map(|i| pv[(i / KM_D) * (n / KM_K) * KM_D + i % KM_D])
+            .collect();
+        rt.init_f64_slice(centroids, &init_c);
+
+        // Sequential reference of the exact same iteration scheme.
+        let mut ec = init_c.clone();
+        for _ in 0..KM_ITERS {
+            let mut acc = vec![0.0f64; KM_K * KM_D];
+            let mut cnt = vec![0u64; KM_K];
+            for i in 0..n {
+                let mut best = 0;
+                let mut bd = f64::INFINITY;
+                for k in 0..KM_K {
+                    let mut d2 = 0.0;
+                    for d in 0..KM_D {
+                        let diff = pv[i * KM_D + d] - ec[k * KM_D + d];
+                        d2 += diff * diff;
+                    }
+                    if d2 < bd {
+                        bd = d2;
+                        best = k;
+                    }
+                }
+                for d in 0..KM_D {
+                    acc[best * KM_D + d] += pv[i * KM_D + d];
+                }
+                cnt[best] += 1;
+            }
+            for k in 0..KM_K {
+                if cnt[k] > 0 {
+                    for d in 0..KM_D {
+                        ec[k * KM_D + d] = acc[k * KM_D + d] / cnt[k] as f64;
+                    }
+                }
+            }
+        }
+
+        let locks2 = locks.clone();
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            for _ in 0..KM_ITERS {
+                // Reset accumulators.
+                for k in 0..KM_K * (KM_D + 1) {
+                    ctx.st_u64(sums + 8 * k, 0);
+                }
+                let locks3 = locks2.clone();
+                fork_join(ctx, threads, move |w| {
+                    let locks = locks3.clone();
+                    Box::new(move |c| {
+                        let (s, e) = partition(n, threads, w);
+                        let mut cent = vec![0.0f64; KM_K * KM_D];
+                        c.ld_f64_slice(centroids, &mut cent);
+                        let mut acc = vec![0.0f64; KM_K * KM_D];
+                        let mut cnt = vec![0u64; KM_K];
+                        for i in s..e {
+                            let mut pt = [0.0f64; KM_D];
+                            c.ld_f64_slice(pts + 8 * i * KM_D, &mut pt);
+                            let mut best = 0;
+                            let mut bd = f64::INFINITY;
+                            for k in 0..KM_K {
+                                let mut d2 = 0.0;
+                                for d in 0..KM_D {
+                                    let diff = pt[d] - cent[k * KM_D + d];
+                                    d2 += diff * diff;
+                                }
+                                if d2 < bd {
+                                    bd = d2;
+                                    best = k;
+                                }
+                            }
+                            c.tick((16 * KM_K * KM_D) as u64);
+                            for d in 0..KM_D {
+                                acc[best * KM_D + d] += pt[d];
+                            }
+                            cnt[best] += 1;
+                        }
+                        for k in 0..KM_K {
+                            if cnt[k] == 0 {
+                                continue;
+                            }
+                            c.mutex_lock(locks[k]);
+                            let base = sums + 8 * k * (KM_D + 1);
+                            for d in 0..KM_D {
+                                c.add_f64(base + 8 * d, acc[k * KM_D + d]);
+                            }
+                            c.fetch_add_u64(base + 8 * KM_D, cnt[k]);
+                            c.mutex_unlock(locks[k]);
+                        }
+                    })
+                });
+                // Recompute centroids on the main thread.
+                for k in 0..KM_K {
+                    let base = sums + 8 * k * (KM_D + 1);
+                    let cnt = ctx.ld_u64(base + 8 * KM_D);
+                    if cnt > 0 {
+                        for d in 0..KM_D {
+                            let s = ctx.ld_f64(base + 8 * d);
+                            ctx.st_f64(centroids + 8 * (k * KM_D + d), s / cnt as f64);
+                        }
+                    }
+                }
+            }
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let ok = (0..KM_K * KM_D).all(|i| f64_close(rt.final_f64(centroids + 8 * i), ec[i]));
+            Validation {
+                output_hash: hash_region(rt, centroids, KM_K * KM_D),
+                matches_reference: ok,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// -------------------------------------------------------------- word_count
+
+/// Word-frequency counting into a bucketized shared hash table with one
+/// lock per bucket.
+pub struct WordCount;
+
+const WC_BUCKETS: usize = 32;
+const WC_SLOTS: usize = 160; // (key, count) pairs per bucket
+
+impl Workload for WordCount {
+    fn name(&self) -> &'static str {
+        "word_count"
+    }
+
+    fn suite(&self) -> &'static str {
+        "phoenix"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let n = 16 * 1024 * p.scale as usize;
+        let mut l = Layout::new();
+        l.cells(n);
+        l.cells_page_aligned(WC_BUCKETS * WC_SLOTS * 2);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let n = 16 * 1024 * p.scale as usize;
+        let vocab = 2048u64;
+        let mut l = Layout::new();
+        let input = l.cells(n);
+        let table = l.cells_page_aligned(WC_BUCKETS * WC_SLOTS * 2);
+        let threads = p.threads.max(1);
+        let locks: Vec<_> = (0..WC_BUCKETS).map(|_| rt.create_mutex()).collect();
+
+        let mut g = SplitMix64::derive(p.seed, 7);
+        // Zipf-ish skew: square a uniform draw.
+        let words: Vec<u64> = (0..n)
+            .map(|_| {
+                let u = g.f64();
+                ((u * u * vocab as f64) as u64).min(vocab - 1) + 1
+            })
+            .collect();
+        rt.init_u64_slice(input, &words);
+
+        let mut expect = std::collections::HashMap::<u64, u64>::new();
+        for w in &words {
+            *expect.entry(*w).or_default() += 1;
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            let locks2 = locks.clone();
+            fork_join(ctx, threads, move |w| {
+                let locks = locks2.clone();
+                Box::new(move |c| {
+                    let (s, e) = partition(n, threads, w);
+                    // BTreeMap: iteration order must be deterministic, or
+                    // the shared table's slot layout would vary run-to-run.
+                    let mut local = std::collections::BTreeMap::<u64, u64>::new();
+                    for i in s..e {
+                        let word = c.ld_u64(input + 8 * i);
+                        *local.entry(word).or_default() += 1;
+                        c.tick(350);
+                    }
+                    // Merge per bucket under that bucket's lock.
+                    let mut by_bucket: Vec<Vec<(u64, u64)>> = vec![Vec::new(); WC_BUCKETS];
+                    for (k, v) in local {
+                        by_bucket[(mix64(k) as usize) % WC_BUCKETS].push((k, v));
+                    }
+                    for (b, items) in by_bucket.into_iter().enumerate() {
+                        if items.is_empty() {
+                            continue;
+                        }
+                        let base = table + 8 * (b * WC_SLOTS * 2);
+                        c.mutex_lock(locks[b]);
+                        for (k, v) in items {
+                            // Linear probe within the bucket region.
+                            let mut slot = 0;
+                            loop {
+                                assert!(slot < WC_SLOTS, "word_count bucket overflow");
+                                let key = c.ld_u64(base + 16 * slot);
+                                if key == k {
+                                    c.fetch_add_u64(base + 16 * slot + 8, v);
+                                    break;
+                                }
+                                if key == 0 {
+                                    c.st_u64(base + 16 * slot, k);
+                                    c.st_u64(base + 16 * slot + 8, v);
+                                    break;
+                                }
+                                slot += 1;
+                            }
+                            c.tick(60);
+                        }
+                        c.mutex_unlock(locks[b]);
+                    }
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            // Slot placement depends on merge order, so check and hash the
+            // table order-independently.
+            let mut got = std::collections::HashMap::<u64, u64>::new();
+            let mut digest = 0u64;
+            let mut cells = vec![0u64; WC_BUCKETS * WC_SLOTS * 2];
+            rt.final_u64_slice(table, &mut cells);
+            for slot in cells.chunks(2) {
+                if slot[0] != 0 {
+                    *got.entry(slot[0]).or_default() += slot[1];
+                    digest = digest.wrapping_add(mix64(slot[0] ^ slot[1].rotate_left(32)));
+                }
+            }
+            Validation {
+                output_hash: digest,
+                matches_reference: got == expect,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ----------------------------------------------------------- reverse_index
+
+/// Link → document postings built under per-bucket locks: very many, very
+/// short critical sections (the locking stress test of Figure 10/14).
+pub struct ReverseIndex;
+
+const RI_BUCKETS: usize = 64;
+const RI_LINKS_PER_DOC: usize = 8;
+
+impl Workload for ReverseIndex {
+    fn name(&self) -> &'static str {
+        "reverse_index"
+    }
+
+    fn suite(&self) -> &'static str {
+        "phoenix"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let docs = 1024 * p.scale as usize;
+        let cap = docs * RI_LINKS_PER_DOC * 2 / RI_BUCKETS;
+        let mut l = Layout::new();
+        l.cells(docs * RI_LINKS_PER_DOC);
+        l.cells_page_aligned(RI_BUCKETS * (1 + cap));
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let docs = 1024 * p.scale as usize;
+        let linkspace = 2048u64;
+        let cap = docs * RI_LINKS_PER_DOC * 2 / RI_BUCKETS;
+        let mut l = Layout::new();
+        let input = l.cells(docs * RI_LINKS_PER_DOC);
+        let index = l.cells_page_aligned(RI_BUCKETS * (1 + cap));
+        let threads = p.threads.max(1);
+        let locks: Vec<_> = (0..RI_BUCKETS).map(|_| rt.create_mutex()).collect();
+
+        let mut g = SplitMix64::derive(p.seed, 8);
+        let links: Vec<u64> = (0..docs * RI_LINKS_PER_DOC)
+            .map(|_| g.below(linkspace))
+            .collect();
+        rt.init_u64_slice(input, &links);
+
+        // Order-independent reference: per-bucket counts + posting digest.
+        let mut ecount = vec![0u64; RI_BUCKETS];
+        let mut edigest = 0u64;
+        for (i, &link) in links.iter().enumerate() {
+            let doc = (i / RI_LINKS_PER_DOC) as u64;
+            ecount[(link as usize) % RI_BUCKETS] += 1;
+            edigest = edigest.wrapping_add(mix64(link << 32 | doc));
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            let locks2 = locks.clone();
+            fork_join(ctx, threads, move |w| {
+                let locks = locks2.clone();
+                Box::new(move |c| {
+                    let (s, e) = partition(docs, threads, w);
+                    for doc in s..e {
+                        for k in 0..RI_LINKS_PER_DOC {
+                            let link = c.ld_u64(input + 8 * (doc * RI_LINKS_PER_DOC + k));
+                            let b = (link as usize) % RI_BUCKETS;
+                            let base = index + 8 * (b * (1 + cap));
+                            c.tick(4_000);
+                            c.mutex_lock(locks[b]);
+                            let cnt = c.ld_u64(base);
+                            assert!((cnt as usize) < cap, "reverse_index bucket overflow");
+                            c.st_u64(base + 8 * (1 + cnt as usize), link << 32 | doc as u64);
+                            c.st_u64(base, cnt + 1);
+                            c.mutex_unlock(locks[b]);
+                        }
+                    }
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let mut digest = 0u64;
+            let mut ok = true;
+            for b in 0..RI_BUCKETS {
+                let base = index + 8 * (b * (1 + cap));
+                let cnt = rt.final_u64(base);
+                ok &= cnt == ecount[b];
+                let mut entries = vec![0u64; cnt as usize];
+                rt.final_u64_slice(base + 8, &mut entries);
+                for e in entries {
+                    digest = digest.wrapping_add(mix64(e));
+                }
+            }
+            ok &= digest == edigest;
+            Validation {
+                output_hash: digest,
+                matches_reference: ok,
+            }
+        });
+        Prepared { job, validate }
+    }
+}

@@ -1,0 +1,632 @@
+//! SPLASH-2 kernels: barrier-per-step scientific codes.
+//!
+//! `ocean_cp`, `lu_cb`, `lu_ncb` and `radix` are the paper's barrier-heavy
+//! programs (where the §4.2 parallel barrier commit matters most);
+//! `water_nsquared` adds per-molecule locks with very short critical
+//! sections (the §6 scalability pathology); `lu_cb` vs `lu_ncb` contrast
+//! contiguous against non-contiguous write placement — the latter's
+//! interleaved rows conflict at page granularity on every step.
+
+use dmt_api::{Fnv1a, MemExt, Runtime, RuntimeMemExt};
+
+use crate::kernels::fork_join;
+use crate::layout::{partition, Layout};
+use crate::rng::SplitMix64;
+use crate::spec::{Params, Prepared, Validation, Workload};
+
+fn hash_cells(rt: &dyn Runtime, addr: usize, cells: usize) -> u64 {
+    let mut buf = vec![0u8; cells * 8];
+    rt.final_read(addr, &mut buf);
+    Fnv1a::hash(&buf)
+}
+
+// ---------------------------------------------------------------- ocean_cp
+
+/// Jacobi relaxation on a square grid with row-band partitioning and one
+/// barrier per sweep; band edges share pages, so every sweep merges.
+pub struct OceanCp;
+
+const OC_ITERS: usize = 8;
+
+fn oc_dim(p: &Params) -> usize {
+    64 * (p.scale as usize).min(4)
+}
+
+impl Workload for OceanCp {
+    fn name(&self) -> &'static str {
+        "ocean_cp"
+    }
+
+    fn suite(&self) -> &'static str {
+        "splash2"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let n = oc_dim(p);
+        let mut l = Layout::new();
+        l.cells(2 * n * n);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let n = oc_dim(p);
+        let mut l = Layout::new();
+        let ga = l.cells(n * n);
+        let gb = l.cells(n * n);
+        let threads = p.threads.max(1);
+        let bar = rt.create_barrier(threads);
+
+        let mut g = SplitMix64::derive(p.seed, 15);
+        let init: Vec<f64> = (0..n * n).map(|_| g.f64() * 4.0).collect();
+        rt.init_f64_slice(ga, &init);
+        rt.init_f64_slice(gb, &init);
+
+        // Sequential reference.
+        let mut cur = init.clone();
+        let mut nxt = init;
+        for _ in 0..OC_ITERS {
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    nxt[i * n + j] = 0.25
+                        * (cur[(i - 1) * n + j]
+                            + cur[(i + 1) * n + j]
+                            + cur[i * n + j - 1]
+                            + cur[i * n + j + 1]);
+                }
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        let expect = cur;
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    let (s, e) = partition(n - 2, threads, w);
+                    for it in 0..OC_ITERS {
+                        let (src, dst) = if it % 2 == 0 { (ga, gb) } else { (gb, ga) };
+                        for i in s + 1..e + 1 {
+                            for j in 1..n - 1 {
+                                let v = 0.25
+                                    * (c.ld_f64(src + 8 * ((i - 1) * n + j))
+                                        + c.ld_f64(src + 8 * ((i + 1) * n + j))
+                                        + c.ld_f64(src + 8 * (i * n + j - 1))
+                                        + c.ld_f64(src + 8 * (i * n + j + 1)));
+                                c.st_f64(dst + 8 * (i * n + j), v);
+                            }
+                            c.tick(70 * (n - 2) as u64);
+                        }
+                        c.barrier_wait(bar);
+                    }
+                })
+            });
+        });
+
+        let final_grid = if OC_ITERS % 2 == 0 { ga } else { gb };
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let mut got = vec![0u64; n * n];
+            rt.final_u64_slice(final_grid, &mut got);
+            let ok = got
+                .iter()
+                .zip(&expect)
+                .all(|(g, e)| f64::from_bits(*g) == *e);
+            Validation {
+                output_hash: hash_cells(rt, final_grid, n * n),
+                matches_reference: ok,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ------------------------------------------------------------- lu_cb / ncb
+
+/// Gaussian elimination with a barrier per pivot step. `contiguous` selects
+/// the row-to-worker mapping: contiguous bands (each worker's writes stay
+/// in its own pages, the paper's `lu_cb`) or interleaved rows (every page
+/// is shared by all workers — `lu_ncb`'s page-conflict storm).
+fn lu_prepare(rt: &mut dyn Runtime, p: &Params, contiguous: bool) -> Prepared {
+    let n = 128 + 32 * (p.scale as usize - 1).min(4);
+    let mut l = Layout::new();
+    let a = l.cells(n * n);
+    let threads = p.threads.max(1);
+    let bar = rt.create_barrier(threads);
+
+    let mut g = SplitMix64::derive(p.seed, 16);
+    let mut init: Vec<f64> = (0..n * n).map(|_| g.f64() + 0.1).collect();
+    // Diagonal dominance keeps the elimination stable without pivoting.
+    for i in 0..n {
+        init[i * n + i] += n as f64;
+    }
+    rt.init_f64_slice(a, &init);
+
+    // Sequential reference (identical operation order per row).
+    let mut expect = init;
+    for k in 0..n - 1 {
+        for i in k + 1..n {
+            let f = expect[i * n + k] / expect[k * n + k];
+            expect[i * n + k] = f;
+            for j in k + 1..n {
+                expect[i * n + j] -= f * expect[k * n + j];
+            }
+        }
+    }
+
+    let job: dmt_api::Job = Box::new(move |ctx| {
+        fork_join(ctx, threads, |w| {
+            Box::new(move |c| {
+                let mine = move |i: usize| {
+                    if contiguous {
+                        let (s, e) = partition(n, threads, w);
+                        i >= s && i < e
+                    } else {
+                        i % threads == w
+                    }
+                };
+                let mut pivot = vec![0.0f64; n];
+                for k in 0..n - 1 {
+                    c.ld_f64_slice(a + 8 * (k * n + k), &mut pivot[k..n]);
+                    let pkk = pivot[k];
+                    for i in k + 1..n {
+                        if !mine(i) {
+                            continue;
+                        }
+                        let f = c.ld_f64(a + 8 * (i * n + k)) / pkk;
+                        c.st_f64(a + 8 * (i * n + k), f);
+                        for j in k + 1..n {
+                            let v = c.ld_f64(a + 8 * (i * n + j)) - f * pivot[j];
+                            c.st_f64(a + 8 * (i * n + j), v);
+                        }
+                        c.tick(40 * (n - k) as u64);
+                    }
+                    c.barrier_wait(bar);
+                }
+            })
+        });
+    });
+
+    let validate = Box::new(move |rt: &dyn Runtime| {
+        let mut got = vec![0u64; n * n];
+        rt.final_u64_slice(a, &mut got);
+        let ok = got
+            .iter()
+            .zip(&expect)
+            .all(|(g, e)| f64::from_bits(*g) == *e);
+        Validation {
+            output_hash: hash_cells(rt, a, n * n),
+            matches_reference: ok,
+        }
+    });
+    Prepared { job, validate }
+}
+
+fn lu_pages(p: &Params) -> usize {
+    let n = 128 + 32 * (p.scale as usize - 1).min(4);
+    let mut l = Layout::new();
+    l.cells(n * n);
+    l.pages()
+}
+
+/// LU with contiguous block allocation.
+pub struct LuCb;
+
+impl Workload for LuCb {
+    fn name(&self) -> &'static str {
+        "lu_cb"
+    }
+
+    fn suite(&self) -> &'static str {
+        "splash2"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        lu_pages(p)
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        lu_prepare(rt, p, true)
+    }
+}
+
+/// LU with non-contiguous (interleaved) row allocation.
+pub struct LuNcb;
+
+impl Workload for LuNcb {
+    fn name(&self) -> &'static str {
+        "lu_ncb"
+    }
+
+    fn suite(&self) -> &'static str {
+        "splash2"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        lu_pages(p)
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        lu_prepare(rt, p, false)
+    }
+}
+
+// ----------------------------------------------------------water_nsquared
+
+/// All-pairs molecular dynamics: per-molecule force locks (very short
+/// critical sections at high rate) plus barriers per timestep — the
+/// workload where the paper observes coarsening's token-hogging limit.
+pub struct WaterNsquared;
+
+const WN_STEPS: usize = 3;
+
+fn wn_molecules(p: &Params) -> usize {
+    96 * (p.scale as usize).min(3)
+}
+
+impl Workload for WaterNsquared {
+    fn name(&self) -> &'static str {
+        "water_nsquared"
+    }
+
+    fn suite(&self) -> &'static str {
+        "splash2"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let m = wn_molecules(p);
+        let mut l = Layout::new();
+        l.cells(4 * m);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let m = wn_molecules(p);
+        let mut l = Layout::new();
+        let pos = l.cells(2 * m); // x, y per molecule
+        let frc = l.cells(2 * m);
+        let threads = p.threads.max(1);
+        let bar = rt.create_barrier(threads);
+        let locks: Vec<_> = (0..m).map(|_| rt.create_mutex()).collect();
+
+        let mut g = SplitMix64::derive(p.seed, 17);
+        let init: Vec<f64> = (0..2 * m).map(|_| g.f64() * 10.0).collect();
+        rt.init_f64_slice(pos, &init);
+
+        // Reference with tolerant comparison: force accumulation order into
+        // a molecule differs across schedules, so sums differ in the last
+        // ulps (exactly as in the original program).
+        let mut epos = init;
+        for _ in 0..WN_STEPS {
+            let mut ef = vec![0.0f64; 2 * m];
+            for i in 0..m {
+                for j in i + 1..m {
+                    let dx = epos[2 * i] - epos[2 * j];
+                    let dy = epos[2 * i + 1] - epos[2 * j + 1];
+                    let r2 = dx * dx + dy * dy + 0.01;
+                    let f = 1.0 / (r2 * r2);
+                    ef[2 * i] += f * dx;
+                    ef[2 * i + 1] += f * dy;
+                    ef[2 * j] -= f * dx;
+                    ef[2 * j + 1] -= f * dy;
+                }
+            }
+            for k in 0..2 * m {
+                epos[k] += 1e-4 * ef[k];
+            }
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            let locks2 = locks.clone();
+            fork_join(ctx, threads, move |w| {
+                let locks = locks2.clone();
+                Box::new(move |c| {
+                    let (s, e) = partition(m, threads, w);
+                    for _ in 0..WN_STEPS {
+                        // Zero my molecules' force slots.
+                        for i in s..e {
+                            c.st_f64(frc + 16 * i, 0.0);
+                            c.st_f64(frc + 16 * i + 8, 0.0);
+                        }
+                        c.barrier_wait(bar);
+                        // All pairs (i, j) for my i; j's slot via its lock.
+                        for i in s..e {
+                            let xi = c.ld_f64(pos + 16 * i);
+                            let yi = c.ld_f64(pos + 16 * i + 8);
+                            let mut fx = 0.0;
+                            let mut fy = 0.0;
+                            for j in i + 1..m {
+                                let dx = xi - c.ld_f64(pos + 16 * j);
+                                let dy = yi - c.ld_f64(pos + 16 * j + 8);
+                                let r2 = dx * dx + dy * dy + 0.01;
+                                let f = 1.0 / (r2 * r2);
+                                fx += f * dx;
+                                fy += f * dy;
+                                c.tick(500);
+                                c.mutex_lock(locks[j]);
+                                c.add_f64(frc + 16 * j, -f * dx);
+                                c.add_f64(frc + 16 * j + 8, -f * dy);
+                                c.mutex_unlock(locks[j]);
+                            }
+                            c.mutex_lock(locks[i]);
+                            c.add_f64(frc + 16 * i, fx);
+                            c.add_f64(frc + 16 * i + 8, fy);
+                            c.mutex_unlock(locks[i]);
+                        }
+                        c.barrier_wait(bar);
+                        // Integrate my molecules.
+                        for i in s..e {
+                            for d in 0..2 {
+                                let x = c.ld_f64(pos + 16 * i + 8 * d);
+                                let f = c.ld_f64(frc + 16 * i + 8 * d);
+                                c.st_f64(pos + 16 * i + 8 * d, x + 1e-4 * f);
+                            }
+                        }
+                        c.barrier_wait(bar);
+                    }
+                })
+            });
+        });
+
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let ok = (0..2 * m).all(|k| {
+                let got = rt.final_f64(pos + 8 * k);
+                (got - epos[k]).abs() <= 1e-6 * (1.0 + epos[k].abs())
+            });
+            Validation {
+                output_hash: hash_cells(rt, pos, 2 * m),
+                matches_reference: ok,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ------------------------------------------------------------ water_spatial
+
+/// Cell-decomposed molecular dynamics: workers own cells, read neighbor
+/// cells from the previous step's buffer, and meet at barriers; only an
+/// energy reduction takes a lock.
+pub struct WaterSpatial;
+
+const WS_STEPS: usize = 4;
+const WS_CELLS: usize = 16;
+const WS_PER_CELL: usize = 8;
+
+impl Workload for WaterSpatial {
+    fn name(&self) -> &'static str {
+        "water_spatial"
+    }
+
+    fn suite(&self) -> &'static str {
+        "splash2"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let m = WS_CELLS * WS_PER_CELL * p.scale as usize;
+        let mut l = Layout::new();
+        l.cells(2 * 2 * m + 1);
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let per_cell = WS_PER_CELL * p.scale as usize;
+        let m = WS_CELLS * per_cell;
+        let mut l = Layout::new();
+        let cur = l.cells(2 * m);
+        let nxt = l.cells(2 * m);
+        let energy = l.cells_page_aligned(1);
+        let threads = p.threads.max(1);
+        let bar = rt.create_barrier(threads);
+        let elock = rt.create_mutex();
+
+        let mut g = SplitMix64::derive(p.seed, 18);
+        let init: Vec<f64> = (0..2 * m).map(|_| g.f64() * 5.0).collect();
+        rt.init_f64_slice(cur, &init);
+
+        // Reference: double-buffered, so exact.
+        let mut ec = init.clone();
+        let mut en = init;
+        let mut eenergy = 0.0f64;
+        for _ in 0..WS_STEPS {
+            for cell in 0..WS_CELLS {
+                for s in 0..per_cell {
+                    let i = cell * per_cell + s;
+                    let mut fx = 0.0;
+                    let mut fy = 0.0;
+                    for nc in [
+                        cell,
+                        (cell + 1) % WS_CELLS,
+                        (cell + WS_CELLS - 1) % WS_CELLS,
+                    ] {
+                        for t in 0..per_cell {
+                            let j = nc * per_cell + t;
+                            if j == i {
+                                continue;
+                            }
+                            let dx = ec[2 * i] - ec[2 * j];
+                            let dy = ec[2 * i + 1] - ec[2 * j + 1];
+                            let r2 = dx * dx + dy * dy + 0.01;
+                            let f = 1.0 / r2;
+                            fx += f * dx;
+                            fy += f * dy;
+                        }
+                    }
+                    en[2 * i] = ec[2 * i] + 1e-4 * fx;
+                    en[2 * i + 1] = ec[2 * i + 1] + 1e-4 * fy;
+                    eenergy += fx * fx + fy * fy;
+                }
+            }
+            std::mem::swap(&mut ec, &mut en);
+        }
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    let (cs, ce) = partition(WS_CELLS, threads, w);
+                    for step in 0..WS_STEPS {
+                        let (src, dst) = if step % 2 == 0 {
+                            (cur, nxt)
+                        } else {
+                            (nxt, cur)
+                        };
+                        let mut local_energy = 0.0;
+                        for cell in cs..ce {
+                            for s in 0..per_cell {
+                                let i = cell * per_cell + s;
+                                let xi = c.ld_f64(src + 16 * i);
+                                let yi = c.ld_f64(src + 16 * i + 8);
+                                let mut fx = 0.0;
+                                let mut fy = 0.0;
+                                for nc in [
+                                    cell,
+                                    (cell + 1) % WS_CELLS,
+                                    (cell + WS_CELLS - 1) % WS_CELLS,
+                                ] {
+                                    for t in 0..per_cell {
+                                        let j = nc * per_cell + t;
+                                        if j == i {
+                                            continue;
+                                        }
+                                        let dx = xi - c.ld_f64(src + 16 * j);
+                                        let dy = yi - c.ld_f64(src + 16 * j + 8);
+                                        let r2 = dx * dx + dy * dy + 0.01;
+                                        let f = 1.0 / r2;
+                                        fx += f * dx;
+                                        fy += f * dy;
+                                    }
+                                }
+                                c.tick(110 * 3 * per_cell as u64);
+                                c.st_f64(dst + 16 * i, xi + 1e-4 * fx);
+                                c.st_f64(dst + 16 * i + 8, yi + 1e-4 * fy);
+                                local_energy += fx * fx + fy * fy;
+                            }
+                        }
+                        c.mutex_lock(elock);
+                        c.add_f64(energy, local_energy);
+                        c.mutex_unlock(elock);
+                        c.barrier_wait(bar);
+                    }
+                })
+            });
+        });
+
+        let final_buf = if WS_STEPS % 2 == 0 { cur } else { nxt };
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let ok = (0..2 * m).all(|k| {
+                let got = rt.final_f64(final_buf + 8 * k);
+                got == ec[k]
+            }) && (rt.final_f64(energy) - eenergy).abs() <= 1e-6 * (1.0 + eenergy.abs());
+            Validation {
+                output_hash: hash_cells(rt, final_buf, 2 * m),
+                matches_reference: ok,
+            }
+        });
+        Prepared { job, validate }
+    }
+}
+
+// ------------------------------------------------------------------- radix
+
+/// LSD radix sort with per-pass histogram, prefix and permutation phases
+/// separated by barriers; the permutation scatters across the whole
+/// destination array (page conflicts everywhere).
+pub struct Radix;
+
+const RX_PASSES: usize = 4;
+const RX_RADIX: usize = 256;
+
+impl Workload for Radix {
+    fn name(&self) -> &'static str {
+        "radix"
+    }
+
+    fn suite(&self) -> &'static str {
+        "splash2"
+    }
+
+    fn heap_pages(&self, p: &Params) -> usize {
+        let n = 16 * 1024 * p.scale as usize;
+        let mut l = Layout::new();
+        l.cells(2 * n);
+        l.cells_page_aligned(RX_RADIX * p.threads.max(1));
+        l.pages()
+    }
+
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared {
+        let n = 16 * 1024 * p.scale as usize;
+        let threads = p.threads.max(1);
+        let mut l = Layout::new();
+        let buf_a = l.cells(n);
+        let buf_b = l.cells(n);
+        let hists = l.cells_page_aligned(RX_RADIX * threads);
+        let bar = rt.create_barrier(threads);
+
+        let mut g = SplitMix64::derive(p.seed, 19);
+        let keys: Vec<u64> = (0..n).map(|_| g.next_u64() & 0xffff_ffff).collect();
+        rt.init_u64_slice(buf_a, &keys);
+
+        let mut expect = keys;
+        expect.sort_unstable();
+
+        let job: dmt_api::Job = Box::new(move |ctx| {
+            fork_join(ctx, threads, |w| {
+                Box::new(move |c| {
+                    let (s, e) = partition(n, threads, w);
+                    for pass in 0..RX_PASSES {
+                        let shift = 8 * pass;
+                        let (src, dst) = if pass % 2 == 0 {
+                            (buf_a, buf_b)
+                        } else {
+                            (buf_b, buf_a)
+                        };
+                        // Phase 1: local digit histogram.
+                        let mut hist = vec![0u64; RX_RADIX];
+                        for i in s..e {
+                            let k = c.ld_u64(src + 8 * i);
+                            hist[((k >> shift) & 0xff) as usize] += 1;
+                        }
+                        c.tick(40 * (e - s) as u64);
+                        c.st_u64_slice(hists + 8 * (w * RX_RADIX), &hist);
+                        c.barrier_wait(bar);
+                        // Phase 2: worker 0 turns histograms into offsets.
+                        if w == 0 {
+                            let mut all = vec![0u64; RX_RADIX * threads];
+                            c.ld_u64_slice(hists, &mut all);
+                            let mut off = 0u64;
+                            for d in 0..RX_RADIX {
+                                for t in 0..threads {
+                                    let cnt = all[t * RX_RADIX + d];
+                                    all[t * RX_RADIX + d] = off;
+                                    off += cnt;
+                                }
+                            }
+                            c.tick((4 * RX_RADIX * threads) as u64);
+                            c.st_u64_slice(hists, &all);
+                        }
+                        c.barrier_wait(bar);
+                        // Phase 3: stable scatter using my offsets.
+                        let mut off = vec![0u64; RX_RADIX];
+                        c.ld_u64_slice(hists + 8 * (w * RX_RADIX), &mut off);
+                        for i in s..e {
+                            let k = c.ld_u64(src + 8 * i);
+                            let d = ((k >> shift) & 0xff) as usize;
+                            c.st_u64(dst + 8 * off[d] as usize, k);
+                            off[d] += 1;
+                        }
+                        c.tick(50 * (e - s) as u64);
+                        c.barrier_wait(bar);
+                    }
+                })
+            });
+        });
+
+        let out = if RX_PASSES % 2 == 0 { buf_a } else { buf_b };
+        let validate = Box::new(move |rt: &dyn Runtime| {
+            let mut got = vec![0u64; n];
+            rt.final_u64_slice(out, &mut got);
+            Validation {
+                output_hash: hash_cells(rt, out, n),
+                matches_reference: got == expect,
+            }
+        });
+        Prepared { job, validate }
+    }
+}

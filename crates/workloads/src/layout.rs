@@ -1,0 +1,117 @@
+//! Static address-space planning for workloads.
+//!
+//! Kernels lay out their shared arrays at fixed, deterministic addresses
+//! before the run begins (the analogue of the original programs' statically
+//! allocated globals plus a startup `malloc` phase).
+
+use dmt_api::{Addr, PAGE_SIZE};
+
+/// A bump allocator over a not-yet-created heap.
+#[derive(Debug, Default)]
+pub struct Layout {
+    cursor: usize,
+}
+
+impl Layout {
+    /// An empty layout starting at address 0.
+    pub fn new() -> Layout {
+        Layout::default()
+    }
+
+    /// Reserves `bytes` with the given power-of-two alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: usize, align: usize) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.cursor = (self.cursor + align - 1) & !(align - 1);
+        let a = self.cursor;
+        self.cursor += bytes;
+        a
+    }
+
+    /// Reserves an array of `n` 8-byte cells (u64/f64), 8-aligned.
+    pub fn cells(&mut self, n: usize) -> Addr {
+        self.alloc(n * 8, 8)
+    }
+
+    /// Reserves an array of `n` 8-byte cells aligned to a page boundary, so
+    /// distinct arrays never falsely share a page.
+    pub fn cells_page_aligned(&mut self, n: usize) -> Addr {
+        self.alloc(n * 8, PAGE_SIZE)
+    }
+
+    /// Heap pages needed to cover everything reserved so far, plus slack.
+    pub fn pages(&self) -> usize {
+        self.cursor.div_ceil(PAGE_SIZE) + 1
+    }
+}
+
+/// Splits `n` items across `workers`, returning the half-open range of
+/// worker `w`. Remainders go to the leading workers, so ranges differ in
+/// size by at most one.
+pub fn partition(n: usize, workers: usize, w: usize) -> (usize, usize) {
+    assert!(w < workers, "worker index out of range");
+    let base = n / workers;
+    let extra = n % workers;
+    let start = w * base + w.min(extra);
+    let len = base + usize::from(w < extra);
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut l = Layout::new();
+        let a = l.alloc(3, 8);
+        let b = l.alloc(8, 8);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 8, 0);
+        assert!(b >= a + 3);
+    }
+
+    #[test]
+    fn page_aligned_cells_do_not_share_pages() {
+        let mut l = Layout::new();
+        let a = l.cells_page_aligned(1);
+        let b = l.cells_page_aligned(1);
+        assert_ne!(a / PAGE_SIZE, b / PAGE_SIZE);
+    }
+
+    #[test]
+    fn pages_covers_cursor() {
+        let mut l = Layout::new();
+        l.alloc(PAGE_SIZE * 2 + 1, 8);
+        assert!(l.pages() >= 3);
+    }
+
+    #[test]
+    fn partition_covers_everything_exactly_once() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for workers in 1..9 {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for w in 0..workers {
+                    let (s, e) = partition(n, workers, w);
+                    assert_eq!(s, prev_end);
+                    prev_end = e;
+                    covered += e - s;
+                }
+                assert_eq!(covered, n);
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        for w in 0..4 {
+            let (s, e) = partition(10, 4, w);
+            assert!(e - s == 2 || e - s == 3, "range {s}..{e}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! The 19 benchmark kernels of the Consequence evaluation.
+//!
+//! The paper evaluates Phoenix, PARSEC and SPLASH-2 programs. Those code
+//! bases interpose on pthreads; here each program is reimplemented against
+//! the runtime-agnostic [`dmt_api`] interface with the synchronization and
+//! sharing *pattern* the paper characterizes for it — embarrassingly
+//! parallel scans, fork-join iteration, fine-grained bucket locking,
+//! bounded-queue pipelines, and barrier-per-step scientific kernels. See
+//! the per-suite modules for details.
+//!
+//! Every kernel ships a seeded input generator, a parallel implementation,
+//! a sequential reference, and an output hash; harnesses and tests validate
+//! the parallel result against the reference under every runtime.
+
+pub mod kernels;
+pub mod layout;
+pub mod queue;
+pub mod rng;
+pub mod spec;
+
+pub use spec::{all_workloads, workload_by_name, Params, Prepared, Validation, Workload};

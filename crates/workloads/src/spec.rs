@@ -1,0 +1,134 @@
+//! The workload contract and registry.
+
+use dmt_api::{Job, Runtime};
+
+/// Workload sizing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Worker threads the kernel should use (pipelines may round up to
+    /// their structural minimum).
+    pub threads: usize,
+    /// Problem-size multiplier (1 = the default laptop-scale input).
+    pub scale: u32,
+    /// Input generation seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            threads: 4,
+            scale: 1,
+            seed: 42,
+        }
+    }
+}
+
+impl Params {
+    /// Convenience constructor.
+    pub fn new(threads: usize, scale: u32, seed: u64) -> Params {
+        Params {
+            threads,
+            scale,
+            seed,
+        }
+    }
+}
+
+/// Result of validating a finished run.
+#[derive(Clone, Copy, Debug)]
+pub struct Validation {
+    /// FNV-1a digest of the kernel's output region.
+    pub output_hash: u64,
+    /// Whether the output matched the sequential reference.
+    pub matches_reference: bool,
+}
+
+/// A workload instantiated against a concrete runtime: the job to run and
+/// the validator to apply afterwards.
+pub struct Prepared {
+    /// Main job (always executed as `Tid(0)`).
+    pub job: Job,
+    /// Post-run check against the sequential reference.
+    pub validate: Box<dyn FnOnce(&dyn Runtime) -> Validation + Send>,
+}
+
+/// One benchmark program from the paper's evaluation.
+pub trait Workload: Send + Sync {
+    /// Paper name, e.g. `"reverse_index"`.
+    fn name(&self) -> &'static str;
+
+    /// Originating suite: `"phoenix"`, `"parsec"` or `"splash2"`.
+    fn suite(&self) -> &'static str;
+
+    /// Heap pages the runtime must be created with.
+    fn heap_pages(&self, p: &Params) -> usize;
+
+    /// Creates sync objects, initializes the heap, and returns the job +
+    /// validator. Must be called on a fresh runtime sized by
+    /// [`heap_pages`](Workload::heap_pages).
+    fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared;
+}
+
+/// All 19 benchmarks, in the paper's suite order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    crate::kernels::all()
+}
+
+/// Looks a workload up by its paper name.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_nineteen_benchmarks() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 19);
+        let names: Vec<&str> = all.iter().map(|w| w.name()).collect();
+        for expected in [
+            "histogram",
+            "linear_regression",
+            "string_match",
+            "matrix_multiply",
+            "pca",
+            "kmeans",
+            "word_count",
+            "reverse_index",
+            "ferret",
+            "dedup",
+            "canneal",
+            "streamcluster",
+            "swaptions",
+            "ocean_cp",
+            "lu_cb",
+            "lu_ncb",
+            "water_nsquared",
+            "water_spatial",
+            "radix",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        assert!(workload_by_name("ferret").is_some());
+        assert!(workload_by_name("doom").is_none());
+    }
+
+    #[test]
+    fn suites_are_labelled() {
+        for w in all_workloads() {
+            assert!(
+                ["phoenix", "parsec", "splash2"].contains(&w.suite()),
+                "{} has odd suite {}",
+                w.name(),
+                w.suite()
+            );
+        }
+    }
+}

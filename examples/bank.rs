@@ -1,0 +1,105 @@
+//! Fine-grained locking: concurrent bank transfers under per-account locks.
+//!
+//! Demonstrates that Consequence keeps distinct locks distinct (unlike
+//! DThreads' single global lock): critical sections under different account
+//! locks run concurrently, only the lock/unlock operations serialize
+//! through the deterministic order. Money is conserved on every run and the
+//! final balances are identical across runs — compare with the pthreads
+//! baseline, where the balance *vector* varies.
+//!
+//! ```text
+//! cargo run --example bank
+//! ```
+
+use dmt_api::{CommonConfig, Runtime, RuntimeMemExt, ThreadCtx, Tid};
+use dmt_baselines::{make_runtime, RuntimeKind};
+
+const ACCOUNTS: usize = 16;
+const INITIAL: u64 = 1_000;
+const TRANSFERS: u64 = 200;
+
+fn balances_hash(rt: &dyn Runtime) -> (u64, u64) {
+    let mut total = 0;
+    let mut h = dmt_api::Fnv1a::new();
+    for a in 0..ACCOUNTS {
+        let mut b = [0u8; 8];
+        rt.final_read(a * 8, &mut b);
+        total += u64::from_le_bytes(b);
+        h.update(&b);
+    }
+    (total, h.digest())
+}
+
+fn run(kind: RuntimeKind) -> (u64, u64) {
+    let mut rt = make_runtime(kind, CommonConfig::default());
+    let locks: Vec<_> = (0..ACCOUNTS).map(|_| rt.create_mutex()).collect();
+    for a in 0..ACCOUNTS {
+        rt.init_u64(a * 8, INITIAL);
+    }
+    rt.run(Box::new(move |ctx| {
+        let kids: Vec<Tid> = (0..4u64)
+            .map(|t| {
+                let locks = locks.clone();
+                ctx.spawn(Box::new(move |c| {
+                    // A deterministic per-thread transfer schedule.
+                    let mut x = t.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+                    for _ in 0..TRANSFERS {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let from = (x >> 33) as usize % ACCOUNTS;
+                        let to = (x >> 13) as usize % ACCOUNTS;
+                        if from == to {
+                            continue;
+                        }
+                        // Lock ordering by account id avoids deadlock.
+                        let (a, b) = (from.min(to), from.max(to));
+                        c.mutex_lock(locks[a]);
+                        c.mutex_lock(locks[b]);
+                        let amount = 1 + (x & 0x1f);
+                        let fb = c.ld_u64(from * 8);
+                        if fb >= amount {
+                            c.st_u64(from * 8, fb - amount);
+                            let tb = c.ld_u64(to * 8);
+                            c.st_u64(to * 8, tb + amount);
+                        }
+                        c.tick(50);
+                        c.mutex_unlock(locks[b]);
+                        c.mutex_unlock(locks[a]);
+                    }
+                }))
+            })
+            .collect();
+        for k in kids {
+            ctx.join(k);
+        }
+    }));
+    balances_hash(rt.as_ref())
+}
+
+fn main() {
+    println!("4 threads, {TRANSFERS} random transfers each over {ACCOUNTS} accounts\n");
+    for kind in [RuntimeKind::Pthreads, RuntimeKind::ConsequenceIc] {
+        print!("{:<16}", kind.label());
+        let mut digests = Vec::new();
+        for _ in 0..3 {
+            let (total, digest) = run(kind);
+            assert_eq!(total, ACCOUNTS as u64 * INITIAL, "money must be conserved");
+            digests.push(digest);
+            print!("  balances={digest:016x}");
+        }
+        let stable = digests.windows(2).all(|w| w[0] == w[1]);
+        println!(
+            "  -> {}",
+            if stable {
+                "identical in these runs"
+            } else {
+                "varies run to run"
+            }
+        );
+    }
+    println!(
+        "\nmoney is conserved everywhere. Consequence *guarantees* the exact\n\
+         balance vector; pthreads merely happened to repeat here (a single-core\n\
+         host schedules these short threads back to back — on a multicore box,\n\
+         or under load, its outcome drifts)."
+    );
+}

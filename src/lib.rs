@@ -1,0 +1,18 @@
+//! Umbrella crate for the Consequence reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use
+//! one dependency. See the workspace `README.md` for the map:
+//!
+//! * [`consequence`] — the deterministic TSO runtime (the paper's system);
+//! * [`conversion`] — versioned-memory substrate;
+//! * [`det_clock`] — deterministic logical clocks;
+//! * [`dmt_api`] — the runtime-agnostic program interface;
+//! * [`dmt_baselines`] — pthreads, DThreads, DWC, Consequence-RR;
+//! * [`dmt_workloads`] — the 19 evaluation benchmarks.
+
+pub use consequence;
+pub use conversion;
+pub use det_clock;
+pub use dmt_api;
+pub use dmt_baselines;
+pub use dmt_workloads;

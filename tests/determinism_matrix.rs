@@ -1,0 +1,178 @@
+//! Cross-crate determinism matrix: every deterministic runtime must
+//! reproduce outputs, commit logs and (for Consequence with fixed overflow)
+//! virtual times bit-for-bit, and all five runtimes must agree on the
+//! results of race-free programs.
+
+use consequence_repro::consequence::{ConsequenceRuntime, Options};
+use consequence_repro::dmt_api::{
+    CommonConfig, CostModel, MemExt, Runtime, RuntimeMemExt, ThreadCtx, Tid,
+};
+use consequence_repro::dmt_baselines::{make_runtime, RuntimeKind};
+use consequence_repro::dmt_workloads::{workload_by_name, Params};
+
+fn cfg(pages: usize) -> CommonConfig {
+    CommonConfig {
+        heap_pages: pages,
+        max_threads: 32,
+        cost: CostModel::default(),
+        track_lrc: false,
+        gc_budget: usize::MAX,
+    }
+}
+
+/// A mixed-primitive program: locks, a condvar hand-off, a barrier, racy
+/// byte-level writes, and nested spawning.
+fn mixed_program(rt: &mut dyn Runtime) -> (u64, u64) {
+    let m = rt.create_mutex();
+    let flag_lock = rt.create_mutex();
+    let c = rt.create_cond();
+    let b = rt.create_barrier(3);
+    rt.init_u64(0, 0);
+    let report = rt.run(Box::new(move |ctx| {
+        let kids: Vec<Tid> = (0..3u64)
+            .map(|i| {
+                ctx.spawn(Box::new(move |t| {
+                    // Racy single-byte writes to one shared page.
+                    t.write_bytes(512 + (i as usize % 2), &[i as u8 + 1]);
+                    t.tick(100 * (i + 1));
+                    // Locked reduction.
+                    t.mutex_lock(m);
+                    let v = t.ld_u64(0);
+                    t.st_u64(0, v + i + 1);
+                    t.mutex_unlock(m);
+                    t.barrier_wait(b);
+                    // Condvar: wait for the main thread's go signal.
+                    t.mutex_lock(flag_lock);
+                    while t.ld_u64(8) == 0 {
+                        t.cond_wait(c, flag_lock);
+                    }
+                    t.mutex_unlock(flag_lock);
+                    t.fetch_add_u64(16 + 8 * i as usize, i + 7);
+                }))
+            })
+            .collect();
+        ctx.tick(5_000);
+        ctx.mutex_lock(flag_lock);
+        ctx.st_u64(8, 1);
+        ctx.cond_broadcast(c);
+        ctx.mutex_unlock(flag_lock);
+        for k in kids {
+            ctx.join(k);
+        }
+    }));
+    (rt.final_hash(0, 4096), report.commit_log_hash)
+}
+
+#[test]
+fn deterministic_runtimes_reproduce_mixed_program() {
+    for kind in [
+        RuntimeKind::DThreads,
+        RuntimeKind::Dwc,
+        RuntimeKind::ConsequenceRr,
+        RuntimeKind::ConsequenceIc,
+    ] {
+        let run = || {
+            let mut rt = make_runtime(kind, cfg(64));
+            mixed_program(rt.as_mut())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "{} not deterministic", kind.label());
+    }
+}
+
+#[test]
+fn race_free_outputs_agree_across_all_runtimes() {
+    // The locked counter and the post-condvar cells are race-free: every
+    // runtime (pthreads included) must produce the same values there.
+    let mut expected: Option<(u64, Vec<u64>)> = None;
+    for kind in RuntimeKind::ALL {
+        let mut rt = make_runtime(kind, cfg(64));
+        mixed_program(rt.as_mut());
+        let counter = rt.final_u64(0);
+        let cells: Vec<u64> = (0..3).map(|i| rt.final_u64(16 + 8 * i)).collect();
+        assert_eq!(counter, 1 + 2 + 3, "{}", kind.label());
+        match &expected {
+            None => expected = Some((counter, cells)),
+            Some((ec, es)) => {
+                assert_eq!((counter, &cells), (*ec, es), "{}", kind.label());
+            }
+        }
+    }
+}
+
+/// Consequence-IC with fixed overflow must reproduce its *virtual time*
+/// exactly — the strongest determinism witness this workspace offers.
+#[test]
+fn virtual_time_reproducible_for_fixed_overflow_ic() {
+    let run = || {
+        let mut opts = Options::consequence_ic();
+        opts.adaptive_overflow = false;
+        let mut rt = ConsequenceRuntime::new(cfg(64), opts);
+        let m = rt.create_mutex();
+        let report = rt.run(Box::new(move |ctx| {
+            let kids: Vec<Tid> = (0..4u64)
+                .map(|i| {
+                    ctx.spawn(Box::new(move |t| {
+                        for j in 0..20 {
+                            t.tick(137 * (i + 1) + j);
+                            t.mutex_lock(m);
+                            t.fetch_add_u64(0, 1);
+                            t.mutex_unlock(m);
+                        }
+                    }))
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        }));
+        (report.virtual_cycles, report.commit_log_hash)
+    };
+    assert_eq!(run(), run());
+}
+
+/// Workload kernels reproduce bit-identically under Consequence-IC across
+/// five consecutive runs (catching low-probability races).
+#[test]
+fn repeated_kernel_runs_are_identical() {
+    let p = Params::new(3, 1, 99);
+    for name in ["canneal", "ferret"] {
+        let w = workload_by_name(name).unwrap();
+        let mut seen = None;
+        for run in 0..3 {
+            let mut rt = make_runtime(RuntimeKind::ConsequenceIc, cfg(w.heap_pages(&p)));
+            let prepared = w.prepare(rt.as_mut(), &p);
+            let report = rt.run(prepared.job);
+            let v = (prepared.validate)(rt.as_ref());
+            assert!(v.matches_reference, "{name} run {run}");
+            let sig = (v.output_hash, report.commit_log_hash);
+            match &seen {
+                None => seen = Some(sig),
+                Some(s) => assert_eq!(*s, sig, "{name} diverged on run {run}"),
+            }
+        }
+    }
+}
+
+/// Thread ids are assigned deterministically even with nested spawns.
+#[test]
+fn nested_spawn_tids_are_deterministic() {
+    let run = || {
+        let mut rt = ConsequenceRuntime::new(cfg(16), Options::consequence_ic());
+        let mut tids = Vec::new();
+        let report = rt.run(Box::new(|ctx| {
+            let a = ctx.spawn(Box::new(|t| {
+                let inner = t.spawn(Box::new(|u| u.tick(10)));
+                t.join(inner);
+                t.st_u64(0, inner.0 as u64);
+            }));
+            let b = ctx.spawn(Box::new(|t| t.tick(1_000)));
+            ctx.join(a);
+            ctx.join(b);
+        }));
+        tids.push(report.threads);
+        (rt.final_u64(0), report.threads)
+    };
+    assert_eq!(run(), run());
+}

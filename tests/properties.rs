@@ -1,0 +1,162 @@
+//! Property-based tests over the substrates, at the integration level:
+//! arbitrary write patterns through Conversion must behave like a flat
+//! memory under sequential application, parallel barrier commits must equal
+//! serial commits, and the token order must equal the sort order of
+//! `(clock, tid)` pairs.
+
+use proptest::prelude::*;
+
+use consequence_repro::conversion::{ParallelCommit, Segment};
+use consequence_repro::det_clock::{ClockTable, OrderPolicy};
+use consequence_repro::dmt_api::{Tid, PAGE_SIZE};
+
+/// A scripted write: thread, address, value.
+#[derive(Clone, Debug)]
+struct W {
+    t: usize,
+    addr: usize,
+    val: u8,
+}
+
+fn writes(threads: usize, pages: usize) -> impl Strategy<Value = Vec<W>> {
+    prop::collection::vec(
+        (0..threads, 0..pages * PAGE_SIZE, any::<u8>()).prop_map(|(t, addr, val)| W {
+            t,
+            addr,
+            val,
+        }),
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-robin of writes with a commit+update after every write is
+    /// equivalent to applying the writes to a flat array in that order.
+    #[test]
+    fn committed_writes_apply_in_commit_order(ws in writes(3, 2)) {
+        let seg = Segment::new(2, 4);
+        let mut spaces: Vec<_> = (0..3).map(|t| seg.new_workspace(Tid(t)).0).collect();
+        let mut flat = vec![0u8; 2 * PAGE_SIZE];
+        for w in &ws {
+            spaces[w.t].write_bytes(w.addr, &[w.val]);
+            seg.commit(&mut spaces[w.t], None);
+            seg.update(&mut spaces[w.t]);
+            flat[w.addr] = w.val;
+        }
+        let mut got = vec![0u8; 2 * PAGE_SIZE];
+        seg.read_latest(0, &mut got);
+        prop_assert_eq!(got, flat);
+    }
+
+    /// Uncommitted writes are invisible to other workspaces (isolation),
+    /// and visible to the writer (its own store buffer).
+    #[test]
+    fn isolation_until_commit(ws in writes(2, 2)) {
+        let seg = Segment::new(2, 4);
+        let mut a = seg.new_workspace(Tid(0)).0;
+        let b = seg.new_workspace(Tid(1)).0;
+        let mut mine = vec![0u8; 2 * PAGE_SIZE];
+        for w in ws.iter().filter(|w| w.t == 0) {
+            a.write_bytes(w.addr, &[w.val]);
+            mine[w.addr] = w.val;
+        }
+        // The writer sees its own writes…
+        let mut got = vec![0u8; 2 * PAGE_SIZE];
+        a.read_bytes(0, &mut got);
+        prop_assert_eq!(&got, &mine);
+        // …the other workspace sees none of them.
+        let mut other = vec![0u8; 2 * PAGE_SIZE];
+        b.read_bytes(0, &mut other);
+        prop_assert_eq!(other, vec![0u8; 2 * PAGE_SIZE]);
+    }
+
+    /// A parallel two-phase barrier commit produces exactly the same final
+    /// memory as committing each workspace serially in the same order.
+    #[test]
+    fn parallel_commit_equals_serial(ws in writes(4, 3)) {
+        let apply = |parallel: bool| {
+            let seg = Segment::new(3, 8);
+            let mut spaces: Vec<_> =
+                (0..4).map(|t| seg.new_workspace(Tid(t)).0).collect();
+            for w in &ws {
+                spaces[w.t].write_bytes(w.addr, &[w.val]);
+            }
+            if parallel {
+                let pc = ParallelCommit::new();
+                for s in spaces.iter_mut() {
+                    pc.register(&seg, s, None);
+                }
+                pc.seal(&seg);
+                for i in 0..4 {
+                    pc.merge_for(i);
+                }
+                pc.install(&seg);
+            } else {
+                for s in spaces.iter_mut() {
+                    seg.commit(s, None);
+                }
+            }
+            let mut out = vec![0u8; 3 * PAGE_SIZE];
+            seg.read_latest(0, &mut out);
+            out
+        };
+        prop_assert_eq!(apply(true), apply(false));
+    }
+
+    /// Token grants under instruction-count ordering equal sorting the
+    /// requests by `(clock, tid)`: simulate a set of one-shot sync requests
+    /// and grant greedily.
+    #[test]
+    fn ic_token_order_sorts_by_clock_then_tid(
+        clocks in prop::collection::vec(0u64..1_000, 2..8)
+    ) {
+        let n = clocks.len();
+        let mut table = ClockTable::new(OrderPolicy::InstructionCount, n);
+        for (i, &c) in clocks.iter().enumerate() {
+            table.register(Tid(i as u32), c, 0);
+            table.arrive_sync(Tid(i as u32), c, 0);
+        }
+        let mut granted = Vec::new();
+        let mut done = vec![false; n];
+        for _ in 0..n {
+            let who = (0..n)
+                .find(|&i| !done[i] && table.eligible(Tid(i as u32)))
+                .expect("someone must be eligible");
+            granted.push(who);
+            done[who] = true;
+            table.finish(Tid(who as u32), 0);
+        }
+        let mut expect: Vec<usize> = (0..n).collect();
+        expect.sort_by_key(|&i| (clocks[i], i));
+        prop_assert_eq!(granted, expect);
+    }
+
+    /// Byte merging is lossless for disjoint writers regardless of commit
+    /// order: both orders produce the same bytes at every written address.
+    #[test]
+    fn disjoint_commits_commute(ws in writes(2, 1)) {
+        // Deduplicate addresses so the two threads write disjoint bytes.
+        let mut seen = std::collections::HashSet::new();
+        let disjoint: Vec<W> = ws
+            .into_iter()
+            .filter(|w| seen.insert(w.addr))
+            .collect();
+        let run = |order: [usize; 2]| {
+            let seg = Segment::new(1, 2);
+            let mut spaces: Vec<_> =
+                (0..2).map(|t| seg.new_workspace(Tid(t)).0).collect();
+            for w in &disjoint {
+                spaces[w.t].write_bytes(w.addr, &[w.val]);
+            }
+            for &t in &order {
+                seg.commit(&mut spaces[t], None);
+            }
+            let mut out = vec![0u8; PAGE_SIZE];
+            seg.read_latest(0, &mut out);
+            out
+        };
+        prop_assert_eq!(run([0, 1]), run([1, 0]));
+    }
+}
