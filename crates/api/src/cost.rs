@@ -13,10 +13,8 @@
 //! so the reproduced *shapes* are insensitive to modest recalibration. Each
 //! constant is documented with what it substitutes for.
 
-use serde::{Deserialize, Serialize};
-
 /// Prices (in virtual cycles) for runtime-internal operations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CostModel {
     /// Copy-on-write page fault: trap + twin copy of one 4 KiB page.
     pub fault: u64,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A byte address within a runtime's shared heap.
 pub type Addr = usize;
 
@@ -12,7 +10,7 @@ pub type Addr = usize;
 /// Thread ids are assigned in spawn order under the runtime's deterministic
 /// total order of synchronization operations, so a given program always sees
 /// the same ids. The main job is always `Tid(0)`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Tid(pub u32);
 
 impl Tid {
@@ -35,7 +33,7 @@ impl fmt::Display for Tid {
 macro_rules! object_id {
     ($(#[$meta:meta])* $name:ident) => {
         $(#[$meta])*
-        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
         pub struct $name(pub u32);
 
         impl $name {

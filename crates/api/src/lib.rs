@@ -20,6 +20,17 @@
 //! [`RunReport::virtual_cycles`] is the critical-path execution time on an
 //! idealized machine with one core per thread. See `DESIGN.md` at the
 //! workspace root for the rationale (the evaluation host is single-core).
+//!
+//! # Observability
+//!
+//! The [`trace`] module records the deterministic total order itself:
+//! runtimes emit compact [`trace::Event`]s (token grants, lock tickets,
+//! barrier generations, commit page-sets, …) through a [`TraceHandle`]
+//! carried in [`CommonConfig`]. A [`trace::HashSink`] folds the schedule
+//! into the incremental FNV-1a [`RunReport::schedule_hash`] — two runs of
+//! a deterministic runtime must agree on it bit-for-bit — and
+//! [`trace::diagnose`] pinpoints the first divergent event when they do
+//! not. See `docs/DETERMINISM.md` at the workspace root.
 
 pub mod cost;
 pub mod ctx;
@@ -28,6 +39,8 @@ pub mod ids;
 pub mod mem;
 pub mod report;
 pub mod runtime;
+pub mod sync;
+pub mod trace;
 pub mod vclock;
 
 pub use cost::CostModel;
@@ -37,6 +50,10 @@ pub use ids::{Addr, BarrierId, CondId, MutexId, RwLockId, Tid};
 pub use mem::{MemExt, RuntimeMemExt};
 pub use report::{Breakdown, Counters, RunReport};
 pub use runtime::{CommonConfig, Runtime};
+pub use trace::{
+    Divergence, Event, EventCounts, EventKind, HashSink, MemorySink, NullSink, TraceHandle,
+    TraceSink,
+};
 pub use vclock::VectorClock;
 
 /// Page size used by every versioned-memory runtime, in bytes.

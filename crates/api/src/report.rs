@@ -3,9 +3,8 @@
 use std::ops::AddAssign;
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::Tid;
+use crate::trace::EventCounts;
 
 /// Where a thread's virtual cycles went.
 ///
@@ -15,7 +14,7 @@ use crate::ids::Tid;
 /// deterministic ordering), Conversion commit and update work, copy-on-write
 /// fault handling, and general library overhead (token bookkeeping, counter
 /// reads, wake-ups).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Breakdown {
     /// Useful work: `tick` cycles plus shared-memory access cycles.
     pub chunk: u64,
@@ -64,7 +63,7 @@ impl AddAssign for Breakdown {
 }
 
 /// Event counters accumulated across all threads of a run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Commit operations performed.
     pub commits: u64,
@@ -120,7 +119,7 @@ impl AddAssign for Counters {
 }
 
 /// Result of one [`crate::Runtime::run`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Critical-path execution time in virtual cycles: the maximum over all
     /// threads of their final virtual clock. Deterministic for DMT runtimes
@@ -144,6 +143,13 @@ pub struct RunReport {
     /// `(committer, version id, page ids)`*: two deterministic runs must
     /// agree on this. Zero for pthreads.
     pub commit_log_hash: u64,
+    /// Incremental FNV-1a digest of the run's deterministic event order
+    /// (see [`crate::trace`]). Bit-identical across runs for deterministic
+    /// runtimes when a hashing sink is attached; 0 when tracing is off.
+    /// For pthreads it varies run to run — that variance is the point.
+    pub schedule_hash: u64,
+    /// Per-category trace event counts (zeroes when tracing is off).
+    pub events: EventCounts,
     /// Number of threads that ran (including the main job).
     pub threads: u32,
 }
@@ -218,6 +224,8 @@ mod tests {
             counters: Counters::default(),
             peak_pages: 0,
             commit_log_hash: 0,
+            schedule_hash: 0,
+            events: EventCounts::default(),
             threads: 1,
         };
         assert!(r.thread_breakdown(Tid(0)).is_some());

@@ -1,14 +1,13 @@
 //! The runtime trait and its shared configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cost::CostModel;
 use crate::ctx::Job;
 use crate::ids::{Addr, BarrierId, CondId, MutexId, RwLockId};
 use crate::report::RunReport;
+use crate::trace::TraceHandle;
 
 /// Configuration shared by every runtime implementation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CommonConfig {
     /// Shared heap size in 4 KiB pages.
     pub heap_pages: usize,
@@ -26,6 +25,10 @@ pub struct CommonConfig {
     /// under high page churn (Figure 12). `usize::MAX` means an idealized
     /// collector.
     pub gc_budget: usize,
+    /// Event-trace destination (see [`crate::trace`]). Off by default:
+    /// every emission site then reduces to one branch, so benchmark
+    /// figures are unaffected.
+    pub trace: TraceHandle,
 }
 
 impl Default for CommonConfig {
@@ -36,6 +39,7 @@ impl Default for CommonConfig {
             cost: CostModel::default(),
             track_lrc: false,
             gc_budget: 4,
+            trace: TraceHandle::off(),
         }
     }
 }

@@ -1,0 +1,152 @@
+//! Minimal synchronization primitives with a `parking_lot`-style API.
+//!
+//! The workspace builds in offline environments with no registry access,
+//! so the runtime crates use this thin facade over [`std::sync`] instead
+//! of an external lock crate. The API mirrors the subset of `parking_lot`
+//! the runtimes need: `lock()` returns a guard directly (poisoning is
+//! swallowed — a panicking thread aborts the test anyway, and the
+//! runtimes' shared state has no invariants a poisoned lock would rescue),
+//! and [`Condvar::wait`] takes the guard by `&mut` so callers can wait in
+//! a loop without rebinding.
+
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking the current thread until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(
+            self.0
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        ))
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner `Option` is only ever `None` transiently inside
+/// [`Condvar::wait`], which moves the std guard through the wait and puts
+/// it back before returning.
+pub struct MutexGuard<'a, T>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Result of [`Condvar::wait_for`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable whose waits re-borrow the caller's guard.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases the lock behind `guard` and blocks until
+    /// notified, re-acquiring before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present before wait");
+        guard.0 = Some(
+            self.0
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
+    }
+
+    /// As [`wait`](Condvar::wait), giving up after `timeout`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present before wait");
+        let (inner, res) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+}

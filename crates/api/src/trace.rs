@@ -1,0 +1,849 @@
+//! Deterministic event tracing: schedule hashes and divergence diagnosis.
+//!
+//! The determinism claim of the Consequence paper (§2.4–§3.5) is a claim
+//! about an *order*: every synchronization event — token grants,
+//! asynchronous Conversion commits and updates, two-phase barrier
+//! installs — happens in the same total order on every run. Final-heap
+//! digests ([`crate::RunReport::commit_log_hash`]) witness the
+//! *consequences* of that order but say nothing about *where* two runs
+//! diverged when they disagree. This module makes the schedule itself the
+//! artifact:
+//!
+//! * [`Event`] — one synchronization event, compact and `Copy`;
+//! * [`TraceSink`] — where runtimes send events: [`NullSink`] (default,
+//!   a single branch per event), [`HashSink`] (incremental FNV-1a
+//!   **schedule hash** plus per-category counts), [`MemorySink`] (bounded
+//!   ring buffer retaining the most recent events for diagnosis);
+//! * [`diagnose`] / [`Divergence`] — given two recorded traces, the first
+//!   differing event with surrounding context, instead of a bare hash
+//!   mismatch.
+//!
+//! # Schedule events vs. auxiliary events
+//!
+//! Runtimes emit every event with an `in_schedule` flag. Events emitted
+//! while the emitting thread holds the global token (or its serial turn)
+//! form the deterministic total order and are folded into the schedule
+//! hash. Events whose real-time interleaving is *not* part of the
+//! determinism contract — counter-overflow publications under adaptive
+//! notification (§3.2), parallel-phase update work in DThreads — are
+//! emitted as auxiliary: counted, but never hashed. The nondeterministic
+//! pthreads baseline emits everything as schedule events; its hash varying
+//! across runs is the negative control.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::hash::Fnv1a;
+use crate::ids::{BarrierId, CondId, MutexId, RwLockId, Tid};
+use crate::sync::Mutex;
+
+/// One synchronization event in a runtime's deterministic total order.
+///
+/// Fields are the *deterministic* coordinates of the event: thread ids,
+/// logical clocks, object ids, ticket numbers, version ids and dirty-page
+/// digests. Virtual times and wall times are deliberately absent — they
+/// carry no additional schedule information and (for wall time) would
+/// destroy hash stability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A thread acquired the global token (GMIC grant or round-robin
+    /// turn) at the given logical clock.
+    TokenAcquire { tid: Tid, clock: u64 },
+    /// The token holder released the token.
+    TokenRelease { tid: Tid, clock: u64 },
+    /// A thread left the deterministic order to block (`clockDepart`).
+    Depart { tid: Tid, clock: u64 },
+    /// A deterministic mutex acquisition; `ticket` is the per-lock
+    /// acquisition ordinal.
+    MutexLock {
+        tid: Tid,
+        mutex: MutexId,
+        ticket: u64,
+    },
+    /// A thread queued on a held mutex.
+    MutexBlock { tid: Tid, mutex: MutexId },
+    /// A mutex release; `woke` is the waiter handed the lock, if any.
+    MutexUnlock {
+        tid: Tid,
+        mutex: MutexId,
+        woke: Option<Tid>,
+    },
+    /// A condition wait (mutex released, thread departed).
+    CondWait {
+        tid: Tid,
+        cond: CondId,
+        mutex: MutexId,
+    },
+    /// A signal; `woken` is the deterministically-earliest waiter, if any.
+    CondSignal {
+        tid: Tid,
+        cond: CondId,
+        woken: Option<Tid>,
+    },
+    /// A broadcast waking `woken` waiters.
+    CondBroadcast { tid: Tid, cond: CondId, woken: u32 },
+    /// Arrival at a barrier generation.
+    BarrierArrive {
+        tid: Tid,
+        barrier: BarrierId,
+        gen: u64,
+    },
+    /// A barrier generation opened (commits installed); emitted by the
+    /// last arriver while it still holds the token (§4.2 two-phase
+    /// commit), `install_version` being the version every leaver updates
+    /// to.
+    BarrierOpen {
+        tid: Tid,
+        barrier: BarrierId,
+        gen: u64,
+        install_version: u64,
+    },
+    /// A read-write lock acquisition (`writer` distinguishes the mode).
+    RwAcquire {
+        tid: Tid,
+        lock: RwLockId,
+        writer: bool,
+    },
+    /// A read-write lock release.
+    RwRelease {
+        tid: Tid,
+        lock: RwLockId,
+        writer: bool,
+    },
+    /// A Conversion commit: `version` is the created (or, with no dirty
+    /// pages, the pre-existing) version id; `page_set` digests the dirty
+    /// page ids.
+    Commit {
+        tid: Tid,
+        version: u64,
+        pages: u32,
+        merged: u32,
+        page_set: u64,
+    },
+    /// An update pulling remote versions into the local workspace.
+    Update { tid: Tid, version: u64, pages: u64 },
+    /// Thread creation; `pooled` marks §3.3 thread-pool reuse.
+    Spawn {
+        parent: Tid,
+        child: Tid,
+        pooled: bool,
+    },
+    /// A join that observed the target's exit.
+    Join { tid: Tid, target: Tid },
+    /// Thread exit at the given logical clock.
+    Exit { tid: Tid, clock: u64 },
+    /// A logical-clock publication (counter overflow, §3.2). Auxiliary:
+    /// its real-time interleaving is not part of the determinism contract
+    /// under adaptive notification.
+    Publish { tid: Tid, clock: u64 },
+    /// A §3.5 fast-forward: the token taker jumped its lagging clock.
+    FastForward { tid: Tid, from: u64, to: u64 },
+    /// A §3.1 coarsening decision: the token was retained across the end
+    /// of a synchronization operation, deferring the commit.
+    Coarsen { tid: Tid, clock: u64 },
+}
+
+/// Event categories, for counting and display.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    TokenAcquire,
+    TokenRelease,
+    Depart,
+    MutexLock,
+    MutexBlock,
+    MutexUnlock,
+    CondWait,
+    CondSignal,
+    CondBroadcast,
+    BarrierArrive,
+    BarrierOpen,
+    RwAcquire,
+    RwRelease,
+    Commit,
+    Update,
+    Spawn,
+    Join,
+    Exit,
+    Publish,
+    FastForward,
+    Coarsen,
+}
+
+impl EventKind {
+    /// Every kind, in tag order.
+    pub const ALL: [EventKind; 21] = [
+        EventKind::TokenAcquire,
+        EventKind::TokenRelease,
+        EventKind::Depart,
+        EventKind::MutexLock,
+        EventKind::MutexBlock,
+        EventKind::MutexUnlock,
+        EventKind::CondWait,
+        EventKind::CondSignal,
+        EventKind::CondBroadcast,
+        EventKind::BarrierArrive,
+        EventKind::BarrierOpen,
+        EventKind::RwAcquire,
+        EventKind::RwRelease,
+        EventKind::Commit,
+        EventKind::Update,
+        EventKind::Spawn,
+        EventKind::Join,
+        EventKind::Exit,
+        EventKind::Publish,
+        EventKind::FastForward,
+        EventKind::Coarsen,
+    ];
+
+    /// Short stable name (used in reports and experiment logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TokenAcquire => "token_acquire",
+            EventKind::TokenRelease => "token_release",
+            EventKind::Depart => "depart",
+            EventKind::MutexLock => "mutex_lock",
+            EventKind::MutexBlock => "mutex_block",
+            EventKind::MutexUnlock => "mutex_unlock",
+            EventKind::CondWait => "cond_wait",
+            EventKind::CondSignal => "cond_signal",
+            EventKind::CondBroadcast => "cond_broadcast",
+            EventKind::BarrierArrive => "barrier_arrive",
+            EventKind::BarrierOpen => "barrier_open",
+            EventKind::RwAcquire => "rw_acquire",
+            EventKind::RwRelease => "rw_release",
+            EventKind::Commit => "commit",
+            EventKind::Update => "update",
+            EventKind::Spawn => "spawn",
+            EventKind::Join => "join",
+            EventKind::Exit => "exit",
+            EventKind::Publish => "publish",
+            EventKind::FastForward => "fast_forward",
+            EventKind::Coarsen => "coarsen",
+        }
+    }
+}
+
+impl Event {
+    /// The category of this event.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::TokenAcquire { .. } => EventKind::TokenAcquire,
+            Event::TokenRelease { .. } => EventKind::TokenRelease,
+            Event::Depart { .. } => EventKind::Depart,
+            Event::MutexLock { .. } => EventKind::MutexLock,
+            Event::MutexBlock { .. } => EventKind::MutexBlock,
+            Event::MutexUnlock { .. } => EventKind::MutexUnlock,
+            Event::CondWait { .. } => EventKind::CondWait,
+            Event::CondSignal { .. } => EventKind::CondSignal,
+            Event::CondBroadcast { .. } => EventKind::CondBroadcast,
+            Event::BarrierArrive { .. } => EventKind::BarrierArrive,
+            Event::BarrierOpen { .. } => EventKind::BarrierOpen,
+            Event::RwAcquire { .. } => EventKind::RwAcquire,
+            Event::RwRelease { .. } => EventKind::RwRelease,
+            Event::Commit { .. } => EventKind::Commit,
+            Event::Update { .. } => EventKind::Update,
+            Event::Spawn { .. } => EventKind::Spawn,
+            Event::Join { .. } => EventKind::Join,
+            Event::Exit { .. } => EventKind::Exit,
+            Event::Publish { .. } => EventKind::Publish,
+            Event::FastForward { .. } => EventKind::FastForward,
+            Event::Coarsen { .. } => EventKind::Coarsen,
+        }
+    }
+
+    /// The emitting thread.
+    pub fn tid(&self) -> Tid {
+        match *self {
+            Event::TokenAcquire { tid, .. }
+            | Event::TokenRelease { tid, .. }
+            | Event::Depart { tid, .. }
+            | Event::MutexLock { tid, .. }
+            | Event::MutexBlock { tid, .. }
+            | Event::MutexUnlock { tid, .. }
+            | Event::CondWait { tid, .. }
+            | Event::CondSignal { tid, .. }
+            | Event::CondBroadcast { tid, .. }
+            | Event::BarrierArrive { tid, .. }
+            | Event::BarrierOpen { tid, .. }
+            | Event::RwAcquire { tid, .. }
+            | Event::RwRelease { tid, .. }
+            | Event::Commit { tid, .. }
+            | Event::Update { tid, .. }
+            | Event::Join { tid, .. }
+            | Event::Exit { tid, .. }
+            | Event::Publish { tid, .. }
+            | Event::FastForward { tid, .. }
+            | Event::Coarsen { tid, .. } => tid,
+            Event::Spawn { parent, .. } => parent,
+        }
+    }
+
+    /// Folds this event into an FNV-1a state with a stable encoding:
+    /// a kind tag followed by every field, each as a little-endian `u64`.
+    pub fn fold(&self, h: &mut Fnv1a) {
+        fn opt(t: Option<Tid>) -> u64 {
+            t.map_or(u64::MAX, |t| t.0 as u64)
+        }
+        h.update(&[self.kind() as u8]);
+        match *self {
+            Event::TokenAcquire { tid, clock }
+            | Event::TokenRelease { tid, clock }
+            | Event::Depart { tid, clock }
+            | Event::Exit { tid, clock }
+            | Event::Publish { tid, clock }
+            | Event::Coarsen { tid, clock } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(clock);
+            }
+            Event::MutexLock { tid, mutex, ticket } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(mutex.0 as u64);
+                h.update_u64(ticket);
+            }
+            Event::MutexBlock { tid, mutex } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(mutex.0 as u64);
+            }
+            Event::MutexUnlock { tid, mutex, woke } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(mutex.0 as u64);
+                h.update_u64(opt(woke));
+            }
+            Event::CondWait { tid, cond, mutex } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(cond.0 as u64);
+                h.update_u64(mutex.0 as u64);
+            }
+            Event::CondSignal { tid, cond, woken } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(cond.0 as u64);
+                h.update_u64(opt(woken));
+            }
+            Event::CondBroadcast { tid, cond, woken } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(cond.0 as u64);
+                h.update_u64(woken as u64);
+            }
+            Event::BarrierArrive { tid, barrier, gen } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(barrier.0 as u64);
+                h.update_u64(gen);
+            }
+            Event::BarrierOpen {
+                tid,
+                barrier,
+                gen,
+                install_version,
+            } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(barrier.0 as u64);
+                h.update_u64(gen);
+                h.update_u64(install_version);
+            }
+            Event::RwAcquire { tid, lock, writer } | Event::RwRelease { tid, lock, writer } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(lock.0 as u64);
+                h.update_u64(writer as u64);
+            }
+            Event::Commit {
+                tid,
+                version,
+                pages,
+                merged,
+                page_set,
+            } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(version);
+                h.update_u64(pages as u64);
+                h.update_u64(merged as u64);
+                h.update_u64(page_set);
+            }
+            Event::Update {
+                tid,
+                version,
+                pages,
+            } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(version);
+                h.update_u64(pages);
+            }
+            Event::Spawn {
+                parent,
+                child,
+                pooled,
+            } => {
+                h.update_u64(parent.0 as u64);
+                h.update_u64(child.0 as u64);
+                h.update_u64(pooled as u64);
+            }
+            Event::Join { tid, target } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(target.0 as u64);
+            }
+            Event::FastForward { tid, from, to } => {
+                h.update_u64(tid.0 as u64);
+                h.update_u64(from);
+                h.update_u64(to);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::TokenAcquire { tid, clock } => write!(f, "{tid} acquires token @clock {clock}"),
+            Event::TokenRelease { tid, clock } => write!(f, "{tid} releases token @clock {clock}"),
+            Event::Depart { tid, clock } => write!(f, "{tid} departs the order @clock {clock}"),
+            Event::MutexLock { tid, mutex, ticket } => {
+                write!(f, "{tid} locks {mutex} (ticket {ticket})")
+            }
+            Event::MutexBlock { tid, mutex } => write!(f, "{tid} blocks on {mutex}"),
+            Event::MutexUnlock {
+                tid,
+                mutex,
+                woke: Some(w),
+            } => write!(f, "{tid} unlocks {mutex}, waking {w}"),
+            Event::MutexUnlock { tid, mutex, .. } => write!(f, "{tid} unlocks {mutex}"),
+            Event::CondWait { tid, cond, mutex } => {
+                write!(f, "{tid} waits on {cond} (releasing {mutex})")
+            }
+            Event::CondSignal {
+                tid,
+                cond,
+                woken: Some(w),
+            } => write!(f, "{tid} signals {cond}, waking {w}"),
+            Event::CondSignal { tid, cond, .. } => write!(f, "{tid} signals {cond} (no waiter)"),
+            Event::CondBroadcast { tid, cond, woken } => {
+                write!(f, "{tid} broadcasts {cond}, waking {woken}")
+            }
+            Event::BarrierArrive { tid, barrier, gen } => {
+                write!(f, "{tid} arrives at {barrier} gen {gen}")
+            }
+            Event::BarrierOpen {
+                tid,
+                barrier,
+                gen,
+                install_version,
+            } => write!(
+                f,
+                "{tid} opens {barrier} gen {gen} (installed version {install_version})"
+            ),
+            Event::RwAcquire { tid, lock, writer } => {
+                write!(f, "{tid} {}-locks {lock}", if writer { "write" } else { "read" })
+            }
+            Event::RwRelease { tid, lock, writer } => {
+                write!(f, "{tid} {}-unlocks {lock}", if writer { "write" } else { "read" })
+            }
+            Event::Commit {
+                tid,
+                version,
+                pages,
+                merged,
+                page_set,
+            } => write!(
+                f,
+                "{tid} commits version {version} ({pages} pages, {merged} merged, set {page_set:#018x})"
+            ),
+            Event::Update {
+                tid,
+                version,
+                pages,
+            } => write!(f, "{tid} updates to version {version} ({pages} pages)"),
+            Event::Spawn {
+                parent,
+                child,
+                pooled,
+            } => write!(
+                f,
+                "{parent} spawns {child}{}",
+                if pooled { " (pooled)" } else { "" }
+            ),
+            Event::Join { tid, target } => write!(f, "{tid} joins {target}"),
+            Event::Exit { tid, clock } => write!(f, "{tid} exits @clock {clock}"),
+            Event::Publish { tid, clock } => write!(f, "{tid} publishes clock {clock}"),
+            Event::FastForward { tid, from, to } => {
+                write!(f, "{tid} fast-forwards clock {from} -> {to}")
+            }
+            Event::Coarsen { tid, clock } => {
+                write!(f, "{tid} retains token (coarsened) @clock {clock}")
+            }
+        }
+    }
+}
+
+/// Per-category event counts, reported next to the Figure-15 breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventCounts([u64; EventKind::ALL.len()]);
+
+impl EventCounts {
+    /// Count of one category.
+    pub fn get(&self, kind: EventKind) -> u64 {
+        self.0[kind as usize]
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, kind: EventKind) {
+        self.0[kind as usize] += 1;
+    }
+
+    /// Total events across all categories.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Iterates `(kind, count)` over categories with non-zero counts.
+    pub fn nonzero(&self) -> impl Iterator<Item = (EventKind, u64)> + '_ {
+        EventKind::ALL
+            .iter()
+            .map(|k| (*k, self.get(*k)))
+            .filter(|(_, c)| *c > 0)
+    }
+}
+
+/// Destination for runtime trace events.
+///
+/// `emit` is called from every thread of a run, frequently under the
+/// runtime's global lock; implementations must be cheap and `Sync`.
+/// `in_schedule` is true when the event occupies a slot in the
+/// deterministic total order (see the module docs) — only those events
+/// may enter the schedule hash.
+pub trait TraceSink: Send + Sync {
+    /// Records one event.
+    fn emit(&self, ev: &Event, in_schedule: bool);
+
+    /// The schedule hash accumulated so far (0 for sinks that don't hash).
+    fn schedule_hash(&self) -> u64 {
+        0
+    }
+
+    /// Per-category counts accumulated so far.
+    fn counts(&self) -> EventCounts {
+        EventCounts::default()
+    }
+}
+
+/// Discards every event. With [`TraceHandle::off`] the emission sites
+/// reduce to a branch on `None`; this sink exists for callers that want an
+/// explicit sink object (e.g. to toggle sinks without changing types).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _: &Event, _: bool) {}
+}
+
+#[derive(Default)]
+struct HashState {
+    hash: Fnv1a,
+    counts: EventCounts,
+}
+
+/// Folds every schedule event into an incremental FNV-1a **schedule
+/// hash** as it is emitted, and counts all events per category. Two runs
+/// of a deterministic runtime on the same program must produce identical
+/// hashes; the hash is O(1) memory regardless of run length.
+#[derive(Default)]
+pub struct HashSink {
+    st: Mutex<HashState>,
+}
+
+impl HashSink {
+    /// Creates an empty hashing sink.
+    pub fn new() -> HashSink {
+        HashSink::default()
+    }
+}
+
+impl TraceSink for HashSink {
+    fn emit(&self, ev: &Event, in_schedule: bool) {
+        let mut st = self.st.lock();
+        if in_schedule {
+            ev.fold(&mut st.hash);
+        }
+        st.counts.record(ev.kind());
+    }
+
+    fn schedule_hash(&self) -> u64 {
+        self.st.lock().hash.digest()
+    }
+
+    fn counts(&self) -> EventCounts {
+        self.st.lock().counts
+    }
+}
+
+struct MemoryState {
+    events: VecDeque<Event>,
+    dropped: u64,
+    hash: Fnv1a,
+    counts: EventCounts,
+}
+
+/// Retains the most recent schedule events in a bounded ring buffer (for
+/// [`diagnose`]) while also maintaining the schedule hash and counts.
+/// Auxiliary events are counted but not retained: retaining them would
+/// make recorded traces incomparable across runs.
+pub struct MemorySink {
+    st: Mutex<MemoryState>,
+    cap: usize,
+}
+
+impl MemorySink {
+    /// Creates a sink retaining at most `cap` events (oldest dropped).
+    pub fn new(cap: usize) -> MemorySink {
+        MemorySink {
+            st: Mutex::new(MemoryState {
+                events: VecDeque::new(),
+                dropped: 0,
+                hash: Fnv1a::new(),
+                counts: EventCounts::default(),
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Takes the recorded schedule events, oldest first, clearing the
+    /// buffer. The second value is how many older events were dropped by
+    /// the ring bound (0 means the trace is complete).
+    pub fn take(&self) -> (Vec<Event>, u64) {
+        let mut st = self.st.lock();
+        let dropped = st.dropped;
+        st.dropped = 0;
+        (st.events.drain(..).collect(), dropped)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, ev: &Event, in_schedule: bool) {
+        let mut st = self.st.lock();
+        if in_schedule {
+            ev.fold(&mut st.hash);
+            if st.events.len() == self.cap {
+                st.events.pop_front();
+                st.dropped += 1;
+            }
+            st.events.push_back(*ev);
+        }
+        st.counts.record(ev.kind());
+    }
+
+    fn schedule_hash(&self) -> u64 {
+        self.st.lock().hash.digest()
+    }
+
+    fn counts(&self) -> EventCounts {
+        self.st.lock().counts
+    }
+}
+
+/// A cloneable, optionally-absent sink reference carried in
+/// [`crate::CommonConfig`]. The default is off; every emission site then
+/// costs one branch.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Arc<dyn TraceSink>>);
+
+impl TraceHandle {
+    /// Tracing disabled (the default).
+    pub fn off() -> TraceHandle {
+        TraceHandle(None)
+    }
+
+    /// Tracing into `sink`.
+    pub fn to(sink: Arc<dyn TraceSink>) -> TraceHandle {
+        TraceHandle(Some(sink))
+    }
+
+    /// Whether a sink is attached.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits a schedule event (a slot in the deterministic total order).
+    #[inline]
+    pub fn emit(&self, ev: Event) {
+        if let Some(s) = &self.0 {
+            s.emit(&ev, true);
+        }
+    }
+
+    /// Emits an auxiliary event (counted, never hashed).
+    #[inline]
+    pub fn emit_aux(&self, ev: Event) {
+        if let Some(s) = &self.0 {
+            s.emit(&ev, false);
+        }
+    }
+
+    /// The sink's schedule hash (0 when off or non-hashing).
+    pub fn schedule_hash(&self) -> u64 {
+        self.0.as_ref().map_or(0, |s| s.schedule_hash())
+    }
+
+    /// The sink's event counts (zeroes when off).
+    pub fn counts(&self) -> EventCounts {
+        self.0
+            .as_ref()
+            .map_or_else(EventCounts::default, |s| s.counts())
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "TraceHandle(on)"
+        } else {
+            "TraceHandle(off)"
+        })
+    }
+}
+
+/// Where two recorded schedules split, with surrounding context.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Index of the first differing event (== common prefix length).
+    pub index: usize,
+    /// The event at `index` in the left trace, if it has one.
+    pub left: Option<Event>,
+    /// The event at `index` in the right trace, if it has one.
+    pub right: Option<Event>,
+    /// Up to the last 5 common-prefix events, as `(index, event)`.
+    pub context: Vec<(usize, Event)>,
+}
+
+/// Compares two recorded schedules and reports the first divergence, or
+/// `None` when they are identical. This is the answer to "the hashes
+/// differ — *where* did the runs split?": the report names the event, its
+/// thread, logical clock and object id, plus the agreed-upon events just
+/// before the split.
+pub fn diagnose(left: &[Event], right: &[Event]) -> Option<Divergence> {
+    let common = left
+        .iter()
+        .zip(right.iter())
+        .take_while(|(a, b)| a == b)
+        .count();
+    if common == left.len() && common == right.len() {
+        return None;
+    }
+    let ctx_from = common.saturating_sub(5);
+    Some(Divergence {
+        index: common,
+        left: left.get(common).copied(),
+        right: right.get(common).copied(),
+        context: (ctx_from..common).map(|i| (i, left[i])).collect(),
+    })
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedules diverge at event #{}", self.index)?;
+        for (i, ev) in &self.context {
+            writeln!(f, "  #{i} (both): {ev}")?;
+        }
+        match self.left {
+            Some(ev) => writeln!(f, "  #{} left:  {ev}", self.index)?,
+            None => writeln!(f, "  #{} left:  <trace ends>", self.index)?,
+        }
+        match self.right {
+            Some(ev) => write!(f, "  #{} right: {ev}", self.index),
+            None => write!(f, "  #{} right: <trace ends>", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tid: u32, clock: u64) -> Event {
+        Event::TokenAcquire {
+            tid: Tid(tid),
+            clock,
+        }
+    }
+
+    #[test]
+    fn hash_sink_is_order_sensitive() {
+        let a = HashSink::new();
+        a.emit(&ev(0, 1), true);
+        a.emit(&ev(1, 2), true);
+        let b = HashSink::new();
+        b.emit(&ev(1, 2), true);
+        b.emit(&ev(0, 1), true);
+        assert_ne!(a.schedule_hash(), b.schedule_hash());
+    }
+
+    #[test]
+    fn aux_events_are_counted_but_not_hashed() {
+        let a = HashSink::new();
+        a.emit(&ev(0, 1), true);
+        let b = HashSink::new();
+        b.emit(&ev(0, 1), true);
+        b.emit(
+            &Event::Publish {
+                tid: Tid(3),
+                clock: 99,
+            },
+            false,
+        );
+        assert_eq!(a.schedule_hash(), b.schedule_hash());
+        assert_eq!(b.counts().get(EventKind::Publish), 1);
+        assert_eq!(b.counts().total(), 2);
+    }
+
+    #[test]
+    fn memory_sink_ring_drops_oldest() {
+        let s = MemorySink::new(2);
+        for i in 0..5 {
+            s.emit(&ev(0, i), true);
+        }
+        let (evs, dropped) = s.take();
+        assert_eq!(dropped, 3);
+        assert_eq!(evs, vec![ev(0, 3), ev(0, 4)]);
+    }
+
+    #[test]
+    fn diagnose_reports_first_difference_with_context() {
+        let left: Vec<Event> = (0..10).map(|i| ev(0, i)).collect();
+        let mut right = left.clone();
+        right[7] = ev(1, 7);
+        let d = diagnose(&left, &right).expect("must diverge");
+        assert_eq!(d.index, 7);
+        assert_eq!(d.left, Some(ev(0, 7)));
+        assert_eq!(d.right, Some(ev(1, 7)));
+        assert_eq!(d.context.len(), 5);
+        assert_eq!(d.context[0], (2, ev(0, 2)));
+        let report = d.to_string();
+        assert!(report.contains("diverge at event #7"), "{report}");
+    }
+
+    #[test]
+    fn diagnose_handles_prefix_traces() {
+        let left: Vec<Event> = (0..3).map(|i| ev(0, i)).collect();
+        let right: Vec<Event> = (0..5).map(|i| ev(0, i)).collect();
+        let d = diagnose(&left, &right).expect("length mismatch diverges");
+        assert_eq!(d.index, 3);
+        assert!(d.left.is_none());
+        assert_eq!(d.right, Some(ev(0, 3)));
+        assert!(diagnose(&left, &left).is_none());
+    }
+
+    #[test]
+    fn fold_distinguishes_kinds_with_equal_fields() {
+        let mut a = Fnv1a::new();
+        Event::TokenAcquire {
+            tid: Tid(1),
+            clock: 5,
+        }
+        .fold(&mut a);
+        let mut b = Fnv1a::new();
+        Event::TokenRelease {
+            tid: Tid(1),
+            clock: 5,
+        }
+        .fold(&mut b);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

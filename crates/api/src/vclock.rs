@@ -5,12 +5,10 @@
 //! propagated (Figure 16). Committed versions and synchronization objects
 //! are tagged with these clocks.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::Tid;
 
 /// A fixed-width vector clock, one component per potential thread.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VectorClock(Vec<u64>);
 
 impl VectorClock {

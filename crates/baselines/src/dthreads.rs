@@ -24,9 +24,10 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use dmt_api::sync::{Condvar, Mutex};
 
 use conversion::{Segment, Workspace};
+use dmt_api::trace::Event;
 use dmt_api::{
     Addr, BarrierId, Breakdown, CommonConfig, CondId, CostModel, Counters, Job, MutexId, RunReport,
     Runtime, RwLockId, ThreadCtx, Tid,
@@ -67,6 +68,8 @@ struct DtInner {
     // The single global lock every mutex aliases.
     lock_owner: Option<Tid>,
     lock_waiters: VecDeque<Tid>,
+    /// Global-lock grants so far (trace tickets).
+    lock_tickets: u64,
     conds: Vec<VecDeque<Tid>>,
     n_mutexes: u32,
     n_rwlocks: u32,
@@ -158,6 +161,14 @@ impl DtCtx {
         let sh = Arc::clone(&self.sh);
         let mapped = self.ws().num_pages() as u64;
         let cr = sh.seg.commit(self.ws(), None);
+        // Commits happen at the thread's serial turn: schedule events.
+        sh.cfg.trace.emit(Event::Commit {
+            tid: self.tid,
+            version: cr.version,
+            pages: cr.pages,
+            merged: cr.merged,
+            page_set: cr.page_set,
+        });
         let c = self.cost.commit_base
             + mapped * self.cost.page_protect
             + cr.pages as u64 * self.cost.page_commit
@@ -176,6 +187,13 @@ impl DtCtx {
     fn update(&mut self, upto: u64) {
         let sh = Arc::clone(&self.sh);
         let ur = sh.seg.update_to(self.ws(), upto);
+        // Updates run in the parallel phase, racing each other in real
+        // time: auxiliary (counted, never hashed).
+        sh.cfg.trace.emit_aux(Event::Update {
+            tid: self.tid,
+            version: ur.new_base,
+            pages: ur.pages_propagated,
+        });
         let u = self.cost.update_base + ur.pages_propagated * self.cost.page_update;
         self.v += u;
         self.bd.update += u;
@@ -224,6 +242,11 @@ impl DtCtx {
         let my_gen = inner.fence_gen;
         self.v = self.v.max(inner.chain_v);
         self.bd.determ_wait += self.v - from;
+        // The serial turn is DThreads' analog of the token grant.
+        self.sh.cfg.trace.emit(Event::TokenAcquire {
+            tid: self.tid,
+            clock: self.clock,
+        });
 
         // Serial work: synchronous commit, then the operation itself.
         drop(inner);
@@ -243,6 +266,16 @@ impl DtCtx {
             }
         }
         let (outcome, spawned) = op(self, &mut inner);
+        if matches!(outcome, Outcome::Block) {
+            self.sh.cfg.trace.emit(Event::Depart {
+                tid: self.tid,
+                clock: self.clock,
+            });
+        }
+        self.sh.cfg.trace.emit(Event::TokenRelease {
+            tid: self.tid,
+            clock: self.clock,
+        });
         inner.chain_v = inner.chain_v.max(self.v);
         inner.serial_idx += 1;
         if matches!(outcome, Outcome::Continue) {
@@ -353,9 +386,19 @@ impl DtCtx {
         self.fence_op(|me, inner| {
             if inner.lock_owner.is_none() && inner.lock_waiters.is_empty() {
                 inner.lock_owner = Some(me.tid);
+                inner.lock_tickets += 1;
+                me.sh.cfg.trace.emit(Event::MutexLock {
+                    tid: me.tid,
+                    mutex: MutexId(0),
+                    ticket: inner.lock_tickets,
+                });
                 (Outcome::Continue, None)
             } else {
                 inner.lock_waiters.push_back(me.tid);
+                me.sh.cfg.trace.emit(Event::MutexBlock {
+                    tid: me.tid,
+                    mutex: MutexId(0),
+                });
                 (Outcome::Block, None)
             }
         });
@@ -371,8 +414,22 @@ impl DtCtx {
                 me.tid
             );
             // Deterministic hand-off to the earliest waiter.
-            if let Some(w) = inner.lock_waiters.pop_front() {
+            let woke = inner.lock_waiters.pop_front();
+            me.sh.cfg.trace.emit(Event::MutexUnlock {
+                tid: me.tid,
+                mutex: MutexId(0),
+                woke,
+            });
+            if let Some(w) = woke {
                 inner.lock_owner = Some(w);
+                inner.lock_tickets += 1;
+                // Hand-off grant: the new owner never re-runs the lock
+                // path, so its acquisition is recorded here.
+                me.sh.cfg.trace.emit(Event::MutexLock {
+                    tid: w,
+                    mutex: MutexId(0),
+                    ticket: inner.lock_tickets,
+                });
                 me.wake(inner, w);
             } else {
                 inner.lock_owner = None;
@@ -404,6 +461,10 @@ impl DtCtx {
             for j in joiners {
                 me.wake(inner, j);
             }
+            me.sh.cfg.trace.emit(Event::Exit {
+                tid: me.tid,
+                clock: me.clock,
+            });
             let st = &mut inner.threads[me.tid.index()];
             st.finished = true;
             st.exit_v = me.v;
@@ -477,8 +538,25 @@ impl ThreadCtx for DtCtx {
         self.cnt.cond_waits += 1;
         self.fence_op(|me, inner| {
             assert_eq!(inner.lock_owner, Some(me.tid), "cond_wait without lock");
-            if let Some(w) = inner.lock_waiters.pop_front() {
+            me.sh.cfg.trace.emit(Event::CondWait {
+                tid: me.tid,
+                cond: c,
+                mutex: MutexId(0),
+            });
+            let woke = inner.lock_waiters.pop_front();
+            me.sh.cfg.trace.emit(Event::MutexUnlock {
+                tid: me.tid,
+                mutex: MutexId(0),
+                woke,
+            });
+            if let Some(w) = woke {
                 inner.lock_owner = Some(w);
+                inner.lock_tickets += 1;
+                me.sh.cfg.trace.emit(Event::MutexLock {
+                    tid: w,
+                    mutex: MutexId(0),
+                    ticket: inner.lock_tickets,
+                });
                 me.wake(inner, w);
             } else {
                 inner.lock_owner = None;
@@ -492,18 +570,31 @@ impl ThreadCtx for DtCtx {
 
     fn cond_signal(&mut self, c: CondId) {
         self.fence_op(|me, inner| {
-            if let Some(w) = inner.conds[c.index()].pop_front() {
+            let woken = inner.conds[c.index()].pop_front();
+            if let Some(w) = woken {
                 me.wake(inner, w);
             }
+            me.sh.cfg.trace.emit(Event::CondSignal {
+                tid: me.tid,
+                cond: c,
+                woken,
+            });
             (Outcome::Continue, None)
         });
     }
 
     fn cond_broadcast(&mut self, c: CondId) {
         self.fence_op(|me, inner| {
+            let mut woken = 0u32;
             while let Some(w) = inner.conds[c.index()].pop_front() {
                 me.wake(inner, w);
+                woken += 1;
             }
+            me.sh.cfg.trace.emit(Event::CondBroadcast {
+                tid: me.tid,
+                cond: c,
+                woken,
+            });
             (Outcome::Continue, None)
         });
     }
@@ -511,6 +602,12 @@ impl ThreadCtx for DtCtx {
     fn barrier_wait(&mut self, b: BarrierId) {
         self.cnt.barrier_waits += 1;
         self.fence_op(|me, inner| {
+            let gen = inner.fence_gen;
+            me.sh.cfg.trace.emit(Event::BarrierArrive {
+                tid: me.tid,
+                barrier: b,
+                gen,
+            });
             let parties = inner.barriers[b.index()].parties;
             inner.barriers[b.index()].waiting.push(me.tid);
             if inner.barriers[b.index()].waiting.len() == parties {
@@ -520,6 +617,12 @@ impl ThreadCtx for DtCtx {
                         me.wake(inner, w);
                     }
                 }
+                me.sh.cfg.trace.emit(Event::BarrierOpen {
+                    tid: me.tid,
+                    barrier: b,
+                    gen,
+                    install_version: me.sh.seg.latest_id(),
+                });
                 (Outcome::Continue, None)
             } else {
                 (Outcome::Block, None)
@@ -569,6 +672,11 @@ impl ThreadCtx for DtCtx {
             inner.next_tid += 1;
             inner.threads.push(DtThread::default());
             inner.live += 1;
+            me.sh.cfg.trace.emit(Event::Spawn {
+                parent: me.tid,
+                child,
+                pooled: false,
+            });
             // The child is NOT yet part of the fence population: it starts
             // at this thread's next non-spawn serial turn, so back-to-back
             // creates batch into one phase instead of each waiting a full
@@ -612,6 +720,10 @@ impl ThreadCtx for DtCtx {
         self.fence_op(|me, inner| {
             if inner.threads[t.index()].finished {
                 me.v = me.v.max(inner.threads[t.index()].exit_v);
+                me.sh.cfg.trace.emit(Event::Join {
+                    tid: me.tid,
+                    target: t,
+                });
                 (Outcome::Continue, None)
             } else {
                 inner.threads[t.index()].joiners.push(me.tid);
@@ -647,6 +759,7 @@ impl DThreadsRuntime {
                     resume_count: 0,
                     lock_owner: None,
                     lock_waiters: VecDeque::new(),
+                    lock_tickets: 0,
                     conds: Vec::new(),
                     n_mutexes: 0,
                     n_rwlocks: 0,
@@ -771,6 +884,8 @@ impl Runtime for DThreadsRuntime {
             counters,
             peak_pages: sh.seg.tracker().peak(),
             commit_log_hash: sh.seg.log_hash(),
+            schedule_hash: sh.cfg.trace.schedule_hash(),
+            events: sh.cfg.trace.counts(),
             threads,
         }
     }

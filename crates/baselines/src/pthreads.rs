@@ -14,8 +14,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use dmt_api::sync::{Condvar, Mutex};
 
+use dmt_api::trace::Event;
 use dmt_api::{
     Addr, BarrierId, Breakdown, CommonConfig, CondId, CostModel, Counters, Job, MutexId, RunReport,
     Runtime, RwLockId, ThreadCtx, Tid,
@@ -70,7 +71,7 @@ impl SharedMem {
     }
 
     fn ld_u64(&self, addr: Addr) -> u64 {
-        if addr % 8 == 0 && addr + 8 <= self.len() {
+        if addr.is_multiple_of(8) && addr + 8 <= self.len() {
             self.words[addr / 8].load(Ordering::Relaxed)
         } else {
             let mut b = [0u8; 8];
@@ -80,7 +81,7 @@ impl SharedMem {
     }
 
     fn st_u64(&self, addr: Addr, v: u64) {
-        if addr % 8 == 0 && addr + 8 <= self.len() {
+        if addr.is_multiple_of(8) && addr + 8 <= self.len() {
             self.words[addr / 8].store(v, Ordering::Relaxed);
         } else {
             self.write(addr, &v.to_le_bytes());
@@ -111,6 +112,11 @@ impl SharedMem {
 struct PMutexSt {
     locked: bool,
     last_release_v: u64,
+    /// Grants so far (trace tickets). The grant *order* is whatever the OS
+    /// scheduler produced, which is exactly what the trace should witness:
+    /// pthreads emits schedule events like the deterministic runtimes do,
+    /// and its schedule hash varying across runs is the negative control.
+    tickets: u64,
 }
 
 #[derive(Default)]
@@ -188,6 +194,10 @@ impl PCtx {
     fn finish(mut self) -> (Tid, Breakdown, Counters, u64) {
         let sh = Arc::clone(&self.sh);
         let mut st = sh.st.lock();
+        sh.cfg.trace.emit(Event::Exit {
+            tid: self.tid,
+            clock: self.clock,
+        });
         st.finished_v.insert(self.tid, self.v);
         st.live -= 1;
         st.max_v = st.max_v.max(self.v);
@@ -275,6 +285,11 @@ impl ThreadCtx for PCtx {
         }
         let rs = &mut st.rwlocks[l.index()];
         rs.readers += 1;
+        sh.cfg.trace.emit(Event::RwAcquire {
+            tid: self.tid,
+            lock: l,
+            writer: false,
+        });
         self.v = self.v.max(rs.last_release_v) + self.cost.pthread_lock;
         self.bd.determ_wait += self.v - from - self.cost.pthread_lock;
         self.bd.lib += self.cost.pthread_lock;
@@ -286,6 +301,11 @@ impl ThreadCtx for PCtx {
         let rs = &mut st.rwlocks[l.index()];
         assert!(rs.readers > 0, "read-unlock with no readers");
         rs.readers -= 1;
+        sh.cfg.trace.emit(Event::RwRelease {
+            tid: self.tid,
+            lock: l,
+            writer: false,
+        });
         self.v += self.cost.pthread_lock;
         self.bd.lib += self.cost.pthread_lock;
         rs.last_release_v = rs.last_release_v.max(self.v);
@@ -301,6 +321,11 @@ impl ThreadCtx for PCtx {
         }
         let rs = &mut st.rwlocks[l.index()];
         rs.writer = true;
+        sh.cfg.trace.emit(Event::RwAcquire {
+            tid: self.tid,
+            lock: l,
+            writer: true,
+        });
         self.v = self.v.max(rs.last_release_v) + self.cost.pthread_lock;
         self.bd.determ_wait += self.v - from - self.cost.pthread_lock;
         self.bd.lib += self.cost.pthread_lock;
@@ -312,6 +337,11 @@ impl ThreadCtx for PCtx {
         let rs = &mut st.rwlocks[l.index()];
         assert!(rs.writer, "write-unlock without holding");
         rs.writer = false;
+        sh.cfg.trace.emit(Event::RwRelease {
+            tid: self.tid,
+            lock: l,
+            writer: true,
+        });
         self.v += self.cost.pthread_lock;
         self.bd.lib += self.cost.pthread_lock;
         rs.last_release_v = rs.last_release_v.max(self.v);
@@ -327,6 +357,13 @@ impl ThreadCtx for PCtx {
         }
         let ms = &mut st.mutexes[m.index()];
         ms.locked = true;
+        ms.tickets += 1;
+        let ticket = ms.tickets;
+        sh.cfg.trace.emit(Event::MutexLock {
+            tid: self.tid,
+            mutex: m,
+            ticket,
+        });
         // Chain off whoever released last (the real acquisition order).
         self.v = self.v.max(ms.last_release_v) + self.cost.pthread_lock;
         self.bd.determ_wait += self.v - from - self.cost.pthread_lock;
@@ -340,6 +377,11 @@ impl ThreadCtx for PCtx {
         let ms = &mut st.mutexes[m.index()];
         assert!(ms.locked, "{} unlocking {m} that is not locked", self.tid);
         ms.locked = false;
+        sh.cfg.trace.emit(Event::MutexUnlock {
+            tid: self.tid,
+            mutex: m,
+            woke: None,
+        });
         self.v += self.cost.pthread_lock;
         self.bd.lib += self.cost.pthread_lock;
         ms.last_release_v = ms.last_release_v.max(self.v);
@@ -353,6 +395,11 @@ impl ThreadCtx for PCtx {
         let ms = &mut st.mutexes[m.index()];
         assert!(ms.locked, "cond_wait without holding {m}");
         ms.locked = false;
+        sh.cfg.trace.emit(Event::CondWait {
+            tid: self.tid,
+            cond: c,
+            mutex: m,
+        });
         self.v += self.cost.pthread_sync;
         self.bd.lib += self.cost.pthread_sync;
         ms.last_release_v = ms.last_release_v.max(self.v);
@@ -374,6 +421,13 @@ impl ThreadCtx for PCtx {
         }
         let ms = &mut st.mutexes[m.index()];
         ms.locked = true;
+        ms.tickets += 1;
+        let ticket = ms.tickets;
+        sh.cfg.trace.emit(Event::MutexLock {
+            tid: self.tid,
+            mutex: m,
+            ticket,
+        });
         self.v = self.v.max(ms.last_release_v);
         self.bd.determ_wait += self.v - from;
     }
@@ -387,6 +441,11 @@ impl ThreadCtx for PCtx {
         if cs.grants.len() < cs.waiting {
             cs.grants.push_back(self.v);
         }
+        sh.cfg.trace.emit(Event::CondSignal {
+            tid: self.tid,
+            cond: c,
+            woken: None,
+        });
         sh.cv.notify_all();
     }
 
@@ -396,9 +455,16 @@ impl ThreadCtx for PCtx {
         self.v += self.cost.pthread_sync;
         self.bd.lib += self.cost.pthread_sync;
         let cs = &mut st.conds[c.index()];
+        let mut woken = 0u32;
         while cs.grants.len() < cs.waiting {
             cs.grants.push_back(self.v);
+            woken += 1;
         }
+        sh.cfg.trace.emit(Event::CondBroadcast {
+            tid: self.tid,
+            cond: c,
+            woken,
+        });
         sh.cv.notify_all();
     }
 
@@ -413,11 +479,22 @@ impl ThreadCtx for PCtx {
             let bs = &mut st.barriers[b.index()];
             bs.arrived += 1;
             bs.max_v = bs.max_v.max(self.v);
+            sh.cfg.trace.emit(Event::BarrierArrive {
+                tid: self.tid,
+                barrier: b,
+                gen,
+            });
             if bs.arrived == bs.parties {
                 bs.open_v = bs.max_v;
                 bs.gen += 1;
                 bs.arrived = 0;
                 bs.max_v = 0;
+                sh.cfg.trace.emit(Event::BarrierOpen {
+                    tid: self.tid,
+                    barrier: b,
+                    gen,
+                    install_version: 0,
+                });
             }
         }
         sh.cv.notify_all();
@@ -438,6 +515,11 @@ impl ThreadCtx for PCtx {
         let tid = Tid(st.next_tid);
         st.next_tid += 1;
         st.live += 1;
+        sh.cfg.trace.emit(Event::Spawn {
+            parent: self.tid,
+            child: tid,
+            pooled: false,
+        });
         let sh2 = Arc::clone(&self.sh);
         let v0 = self.v;
         let handle = std::thread::spawn(move || {
@@ -463,6 +545,10 @@ impl ThreadCtx for PCtx {
             st.reports.push((tid, bd));
             st.counters += cnt;
             self.v = self.v.max(v);
+            sh.cfg.trace.emit(Event::Join {
+                tid: self.tid,
+                target: t,
+            });
         } else {
             // Someone else holds/held the handle; wait for the exit record.
             let mut st = sh.st.lock();
@@ -611,6 +697,8 @@ impl Runtime for PthreadsRuntime {
             counters: st.counters,
             peak_pages: 0,
             commit_log_hash: 0,
+            schedule_hash: sh.cfg.trace.schedule_hash(),
+            events: sh.cfg.trace.counts(),
             threads,
         }
     }

@@ -1,7 +1,7 @@
 //! Behavioural tests for the baseline runtimes: pthreads (nondeterministic)
 //! and DThreads (synchronous deterministic), plus cross-runtime agreement.
 
-use dmt_api::{CommonConfig, CostModel, MemExt, Runtime, RuntimeMemExt, ThreadCtx, Tid};
+use dmt_api::{CommonConfig, CostModel, MemExt, Runtime, RuntimeMemExt, Tid};
 use dmt_baselines::{make_runtime, DThreadsRuntime, PthreadsRuntime, RuntimeKind};
 
 fn cfg() -> CommonConfig {
@@ -11,6 +11,7 @@ fn cfg() -> CommonConfig {
         cost: CostModel::default(),
         track_lrc: false,
         gc_budget: usize::MAX,
+        trace: dmt_api::TraceHandle::off(),
     }
 }
 

@@ -1,7 +1,7 @@
 //! Unit-level behaviour of the pthreads baseline: real concurrency,
 //! correct synchronization semantics, plausible virtual-time accounting.
 
-use dmt_api::{CommonConfig, CostModel, MemExt, Runtime, RuntimeMemExt, ThreadCtx, Tid};
+use dmt_api::{CommonConfig, CostModel, MemExt, Runtime, RuntimeMemExt, Tid};
 use dmt_baselines::PthreadsRuntime;
 
 fn cfg() -> CommonConfig {
@@ -11,6 +11,7 @@ fn cfg() -> CommonConfig {
         cost: CostModel::default(),
         track_lrc: false,
         gc_budget: usize::MAX,
+        trace: dmt_api::TraceHandle::off(),
     }
 }
 

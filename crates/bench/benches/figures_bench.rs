@@ -1,16 +1,40 @@
-//! Criterion benches, one group per paper figure.
+//! Wall-time benches, one group per paper figure.
 //!
 //! These run reduced configurations (2 threads, scale 1, representative
 //! benchmark subsets) so `cargo bench` terminates quickly; the full figure
-//! data comes from the `figures` binary. Each group's measured quantity is
-//! the wall time of regenerating the figure's core comparison, which tracks
-//! the end-to-end cost of the runtimes under test.
+//! data comes from the `figures` binary. Each measured quantity is the wall
+//! time of regenerating the figure's core comparison, which tracks the
+//! end-to-end cost of the runtimes under test.
+//!
+//! The harness is a plain `main` (the workspace builds offline, with no
+//! external bench framework): each case runs a warmup iteration then a
+//! fixed sample count, reporting min/mean wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use dmt_baselines::RuntimeKind;
 use dmt_bench::*;
+
+const SAMPLES: u32 = 10;
+
+fn measure<F: FnMut()>(group: &str, name: &str, mut f: F) {
+    f(); // warmup
+    let mut min = u128::MAX;
+    let mut total = 0u128;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        f();
+        let ns = t.elapsed().as_nanos();
+        min = min.min(ns);
+        total += ns;
+    }
+    println!(
+        "{group}/{name}: min {:.3} ms, mean {:.3} ms ({SAMPLES} samples)",
+        min as f64 / 1e6,
+        total as f64 / SAMPLES as f64 / 1e6
+    );
+}
 
 fn quick() -> Bench {
     Bench {
@@ -19,101 +43,38 @@ fn quick() -> Bench {
     }
 }
 
-fn bench_fig10(c: &mut Criterion) {
+fn main() {
     let b = quick();
-    let mut g = c.benchmark_group("fig10_normalized");
-    g.sample_size(10);
+
     for name in ["histogram", "reverse_index"] {
-        g.bench_function(name, |bench| {
-            bench.iter(|| black_box(fig10(&b, &[2], &[name])));
+        measure("fig10_normalized", name, || {
+            black_box(fig10(&b, &[2], &[name]));
         });
     }
-    g.finish();
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    let b = quick();
-    let mut g = c.benchmark_group("fig11_scaling");
-    g.sample_size(10);
-    g.bench_function("kmeans_1_to_4", |bench| {
-        bench.iter(|| black_box(fig11(&b, &[1, 4], &["kmeans"])));
+    measure("fig11_scaling", "kmeans_1_to_4", || {
+        black_box(fig11(&b, &[1, 4], &["kmeans"]));
     });
-    g.finish();
-}
-
-fn bench_fig12(c: &mut Criterion) {
-    let b = quick();
-    let mut g = c.benchmark_group("fig12_memory");
-    g.sample_size(10);
-    g.bench_function("canneal_peak_pages", |bench| {
-        bench.iter(|| black_box(fig12(&b, &[2], &["canneal"])));
+    measure("fig12_memory", "canneal_peak_pages", || {
+        black_box(fig12(&b, &[2], &["canneal"]));
     });
-    g.finish();
-}
-
-fn bench_fig13(c: &mut Criterion) {
-    let b = quick();
-    let mut g = c.benchmark_group("fig13_ablation");
-    g.sample_size(10);
-    g.bench_function("reverse_index_ablations", |bench| {
-        bench.iter(|| black_box(fig13(&b, 2, &["reverse_index"])));
+    measure("fig13_ablation", "reverse_index_ablations", || {
+        black_box(fig13(&b, 2, &["reverse_index"]));
     });
-    g.finish();
-}
-
-fn bench_fig14(c: &mut Criterion) {
-    let b = quick();
-    let mut g = c.benchmark_group("fig14_coarsening");
-    g.sample_size(10);
-    g.bench_function("reverse_index_levels", |bench| {
-        bench.iter(|| black_box(fig14(&b, 2, &["reverse_index"], &[4_096, 65_536])));
+    measure("fig14_coarsening", "reverse_index_levels", || {
+        black_box(fig14(&b, 2, &["reverse_index"], &[4_096, 65_536]));
     });
-    g.finish();
-}
-
-fn bench_fig15(c: &mut Criterion) {
-    let b = quick();
-    let mut g = c.benchmark_group("fig15_breakdown");
-    g.sample_size(10);
-    g.bench_function("ocean_cp_breakdown", |bench| {
-        bench.iter(|| black_box(fig15(&b, 2, &["ocean_cp"])));
+    measure("fig15_breakdown", "ocean_cp_breakdown", || {
+        black_box(fig15(&b, 2, &["ocean_cp"]));
     });
-    g.finish();
-}
-
-fn bench_fig16(c: &mut Criterion) {
-    let b = quick();
-    let mut g = c.benchmark_group("fig16_lrc");
-    g.sample_size(10);
-    g.bench_function("ocean_cp_lrc", |bench| {
-        bench.iter(|| black_box(fig16(&b, 2, &["ocean_cp"])));
+    measure("fig16_lrc", "ocean_cp_lrc", || {
+        black_box(fig16(&b, 2, &["ocean_cp"]));
     });
-    g.finish();
-}
 
-fn bench_runtimes_direct(c: &mut Criterion) {
     // Direct wall-time comparison of one kernel under each runtime —
     // a sanity anchor for the virtual-time results.
-    let b = quick();
-    let mut g = c.benchmark_group("runtime_wall_time");
-    g.sample_size(10);
     for kind in RuntimeKind::ALL {
-        g.bench_function(kind.label(), |bench| {
-            bench.iter(|| black_box(run_one(&b, kind, "histogram", 2)));
+        measure("runtime_wall_time", kind.label(), || {
+            black_box(run_one(&b, kind, "histogram", 2));
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    figures,
-    bench_fig10,
-    bench_fig11,
-    bench_fig12,
-    bench_fig13,
-    bench_fig14,
-    bench_fig15,
-    bench_fig16,
-    bench_runtimes_direct
-);
-criterion_main!(figures);

@@ -1,46 +1,68 @@
 //! Microbenchmarks of the substrates: Conversion page operations, byte
 //! merging, workspace access paths, and clock-table operations.
+//!
+//! The harness is a plain `main` (the workspace builds offline, with no
+//! external bench framework): batched cases rebuild their input per
+//! iteration and subtract nothing — the setup cost is reported alongside,
+//! so compare within a group rather than across.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 use conversion::{PageBuf, PageTracker, ParallelCommit, Segment};
 use det_clock::{ClockTable, OrderPolicy};
 use dmt_api::{Tid, PAGE_SIZE};
 
-fn bench_fault_and_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workspace");
-    g.throughput(Throughput::Bytes(PAGE_SIZE as u64));
-    g.bench_function("cow_fault", |b| {
-        let seg = Segment::new(64, 4);
-        b.iter_batched(
-            || seg.new_workspace(Tid(0)).0,
-            |mut ws| {
-                ws.write_bytes(0, black_box(&[1u8]));
-                ws
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+/// Runs `f` repeatedly for ~20ms after one warmup call and reports ns/iter.
+fn measure<F: FnMut()>(group: &str, name: &str, mut f: F) {
+    f(); // warmup
+    let budget = std::time::Duration::from_millis(20);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        f();
+        iters += 1;
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{group}/{name}: {per:.0} ns/iter ({iters} iters)");
+}
 
-    let mut g = c.benchmark_group("workspace_access");
-    g.throughput(Throughput::Bytes(8));
+/// Batched variant: `setup` builds fresh input, `run` consumes it; only the
+/// whole setup+run pair is timed (setup dominates for tiny `run`s — compare
+/// within the group).
+fn measure_batched<S, T, R: FnMut(T)>(group: &str, name: &str, mut setup: S, mut run: R)
+where
+    S: FnMut() -> T,
+{
+    measure(group, name, || {
+        let input = setup();
+        run(input);
+    });
+}
+
+fn bench_fault_and_access() {
+    let seg = Segment::new(64, 4);
+    measure_batched(
+        "workspace",
+        "cow_fault",
+        || seg.new_workspace(Tid(0)).0,
+        |mut ws| {
+            ws.write_bytes(0, black_box(&[1u8]));
+        },
+    );
+
     let seg = Segment::new(64, 4);
     let (mut ws, _) = seg.new_workspace(Tid(0));
     ws.write_bytes(0, &[1]); // pre-fault page 0
-    g.bench_function("ld_u64", |b| {
-        b.iter(|| black_box(ws.ld_u64(black_box(128))));
+    measure("workspace_access", "ld_u64", || {
+        black_box(ws.ld_u64(black_box(128)));
     });
-    g.bench_function("st_u64_dirty_page", |b| {
-        b.iter(|| ws.st_u64(black_box(128), black_box(7)));
+    measure("workspace_access", "st_u64_dirty_page", || {
+        ws.st_u64(black_box(128), black_box(7));
     });
-    g.finish();
 }
 
-fn bench_merge(c: &mut Criterion) {
-    let mut g = c.benchmark_group("byte_merge");
-    g.throughput(Throughput::Bytes(PAGE_SIZE as u64));
+fn bench_merge() {
     let t = PageTracker::new();
     let twin = PageBuf::zeroed(&t);
     let mut work = PageBuf::duplicate(&twin);
@@ -48,130 +70,115 @@ fn bench_merge(c: &mut Criterion) {
         work.bytes_mut()[i] = 1;
     }
     let latest = PageBuf::duplicate(&twin);
-    g.bench_function("merge_into_sparse", |b| {
-        let mut out = Box::new(PageBuf::duplicate(&twin));
-        b.iter(|| {
-            conversion::merge::merge_into(
-                black_box(twin.bytes()),
-                black_box(work.bytes()),
-                black_box(latest.bytes()),
-                out.bytes_mut(),
-            )
-        });
+    let mut out = Box::new(PageBuf::duplicate(&twin));
+    measure("byte_merge", "merge_into_sparse", || {
+        conversion::merge::merge_into(
+            black_box(twin.bytes()),
+            black_box(work.bytes()),
+            black_box(latest.bytes()),
+            out.bytes_mut(),
+        );
     });
-    g.finish();
 }
 
-fn bench_commit_update(c: &mut Criterion) {
-    let mut g = c.benchmark_group("commit");
+fn bench_commit_update() {
     for pages in [1usize, 16, 64] {
-        g.bench_function(format!("commit_{pages}_pages"), |b| {
-            b.iter_batched(
-                || {
-                    let seg = Segment::new(pages + 1, 2);
-                    let (mut ws, _) = seg.new_workspace(Tid(0));
-                    for p in 0..pages {
-                        ws.write_bytes(p * PAGE_SIZE, &[p as u8 + 1]);
-                    }
-                    (seg, ws)
-                },
-                |(seg, mut ws)| {
-                    black_box(seg.commit(&mut ws, None));
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        measure_batched(
+            "commit",
+            &format!("commit_{pages}_pages"),
+            || {
+                let seg = Segment::new(pages + 1, 2);
+                let (mut ws, _) = seg.new_workspace(Tid(0));
+                for p in 0..pages {
+                    ws.write_bytes(p * PAGE_SIZE, &[p as u8 + 1]);
+                }
+                (seg, ws)
+            },
+            |(seg, mut ws)| {
+                black_box(seg.commit(&mut ws, None));
+            },
+        );
     }
-    g.bench_function("update_64_pages", |b| {
-        b.iter_batched(
-            || {
-                let seg = Segment::new(65, 2);
-                let (mut w0, _) = seg.new_workspace(Tid(0));
-                let (w1, _) = seg.new_workspace(Tid(1));
-                for p in 0..64 {
-                    w0.write_bytes(p * PAGE_SIZE, &[9]);
-                }
-                seg.commit(&mut w0, None);
-                (seg, w1)
-            },
-            |(seg, mut w1)| {
-                black_box(seg.update(&mut w1));
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+    measure_batched(
+        "commit",
+        "update_64_pages",
+        || {
+            let seg = Segment::new(65, 2);
+            let (mut w0, _) = seg.new_workspace(Tid(0));
+            let (w1, _) = seg.new_workspace(Tid(1));
+            for p in 0..64 {
+                w0.write_bytes(p * PAGE_SIZE, &[9]);
+            }
+            seg.commit(&mut w0, None);
+            (seg, w1)
+        },
+        |(seg, mut w1)| {
+            black_box(seg.update(&mut w1));
+        },
+    );
 }
 
-fn bench_parallel_commit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("parallel_commit");
-    g.bench_function("two_phase_4x16_pages", |b| {
-        b.iter_batched(
-            || {
-                let seg = Segment::new(65, 8);
-                let wss: Vec<_> = (0..4)
-                    .map(|t| {
-                        let (mut ws, _) = seg.new_workspace(Tid(t));
-                        for p in 0..16usize {
-                            ws.write_bytes((p * 4 + t as usize) * PAGE_SIZE, &[t as u8 + 1]);
-                        }
-                        ws
-                    })
-                    .collect();
-                (seg, wss)
-            },
-            |(seg, mut wss)| {
-                let pc = ParallelCommit::new();
-                for ws in wss.iter_mut() {
-                    pc.register(&seg, ws, None);
-                }
-                pc.seal(&seg);
-                for i in 0..4 {
-                    pc.merge_for(i);
-                }
-                black_box(pc.install(&seg));
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+fn bench_parallel_commit() {
+    measure_batched(
+        "parallel_commit",
+        "two_phase_4x16_pages",
+        || {
+            let seg = Segment::new(65, 8);
+            let wss: Vec<_> = (0..4)
+                .map(|t| {
+                    let (mut ws, _) = seg.new_workspace(Tid(t));
+                    for p in 0..16usize {
+                        ws.write_bytes((p * 4 + t as usize) * PAGE_SIZE, &[t as u8 + 1]);
+                    }
+                    ws
+                })
+                .collect();
+            (seg, wss)
+        },
+        |(seg, mut wss)| {
+            let pc = ParallelCommit::new();
+            for ws in wss.iter_mut() {
+                pc.register(&seg, ws, None);
+            }
+            pc.seal(&seg);
+            for i in 0..4 {
+                pc.merge_for(i);
+            }
+            black_box(pc.install(&seg));
+        },
+    );
 }
 
-fn bench_clock_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("clock_table");
-    g.bench_function("eligible_16_threads", |b| {
-        let mut t = ClockTable::new(OrderPolicy::InstructionCount, 16);
-        for i in 0..16 {
-            t.register(Tid(i), 0, 0);
-        }
-        for i in 0..15 {
-            t.publish(Tid(i), 1_000 + i as u64, 0);
-        }
-        t.arrive_sync(Tid(15), 500, 0);
-        b.iter(|| black_box(t.eligible(Tid(15))));
+fn bench_clock_table() {
+    let mut t = ClockTable::new(OrderPolicy::InstructionCount, 16);
+    for i in 0..16 {
+        t.register(Tid(i), 0, 0);
+    }
+    for i in 0..15 {
+        t.publish(Tid(i), 1_000 + i as u64, 0);
+    }
+    t.arrive_sync(Tid(15), 500, 0);
+    measure("clock_table", "eligible_16_threads", || {
+        black_box(t.eligible(Tid(15)));
     });
-    g.bench_function("publish_and_crossing", |b| {
-        let mut t = ClockTable::new(OrderPolicy::InstructionCount, 16);
-        for i in 0..16 {
-            t.register(Tid(i), 0, 0);
-        }
-        t.arrive_sync(Tid(15), 500, 0);
-        let mut clock = 0;
-        b.iter(|| {
-            clock += 10;
-            t.publish(Tid(0), clock, clock);
-            black_box(t.crossing_v(Tid(15), 500))
-        });
+
+    let mut t = ClockTable::new(OrderPolicy::InstructionCount, 16);
+    for i in 0..16 {
+        t.register(Tid(i), 0, 0);
+    }
+    t.arrive_sync(Tid(15), 500, 0);
+    let mut clock = 0;
+    measure("clock_table", "publish_and_crossing", || {
+        clock += 10;
+        t.publish(Tid(0), clock, clock);
+        black_box(t.crossing_v(Tid(15), 500));
     });
-    g.finish();
 }
 
-criterion_group!(
-    substrate,
-    bench_fault_and_access,
-    bench_merge,
-    bench_commit_update,
-    bench_parallel_commit,
-    bench_clock_table
-);
-criterion_main!(substrate);
+fn main() {
+    bench_fault_and_access();
+    bench_merge();
+    bench_commit_update();
+    bench_parallel_commit();
+    bench_clock_table();
+}

@@ -6,24 +6,22 @@
 //! ```
 //!
 //! Prints the rows/series each figure reports and writes JSON to
-//! `target/figures/figN.json`.
+//! `target/figures/figN.json`. The `certify` command prints each
+//! deterministic runtime's schedule hash (see `docs/DETERMINISM.md`) so
+//! recorded experiment runs are self-certifying.
 
 use std::fs;
 use std::time::Instant;
 
+use dmt_bench::json::ToJson;
 use dmt_bench::*;
 
-fn dump<T: serde::Serialize>(name: &str, rows: &T) {
+fn dump<T: ToJson>(name: &str, rows: &T) {
     let dir = "target/figures";
     let _ = fs::create_dir_all(dir);
     let path = format!("{dir}/{name}.json");
-    match serde_json::to_string_pretty(rows) {
-        Ok(s) => {
-            if fs::write(&path, s).is_ok() {
-                eprintln!("  [json: {path}]");
-            }
-        }
-        Err(e) => eprintln!("  [json dump failed: {e}]"),
+    if fs::write(&path, rows.to_json()).is_ok() {
+        eprintln!("  [json: {path}]");
     }
 }
 
@@ -374,6 +372,42 @@ fn extras_cmd(c: &Cfg) {
     dump("extras_pool", &rows);
 }
 
+fn certify_cmd(c: &Cfg) {
+    use dmt_baselines::RuntimeKind;
+    println!(
+        "== Schedule-hash certification ({} threads; see docs/DETERMINISM.md)",
+        c.detail_threads
+    );
+    println!(
+        "{:<16}{:<16}{:>20}{:>10}{:>12}",
+        "benchmark", "runtime", "schedule_hash", "events", "reproduces"
+    );
+    let mut rows = Vec::new();
+    for name in ["histogram", "kmeans", "reverse_index"] {
+        for kind in RuntimeKind::ALL {
+            let a = run_one_traced(&c.bench, kind, name, c.detail_threads);
+            let b = run_one_traced(&c.bench, kind, name, c.detail_threads);
+            let reproduces = a.report.schedule_hash == b.report.schedule_hash;
+            println!(
+                "{:<16}{:<16}{:>#20x}{:>10}{:>12}",
+                name,
+                kind.label(),
+                a.report.schedule_hash,
+                a.report.events.total(),
+                if reproduces {
+                    "yes"
+                } else if kind == RuntimeKind::Pthreads {
+                    "no (expected)"
+                } else {
+                    "NO — BUG"
+                }
+            );
+            rows.push(a);
+        }
+    }
+    dump("certify", &rows);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -395,6 +429,7 @@ fn main() {
             "fig15" => fig15_cmd(&c),
             "fig16" => fig16_cmd(&c),
             "extras" => extras_cmd(&c),
+            "certify" => certify_cmd(&c),
             "all" => {
                 fig10_cmd(&c);
                 fig11_cmd(&c);
@@ -404,9 +439,10 @@ fn main() {
                 fig15_cmd(&c);
                 fig16_cmd(&c);
                 extras_cmd(&c);
+                certify_cmd(&c);
             }
             other => {
-                eprintln!("unknown figure {other}; use fig10..fig16 or all");
+                eprintln!("unknown figure {other}; use fig10..fig16, extras, certify or all");
                 std::process::exit(2);
             }
         }

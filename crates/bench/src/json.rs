@@ -1,0 +1,326 @@
+//! Minimal JSON emission for figure rows.
+//!
+//! The workspace builds offline with no external dependencies, so the
+//! `figures` binary serializes its rows through this hand-rolled trait
+//! instead of `serde_json`. Output is compact, valid JSON; only the types
+//! the figure rows actually contain are supported.
+
+use std::time::Duration;
+
+use dmt_api::{Breakdown, Counters, EventCounts, RunReport, Tid};
+
+/// Types that can write themselves as a JSON value.
+pub trait ToJson {
+    /// Appends this value's JSON representation to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// This value as a JSON string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Writes a JSON string literal with the escapes JSON requires.
+pub fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! json_int {
+    ($($ty:ty),+) => {
+        $(impl ToJson for $ty {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        })+
+    };
+}
+
+json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_str(self, out);
+    }
+}
+
+impl ToJson for &str {
+    fn write_json(&self, out: &mut String) {
+        write_str(self, out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+impl ToJson for Duration {
+    fn write_json(&self, out: &mut String) {
+        self.as_secs_f64().write_json(out);
+    }
+}
+
+impl ToJson for Tid {
+    fn write_json(&self, out: &mut String) {
+        self.0.write_json(out);
+    }
+}
+
+impl ToJson for EventCounts {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (kind, count)) in self.nonzero().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(kind.name(), out);
+            out.push(':');
+            count.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+/// Implements [`ToJson`] for a struct as an object of its named fields.
+macro_rules! json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl ToJson for $ty {
+            fn write_json(&self, out: &mut String) {
+                out.push('{');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    write_str(stringify!($field), out);
+                    out.push(':');
+                    self.$field.write_json(out);
+                )+
+                let _ = first;
+                out.push('}');
+            }
+        }
+    };
+}
+
+json_struct!(Breakdown {
+    chunk,
+    determ_wait,
+    barrier_wait,
+    commit,
+    update,
+    fault,
+    lib
+});
+
+json_struct!(Counters {
+    commits,
+    pages_committed,
+    pages_merged,
+    pages_propagated,
+    faults,
+    token_acquisitions,
+    publications,
+    lock_acquires,
+    barrier_waits,
+    cond_waits,
+    spawns,
+    pool_hits,
+    chunks,
+    coarsened_chunks,
+    lrc_pages_propagated
+});
+
+json_struct!(RunReport {
+    virtual_cycles,
+    wall,
+    breakdown,
+    per_thread,
+    counters,
+    peak_pages,
+    commit_log_hash,
+    schedule_hash,
+    events,
+    threads
+});
+
+json_struct!(crate::Measured {
+    benchmark,
+    runtime,
+    threads,
+    virtual_cycles,
+    peak_pages,
+    validated,
+    report
+});
+
+json_struct!(crate::Fig10Row {
+    benchmark,
+    dthreads,
+    dwc,
+    consequence_rr,
+    consequence_ic
+});
+
+json_struct!(crate::Fig11Point {
+    benchmark,
+    runtime,
+    threads,
+    normalized
+});
+
+json_struct!(crate::Fig12Point {
+    benchmark,
+    runtime,
+    threads,
+    peak_pages
+});
+
+json_struct!(crate::Fig13Bar {
+    benchmark,
+    optimization,
+    speedup
+});
+
+json_struct!(crate::Fig14Point {
+    benchmark,
+    level,
+    virtual_cycles
+});
+
+json_struct!(crate::Fig15Bar {
+    label,
+    runtime,
+    breakdown
+});
+
+json_struct!(crate::Fig16Row {
+    benchmark,
+    tso_pages,
+    lrc_pages,
+    reduction
+});
+
+json_struct!(crate::OverflowPoint {
+    benchmark,
+    interval,
+    virtual_cycles,
+    publications
+});
+
+json_struct!(crate::GcPoint {
+    benchmark,
+    budget,
+    peak_pages,
+    virtual_cycles
+});
+
+json_struct!(crate::LockDesignRow {
+    benchmark,
+    blocking,
+    polling
+});
+
+json_struct!(crate::PoolRow {
+    benchmark,
+    with_pool,
+    without_pool,
+    pool_hits,
+    speedup
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        let mut s = String::new();
+        write_str("a\"b\\c\nd", &mut s);
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn scalars_and_containers() {
+        assert_eq!(7u64.to_json(), "7");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(Option::<u64>::None.to_json(), "null");
+        assert_eq!(vec![1u64, 2].to_json(), "[1,2]");
+        assert_eq!((Tid(3), 9u64).to_json(), "[3,9]");
+    }
+
+    #[test]
+    fn structs_render_as_objects() {
+        let row = crate::Fig13Bar {
+            benchmark: "kmeans".into(),
+            optimization: "coarsening".into(),
+            speedup: 2.0,
+        };
+        assert_eq!(
+            row.to_json(),
+            r#"{"benchmark":"kmeans","optimization":"coarsening","speedup":2}"#
+        );
+    }
+}

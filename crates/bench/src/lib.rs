@@ -7,10 +7,12 @@
 //! the *shapes* — who wins, by what factor, where crossovers are — are the
 //! reproduction targets recorded in `EXPERIMENTS.md`.
 
-use serde::Serialize;
+pub mod json;
 
 use consequence::{ConsequenceRuntime, Options};
-use dmt_api::{Breakdown, CommonConfig, CostModel, RunReport, Runtime, Tid};
+use std::sync::Arc;
+
+use dmt_api::{Breakdown, CommonConfig, CostModel, HashSink, RunReport, Runtime, Tid, TraceHandle};
 use dmt_baselines::{make_runtime, RuntimeKind};
 use dmt_workloads::{workload_by_name, Params, Validation};
 
@@ -81,11 +83,12 @@ fn common_cfg(pages: usize, gc_budget: usize, track_lrc: bool) -> CommonConfig {
         cost: CostModel::default(),
         track_lrc,
         gc_budget,
+        trace: TraceHandle::off(),
     }
 }
 
 /// One measured execution.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Measured {
     pub benchmark: String,
     pub runtime: String,
@@ -112,6 +115,30 @@ pub fn run_one_lrc(
     let w = workload_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let p = Params::new(threads, b.scale, b.seed);
     let mut rt = make_runtime(kind, common_cfg(w.heap_pages(&p), b.gc_budget, track_lrc));
+    let prepared = w.prepare(rt.as_mut(), &p);
+    let report = rt.run(prepared.job);
+    let v: Validation = (prepared.validate)(rt.as_ref());
+    Measured {
+        benchmark: name.to_string(),
+        runtime: kind.label().to_string(),
+        threads,
+        virtual_cycles: report.virtual_cycles,
+        peak_pages: report.peak_pages,
+        validated: v.matches_reference,
+        report,
+    }
+}
+
+/// Runs `name` once under `kind` with an incremental hashing trace sink
+/// attached; `report.schedule_hash` and `report.events` carry the result.
+/// Figure runs stay untraced — this path exists for certification
+/// (`figures certify`) and the determinism-matrix tests.
+pub fn run_one_traced(b: &Bench, kind: RuntimeKind, name: &str, threads: usize) -> Measured {
+    let w = workload_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let p = Params::new(threads, b.scale, b.seed);
+    let mut cfg = common_cfg(w.heap_pages(&p), b.gc_budget, false);
+    cfg.trace = TraceHandle::to(Arc::new(HashSink::new()));
+    let mut rt = make_runtime(kind, cfg);
     let prepared = w.prepare(rt.as_mut(), &p);
     let report = rt.run(prepared.job);
     let v: Validation = (prepared.validate)(rt.as_ref());
@@ -169,7 +196,7 @@ pub fn best_over_threads(
 // ------------------------------------------------------------- Figure 10
 
 /// One Figure 10 row: per-library best runtime normalized to pthreads.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig10Row {
     pub benchmark: String,
     /// Slowdown vs best pthreads, keyed like the paper's bars.
@@ -203,7 +230,7 @@ pub fn fig10(b: &Bench, thread_counts: &[usize], benchmarks: &[&str]) -> Vec<Fig
 // ------------------------------------------------------------- Figure 11
 
 /// One Figure 11 point: runtime at a given thread count.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig11Point {
     pub benchmark: String,
     pub runtime: String,
@@ -235,7 +262,7 @@ pub fn fig11(b: &Bench, thread_counts: &[usize], benchmarks: &[&str]) -> Vec<Fig
 // ------------------------------------------------------------- Figure 12
 
 /// One Figure 12 point: peak memory (pages) at a thread count.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig12Point {
     pub benchmark: String,
     pub runtime: String,
@@ -274,7 +301,7 @@ pub const OPTIMIZATIONS: [&str; 5] = [
 ];
 
 /// One Figure 13 bar: speedup contributed by one optimization.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig13Bar {
     pub benchmark: String,
     pub optimization: String,
@@ -306,7 +333,7 @@ pub fn fig13(b: &Bench, threads: usize, benchmarks: &[&str]) -> Vec<Fig13Bar> {
 // ------------------------------------------------------------- Figure 14
 
 /// One Figure 14 point: runtime at a coarsening level.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig14Point {
     pub benchmark: String,
     /// Static budget in instructions, `None` = adaptive.
@@ -342,7 +369,7 @@ pub fn fig14(b: &Bench, threads: usize, benchmarks: &[&str], levels: &[u64]) -> 
 // ------------------------------------------------------------- Figure 15
 
 /// One Figure 15 stacked bar: where a benchmark's time went.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig15Bar {
     /// `ferret_1` / `ferret_n` are split out as in the paper.
     pub label: String,
@@ -397,7 +424,7 @@ pub fn fig15(b: &Bench, threads: usize, benchmarks: &[&str]) -> Vec<Fig15Bar> {
 // ------------------------------------------------------------- Figure 16
 
 /// One Figure 16 pair: pages propagated under TSO vs the LRC estimate.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig16Row {
     pub benchmark: String,
     pub tso_pages: u64,
@@ -432,7 +459,7 @@ pub fn fig16(b: &Bench, threads: usize, benchmarks: &[&str]) -> Vec<Fig16Row> {
 // --------------------------------------------------------- extra ablations
 
 /// One point of the §3.2 overflow-interval sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct OverflowPoint {
     pub benchmark: String,
     /// Fixed overflow interval in instructions; `None` = adaptive.
@@ -475,7 +502,7 @@ pub fn overflow_sweep(
 }
 
 /// One point of the GC-budget sweep behind Figure 12.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct GcPoint {
     pub benchmark: String,
     /// Versions the collector may reclaim per commit (`u64::MAX` printed
@@ -506,7 +533,7 @@ pub fn gc_sweep(b: &Bench, threads: usize, name: &str, budgets: &[usize]) -> Vec
 }
 
 /// One row of the §4.1 blocking-vs-polling mutex comparison.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct LockDesignRow {
     pub benchmark: String,
     pub blocking: u64,
@@ -552,7 +579,7 @@ pub fn lock_design(
 }
 
 /// One row of the §3.3 thread-pool ablation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct PoolRow {
     pub benchmark: String,
     pub with_pool: u64,

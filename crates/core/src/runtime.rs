@@ -185,6 +185,8 @@ impl Runtime for ConsequenceRuntime {
             counters,
             peak_pages: sh.seg.tracker().peak(),
             commit_log_hash: sh.seg.log_hash(),
+            schedule_hash: sh.cfg.trace.schedule_hash(),
+            events: sh.cfg.trace.counts(),
             threads,
         }
     }

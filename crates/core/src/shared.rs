@@ -6,7 +6,7 @@ use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use dmt_api::sync::{Condvar, Mutex};
 
 use conversion::{ParallelCommit, Segment, Workspace};
 use det_clock::ClockTable;
@@ -26,6 +26,10 @@ pub(crate) struct MutexSt {
     pub cs_est: Ewma,
     /// Clock at which the current owner acquired the lock.
     pub cs_start_clock: u64,
+    /// Acquisitions granted so far; the next grant takes ticket
+    /// `tickets + 1`. Trace events use this so two runs can be compared
+    /// per-lock, not just globally.
+    pub tickets: u64,
 }
 
 /// A deterministic condition variable.

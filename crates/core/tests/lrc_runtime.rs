@@ -2,7 +2,7 @@
 //! programs should show point-to-point savings, barrier programs none.
 
 use consequence::{ConsequenceRuntime, Options};
-use dmt_api::{CommonConfig, CostModel, MemExt, RunReport, Runtime, ThreadCtx, Tid};
+use dmt_api::{CommonConfig, CostModel, MemExt, RunReport, Runtime, Tid};
 
 fn cfg() -> CommonConfig {
     CommonConfig {
@@ -11,6 +11,7 @@ fn cfg() -> CommonConfig {
         cost: CostModel::default(),
         track_lrc: true,
         gc_budget: usize::MAX,
+        trace: dmt_api::TraceHandle::off(),
     }
 }
 

@@ -14,6 +14,7 @@ fn cfg() -> CommonConfig {
         cost: CostModel::default(),
         track_lrc: false,
         gc_budget: usize::MAX,
+        trace: dmt_api::TraceHandle::off(),
     }
 }
 
@@ -216,7 +217,7 @@ fn barrier_reusable_across_generations() {
         }
         ctx.join(k);
     }));
-    assert_eq!(rt.final_u64(0), 0 + 1 + 2 + 3 + 4);
+    assert_eq!(rt.final_u64(0), 1 + 2 + 3 + 4);
 }
 
 #[test]

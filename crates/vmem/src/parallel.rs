@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dmt_api::sync::Mutex;
 
 use dmt_api::{Tid, VectorClock};
 

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dmt_api::sync::Mutex;
 
 use dmt_api::{Addr, Fnv1a, Tid, VectorClock, PAGE_SIZE};
 
@@ -12,6 +12,10 @@ use crate::page::{PageBuf, PageRef, PageTracker};
 use crate::registry::Registry;
 use crate::version::Version;
 use crate::workspace::Workspace;
+
+/// A pre-merged version ready to install: committing thread, its pages
+/// (index, content), and the TSO vector clock to attach.
+pub(crate) type BuiltVersion = (Tid, Vec<(u32, PageRef)>, Option<Arc<VectorClock>>);
 
 /// Outcome of a [`Segment::commit`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -23,6 +27,10 @@ pub struct CommitResult {
     pub pages: u32,
     /// Pages that conflicted with a remote commit and were byte-merged.
     pub merged: u32,
+    /// FNV-1a digest of the published page indices, in order — a compact
+    /// witness of the dirty-page *set*, not just its size. Zero when no
+    /// pages were published.
+    pub page_set: u64,
 }
 
 /// Outcome of a [`Segment::update`].
@@ -254,15 +262,18 @@ impl Segment {
                 version: inner.next_id - 1,
                 pages: 0,
                 merged: 0,
+                page_set: 0,
             };
         }
         let id = inner.next_id;
         inner.next_id += 1;
         inner.log.update_u64(id);
         inner.log.update_u64(ws.tid().0 as u64);
+        let mut page_set = Fnv1a::new();
         for (p, r) in &pages {
             inner.log.update_u64(*p as u64);
             inner.log.update_u64(Fnv1a::hash(r.bytes()));
+            page_set.update_u64(*p as u64);
         }
         let npages = pages.len() as u32;
         inner.counts.push_back((id, npages, ws.tid()));
@@ -277,15 +288,13 @@ impl Segment {
             version: id,
             pages: npages,
             merged,
+            page_set: page_set.digest(),
         }
     }
 
     /// Installs pre-merged versions produced by a
     /// [`crate::ParallelCommit`]. Caller must serialize with other commits.
-    pub(crate) fn install_versions(
-        &self,
-        built: Vec<(Tid, Vec<(u32, PageRef)>, Option<Arc<VectorClock>>)>,
-    ) -> Vec<u64> {
+    pub(crate) fn install_versions(&self, built: Vec<BuiltVersion>) -> Vec<u64> {
         let mut inner = self.inner.lock();
         let mut ids = Vec::with_capacity(built.len());
         for (tid, pages, vc) in built {
@@ -363,7 +372,7 @@ impl Segment {
     pub fn update_to(&self, ws: &mut Workspace, upto: u64) -> UpdateResult {
         assert_eq!(ws.dirty_count(), 0, "update requires a committed workspace");
         let inner = self.inner.lock();
-        assert!(upto <= inner.next_id - 1, "update_to a future version");
+        assert!(upto < inner.next_id, "update_to a future version");
         let mut propagated = 0u64;
         let mut applied = 0u64;
         if ws.base() < upto {

@@ -1,14 +1,32 @@
-//! Property tests for the versioned segment: arbitrary interleavings of
-//! writes, commits, updates and GC must match a flat-memory model and never
-//! violate GC safety.
-
-use proptest::prelude::*;
+//! Property-style tests for the versioned segment: arbitrary interleavings
+//! of writes, commits, updates and GC must match a flat-memory model and
+//! never violate GC safety.
+//!
+//! Originally `proptest` properties; now scripted pseudo-random cases from
+//! a local LCG so the workspace builds with no external dependencies.
 
 use conversion::Segment;
 use dmt_api::{Tid, PAGE_SIZE};
 
 const THREADS: usize = 3;
 const PAGES: usize = 2;
+
+/// Deterministic LCG (MMIX constants) driving case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// One scripted action against the segment.
 #[derive(Clone, Debug)]
@@ -18,30 +36,34 @@ enum Act {
     Gc { budget: usize },
 }
 
-fn acts() -> impl Strategy<Value = Vec<Act>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0..THREADS, 0..PAGES * PAGE_SIZE, any::<u8>()).prop_map(|(t, addr, val)| Act::Write {
-                t,
-                addr,
-                val
-            }),
-            (0..THREADS).prop_map(|t| Act::CommitAndUpdate { t }),
-            (0..8usize).prop_map(|budget| Act::Gc { budget }),
-        ],
-        0..80,
-    )
+fn gen_script(rng: &mut Rng) -> Vec<Act> {
+    let len = rng.below(80) as usize;
+    (0..len)
+        .map(|_| match rng.below(3) {
+            0 => Act::Write {
+                t: rng.below(THREADS as u64) as usize,
+                addr: rng.below((PAGES * PAGE_SIZE) as u64) as usize,
+                val: rng.next() as u8,
+            },
+            1 => Act::CommitAndUpdate {
+                t: rng.below(THREADS as u64) as usize,
+            },
+            _ => Act::Gc {
+                budget: rng.below(8) as usize,
+            },
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Model: each thread owns a private overlay over a global flat array;
-    /// commit-and-update folds the overlay into the global (changed bytes
-    /// win) and clears it. The segment must agree at every commit point
-    /// and at the end — under any GC schedule.
-    #[test]
-    fn segment_matches_flat_model_under_gc(script in acts()) {
+/// Model: each thread owns a private overlay over a global flat array;
+/// commit-and-update folds the overlay into the global (changed bytes
+/// win) and clears it. The segment must agree at every commit point
+/// and at the end — under any GC schedule.
+#[test]
+fn segment_matches_flat_model_under_gc() {
+    let mut rng = Rng(0xA1_A1_A1);
+    for _ in 0..96 {
+        let script = gen_script(&mut rng);
         let seg = Segment::new(PAGES, THREADS);
         let mut spaces: Vec<_> = (0..THREADS)
             .map(|t| seg.new_workspace(Tid(t as u32)).0)
@@ -69,7 +91,7 @@ proptest! {
                     spaces[*t].read_bytes(0, &mut view);
                     // Other threads' uncommitted overlays are invisible,
                     // so the view equals the model global exactly.
-                    prop_assert_eq!(&view, &global);
+                    assert_eq!(&view, &global);
                 }
                 Act::Gc { budget } => {
                     seg.gc(*budget);
@@ -85,14 +107,18 @@ proptest! {
         }
         let mut out = vec![0u8; PAGES * PAGE_SIZE];
         seg.read_latest(0, &mut out);
-        prop_assert_eq!(out, global);
+        assert_eq!(out, global);
     }
+}
 
-    /// Live-page accounting: peak never decreases, live never exceeds
-    /// peak, and after full GC with all workspaces current, live pages are
-    /// bounded by snapshots + latest (no leaked versions).
-    #[test]
-    fn page_accounting_invariants(script in acts()) {
+/// Live-page accounting: peak never decreases, live never exceeds
+/// peak, and after full GC with all workspaces current, live pages are
+/// bounded by snapshots + latest (no leaked versions).
+#[test]
+fn page_accounting_invariants() {
+    let mut rng = Rng(0xB2_B2_B2);
+    for _ in 0..96 {
+        let script = gen_script(&mut rng);
         let seg = Segment::new(PAGES, THREADS);
         let mut spaces: Vec<_> = (0..THREADS)
             .map(|t| seg.new_workspace(Tid(t as u32)).0)
@@ -113,31 +139,36 @@ proptest! {
             }
             let live = seg.tracker().live();
             let peak = seg.tracker().peak();
-            prop_assert!(live <= peak);
-            prop_assert!(peak >= peak_seen, "peak must be monotone");
+            assert!(live <= peak);
+            assert!(peak >= peak_seen, "peak must be monotone");
             peak_seen = peak;
         }
         // Settle everyone and collect fully.
-        for t in 0..THREADS {
-            seg.commit(&mut spaces[t], None);
-            seg.update(&mut spaces[t]);
+        for ws in spaces.iter_mut() {
+            seg.commit(ws, None);
+            seg.update(ws);
         }
         seg.gc(usize::MAX);
         // Bound: latest table + per-workspace snapshots + retained
         // versions (≤1 squashed pinned version's pages).
         let bound = PAGES * (1 + THREADS) + PAGES;
-        prop_assert!(
+        assert!(
             seg.tracker().live() <= bound,
             "live {} exceeds bound {}",
             seg.tracker().live(),
             bound
         );
     }
+}
 
-    /// `update_to` is equivalent to a prefix of `update`: updating to an
-    /// intermediate version then to latest equals one update to latest.
-    #[test]
-    fn update_to_composes(vals in prop::collection::vec(any::<u8>(), 1..10)) {
+/// `update_to` is equivalent to a prefix of `update`: updating to an
+/// intermediate version then to latest equals one update to latest.
+#[test]
+fn update_to_composes() {
+    let mut rng = Rng(0xC3_C3_C3);
+    for _ in 0..32 {
+        let nvals = 1 + rng.below(9) as usize;
+        let vals: Vec<u8> = (0..nvals).map(|_| rng.next() as u8).collect();
         let seg = Segment::new(1, 3);
         let mut w = seg.new_workspace(Tid(0)).0;
         let mut ids = Vec::new();
@@ -154,12 +185,15 @@ proptest! {
         let mid = ids[ids.len() / 2];
         let r1 = seg.update_to(&mut a, mid);
         let r2 = seg.update_to(&mut a, *ids.last().expect("nonempty"));
-        prop_assert_eq!(r1.pages_propagated + r2.pages_propagated, 0,
-            "fresh snapshot is already current; nothing to apply");
+        assert_eq!(
+            r1.pages_propagated + r2.pages_propagated,
+            0,
+            "fresh snapshot is already current; nothing to apply"
+        );
         let mut one = vec![0u8; PAGE_SIZE];
         a.read_bytes(0, &mut one);
         let mut latest = vec![0u8; PAGE_SIZE];
         seg.read_latest(0, &mut latest);
-        prop_assert_eq!(one, latest);
+        assert_eq!(one, latest);
     }
 }

@@ -496,7 +496,7 @@ impl Workload for Streamcluster {
                 eassign[i] = best as u64;
             }
             let mut acc = vec![0.0f64; SC_K * SC_D];
-            let mut cnt = vec![0u64; SC_K];
+            let mut cnt = [0u64; SC_K];
             for i in 0..n {
                 let k = eassign[i] as usize;
                 cnt[k] += 1;
@@ -548,7 +548,7 @@ impl Workload for Streamcluster {
                         if w == 0 {
                             // Recenter.
                             let mut acc = vec![0.0f64; SC_K * SC_D];
-                            let mut cnt = vec![0u64; SC_K];
+                            let mut cnt = [0u64; SC_K];
                             for i in 0..n {
                                 let k = c.ld_u64(assign + 8 * i) as usize;
                                 cnt[k] += 1;

@@ -515,7 +515,7 @@ impl Workload for Kmeans {
         let mut ec = init_c.clone();
         for _ in 0..KM_ITERS {
             let mut acc = vec![0.0f64; KM_K * KM_D];
-            let mut cnt = vec![0u64; KM_K];
+            let mut cnt = [0u64; KM_K];
             for i in 0..n {
                 let mut best = 0;
                 let mut bd = f64::INFINITY;
@@ -559,7 +559,7 @@ impl Workload for Kmeans {
                         let mut cent = vec![0.0f64; KM_K * KM_D];
                         c.ld_f64_slice(centroids, &mut cent);
                         let mut acc = vec![0.0f64; KM_K * KM_D];
-                        let mut cnt = vec![0u64; KM_K];
+                        let mut cnt = [0u64; KM_K];
                         for i in s..e {
                             let mut pt = [0.0f64; KM_D];
                             c.ld_f64_slice(pts + 8 * i * KM_D, &mut pt);
@@ -822,6 +822,8 @@ impl Workload for ReverseIndex {
         let validate = Box::new(move |rt: &dyn Runtime| {
             let mut digest = 0u64;
             let mut ok = true;
+            // Index drives address arithmetic, not just `ecount`.
+            #[allow(clippy::needless_range_loop)]
             for b in 0..RI_BUCKETS {
                 let base = index + 8 * (b * (1 + cap));
                 let cnt = rt.final_u64(base);

@@ -101,7 +101,7 @@ impl Workload for OceanCp {
             });
         });
 
-        let final_grid = if OC_ITERS % 2 == 0 { ga } else { gb };
+        let final_grid = if OC_ITERS.is_multiple_of(2) { ga } else { gb };
         let validate = Box::new(move |rt: &dyn Runtime| {
             let mut got = vec![0u64; n * n];
             rt.final_u64_slice(final_grid, &mut got);
@@ -172,6 +172,8 @@ fn lu_prepare(rt: &mut dyn Runtime, p: &Params, contiguous: bool) -> Prepared {
                         }
                         let f = c.ld_f64(a + 8 * (i * n + k)) / pkk;
                         c.st_f64(a + 8 * (i * n + k), f);
+                        // Index drives address arithmetic, not just `pivot`.
+                        #[allow(clippy::needless_range_loop)]
                         for j in k + 1..n {
                             let v = c.ld_f64(a + 8 * (i * n + j)) - f * pivot[j];
                             c.st_f64(a + 8 * (i * n + j), v);
@@ -332,6 +334,8 @@ impl Workload for WaterNsquared {
                             let yi = c.ld_f64(pos + 16 * i + 8);
                             let mut fx = 0.0;
                             let mut fy = 0.0;
+                            // Index drives address arithmetic, not just `locks`.
+                            #[allow(clippy::needless_range_loop)]
                             for j in i + 1..m {
                                 let dx = xi - c.ld_f64(pos + 16 * j);
                                 let dy = yi - c.ld_f64(pos + 16 * j + 8);
@@ -508,7 +512,7 @@ impl Workload for WaterSpatial {
             });
         });
 
-        let final_buf = if WS_STEPS % 2 == 0 { cur } else { nxt };
+        let final_buf = if WS_STEPS.is_multiple_of(2) { cur } else { nxt };
         let validate = Box::new(move |rt: &dyn Runtime| {
             let ok = (0..2 * m).all(|k| {
                 let got = rt.final_f64(final_buf + 8 * k);
@@ -618,7 +622,11 @@ impl Workload for Radix {
             });
         });
 
-        let out = if RX_PASSES % 2 == 0 { buf_a } else { buf_b };
+        let out = if RX_PASSES.is_multiple_of(2) {
+            buf_a
+        } else {
+            buf_b
+        };
         let validate = Box::new(move |rt: &dyn Runtime| {
             let mut got = vec![0u64; n];
             rt.final_u64_slice(out, &mut got);

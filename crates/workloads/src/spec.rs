@@ -44,13 +44,16 @@ pub struct Validation {
     pub matches_reference: bool,
 }
 
+/// Post-run check against the sequential reference.
+pub type Validator = Box<dyn FnOnce(&dyn Runtime) -> Validation + Send>;
+
 /// A workload instantiated against a concrete runtime: the job to run and
 /// the validator to apply afterwards.
 pub struct Prepared {
     /// Main job (always executed as `Tid(0)`).
     pub job: Job,
     /// Post-run check against the sequential reference.
-    pub validate: Box<dyn FnOnce(&dyn Runtime) -> Validation + Send>,
+    pub validate: Validator,
 }
 
 /// One benchmark program from the paper's evaluation.

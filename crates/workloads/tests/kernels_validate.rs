@@ -1,7 +1,7 @@
 //! Every kernel must produce its sequential-reference result under the
 //! deterministic runtimes, and be bit-reproducible across runs.
 
-use dmt_api::{CommonConfig, CostModel, Runtime};
+use dmt_api::{CommonConfig, CostModel};
 use dmt_baselines::{make_runtime, RuntimeKind};
 use dmt_workloads::{all_workloads, workload_by_name, Params, Workload};
 
@@ -12,6 +12,7 @@ fn cfg(pages: usize) -> CommonConfig {
         cost: CostModel::default(),
         track_lrc: false,
         gc_budget: usize::MAX,
+        trace: dmt_api::TraceHandle::off(),
     }
 }
 

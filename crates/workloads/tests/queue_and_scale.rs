@@ -1,7 +1,7 @@
 //! The shared-memory pipeline queue under live runtimes, and kernel
 //! scale-parameter checks.
 
-use dmt_api::{CommonConfig, CostModel, MemExt, Runtime, RuntimeMemExt, Tid};
+use dmt_api::{CommonConfig, CostModel, MemExt, RuntimeMemExt, Tid};
 use dmt_baselines::{make_runtime, RuntimeKind};
 use dmt_workloads::layout::Layout;
 use dmt_workloads::queue::{ShmQueue, PILL};
@@ -14,6 +14,7 @@ fn cfg(pages: usize) -> CommonConfig {
         cost: CostModel::default(),
         track_lrc: false,
         gc_budget: usize::MAX,
+        trace: dmt_api::TraceHandle::off(),
     }
 }
 

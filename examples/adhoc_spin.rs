@@ -16,7 +16,7 @@
 //! ```
 
 use consequence::{ConsequenceRuntime, Options};
-use dmt_api::{CommonConfig, Runtime, RuntimeMemExt, ThreadCtx};
+use dmt_api::{CommonConfig, Runtime, RuntimeMemExt};
 
 const FLAG: usize = 0;
 const ECHO: usize = 8;

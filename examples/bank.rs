@@ -11,7 +11,7 @@
 //! cargo run --example bank
 //! ```
 
-use dmt_api::{CommonConfig, Runtime, RuntimeMemExt, ThreadCtx, Tid};
+use dmt_api::{CommonConfig, Runtime, RuntimeMemExt, Tid};
 use dmt_baselines::{make_runtime, RuntimeKind};
 
 const ACCOUNTS: usize = 16;

@@ -13,7 +13,7 @@
 //! ```
 
 use consequence::{ConsequenceRuntime, Options};
-use dmt_api::{CommonConfig, MemExt, Runtime, RuntimeMemExt, ThreadCtx};
+use dmt_api::{CommonConfig, MemExt, Runtime, RuntimeMemExt};
 use dmt_workloads::layout::Layout;
 use dmt_workloads::queue::{ShmQueue, PILL};
 

@@ -11,7 +11,7 @@
 //! ```
 
 use consequence::{ConsequenceRuntime, Options};
-use dmt_api::{CommonConfig, Runtime, RuntimeMemExt, ThreadCtx, Tid};
+use dmt_api::{CommonConfig, Runtime, RuntimeMemExt, Tid};
 
 const COUNTER: usize = 0;
 

@@ -1,14 +1,32 @@
-//! Property-based tests over the substrates, at the integration level:
+//! Property-style tests over the substrates, at the integration level:
 //! arbitrary write patterns through Conversion must behave like a flat
 //! memory under sequential application, parallel barrier commits must equal
 //! serial commits, and the token order must equal the sort order of
 //! `(clock, tid)` pairs.
-
-use proptest::prelude::*;
+//!
+//! Originally `proptest` properties; now scripted pseudo-random cases from
+//! a local LCG so the workspace builds with no external dependencies.
 
 use consequence_repro::conversion::{ParallelCommit, Segment};
 use consequence_repro::det_clock::{ClockTable, OrderPolicy};
 use consequence_repro::dmt_api::{Tid, PAGE_SIZE};
+
+/// Deterministic LCG (MMIX constants) driving case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// A scripted write: thread, address, value.
 #[derive(Clone, Debug)]
@@ -18,24 +36,24 @@ struct W {
     val: u8,
 }
 
-fn writes(threads: usize, pages: usize) -> impl Strategy<Value = Vec<W>> {
-    prop::collection::vec(
-        (0..threads, 0..pages * PAGE_SIZE, any::<u8>()).prop_map(|(t, addr, val)| W {
-            t,
-            addr,
-            val,
-        }),
-        0..60,
-    )
+fn gen_writes(rng: &mut Rng, threads: usize, pages: usize) -> Vec<W> {
+    let len = rng.below(60) as usize;
+    (0..len)
+        .map(|_| W {
+            t: rng.below(threads as u64) as usize,
+            addr: rng.below((pages * PAGE_SIZE) as u64) as usize,
+            val: rng.next() as u8,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Round-robin of writes with a commit+update after every write is
-    /// equivalent to applying the writes to a flat array in that order.
-    #[test]
-    fn committed_writes_apply_in_commit_order(ws in writes(3, 2)) {
+/// Round-robin of writes with a commit+update after every write is
+/// equivalent to applying the writes to a flat array in that order.
+#[test]
+fn committed_writes_apply_in_commit_order() {
+    let mut rng = Rng(0xD4_D4_D4);
+    for _ in 0..64 {
+        let ws = gen_writes(&mut rng, 3, 2);
         let seg = Segment::new(2, 4);
         let mut spaces: Vec<_> = (0..3).map(|t| seg.new_workspace(Tid(t)).0).collect();
         let mut flat = vec![0u8; 2 * PAGE_SIZE];
@@ -47,13 +65,17 @@ proptest! {
         }
         let mut got = vec![0u8; 2 * PAGE_SIZE];
         seg.read_latest(0, &mut got);
-        prop_assert_eq!(got, flat);
+        assert_eq!(got, flat);
     }
+}
 
-    /// Uncommitted writes are invisible to other workspaces (isolation),
-    /// and visible to the writer (its own store buffer).
-    #[test]
-    fn isolation_until_commit(ws in writes(2, 2)) {
+/// Uncommitted writes are invisible to other workspaces (isolation),
+/// and visible to the writer (its own store buffer).
+#[test]
+fn isolation_until_commit() {
+    let mut rng = Rng(0xE5_E5_E5);
+    for _ in 0..64 {
+        let ws = gen_writes(&mut rng, 2, 2);
         let seg = Segment::new(2, 4);
         let mut a = seg.new_workspace(Tid(0)).0;
         let b = seg.new_workspace(Tid(1)).0;
@@ -65,21 +87,24 @@ proptest! {
         // The writer sees its own writes…
         let mut got = vec![0u8; 2 * PAGE_SIZE];
         a.read_bytes(0, &mut got);
-        prop_assert_eq!(&got, &mine);
+        assert_eq!(&got, &mine);
         // …the other workspace sees none of them.
         let mut other = vec![0u8; 2 * PAGE_SIZE];
         b.read_bytes(0, &mut other);
-        prop_assert_eq!(other, vec![0u8; 2 * PAGE_SIZE]);
+        assert_eq!(other, vec![0u8; 2 * PAGE_SIZE]);
     }
+}
 
-    /// A parallel two-phase barrier commit produces exactly the same final
-    /// memory as committing each workspace serially in the same order.
-    #[test]
-    fn parallel_commit_equals_serial(ws in writes(4, 3)) {
+/// A parallel two-phase barrier commit produces exactly the same final
+/// memory as committing each workspace serially in the same order.
+#[test]
+fn parallel_commit_equals_serial() {
+    let mut rng = Rng(0xF6_F6_F6);
+    for _ in 0..64 {
+        let ws = gen_writes(&mut rng, 4, 3);
         let apply = |parallel: bool| {
             let seg = Segment::new(3, 8);
-            let mut spaces: Vec<_> =
-                (0..4).map(|t| seg.new_workspace(Tid(t)).0).collect();
+            let mut spaces: Vec<_> = (0..4).map(|t| seg.new_workspace(Tid(t)).0).collect();
             for w in &ws {
                 spaces[w.t].write_bytes(w.addr, &[w.val]);
             }
@@ -102,17 +127,19 @@ proptest! {
             seg.read_latest(0, &mut out);
             out
         };
-        prop_assert_eq!(apply(true), apply(false));
+        assert_eq!(apply(true), apply(false));
     }
+}
 
-    /// Token grants under instruction-count ordering equal sorting the
-    /// requests by `(clock, tid)`: simulate a set of one-shot sync requests
-    /// and grant greedily.
-    #[test]
-    fn ic_token_order_sorts_by_clock_then_tid(
-        clocks in prop::collection::vec(0u64..1_000, 2..8)
-    ) {
-        let n = clocks.len();
+/// Token grants under instruction-count ordering equal sorting the
+/// requests by `(clock, tid)`: simulate a set of one-shot sync requests
+/// and grant greedily.
+#[test]
+fn ic_token_order_sorts_by_clock_then_tid() {
+    let mut rng = Rng(0x17_17_17);
+    for _ in 0..64 {
+        let n = 2 + rng.below(6) as usize;
+        let clocks: Vec<u64> = (0..n).map(|_| rng.below(1_000)).collect();
         let mut table = ClockTable::new(OrderPolicy::InstructionCount, n);
         for (i, &c) in clocks.iter().enumerate() {
             table.register(Tid(i as u32), c, 0);
@@ -130,23 +157,23 @@ proptest! {
         }
         let mut expect: Vec<usize> = (0..n).collect();
         expect.sort_by_key(|&i| (clocks[i], i));
-        prop_assert_eq!(granted, expect);
+        assert_eq!(granted, expect);
     }
+}
 
-    /// Byte merging is lossless for disjoint writers regardless of commit
-    /// order: both orders produce the same bytes at every written address.
-    #[test]
-    fn disjoint_commits_commute(ws in writes(2, 1)) {
+/// Byte merging is lossless for disjoint writers regardless of commit
+/// order: both orders produce the same bytes at every written address.
+#[test]
+fn disjoint_commits_commute() {
+    let mut rng = Rng(0x28_28_28);
+    for _ in 0..64 {
+        let ws = gen_writes(&mut rng, 2, 1);
         // Deduplicate addresses so the two threads write disjoint bytes.
         let mut seen = std::collections::HashSet::new();
-        let disjoint: Vec<W> = ws
-            .into_iter()
-            .filter(|w| seen.insert(w.addr))
-            .collect();
+        let disjoint: Vec<W> = ws.into_iter().filter(|w| seen.insert(w.addr)).collect();
         let run = |order: [usize; 2]| {
             let seg = Segment::new(1, 2);
-            let mut spaces: Vec<_> =
-                (0..2).map(|t| seg.new_workspace(Tid(t)).0).collect();
+            let mut spaces: Vec<_> = (0..2).map(|t| seg.new_workspace(Tid(t)).0).collect();
             for w in &disjoint {
                 spaces[w.t].write_bytes(w.addr, &[w.val]);
             }
@@ -157,6 +184,6 @@ proptest! {
             seg.read_latest(0, &mut out);
             out
         };
-        prop_assert_eq!(run([0, 1]), run([1, 0]));
+        assert_eq!(run([0, 1]), run([1, 0]));
     }
 }

@@ -11,6 +11,7 @@ fn cfg() -> CommonConfig {
         cost: CostModel::default(),
         track_lrc: false,
         gc_budget: usize::MAX,
+        trace: dmt_api::TraceHandle::off(),
     }
 }
 
