@@ -31,12 +31,19 @@
 //! a deterministic runtime must agree on it bit-for-bit — and
 //! [`trace::diagnose`] pinpoints the first divergent event when they do
 //! not. See `docs/DETERMINISM.md` at the workspace root.
+//!
+//! The [`perturb`] module is the adversarial counterpart: a seeded fault
+//! injector carried as a [`PerturbHandle`] in [`CommonConfig`]. Runtimes
+//! fire its hook points at timing-sensitive moments; the `dmt-stress`
+//! harness then asserts the schedule hash never moves. See
+//! `docs/STRESS.md`.
 
 pub mod cost;
 pub mod ctx;
 pub mod hash;
 pub mod ids;
 pub mod mem;
+pub mod perturb;
 pub mod report;
 pub mod runtime;
 pub mod sync;
@@ -48,6 +55,9 @@ pub use ctx::{Job, ThreadCtx};
 pub use hash::Fnv1a;
 pub use ids::{Addr, BarrierId, CondId, MutexId, RwLockId, Tid};
 pub use mem::{MemExt, RuntimeMemExt};
+pub use perturb::{
+    PerturbEntry, PerturbHandle, PerturbPlan, PerturbSite, Perturber, PlanPerturber,
+};
 pub use report::{Breakdown, Counters, RunReport};
 pub use runtime::{CommonConfig, Runtime};
 pub use trace::{

@@ -152,6 +152,14 @@ pub struct RunReport {
     pub events: EventCounts,
     /// Number of threads that ran (including the main job).
     pub threads: u32,
+    /// Master seed of the fault-injection plan active during the run
+    /// (see [`crate::perturb`]); 0 when no perturber was attached. Makes
+    /// stress artifacts self-describing: the report alone reproduces the
+    /// run.
+    pub perturb_seed: u64,
+    /// FNV-1a digest of the active fault-injection plan (identifies shrunk
+    /// plans, whose master seed alone is ambiguous); 0 when off.
+    pub perturb_plan: u64,
 }
 
 impl RunReport {
@@ -227,6 +235,8 @@ mod tests {
             schedule_hash: 0,
             events: EventCounts::default(),
             threads: 1,
+            perturb_seed: 0,
+            perturb_plan: 0,
         };
         assert!(r.thread_breakdown(Tid(0)).is_some());
         assert!(r.thread_breakdown(Tid(1)).is_none());

@@ -3,6 +3,7 @@
 use crate::cost::CostModel;
 use crate::ctx::Job;
 use crate::ids::{Addr, BarrierId, CondId, MutexId, RwLockId};
+use crate::perturb::PerturbHandle;
 use crate::report::RunReport;
 use crate::trace::TraceHandle;
 
@@ -29,6 +30,11 @@ pub struct CommonConfig {
     /// every emission site then reduces to one branch, so benchmark
     /// figures are unaffected.
     pub trace: TraceHandle,
+    /// Fault injector (see [`crate::perturb`]). Off by default: every
+    /// hook site then reduces to one branch. Attached by the `dmt-stress`
+    /// harness to perturb physical timing without — for deterministic
+    /// runtimes — moving the schedule hash.
+    pub perturb: PerturbHandle,
 }
 
 impl Default for CommonConfig {
@@ -40,6 +46,7 @@ impl Default for CommonConfig {
             track_lrc: false,
             gc_budget: 4,
             trace: TraceHandle::off(),
+            perturb: PerturbHandle::off(),
         }
     }
 }

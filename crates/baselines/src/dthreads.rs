@@ -29,8 +29,8 @@ use dmt_api::sync::{Condvar, Mutex};
 use conversion::{Segment, Workspace};
 use dmt_api::trace::Event;
 use dmt_api::{
-    Addr, BarrierId, Breakdown, CommonConfig, CondId, CostModel, Counters, Job, MutexId, RunReport,
-    Runtime, RwLockId, ThreadCtx, Tid,
+    Addr, BarrierId, Breakdown, CommonConfig, CondId, CostModel, Counters, Job, MutexId,
+    PerturbSite, RunReport, Runtime, RwLockId, ThreadCtx, Tid,
 };
 
 #[derive(Debug, Default)]
@@ -137,6 +137,18 @@ impl DtCtx {
         self.ws.as_mut().expect("workspace present")
     }
 
+    /// Fires a fault-injection site (see `dmt_api::perturb`), charging any
+    /// returned cycles as library overhead. Virtual time only: fence
+    /// membership is the running set and serial order is sorted by tid, so
+    /// arrival timing cannot move the schedule.
+    fn perturb_hit(&mut self, site: PerturbSite) {
+        let c = self.sh.cfg.perturb.hit(site, self.tid);
+        if c > 0 {
+            self.v += c;
+            self.bd.lib += c;
+        }
+    }
+
     fn charge_mem(&mut self, bytes: usize) {
         let c = self.cost.mem_access(bytes);
         self.clock += bytes.div_ceil(8) as u64;
@@ -220,6 +232,10 @@ impl DtCtx {
         let c = self.cost.sync_op;
         self.v += c;
         self.bd.lib += c;
+        // Fence-arrival delay: a straggler reaching the rendezvous late.
+        // The fence cannot start until every running thread arrives, so
+        // only waiting time stretches.
+        self.perturb_hit(PerturbSite::Fence);
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
 
@@ -236,6 +252,11 @@ impl DtCtx {
         loop {
             if inner.serial && inner.serial_order.get(inner.serial_idx) == Some(&self.tid) {
                 break;
+            }
+            if sh.cfg.perturb.spurious_wake(self.tid) {
+                // Spurious wake injection: serial-turn waiters re-check the
+                // turn predicate and go back to sleep.
+                sh.cv.notify_all();
             }
             sh.cv.wait(&mut inner);
         }
@@ -314,6 +335,10 @@ impl DtCtx {
                 self.bd.determ_wait += self.v - from;
                 let upto = inner.open_version;
                 drop(inner);
+                // Parallel-phase delay: updates race in real time anyway
+                // (their events are auxiliary), and `update_to` pins the
+                // exact version, so a slow updater changes nothing.
+                self.perturb_hit(PerturbSite::Fence);
                 self.update(upto);
                 sh.seg.unpin(upto);
             }
@@ -743,7 +768,8 @@ pub struct DThreadsRuntime {
 impl DThreadsRuntime {
     /// Creates the runtime with a zeroed versioned heap.
     pub fn new(cfg: CommonConfig) -> DThreadsRuntime {
-        let seg = Segment::new(cfg.heap_pages, cfg.max_threads);
+        let mut seg = Segment::new(cfg.heap_pages, cfg.max_threads);
+        seg.set_perturb(cfg.perturb.clone());
         DThreadsRuntime {
             sh: Arc::new(DtShared {
                 inner: Mutex::new(DtInner {
@@ -887,6 +913,8 @@ impl Runtime for DThreadsRuntime {
             schedule_hash: sh.cfg.trace.schedule_hash(),
             events: sh.cfg.trace.counts(),
             threads,
+            perturb_seed: sh.cfg.perturb.seed(),
+            perturb_plan: sh.cfg.perturb.plan_digest(),
         }
     }
 }

@@ -18,8 +18,8 @@ use dmt_api::sync::{Condvar, Mutex};
 
 use dmt_api::trace::Event;
 use dmt_api::{
-    Addr, BarrierId, Breakdown, CommonConfig, CondId, CostModel, Counters, Job, MutexId, RunReport,
-    Runtime, RwLockId, ThreadCtx, Tid,
+    Addr, BarrierId, Breakdown, CommonConfig, CondId, CostModel, Counters, Job, MutexId,
+    PerturbSite, RunReport, Runtime, RwLockId, ThreadCtx, Tid,
 };
 
 /// Word-addressed shared memory. Bytes are packed little-endian into
@@ -191,6 +191,21 @@ impl PCtx {
         }
     }
 
+    /// Fires a perturbation hook and charges its virtual-time cost.
+    ///
+    /// For the pthreads negative control the interesting effect is the
+    /// *real* stall (taken before the state lock), which shuffles genuine
+    /// OS lock-acquisition order — exactly the nondeterminism the stress
+    /// harness expects this runtime to exhibit.
+    #[inline]
+    fn perturb_hit(&mut self, site: PerturbSite) {
+        let c = self.sh.cfg.perturb.hit(site, self.tid);
+        if c > 0 {
+            self.v += c;
+            self.bd.lib += c;
+        }
+    }
+
     fn finish(mut self) -> (Tid, Breakdown, Counters, u64) {
         let sh = Arc::clone(&self.sh);
         let mut st = sh.st.lock();
@@ -349,6 +364,7 @@ impl ThreadCtx for PCtx {
     }
 
     fn mutex_lock(&mut self, m: MutexId) {
+        self.perturb_hit(PerturbSite::LockPath);
         let sh = Arc::clone(&self.sh);
         let mut st = sh.st.lock();
         let from = self.v;
@@ -389,6 +405,7 @@ impl ThreadCtx for PCtx {
     }
 
     fn cond_wait(&mut self, c: CondId, m: MutexId) {
+        self.perturb_hit(PerturbSite::LockPath);
         let sh = Arc::clone(&self.sh);
         let mut st = sh.st.lock();
         // Release the mutex.
@@ -469,6 +486,7 @@ impl ThreadCtx for PCtx {
     }
 
     fn barrier_wait(&mut self, b: BarrierId) {
+        self.perturb_hit(PerturbSite::LockPath);
         let sh = Arc::clone(&self.sh);
         let mut st = sh.st.lock();
         self.v += self.cost.pthread_sync;
@@ -700,6 +718,8 @@ impl Runtime for PthreadsRuntime {
             schedule_hash: sh.cfg.trace.schedule_hash(),
             events: sh.cfg.trace.counts(),
             threads,
+            perturb_seed: sh.cfg.perturb.seed(),
+            perturb_plan: sh.cfg.perturb.plan_digest(),
         }
     }
 }

@@ -372,7 +372,7 @@ fn extras_cmd(c: &Cfg) {
     dump("extras_pool", &rows);
 }
 
-fn certify_cmd(c: &Cfg) {
+fn certify_cmd(c: &Cfg) -> bool {
     use dmt_baselines::RuntimeKind;
     println!(
         "== Schedule-hash certification ({} threads; see docs/DETERMINISM.md)",
@@ -383,11 +383,15 @@ fn certify_cmd(c: &Cfg) {
         "benchmark", "runtime", "schedule_hash", "events", "reproduces"
     );
     let mut rows = Vec::new();
+    let mut ok = true;
     for name in ["histogram", "kmeans", "reverse_index"] {
         for kind in RuntimeKind::ALL {
             let a = run_one_traced(&c.bench, kind, name, c.detail_threads);
             let b = run_one_traced(&c.bench, kind, name, c.detail_threads);
             let reproduces = a.report.schedule_hash == b.report.schedule_hash;
+            if !reproduces && kind != RuntimeKind::Pthreads {
+                ok = false;
+            }
             println!(
                 "{:<16}{:<16}{:>#20x}{:>10}{:>12}",
                 name,
@@ -406,6 +410,13 @@ fn certify_cmd(c: &Cfg) {
         }
     }
     dump("certify", &rows);
+    if !ok {
+        eprintln!(
+            "certification FAILED: a deterministic runtime's schedule hash \
+             varied across repetitions"
+        );
+    }
+    ok
 }
 
 fn main() {
@@ -419,6 +430,7 @@ fn main() {
     let which = if which.is_empty() { vec!["all"] } else { which };
     let c = cfg(quick);
     let t0 = Instant::now();
+    let mut certified = true;
     for w in which {
         match w {
             "fig10" => fig10_cmd(&c),
@@ -429,7 +441,7 @@ fn main() {
             "fig15" => fig15_cmd(&c),
             "fig16" => fig16_cmd(&c),
             "extras" => extras_cmd(&c),
-            "certify" => certify_cmd(&c),
+            "certify" => certified &= certify_cmd(&c),
             "all" => {
                 fig10_cmd(&c);
                 fig11_cmd(&c);
@@ -439,7 +451,7 @@ fn main() {
                 fig15_cmd(&c);
                 fig16_cmd(&c);
                 extras_cmd(&c);
-                certify_cmd(&c);
+                certified &= certify_cmd(&c);
             }
             other => {
                 eprintln!("unknown figure {other}; use fig10..fig16, extras, certify or all");
@@ -448,4 +460,9 @@ fn main() {
         }
     }
     eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+    // CI gates on this: a deterministic runtime whose schedule hash varies
+    // across repetitions must fail the job, not just print.
+    if !certified {
+        std::process::exit(1);
+    }
 }

@@ -141,9 +141,12 @@ impl ToJson for EventCounts {
 }
 
 /// Implements [`ToJson`] for a struct as an object of its named fields.
+/// Exported so downstream tools (the `dmt-stress` harness) can serialize
+/// their own report types without a serde dependency.
+#[macro_export]
 macro_rules! json_struct {
     ($ty:ty { $($field:ident),+ $(,)? }) => {
-        impl ToJson for $ty {
+        impl $crate::json::ToJson for $ty {
             fn write_json(&self, out: &mut String) {
                 out.push('{');
                 let mut first = true;
@@ -152,7 +155,7 @@ macro_rules! json_struct {
                         out.push(',');
                     }
                     first = false;
-                    write_str(stringify!($field), out);
+                    $crate::json::write_str(stringify!($field), out);
                     out.push(':');
                     self.$field.write_json(out);
                 )+
@@ -201,7 +204,9 @@ json_struct!(RunReport {
     commit_log_hash,
     schedule_hash,
     events,
-    threads
+    threads,
+    perturb_seed,
+    perturb_plan
 });
 
 json_struct!(crate::Measured {

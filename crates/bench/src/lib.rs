@@ -84,6 +84,7 @@ fn common_cfg(pages: usize, gc_budget: usize, track_lrc: bool) -> CommonConfig {
         track_lrc,
         gc_budget,
         trace: TraceHandle::off(),
+        perturb: dmt_api::PerturbHandle::off(),
     }
 }
 

@@ -53,14 +53,17 @@ impl OverflowPolicy {
     /// thread's clock, if any.
     pub fn next_threshold(&mut self, now: u64, min_waiter: Option<u64>) -> u64 {
         if !self.adaptive {
-            return now + self.base;
+            return now.saturating_add(self.base);
         }
         if let Some(w) = min_waiter {
             // Rule 2: overflow just as our clock passes the waiter's.
-            return w.max(now) + 1;
+            return w.max(now).saturating_add(1);
         }
-        // Rule 3: no one to notify — back off exponentially.
-        let t = now + self.interval;
+        // Rule 3: no one to notify — back off exponentially. The interval
+        // saturates under a publication storm (a forced-early bias resets
+        // the *threshold* every tick but rule 3 keeps doubling), so the
+        // addition must saturate too.
+        let t = now.saturating_add(self.interval);
         self.interval = self.interval.saturating_mul(2);
         t
     }
@@ -68,6 +71,23 @@ impl OverflowPolicy {
     /// Current interval (exposed for tests and stats).
     pub fn interval(&self) -> u64 {
         self.interval
+    }
+
+    /// [`next_threshold`](OverflowPolicy::next_threshold) with the chosen
+    /// interval passed through `bias` — the fault-injection hook used by
+    /// `dmt-stress` to force early or late publication. The module contract
+    /// (frequency has no effect on determinism, only real time) is exactly
+    /// what makes arbitrary bias safe; the stress harness turns that claim
+    /// into an oracle. An identity `bias` reproduces `next_threshold`.
+    pub fn next_threshold_biased(
+        &mut self,
+        now: u64,
+        min_waiter: Option<u64>,
+        bias: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let t = self.next_threshold(now, min_waiter);
+        let interval = t.saturating_sub(now).max(1);
+        now.saturating_add(bias(interval).max(1))
     }
 }
 
@@ -111,10 +131,40 @@ mod tests {
     }
 
     #[test]
+    fn biased_threshold_reduces_to_plain_with_identity_bias() {
+        let mut a = OverflowPolicy::paper(true);
+        let mut b = OverflowPolicy::paper(true);
+        for (now, w) in [(0, None), (5_000, Some(7_000)), (7_001, None)] {
+            assert_eq!(
+                a.next_threshold_biased(now, w, |iv| iv),
+                b.next_threshold(now, w)
+            );
+        }
+        assert_eq!(a.interval(), b.interval());
+    }
+
+    #[test]
+    fn biased_threshold_clamps_to_progress() {
+        let mut p = OverflowPolicy::paper(true);
+        // A zero-returning bias must still move the threshold forward.
+        assert_eq!(p.next_threshold_biased(100, None, |_| 0), 101);
+        // Saturating late bias must not wrap.
+        let mut q = OverflowPolicy::paper(true);
+        assert_eq!(
+            q.next_threshold_biased(u64::MAX - 2, None, |_| u64::MAX),
+            u64::MAX
+        );
+    }
+
+    #[test]
     fn doubling_saturates() {
         let mut p = OverflowPolicy::new(u64::MAX / 2, true);
         p.next_threshold(0, None);
         p.next_threshold(0, None);
         assert_eq!(p.interval(), u64::MAX);
+        // Once saturated, computing the next threshold must saturate too
+        // instead of overflowing (caught by dmt-stress's forced-early case:
+        // a publication storm doubles the interval to the ceiling fast).
+        assert_eq!(p.next_threshold(123, None), u64::MAX);
     }
 }

@@ -15,7 +15,8 @@ use conversion::Workspace;
 use det_clock::{OrderPolicy, OverflowPolicy};
 use dmt_api::trace::Event;
 use dmt_api::{
-    Addr, BarrierId, Breakdown, CondId, CostModel, Counters, Job, MutexId, RwLockId, ThreadCtx, Tid,
+    Addr, BarrierId, Breakdown, CondId, CostModel, Counters, Job, MutexId, PerturbSite, RwLockId,
+    ThreadCtx, Tid,
 };
 
 use crate::coarsen::CoarsenState;
@@ -67,7 +68,8 @@ impl Ctx {
     ) -> Ctx {
         let opts = &sh.opts;
         let mut ovf = OverflowPolicy::new(opts.base_overflow, opts.adaptive_overflow);
-        let next_pub = ovf.next_threshold(clock, None);
+        let next_pub =
+            ovf.next_threshold_biased(clock, None, |iv| sh.cfg.perturb.overflow_interval(tid, iv));
         let coarsen = CoarsenState::new(
             opts.coarsen_initial,
             opts.coarsen_min,
@@ -99,6 +101,20 @@ impl Ctx {
     #[inline]
     fn ws(&mut self) -> &mut Workspace {
         self.ws.as_mut().expect("workspace present until finish")
+    }
+
+    /// Fires a fault-injection site (no-op unless a perturber is attached,
+    /// see `dmt_api::perturb`), charging any returned virtual cycles as
+    /// library overhead. The charge moves `v` only — never the logical
+    /// clock — so token-grant order, and with it the schedule hash, is
+    /// unaffected by construction.
+    #[inline]
+    fn perturb_hit(&mut self, site: PerturbSite) {
+        let c = self.sh.cfg.perturb.hit(site, self.tid);
+        if c > 0 {
+            self.v += c;
+            self.bd.lib += c;
+        }
     }
 
     /// Advances the logical clock and virtual time for user work, firing
@@ -161,7 +177,7 @@ impl Ctx {
         if self.holding_token {
             // Nobody can pass the token order while we hold the token;
             // defer publication to the end of the coarsened chunk.
-            self.next_pub = self.clock + self.ovf.interval().max(1);
+            self.next_pub = self.clock.saturating_add(self.ovf.interval().max(1));
             return;
         }
         let c = self.cost.overflow_irq;
@@ -187,7 +203,14 @@ impl Ctx {
             None
         };
         drop(inner);
-        self.next_pub = self.ovf.next_threshold(self.clock, min_w);
+        // Publication timing is biased by the fault injector when one is
+        // attached (forced early/late overflow); the §3.2 contract —
+        // frequency affects real time only, never determinism — makes any
+        // bias safe, and the stress harness asserts exactly that.
+        let tid = self.tid;
+        self.next_pub = self.ovf.next_threshold_biased(self.clock, min_w, |iv| {
+            sh.cfg.perturb.overflow_interval(tid, iv)
+        });
         if hint {
             sh.cv.notify_all();
         }
@@ -232,6 +255,10 @@ impl Ctx {
         if self.holding_token {
             return false;
         }
+        // Pre-token-acquire delay: the thread is slow to arrive at the
+        // sync point. Arrival timing must not matter — eligibility is a
+        // function of published clocks and tids alone.
+        self.perturb_hit(PerturbSite::TokenAcquire);
 
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
@@ -240,8 +267,21 @@ impl Ctx {
         sh.cv.notify_all();
         let wait_from = self.v;
         loop {
-            if inner.token.is_none() && inner.table.eligible(self.tid) {
+            if inner.token.is_none()
+                && (inner.table.eligible(self.tid)
+                    // Deliberate determinism bug for `stress --inject-bug`
+                    // (Options::inject_eligibility_bug): grab a free token
+                    // without the eligibility check, letting physical
+                    // arrival order leak into the schedule — the bug class
+                    // where one clockDepart/publication update is missed.
+                    || sh.opts.inject_eligibility_bug)
+            {
                 break;
+            }
+            if sh.cfg.perturb.spurious_wake(self.tid) {
+                // Spurious wake-up injection: every waiter on the runtime
+                // condvar must tolerate being woken with nothing changed.
+                sh.cv.notify_all();
             }
             // In debug builds, a very long token wait dumps the scheduler
             // state: deadlocks here are runtime bugs, not program bugs.
@@ -360,6 +400,10 @@ impl Ctx {
     /// `convCommitAndUpdateMem`). Requires the token.
     fn commit_and_update(&mut self) {
         debug_assert!(self.holding_token);
+        // Commit stall: the token holder dawdles before publishing its
+        // dirty pages. Holding the token excludes every other committer,
+        // so the stall stretches real and virtual time only.
+        self.perturb_hit(PerturbSite::Commit);
         let sh = Arc::clone(&self.sh);
         let cr = sh.seg.commit(self.ws(), None);
         let c = self.cost.commit_base
@@ -370,6 +414,7 @@ impl Ctx {
         self.cnt.commits += 1;
         self.cnt.pages_committed += cr.pages as u64;
         self.cnt.pages_merged += cr.merged as u64;
+        self.perturb_hit(PerturbSite::Update);
         let ur = sh.seg.update(self.ws());
         let u = self.cost.update_base + ur.pages_propagated * self.cost.page_update;
         self.v += u;
@@ -443,6 +488,11 @@ impl Ctx {
         let sh = Arc::clone(&self.sh);
         let from = self.v;
         while !inner.threads[self.tid.index()].wake {
+            if sh.cfg.perturb.spurious_wake(self.tid) {
+                // Spurious wake injection: blocked threads re-check their
+                // wake flags, never act on the notification itself.
+                sh.cv.notify_all();
+            }
             #[cfg(debug_assertions)]
             {
                 let timed_out = sh
@@ -695,6 +745,9 @@ impl ThreadCtx for Ctx {
             self.v += fc;
             self.bd.fault += fc;
             self.cnt.faults += faults;
+            // Page-fault jitter: copy-on-write handling takes arbitrarily
+            // long without affecting what the fault produced.
+            self.perturb_hit(PerturbSite::Fault);
         }
         let w = data.len().div_ceil(8) as u64;
         self.advance(w, self.cost.mem_access(data.len()));
@@ -713,6 +766,7 @@ impl ThreadCtx for Ctx {
             self.v += fc;
             self.bd.fault += fc;
             self.cnt.faults += faults;
+            self.perturb_hit(PerturbSite::Fault);
         }
         self.advance(1, self.cost.mem_access(8));
     }
@@ -915,6 +969,10 @@ impl ThreadCtx for Ctx {
     fn barrier_wait(&mut self, b: BarrierId) {
         self.sync_prologue();
         self.cnt.barrier_waits += 1;
+        // Barrier-phase delay: a straggler arriving arbitrarily late. The
+        // arrival set is fixed by the program (parties), so only waiting
+        // time can change.
+        self.perturb_hit(PerturbSite::Barrier);
         let fresh = self.acquire_token();
         if !fresh {
             // Arriving out of a coarsened run: data protected by locks we
@@ -1042,6 +1100,9 @@ impl ThreadCtx for Ctx {
         // Phase 2 (parallel): merge assigned pages, then the last arriver
         // installs and opens the barrier.
         if let (Some(pc), Some(idx)) = (&pc, my_idx) {
+            // Slow merger: phase 2 runs outside the token, so a stalled
+            // participant exercises the install-side wait for stragglers.
+            self.perturb_hit(PerturbSite::Barrier);
             let w = pc.merge_for(idx);
             let c = w.pages as u64 * self.cost.page_commit + w.merged as u64 * self.cost.page_merge;
             self.v += c;

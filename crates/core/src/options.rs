@@ -60,6 +60,13 @@ pub struct Options {
     pub coarsen_min: u64,
     /// Upper bound for the adaptive maximum chunk length.
     pub coarsen_cap: u64,
+    /// **Deliberate determinism bug** for the `dmt-stress` harness
+    /// (`stress --inject-bug`): a thread arriving at a free token takes it
+    /// without the deterministic eligibility check, so physical arrival
+    /// order leaks into the schedule — the bug class where one
+    /// `clockDepart` / publication update is missed. Never enable outside
+    /// the stress harness; see `docs/STRESS.md`.
+    pub inject_eligibility_bug: bool,
 }
 
 impl Options {
@@ -83,6 +90,7 @@ impl Options {
             coarsen_initial: 32_768,
             coarsen_min: 16_384,
             coarsen_cap: 4 << 20,
+            inject_eligibility_bug: false,
         }
     }
 
@@ -116,6 +124,7 @@ impl Options {
             coarsen_initial: 32_768,
             coarsen_min: 16_384,
             coarsen_cap: 4 << 20,
+            inject_eligibility_bug: false,
         }
     }
 

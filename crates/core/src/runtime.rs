@@ -188,6 +188,8 @@ impl Runtime for ConsequenceRuntime {
             schedule_hash: sh.cfg.trace.schedule_hash(),
             events: sh.cfg.trace.counts(),
             threads,
+            perturb_seed: sh.cfg.perturb.seed(),
+            perturb_plan: sh.cfg.perturb.plan_digest(),
         }
     }
 }

@@ -188,7 +188,8 @@ pub(crate) struct Shared {
 
 impl Shared {
     pub fn new(cfg: CommonConfig, opts: Options) -> Arc<Shared> {
-        let seg = Segment::new(cfg.heap_pages, cfg.max_threads);
+        let mut seg = Segment::new(cfg.heap_pages, cfg.max_threads);
+        seg.set_perturb(cfg.perturb.clone());
         let lrc = cfg.track_lrc.then(|| LrcTracker::new(cfg.max_threads));
         Arc::new(Shared {
             inner: Mutex::new(Inner {

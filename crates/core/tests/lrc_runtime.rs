@@ -12,6 +12,7 @@ fn cfg() -> CommonConfig {
         track_lrc: true,
         gc_budget: usize::MAX,
         trace: dmt_api::TraceHandle::off(),
+        perturb: dmt_api::PerturbHandle::off(),
     }
 }
 

@@ -1,0 +1,204 @@
+//! Differential fuzzing CLI for the determinism contract.
+//!
+//! ```text
+//! cargo run -p dmt-stress --release --bin stress -- --smoke
+//! cargo run -p dmt-stress --release --bin stress -- --deep
+//! cargo run -p dmt-stress --release --bin stress -- --inject-bug
+//! cargo run -p dmt-stress --release --bin stress -- \
+//!     --workloads histogram,kmeans --runtimes consequence-ic --seeds 4
+//! ```
+//!
+//! Matrix modes exit 0 when every oracle held (schedule hash invariant
+//! across all perturbation seeds for the deterministic runtimes, outputs
+//! equal to the sequential reference, pthreads control observed to vary)
+//! and 1 otherwise. `--inject-bug` inverts the convention: it *must* catch
+//! the deliberately injected eligibility bug, print the shrunk reproducer
+//! plus the first divergent event, and exit 1; exiting 0 means the harness
+//! failed to detect a real determinism bug. JSON reports land in
+//! `target/stress/`. See `docs/STRESS.md`.
+
+use std::fs;
+use std::time::Instant;
+
+use dmt_baselines::RuntimeKind;
+use dmt_bench::json::ToJson;
+use dmt_stress::{run_inject_bug, run_matrix, StressConfig};
+
+fn dump<T: ToJson>(name: &str, value: &T) {
+    let dir = "target/stress";
+    let _ = fs::create_dir_all(dir);
+    let path = format!("{dir}/{name}.json");
+    if fs::write(&path, value.to_json()).is_ok() {
+        eprintln!("[json: {path}]");
+    }
+}
+
+fn runtime_by_label(label: &str) -> Option<RuntimeKind> {
+    RuntimeKind::ALL.into_iter().find(|k| k.label() == label)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stress [--smoke|--deep|--inject-bug] [--workloads a,b,..] \
+         [--runtimes a,b,..] [--seeds N] [--threads N] [--scale N] [--base-seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(args: &[String], i: &mut usize, flag: &str) -> u64 {
+    *i += 1;
+    args.get(*i)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a numeric argument");
+            usage()
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = "smoke".to_string();
+    let mut cfg = StressConfig::smoke();
+    let mut custom = false;
+    let mut inject = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                mode = "smoke".into();
+                let c = StressConfig::smoke();
+                if !custom {
+                    cfg = c;
+                }
+            }
+            "--deep" => {
+                mode = "deep".into();
+                let base = StressConfig::deep();
+                if custom {
+                    cfg.seeds = base.seeds;
+                    cfg.threads = base.threads;
+                } else {
+                    cfg = base;
+                }
+            }
+            "--inject-bug" => inject = true,
+            "--workloads" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                cfg.workloads = list.split(',').map(String::from).collect();
+                custom = true;
+                mode = "custom".into();
+            }
+            "--runtimes" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage());
+                cfg.runtimes = list
+                    .split(',')
+                    .map(|l| {
+                        runtime_by_label(l).unwrap_or_else(|| {
+                            eprintln!("unknown runtime {l:?} (labels: pthreads, dthreads, dwc, consequence-rr, consequence-ic)");
+                            usage()
+                        })
+                    })
+                    .collect();
+                custom = true;
+                mode = "custom".into();
+            }
+            "--seeds" => cfg.seeds = parse_u64(&args, &mut i, "--seeds"),
+            "--threads" => cfg.threads = parse_u64(&args, &mut i, "--threads") as usize,
+            "--scale" => cfg.scale = parse_u64(&args, &mut i, "--scale") as u32,
+            "--base-seed" => cfg.base_seed = parse_u64(&args, &mut i, "--base-seed"),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let t0 = Instant::now();
+    if inject {
+        println!("== stress --inject-bug: eligibility-check bypass must be caught");
+        let out = run_inject_bug(12, 4, 400);
+        dump("inject_bug", &out);
+        if out.caught {
+            println!("CAUGHT: schedule hash moved under the injected bug");
+            println!(
+                "  baseline {:#x} vs observed {:#x} (trigger seed {:#x}, {} runs)",
+                out.baseline_hash, out.observed_hash, out.trigger_seed, out.runs
+            );
+            println!("  shrunk reproducer: {}", out.shrunk_plan);
+            println!("  surviving sites: [{}]", out.shrunk_sites.join(", "));
+            match &out.diagnosis {
+                Some(d) => println!("{d}"),
+                None => println!("  (no divergence trace captured)"),
+            }
+            eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+            // Nonzero by design: a determinism violation was (correctly)
+            // detected. CI asserts this exit code.
+            std::process::exit(1);
+        }
+        println!(
+            "NOT CAUGHT after {} runs — the harness failed to detect the injected bug",
+            out.runs
+        );
+        eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        std::process::exit(0);
+    }
+
+    println!(
+        "== stress --{mode}: {} workloads x {} runtimes x {} seeds, {} threads",
+        cfg.workloads.len(),
+        cfg.runtimes.len(),
+        cfg.seeds,
+        cfg.threads
+    );
+    println!(
+        "{:<16}{:<16}{:>6}{:>20}{:>10}{:>11}",
+        "workload", "runtime", "runs", "baseline_hash", "distinct", "validated"
+    );
+    let mut report = run_matrix(&cfg, |cell| {
+        println!(
+            "{:<16}{:<16}{:>6}{:>#20x}{:>10}{:>11}",
+            cell.workload,
+            cell.runtime,
+            cell.runs,
+            cell.baseline_hash,
+            cell.distinct_hashes,
+            if cell.validated { "yes" } else { "NO" }
+        );
+    });
+    report.mode = mode.clone();
+
+    for v in &report.violations {
+        println!();
+        println!(
+            "VIOLATION [{}] {} under {}: baseline {:#x} vs observed {:#x}",
+            v.oracle, v.workload, v.runtime, v.baseline_hash, v.observed_hash
+        );
+        if !v.shrunk_plan.is_empty() {
+            println!("  shrunk reproducer: {}", v.shrunk_plan);
+        }
+        if let Some(d) = &v.diagnosis {
+            println!("{d}");
+        }
+    }
+    if report.pthreads_runs > 0 {
+        println!(
+            "pthreads negative control: {} distinct hashes over {} runs{}",
+            report.pthreads_distinct_hashes,
+            report.pthreads_runs,
+            if report.pthreads_distinct_hashes > 1 {
+                " (varies, as expected)"
+            } else {
+                " — NEVER varied; perturbation instrumentation looks dead"
+            }
+        );
+    }
+    println!(
+        "{}: {} runs, {} violations",
+        if report.passed { "PASSED" } else { "FAILED" },
+        report.total_runs,
+        report.violations.len()
+    );
+    dump(&mode, &report);
+    eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+    std::process::exit(if report.passed { 0 } else { 1 });
+}

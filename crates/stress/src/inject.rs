@@ -1,0 +1,236 @@
+//! End-to-end proof that the harness catches real determinism bugs.
+//!
+//! `stress --inject-bug` enables `consequence`'s deliberate
+//! [`Options::inject_eligibility_bug`]: a thread arriving at a free token
+//! takes it *without* the deterministic eligibility check, so physical
+//! arrival order leaks into the schedule — the bug class where a
+//! `clockDepart` / publication update is missed and the clock table grants
+//! out of order. (Literally skipping a `clockDepart` deadlocks the GMIC —
+//! the departed thread stays the minimum forever — so the injected bug is
+//! the strictly-more-permissive variant that keeps running and misbehaves
+//! observably.)
+//!
+//! Under the bug the schedule hash of a lock-contended program varies with
+//! physical timing; the harness must detect the variance, shrink the
+//! triggering plan, and name the first divergent event. A harness that
+//! cannot catch *this* would not catch an accidental regression either.
+
+use std::sync::Arc;
+
+use consequence::{ConsequenceRuntime, Options};
+use dmt_api::trace::{Event, MemorySink};
+use dmt_api::{
+    CommonConfig, CostModel, HashSink, Job, MutexId, PerturbHandle, PerturbPlan, Runtime,
+    ThreadCtx, TraceHandle,
+};
+
+use crate::{investigate, mix64, Target};
+
+/// Heap pages for the synthetic program (one counter word is all it needs).
+const HEAP_PAGES: usize = 16;
+
+fn contended_worker(ctx: &mut dyn ThreadCtx, m: MutexId, iters: u64, salt: u64) {
+    for k in 0..iters {
+        // Uneven local work per thread and iteration, so logical clocks
+        // interleave and the token is contended on every acquisition.
+        ctx.tick(1 + (salt * 7 + k) % 13);
+        ctx.mutex_lock(m);
+        let v = ctx.ld_u64(0);
+        ctx.st_u64(0, v + 1);
+        ctx.mutex_unlock(m);
+    }
+}
+
+/// Builds the lock-contended synthetic program: `threads` workers hammer
+/// one mutex-protected counter with skewed per-thread work.
+pub fn prepare_contended(rt: &mut dyn Runtime, threads: usize, iters: u64) -> Job {
+    let m = rt.create_mutex();
+    Box::new(move |ctx| {
+        let workers: Vec<_> = (1..threads)
+            .map(|i| {
+                ctx.spawn(Box::new(move |c: &mut dyn ThreadCtx| {
+                    contended_worker(c, m, iters, i as u64);
+                }))
+            })
+            .collect();
+        contended_worker(ctx, m, iters, 0);
+        for t in workers {
+            ctx.join(t);
+        }
+    })
+}
+
+fn contended_cfg(trace: TraceHandle, perturb: PerturbHandle) -> CommonConfig {
+    CommonConfig {
+        heap_pages: HEAP_PAGES,
+        max_threads: 64,
+        cost: CostModel::default(),
+        track_lrc: false,
+        gc_budget: 4,
+        trace,
+        perturb,
+    }
+}
+
+fn bug_options(bug: bool) -> Options {
+    let mut o = Options::consequence_ic();
+    o.inject_eligibility_bug = bug;
+    o
+}
+
+/// Runs the contended program once, returning its schedule hash.
+pub fn run_contended(bug: bool, perturb: PerturbHandle, threads: usize, iters: u64) -> u64 {
+    let sink = Arc::new(HashSink::new());
+    let mut rt = ConsequenceRuntime::new(
+        contended_cfg(TraceHandle::to(sink), perturb),
+        bug_options(bug),
+    );
+    let job = prepare_contended(&mut rt, threads, iters);
+    rt.run(job).schedule_hash
+}
+
+/// Runs the contended program once while recording its schedule.
+pub fn record_contended(
+    bug: bool,
+    perturb: PerturbHandle,
+    threads: usize,
+    iters: u64,
+) -> (Vec<Event>, u64) {
+    let sink = Arc::new(MemorySink::new(crate::TRACE_CAP));
+    let mut rt = ConsequenceRuntime::new(
+        contended_cfg(TraceHandle::to(Arc::clone(&sink) as _), perturb),
+        bug_options(bug),
+    );
+    let job = prepare_contended(&mut rt, threads, iters);
+    let report = rt.run(job);
+    let (events, _dropped) = sink.take();
+    (events, report.schedule_hash)
+}
+
+/// Result of the `--inject-bug` end-to-end check.
+#[derive(Clone, Debug)]
+pub struct InjectOutcome {
+    /// Whether the harness caught the injected bug (it must).
+    pub caught: bool,
+    /// Schedule hash of the first (reference) run.
+    pub baseline_hash: u64,
+    /// First divergent schedule hash observed.
+    pub observed_hash: u64,
+    /// Master seed of the plan that triggered the divergence (0 when the
+    /// program diverged even unperturbed).
+    pub trigger_seed: u64,
+    /// Sites surviving the shrink.
+    pub shrunk_sites: Vec<String>,
+    /// The shrunk reproducer plan, printed.
+    pub shrunk_plan: String,
+    /// Digest of the shrunk plan.
+    pub shrunk_digest: u64,
+    /// First-divergent-event diagnosis, when captured.
+    pub diagnosis: Option<String>,
+    /// Total executions spent (detection + shrinking + diagnosis).
+    pub runs: u64,
+}
+
+/// Drives the injected-bug detection end to end: run a reference execution,
+/// sweep perturbation seeds until the schedule hash moves, then shrink the
+/// triggering plan and diagnose the first divergent event.
+pub fn run_inject_bug(seeds: u64, threads: usize, iters: u64) -> InjectOutcome {
+    let mut runs = 0u64;
+    let base = run_contended(true, PerturbHandle::off(), threads, iters);
+    runs += 1;
+
+    let target = Target {
+        run_hash: Box::new(move |p| run_contended(true, p, threads, iters)),
+        record: Box::new(move |p| record_contended(true, p, threads, iters)),
+    };
+
+    // Sweep perturbed runs first (the harness's normal mode), then
+    // unperturbed reruns — under the bug either may expose the variance.
+    for s in 0..seeds {
+        let plan = PerturbPlan::full(mix64(0xB06 ^ (s + 1)));
+        runs += 1;
+        let h = (target.run_hash)(crate::plan_handle(&plan));
+        if h == base {
+            continue;
+        }
+        let (shrunk, diagnosis) = investigate(&target, &plan, base, &mut runs);
+        return InjectOutcome {
+            caught: true,
+            baseline_hash: base,
+            observed_hash: h,
+            trigger_seed: plan.seed,
+            shrunk_sites: shrunk
+                .entries
+                .iter()
+                .map(|e| e.site.name().to_string())
+                .collect(),
+            shrunk_plan: shrunk.to_string(),
+            shrunk_digest: shrunk.digest(),
+            diagnosis,
+            runs,
+        };
+    }
+    for _ in 0..seeds {
+        runs += 1;
+        let h = (target.run_hash)(PerturbHandle::off());
+        if h == base {
+            continue;
+        }
+        let empty = PerturbPlan {
+            seed: 0,
+            entries: Vec::new(),
+        };
+        let (shrunk, diagnosis) = investigate(&target, &empty, base, &mut runs);
+        return InjectOutcome {
+            caught: true,
+            baseline_hash: base,
+            observed_hash: h,
+            trigger_seed: 0,
+            shrunk_sites: Vec::new(),
+            shrunk_plan: shrunk.to_string(),
+            shrunk_digest: shrunk.digest(),
+            diagnosis,
+            runs,
+        };
+    }
+
+    InjectOutcome {
+        caught: false,
+        baseline_hash: base,
+        observed_hash: base,
+        trigger_seed: 0,
+        shrunk_sites: Vec::new(),
+        shrunk_plan: String::new(),
+        shrunk_digest: 0,
+        diagnosis: None,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contended_program_is_deterministic_without_the_bug() {
+        let a = run_contended(false, PerturbHandle::off(), 4, 120);
+        let b = run_contended(false, PerturbHandle::off(), 4, 120);
+        let c = run_contended(false, crate::plan_handle(&PerturbPlan::full(17)), 4, 120);
+        assert_eq!(a, b);
+        assert_eq!(a, c, "perturbation moved a correct runtime's schedule");
+    }
+
+    #[test]
+    fn counter_totals_are_exact_under_contention() {
+        let sink = Arc::new(HashSink::new());
+        let mut rt = ConsequenceRuntime::new(
+            contended_cfg(TraceHandle::to(sink), PerturbHandle::off()),
+            bug_options(false),
+        );
+        let job = prepare_contended(&mut rt, 3, 50);
+        rt.run(job);
+        let mut buf = [0u8; 8];
+        rt.final_read(0, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 3 * 50);
+    }
+}

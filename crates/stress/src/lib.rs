@@ -1,0 +1,388 @@
+//! `dmt-stress`: deterministic fault-injection and schedule-perturbation
+//! fuzzing for the whole workspace.
+//!
+//! The paper's core claim (§2.1, §3.5) is that a Consequence schedule is a
+//! pure function of the program, invariant under arbitrary physical timing.
+//! This crate attacks that claim adversarially: it attaches a seeded
+//! [`PlanPerturber`] to every runtime hook point (see `dmt_api::perturb`),
+//! runs a workload × runtime × seed matrix, and checks three oracles per
+//! cell:
+//!
+//! 1. **Schedule-hash invariance** — a deterministic runtime's schedule
+//!    hash must be bit-identical across every perturbation seed;
+//! 2. **Output correctness** — the output hash must equal the sequential
+//!    reference on every run;
+//! 3. **Negative control** — pthreads, which makes no determinism promise,
+//!    is expected to vary (if it never does, the perturbation
+//!    instrumentation itself is dead).
+//!
+//! On a violation the harness records [`MemorySink`] traces, runs the
+//! divergence [`diagnose`] pass, and [`shrink`]s the failing plan to a
+//! minimal reproducer naming the first divergent event. See
+//! `docs/STRESS.md`.
+
+pub mod inject;
+pub mod report;
+pub mod shrink;
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use dmt_api::trace::{diagnose, Event, MemorySink};
+use dmt_api::{
+    CommonConfig, CostModel, PerturbHandle, PerturbPlan, PlanPerturber, RunReport, TraceHandle,
+};
+use dmt_baselines::{make_runtime, RuntimeKind};
+use dmt_workloads::{workload_by_name, Params, Validation};
+
+pub use inject::{run_inject_bug, InjectOutcome};
+pub use report::{CellSummary, StressReport, Violation};
+pub use shrink::shrink_plan;
+
+/// Events a repro-trace sink retains (oldest dropped beyond this).
+pub const TRACE_CAP: usize = 1 << 16;
+
+/// SplitMix64: derives independent per-cell plan seeds from the master seed.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Matrix configuration: the cross product the driver sweeps.
+#[derive(Clone, Debug)]
+pub struct StressConfig {
+    /// Workload names (see `dmt_workloads::all_workloads`).
+    pub workloads: Vec<String>,
+    /// Runtimes to drive.
+    pub runtimes: Vec<RuntimeKind>,
+    /// Perturbation seeds per cell (on top of one unperturbed baseline).
+    pub seeds: u64,
+    /// Master seed all per-cell plan seeds derive from.
+    pub base_seed: u64,
+    /// Worker threads per run.
+    pub threads: usize,
+    /// Workload problem-size multiplier.
+    pub scale: u32,
+    /// Workload input seed.
+    pub input_seed: u64,
+}
+
+impl StressConfig {
+    /// CI-sized matrix: 3 workloads × 5 runtimes × 8 seeds at 4 threads.
+    pub fn smoke() -> StressConfig {
+        StressConfig {
+            workloads: ["histogram", "kmeans", "reverse_index"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            runtimes: RuntimeKind::ALL.to_vec(),
+            seeds: 8,
+            base_seed: 0xC0FF_EE00,
+            threads: 4,
+            scale: 1,
+            input_seed: 42,
+        }
+    }
+
+    /// Overnight-sized matrix: the hard benchmarks, more seeds, more
+    /// threads.
+    pub fn deep() -> StressConfig {
+        StressConfig {
+            workloads: [
+                "histogram",
+                "kmeans",
+                "reverse_index",
+                "ferret",
+                "dedup",
+                "ocean_cp",
+                "lu_cb",
+                "canneal",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+            runtimes: RuntimeKind::ALL.to_vec(),
+            seeds: 16,
+            base_seed: 0xC0FF_EE00,
+            threads: 8,
+            scale: 1,
+            input_seed: 42,
+        }
+    }
+}
+
+/// One traced execution of a workload cell.
+#[derive(Clone, Debug)]
+pub struct CellRun {
+    /// Schedule hash of the run (from an attached hashing sink).
+    pub schedule_hash: u64,
+    /// FNV-1a digest of the output region.
+    pub output_hash: u64,
+    /// Whether the output matched the sequential reference.
+    pub matches_reference: bool,
+    /// The full run report.
+    pub report: RunReport,
+}
+
+fn cell_cfg(pages: usize, trace: TraceHandle, perturb: PerturbHandle) -> CommonConfig {
+    CommonConfig {
+        heap_pages: pages,
+        max_threads: 64,
+        cost: CostModel::default(),
+        track_lrc: false,
+        gc_budget: 4,
+        trace,
+        perturb,
+    }
+}
+
+/// Runs one workload under one runtime with a hashing trace sink and the
+/// given perturber.
+pub fn run_workload(
+    kind: RuntimeKind,
+    name: &str,
+    threads: usize,
+    scale: u32,
+    input_seed: u64,
+    perturb: PerturbHandle,
+) -> CellRun {
+    let w = workload_by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let p = Params::new(threads, scale, input_seed);
+    let sink = Arc::new(dmt_api::HashSink::new());
+    let cfg = cell_cfg(w.heap_pages(&p), TraceHandle::to(sink), perturb);
+    let mut rt = make_runtime(kind, cfg);
+    let prepared = w.prepare(rt.as_mut(), &p);
+    let report = rt.run(prepared.job);
+    let v: Validation = (prepared.validate)(rt.as_ref());
+    CellRun {
+        schedule_hash: report.schedule_hash,
+        output_hash: v.output_hash,
+        matches_reference: v.matches_reference,
+        report,
+    }
+}
+
+/// Like [`run_workload`], but records the schedule into a bounded
+/// [`MemorySink`] for divergence diagnosis. Returns the retained events and
+/// how many older ones the ring bound dropped.
+pub fn record_workload(
+    kind: RuntimeKind,
+    name: &str,
+    threads: usize,
+    scale: u32,
+    input_seed: u64,
+    perturb: PerturbHandle,
+) -> (CellRun, Vec<Event>, u64) {
+    let w = workload_by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let p = Params::new(threads, scale, input_seed);
+    let sink = Arc::new(MemorySink::new(TRACE_CAP));
+    let cfg = cell_cfg(
+        w.heap_pages(&p),
+        TraceHandle::to(Arc::clone(&sink) as _),
+        perturb,
+    );
+    let mut rt = make_runtime(kind, cfg);
+    let prepared = w.prepare(rt.as_mut(), &p);
+    let report = rt.run(prepared.job);
+    let v: Validation = (prepared.validate)(rt.as_ref());
+    let (events, dropped) = sink.take();
+    (
+        CellRun {
+            schedule_hash: report.schedule_hash,
+            output_hash: v.output_hash,
+            matches_reference: v.matches_reference,
+            report,
+        },
+        events,
+        dropped,
+    )
+}
+
+/// A handle executing `plan` at full strength.
+pub fn plan_handle(plan: &PerturbPlan) -> PerturbHandle {
+    PerturbHandle::to(Arc::new(PlanPerturber::new(plan.clone())))
+}
+
+/// An abstract system under test: how to run it for a hash and how to run
+/// it while recording a trace. Lets the shrinker and diagnoser work on both
+/// workload cells and the synthetic inject-bug program.
+pub struct Target<'a> {
+    /// Runs once under the given perturber, returning the schedule hash.
+    pub run_hash: Box<dyn Fn(PerturbHandle) -> u64 + 'a>,
+    /// Runs once while recording, returning the events and the hash.
+    pub record: Box<dyn Fn(PerturbHandle) -> (Vec<Event>, u64) + 'a>,
+}
+
+impl Target<'_> {
+    /// Whether `plan` makes the target's hash diverge from `base_hash`
+    /// within `attempts` tries. Divergence under a real determinism bug
+    /// depends on physical timing, so one quiet run does not prove a plan
+    /// innocent; `runs` is bumped per executed probe.
+    pub fn diverges(
+        &self,
+        plan: &PerturbPlan,
+        base_hash: u64,
+        attempts: u32,
+        runs: &mut u64,
+    ) -> bool {
+        for _ in 0..attempts {
+            *runs += 1;
+            if (self.run_hash)(plan_handle(plan)) != base_hash {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Full violation workup: shrinks `plan` to a minimal still-failing
+/// reproducer, then records an unperturbed and a perturbed trace and
+/// diagnoses the first divergent event. Returns the shrunk plan and the
+/// diagnosis (formatted), if one could be captured.
+pub fn investigate(
+    target: &Target<'_>,
+    plan: &PerturbPlan,
+    base_hash: u64,
+    runs: &mut u64,
+) -> (PerturbPlan, Option<String>) {
+    let shrunk = shrink_plan(plan.clone(), |cand| {
+        target.diverges(cand, base_hash, 3, runs)
+    });
+    let (base_events, _) = (target.record)(PerturbHandle::off());
+    *runs += 1;
+    let mut diagnosis = None;
+    for _ in 0..5 {
+        let (events, hash) = (target.record)(plan_handle(&shrunk));
+        *runs += 1;
+        if hash == base_hash {
+            continue;
+        }
+        if let Some(d) = diagnose(&base_events, &events) {
+            diagnosis = Some(d.to_string());
+            break;
+        }
+    }
+    (shrunk, diagnosis)
+}
+
+fn workload_target<'a>(kind: RuntimeKind, name: &'a str, cfg: &'a StressConfig) -> Target<'a> {
+    Target {
+        run_hash: Box::new(move |p| {
+            run_workload(kind, name, cfg.threads, cfg.scale, cfg.input_seed, p).schedule_hash
+        }),
+        record: Box::new(move |p| {
+            let (run, events, _) =
+                record_workload(kind, name, cfg.threads, cfg.scale, cfg.input_seed, p);
+            (events, run.schedule_hash)
+        }),
+    }
+}
+
+/// Runs the full differential-fuzzing matrix and returns the report.
+///
+/// `progress` is called once per finished cell with a one-line summary
+/// (pass `|_| {}` to stay quiet).
+pub fn run_matrix(cfg: &StressConfig, mut progress: impl FnMut(&CellSummary)) -> StressReport {
+    let mut cells = Vec::new();
+    let mut violations = Vec::new();
+    let mut total_runs = 0u64;
+    let mut pthreads_hashes: BTreeSet<u64> = BTreeSet::new();
+    let mut pthreads_runs = 0u64;
+
+    for (wi, name) in cfg.workloads.iter().enumerate() {
+        for (ki, &kind) in cfg.runtimes.iter().enumerate() {
+            let deterministic = kind != RuntimeKind::Pthreads;
+            let cell_salt = mix64(cfg.base_seed ^ ((wi as u64) << 32) ^ (ki as u64));
+            let base = run_workload(
+                kind,
+                name,
+                cfg.threads,
+                cfg.scale,
+                cfg.input_seed,
+                PerturbHandle::off(),
+            );
+            total_runs += 1;
+            let mut distinct: BTreeSet<u64> = BTreeSet::new();
+            distinct.insert(base.schedule_hash);
+            let mut validated = base.matches_reference;
+            if deterministic && !base.matches_reference {
+                violations.push(Violation::output(name, kind, 0, 0, &base, base.output_hash));
+            }
+
+            for s in 0..cfg.seeds {
+                let plan = PerturbPlan::full(mix64(cell_salt ^ (s + 1)));
+                let run = run_workload(
+                    kind,
+                    name,
+                    cfg.threads,
+                    cfg.scale,
+                    cfg.input_seed,
+                    plan_handle(&plan),
+                );
+                total_runs += 1;
+                distinct.insert(run.schedule_hash);
+                if !deterministic {
+                    continue;
+                }
+                validated &= run.matches_reference;
+                if run.schedule_hash != base.schedule_hash {
+                    let target = workload_target(kind, name, cfg);
+                    let (shrunk, diagnosis) =
+                        investigate(&target, &plan, base.schedule_hash, &mut total_runs);
+                    violations.push(Violation::schedule(
+                        name,
+                        kind,
+                        &plan,
+                        &shrunk,
+                        base.schedule_hash,
+                        run.schedule_hash,
+                        diagnosis,
+                    ));
+                }
+                if !run.matches_reference || run.output_hash != base.output_hash {
+                    violations.push(Violation::output(
+                        name,
+                        kind,
+                        plan.seed,
+                        plan.digest(),
+                        &base,
+                        run.output_hash,
+                    ));
+                }
+            }
+
+            if !deterministic {
+                pthreads_hashes.extend(&distinct);
+                pthreads_runs += 1 + cfg.seeds;
+            }
+            let cell = CellSummary {
+                workload: name.clone(),
+                runtime: kind.label().to_string(),
+                runs: 1 + cfg.seeds,
+                baseline_hash: base.schedule_hash,
+                distinct_hashes: distinct.len() as u64,
+                validated,
+            };
+            progress(&cell);
+            cells.push(cell);
+        }
+    }
+
+    let has_pthreads = cfg.runtimes.contains(&RuntimeKind::Pthreads);
+    let pthreads_varied = pthreads_hashes.len() > 1;
+    let passed = violations.is_empty() && (!has_pthreads || pthreads_varied);
+    StressReport {
+        mode: String::new(),
+        threads: cfg.threads,
+        seeds: cfg.seeds,
+        base_seed: cfg.base_seed,
+        total_runs,
+        pthreads_runs,
+        pthreads_distinct_hashes: pthreads_hashes.len() as u64,
+        cells,
+        violations,
+        passed,
+    }
+}

@@ -1,0 +1,229 @@
+//! Stress-report types and their JSON serialization.
+//!
+//! Serialized with `dmt-bench`'s hand-rolled [`dmt_bench::json_struct!`]
+//! macro — the workspace builds offline with no serde dependency. A report
+//! is self-describing: every violation carries the master seed, the plan
+//! digest and the shrunk plan text, so `stress --workloads W --runtimes R
+//! --base-seed S` plus the printed plan reproduces the failure (see
+//! `docs/STRESS.md`).
+
+use dmt_api::PerturbPlan;
+use dmt_baselines::RuntimeKind;
+use dmt_bench::json_struct;
+
+use crate::CellRun;
+
+/// Per-cell summary: one workload under one runtime across all seeds.
+#[derive(Clone, Debug)]
+pub struct CellSummary {
+    pub workload: String,
+    pub runtime: String,
+    /// Total runs in the cell (baseline + one per seed).
+    pub runs: u64,
+    /// Schedule hash of the unperturbed baseline run.
+    pub baseline_hash: u64,
+    /// Distinct schedule hashes observed (1 = invariant; pthreads is
+    /// expected to exceed 1).
+    pub distinct_hashes: u64,
+    /// Whether every checked run matched the sequential reference.
+    pub validated: bool,
+}
+
+/// One oracle violation, with its minimized reproducer.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub workload: String,
+    pub runtime: String,
+    /// Which oracle failed: `"schedule_hash"` or `"output"`.
+    pub oracle: String,
+    /// Master seed of the triggering plan (0 for the unperturbed baseline).
+    pub perturb_seed: u64,
+    /// Digest of the triggering plan.
+    pub plan_digest: u64,
+    pub baseline_hash: u64,
+    pub observed_hash: u64,
+    /// Sites surviving the shrink (empty = fails even unperturbed).
+    pub shrunk_sites: Vec<String>,
+    /// The shrunk plan, printed (reproducer input).
+    pub shrunk_plan: String,
+    /// Digest of the shrunk plan.
+    pub shrunk_digest: u64,
+    /// Formatted first-divergent-event diagnosis, when one was captured.
+    pub diagnosis: Option<String>,
+}
+
+impl Violation {
+    /// A schedule-hash invariance violation with its shrunk reproducer.
+    pub fn schedule(
+        workload: &str,
+        kind: RuntimeKind,
+        plan: &PerturbPlan,
+        shrunk: &PerturbPlan,
+        baseline_hash: u64,
+        observed_hash: u64,
+        diagnosis: Option<String>,
+    ) -> Violation {
+        Violation {
+            workload: workload.to_string(),
+            runtime: kind.label().to_string(),
+            oracle: "schedule_hash".to_string(),
+            perturb_seed: plan.seed,
+            plan_digest: plan.digest(),
+            baseline_hash,
+            observed_hash,
+            shrunk_sites: shrunk
+                .entries
+                .iter()
+                .map(|e| e.site.name().to_string())
+                .collect(),
+            shrunk_plan: shrunk.to_string(),
+            shrunk_digest: shrunk.digest(),
+            diagnosis,
+        }
+    }
+
+    /// An output-oracle violation (no schedule divergence to shrink).
+    pub fn output(
+        workload: &str,
+        kind: RuntimeKind,
+        perturb_seed: u64,
+        plan_digest: u64,
+        base: &CellRun,
+        observed_hash: u64,
+    ) -> Violation {
+        Violation {
+            workload: workload.to_string(),
+            runtime: kind.label().to_string(),
+            oracle: "output".to_string(),
+            perturb_seed,
+            plan_digest,
+            baseline_hash: base.output_hash,
+            observed_hash,
+            shrunk_sites: Vec::new(),
+            shrunk_plan: String::new(),
+            shrunk_digest: 0,
+            diagnosis: None,
+        }
+    }
+}
+
+/// The full matrix result.
+#[derive(Clone, Debug)]
+pub struct StressReport {
+    /// `"smoke"`, `"deep"` or `"custom"` (set by the CLI).
+    pub mode: String,
+    pub threads: usize,
+    pub seeds: u64,
+    pub base_seed: u64,
+    pub total_runs: u64,
+    pub pthreads_runs: u64,
+    /// Distinct pthreads schedule hashes across the whole matrix; > 1 means
+    /// the negative control varied as expected.
+    pub pthreads_distinct_hashes: u64,
+    pub cells: Vec<CellSummary>,
+    pub violations: Vec<Violation>,
+    pub passed: bool,
+}
+
+json_struct!(CellSummary {
+    workload,
+    runtime,
+    runs,
+    baseline_hash,
+    distinct_hashes,
+    validated
+});
+
+json_struct!(Violation {
+    workload,
+    runtime,
+    oracle,
+    perturb_seed,
+    plan_digest,
+    baseline_hash,
+    observed_hash,
+    shrunk_sites,
+    shrunk_plan,
+    shrunk_digest,
+    diagnosis
+});
+
+json_struct!(StressReport {
+    mode,
+    threads,
+    seeds,
+    base_seed,
+    total_runs,
+    pthreads_runs,
+    pthreads_distinct_hashes,
+    cells,
+    violations,
+    passed
+});
+
+json_struct!(crate::InjectOutcome {
+    caught,
+    baseline_hash,
+    observed_hash,
+    trigger_seed,
+    shrunk_sites,
+    shrunk_plan,
+    shrunk_digest,
+    diagnosis,
+    runs
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_bench::json::ToJson;
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = StressReport {
+            mode: "smoke".into(),
+            threads: 4,
+            seeds: 8,
+            base_seed: 1,
+            total_runs: 9,
+            pthreads_runs: 0,
+            pthreads_distinct_hashes: 0,
+            cells: vec![CellSummary {
+                workload: "histogram".into(),
+                runtime: "consequence-ic".into(),
+                runs: 9,
+                baseline_hash: 0xabc,
+                distinct_hashes: 1,
+                validated: true,
+            }],
+            violations: vec![],
+            passed: true,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"violations\":[]"));
+        assert!(j.contains("\"distinct_hashes\":1"));
+    }
+
+    #[test]
+    fn violation_carries_the_reproducer() {
+        let plan = PerturbPlan::full(5);
+        let shrunk = PerturbPlan::only(5, &[dmt_api::PerturbSite::Commit]);
+        let v = Violation::schedule(
+            "kmeans",
+            RuntimeKind::ConsequenceIc,
+            &plan,
+            &shrunk,
+            1,
+            2,
+            Some("schedules diverge at event #3".into()),
+        );
+        assert_eq!(v.perturb_seed, 5);
+        assert_eq!(v.plan_digest, plan.digest());
+        assert_eq!(v.shrunk_sites, vec!["commit".to_string()]);
+        assert_eq!(v.shrunk_digest, shrunk.digest());
+        let j = v.to_json();
+        assert!(j.contains("\"oracle\":\"schedule_hash\""));
+        assert!(j.contains("diverge at event"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Failing-plan minimization.
+//!
+//! A full-strength [`PerturbPlan`] fires at nine sites; a reproducer that
+//! says "any perturbation breaks it" is useless for debugging. The shrinker
+//! reduces a failing plan in three phases:
+//!
+//! 1. **Bisection over sites** — repeatedly keep whichever half of the
+//!    entry list still fails;
+//! 2. **Linear minimization** — drop each remaining entry that is not
+//!    needed for the failure;
+//! 3. **Canonicalization** — per surviving entry, replace the seed with the
+//!    smallest still-failing value and lower the intensity as far as the
+//!    failure allows.
+//!
+//! The predicate decides "still fails" (typically: re-run the cell under
+//! the candidate plan and compare schedule hashes, with retries — see
+//! [`crate::Target::diverges`]). A plan may legitimately shrink to *empty*:
+//! that means the target diverges even unperturbed, which is itself the
+//! strongest possible reproducer.
+
+use dmt_api::{PerturbEntry, PerturbPlan};
+
+fn sub(plan: &PerturbPlan, entries: Vec<PerturbEntry>) -> PerturbPlan {
+    PerturbPlan {
+        seed: plan.seed,
+        entries,
+    }
+}
+
+/// Minimizes `plan` while `fails` keeps returning `true` for candidates.
+///
+/// `fails(&plan)` is assumed `true` on entry (the caller observed the
+/// failure); the result is a plan for which every tested reduction stopped
+/// failing — minimal up to the predicate's flakiness.
+pub fn shrink_plan(
+    mut plan: PerturbPlan,
+    mut fails: impl FnMut(&PerturbPlan) -> bool,
+) -> PerturbPlan {
+    // Phase 1: bisection. Candidates are strictly smaller than the current
+    // plan, so this terminates.
+    loop {
+        let n = plan.entries.len();
+        if n == 0 {
+            break;
+        }
+        let mid = n / 2;
+        let first = sub(&plan, plan.entries[..mid].to_vec());
+        if first.entries.len() < n && fails(&first) {
+            plan = first;
+            continue;
+        }
+        let second = sub(&plan, plan.entries[mid..].to_vec());
+        if second.entries.len() < n && fails(&second) {
+            plan = second;
+            continue;
+        }
+        break;
+    }
+
+    // Phase 2: drop any entry the failure does not need.
+    let mut i = 0;
+    while i < plan.entries.len() {
+        let mut cand = plan.clone();
+        cand.entries.remove(i);
+        if fails(&cand) {
+            plan = cand;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Phase 3: canonicalize each surviving entry.
+    for i in 0..plan.entries.len() {
+        for seed in 0..4u64 {
+            if plan.entries[i].seed == seed {
+                break;
+            }
+            let mut cand = plan.clone();
+            cand.entries[i].seed = seed;
+            if fails(&cand) {
+                plan = cand;
+                break;
+            }
+        }
+        for intensity in 0..plan.entries[i].intensity {
+            let mut cand = plan.clone();
+            cand.entries[i].intensity = intensity;
+            if fails(&cand) {
+                plan = cand;
+                break;
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_api::PerturbSite;
+
+    #[test]
+    fn shrinks_to_the_single_guilty_site() {
+        let mut probes = 0u32;
+        let shrunk = shrink_plan(PerturbPlan::full(7), |p| {
+            probes += 1;
+            p.entries
+                .iter()
+                .any(|e| e.site == PerturbSite::TokenAcquire)
+        });
+        assert_eq!(shrunk.entries.len(), 1);
+        assert_eq!(shrunk.entries[0].site, PerturbSite::TokenAcquire);
+        // Canonicalization drove the seed and intensity to their minima.
+        assert_eq!(shrunk.entries[0].seed, 0);
+        assert_eq!(shrunk.entries[0].intensity, 0);
+        assert!(probes < 64, "shrinking took {probes} probes");
+    }
+
+    #[test]
+    fn keeps_a_conjunction_of_sites() {
+        let need = [PerturbSite::Commit, PerturbSite::Barrier];
+        let shrunk = shrink_plan(PerturbPlan::full(3), |p| {
+            need.iter().all(|s| p.entries.iter().any(|e| e.site == *s))
+        });
+        let sites: Vec<PerturbSite> = shrunk.entries.iter().map(|e| e.site).collect();
+        assert_eq!(sites, need);
+    }
+
+    #[test]
+    fn shrinks_to_empty_when_failure_is_unconditional() {
+        let shrunk = shrink_plan(PerturbPlan::full(9), |_| true);
+        assert!(shrunk.is_empty());
+    }
+
+    #[test]
+    fn preserves_master_seed_for_provenance() {
+        let shrunk = shrink_plan(PerturbPlan::full(0xAB), |p| {
+            p.entries.iter().any(|e| e.site == PerturbSite::Fault)
+        });
+        assert_eq!(shrunk.seed, 0xAB);
+        assert_ne!(shrunk.digest(), PerturbPlan::full(0xAB).digest());
+    }
+}

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use dmt_api::sync::Mutex;
 
-use dmt_api::{Addr, Fnv1a, Tid, VectorClock, PAGE_SIZE};
+use dmt_api::{Addr, Fnv1a, PerturbHandle, PerturbSite, Tid, VectorClock, PAGE_SIZE};
 
 use crate::merge;
 use crate::page::{PageBuf, PageRef, PageTracker};
@@ -80,6 +80,10 @@ pub struct Segment {
     tracker: Arc<PageTracker>,
     registry: Registry,
     npages: usize,
+    /// Fault injector for commit/update stalls (`dmt-stress`); off by
+    /// default. Real-time jitter only — the segment has no virtual-time
+    /// accounting of its own.
+    perturb: PerturbHandle,
 }
 
 impl Segment {
@@ -102,7 +106,17 @@ impl Segment {
             tracker,
             registry: Registry::new(slots),
             npages,
+            perturb: PerturbHandle::off(),
         }
+    }
+
+    /// Attaches a fault injector that stalls commits and updates (see
+    /// `dmt_api::perturb`). Stalls happen *before* the segment lock is
+    /// taken, so they reorder the physical arrival of committers/updaters
+    /// without ever holding internal state hostage. Determinism is
+    /// unaffected because commit order is serialized by the caller.
+    pub fn set_perturb(&mut self, perturb: PerturbHandle) {
+        self.perturb = perturb;
     }
 
     /// Segment length in bytes.
@@ -229,6 +243,7 @@ impl Segment {
     /// whose underlying latest page changed since fault time are merged at
     /// byte granularity, local changes winning.
     pub fn commit(&self, ws: &mut Workspace, vc: Option<Arc<VectorClock>>) -> CommitResult {
+        self.perturb.jitter(PerturbSite::Commit, ws.tid());
         let dirty = ws.take_dirty();
         let mut inner = self.inner.lock();
         let mut pages: Vec<(u32, PageRef)> = Vec::with_capacity(dirty.len());
@@ -371,6 +386,7 @@ impl Segment {
     /// version, or if needed versions were garbage collected.
     pub fn update_to(&self, ws: &mut Workspace, upto: u64) -> UpdateResult {
         assert_eq!(ws.dirty_count(), 0, "update requires a committed workspace");
+        self.perturb.jitter(PerturbSite::Update, ws.tid());
         let inner = self.inner.lock();
         assert!(upto < inner.next_id, "update_to a future version");
         let mut propagated = 0u64;

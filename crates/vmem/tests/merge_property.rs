@@ -1,0 +1,209 @@
+//! Property tests for byte-granularity last-writer-wins merging under
+//! perturbed commit orderings.
+//!
+//! Conversion resolves same-page write conflicts by diffing a committer's
+//! working copy against its fault-time twin and taking the changed bytes
+//! over the currently committed page (`merge.rs`). The determinism
+//! argument is that the final contents are a function of the *version DAG*
+//! — who wrote which bytes, in which commit order — and not of the physical
+//! schedule that computed the merges. These properties pin that down with a
+//! seeded LCG (no external proptest dependency):
+//!
+//! * for writers with **disjoint** byte sets, every permutation of the
+//!   commit order yields identical final contents;
+//! * for **overlapping** writers, chained [`merge_into`] equals the
+//!   byte-wise oracle "the highest-version writer of byte `i` wins", and
+//!   equals the in-place [`apply_diff`] path the parallel barrier uses —
+//!   two physically different merge schedules, one result.
+
+use conversion::merge::{apply_diff, is_modified, merge_into};
+use dmt_api::PAGE_SIZE;
+
+/// Knuth 64-bit LCG + output mix, the workspace's stand-in for a proptest
+/// generator.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let mut z = self.0;
+        z = (z ^ (z >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        z ^ (z >> 33)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+type Page = Box<[u8; PAGE_SIZE]>;
+
+fn page_of(f: impl Fn(usize) -> u8) -> Page {
+    let mut p = Box::new([0u8; PAGE_SIZE]);
+    for i in 0..PAGE_SIZE {
+        p[i] = f(i);
+    }
+    p
+}
+
+/// One writer in the version DAG: a twin (the base it faulted on) plus a
+/// working copy with `writes` randomized byte stores.
+struct Writer {
+    work: Page,
+    touched: Vec<usize>,
+}
+
+fn random_writer(rng: &mut Lcg, base: &Page, bytes: &[usize]) -> Writer {
+    let mut work = Box::new(**base);
+    let mut touched = Vec::new();
+    for &i in bytes {
+        // Force a value different from the base so the diff is non-empty
+        // at exactly `bytes` (equal stores are invisible to the diff).
+        let v = base[i].wrapping_add(1 + (rng.next() % 251) as u8);
+        work[i] = v;
+        touched.push(i);
+    }
+    Writer { work, touched }
+}
+
+/// Applies the writers' diffs in the given commit order via chained
+/// `merge_into`, each against the then-latest page.
+fn chain_merges(base: &Page, writers: &[&Writer], order: &[usize]) -> Page {
+    let mut latest = Box::new(**base);
+    for &w in order {
+        let mut out = Box::new([0u8; PAGE_SIZE]);
+        merge_into(base, &writers[w].work, &latest, &mut out);
+        latest = out;
+    }
+    latest
+}
+
+/// The semantic oracle: byte `i` takes the value of the last writer (in
+/// commit order) that touched it, else the base value.
+fn oracle(base: &Page, writers: &[&Writer], order: &[usize]) -> Page {
+    let mut out = Box::new(**base);
+    for &w in order {
+        for &i in &writers[w].touched {
+            out[i] = writers[w].work[i];
+        }
+    }
+    out
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let mut out = Vec::new();
+    for p in permutations(n - 1) {
+        for at in 0..=p.len() {
+            let mut q = p.clone();
+            q.insert(at, n - 1);
+            out.push(q);
+        }
+    }
+    out
+}
+
+#[test]
+fn disjoint_writers_commute_under_any_commit_order() {
+    let mut rng = Lcg(0xD15C0);
+    for round in 0..16 {
+        let base = page_of(|i| (i as u64 ^ round).wrapping_mul(37) as u8);
+        // Partition a random byte set across 3 writers (disjoint by
+        // construction).
+        let mut bytes: Vec<Vec<usize>> = vec![Vec::new(), Vec::new(), Vec::new()];
+        for _ in 0..48 {
+            bytes[rng.below(3)].push(rng.below(PAGE_SIZE));
+        }
+        for b in &mut bytes {
+            b.sort_unstable();
+            b.dedup();
+        }
+        // A byte in two lists is no longer disjoint; drop duplicates across
+        // writers too.
+        let b0 = bytes[0].clone();
+        bytes[1].retain(|i| !b0.contains(i));
+        let b1 = bytes[1].clone();
+        bytes[2].retain(|i| !b0.contains(i) && !b1.contains(i));
+
+        let ws: Vec<Writer> = bytes
+            .iter()
+            .map(|b| random_writer(&mut rng, &base, b))
+            .collect();
+        let writers: Vec<&Writer> = ws.iter().collect();
+
+        let reference = chain_merges(&base, &writers, &[0, 1, 2]);
+        for order in permutations(3) {
+            let got = chain_merges(&base, &writers, &order);
+            assert_eq!(
+                &got[..],
+                &reference[..],
+                "disjoint writers disagreed under commit order {order:?} (round {round})"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapping_writers_match_the_last_writer_wins_oracle() {
+    let mut rng = Lcg(0xFACE);
+    for round in 0..16 {
+        let base = page_of(|i| (i % 251) as u8);
+        // Deliberately overlapping byte sets (false sharing within a page).
+        let hot: Vec<usize> = (0..8).map(|_| rng.below(PAGE_SIZE)).collect();
+        let ws: Vec<Writer> = (0..3)
+            .map(|_| {
+                let mut bytes = hot.clone();
+                for _ in 0..12 {
+                    bytes.push(rng.below(PAGE_SIZE));
+                }
+                bytes.sort_unstable();
+                bytes.dedup();
+                random_writer(&mut rng, &base, &bytes)
+            })
+            .collect();
+        let writers: Vec<&Writer> = ws.iter().collect();
+
+        for order in permutations(3) {
+            let merged = chain_merges(&base, &writers, &order);
+            let want = oracle(&base, &writers, &order);
+            assert_eq!(
+                &merged[..],
+                &want[..],
+                "LWW oracle mismatch for commit order {order:?} (round {round})"
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_and_parallel_merge_paths_agree() {
+    // The parallel barrier commit applies diffs in place (`apply_diff`);
+    // the asynchronous commit path chains `merge_into` against the latest
+    // page. Same version DAG, physically different schedules — the final
+    // segment contents must be identical.
+    let mut rng = Lcg(0xBA55);
+    for _ in 0..16 {
+        let base = page_of(|i| (i % 13) as u8);
+        let ws: Vec<Writer> = (0..4)
+            .map(|_| {
+                let bytes: Vec<usize> = (0..20).map(|_| rng.below(PAGE_SIZE)).collect();
+                random_writer(&mut rng, &base, &bytes)
+            })
+            .collect();
+        assert!(ws.iter().all(|w| is_modified(&base, &w.work)));
+        let writers: Vec<&Writer> = ws.iter().collect();
+        let order: Vec<usize> = (0..4).collect();
+
+        let chained = chain_merges(&base, &writers, &order);
+        let mut in_place = Box::new(*base);
+        for &w in &order {
+            apply_diff(&base, &writers[w].work, &mut in_place);
+        }
+        assert_eq!(&chained[..], &in_place[..]);
+    }
+}

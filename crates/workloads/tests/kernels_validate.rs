@@ -13,6 +13,7 @@ fn cfg(pages: usize) -> CommonConfig {
         track_lrc: false,
         gc_budget: usize::MAX,
         trace: dmt_api::TraceHandle::off(),
+        perturb: dmt_api::PerturbHandle::off(),
     }
 }
 
