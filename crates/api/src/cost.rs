@@ -63,6 +63,10 @@ pub struct CostModel {
     pub pthread_spawn: u64,
     /// Per 8-byte word of shared-memory access (load or store).
     pub mem_word: u64,
+    /// Per version reclaimed (dropped or squashed) by the version-chain
+    /// collector; the single-threaded collector of Fig. 12 pays this on the
+    /// committing thread's critical path.
+    pub gc_version: u64,
 }
 
 impl Default for CostModel {
@@ -90,6 +94,7 @@ impl Default for CostModel {
             pthread_sync: 400,
             pthread_spawn: 9_000,
             mem_word: 1,
+            gc_version: 400,
         }
     }
 }
@@ -120,6 +125,7 @@ impl CostModel {
             pthread_sync: 0,
             pthread_spawn: 0,
             mem_word: 0,
+            gc_version: 0,
         }
     }
 

@@ -96,6 +96,14 @@ pub struct Counters {
     /// Pages an LRC system would have propagated (§5.3 estimator);
     /// zero unless LRC tracking was enabled.
     pub lrc_pages_propagated: u64,
+    /// Versions dropped outright by the version-chain collector.
+    pub gc_versions_dropped: u64,
+    /// Version pairs squashed (compacted) by the collector while pinned by
+    /// a lagging workspace.
+    pub gc_versions_squashed: u64,
+    /// Page allocations served from the freed-page recycle pool instead of
+    /// the system allocator.
+    pub page_pool_hits: u64,
 }
 
 impl AddAssign for Counters {
@@ -115,6 +123,9 @@ impl AddAssign for Counters {
         self.chunks += o.chunks;
         self.coarsened_chunks += o.coarsened_chunks;
         self.lrc_pages_propagated += o.lrc_pages_propagated;
+        self.gc_versions_dropped += o.gc_versions_dropped;
+        self.gc_versions_squashed += o.gc_versions_squashed;
+        self.page_pool_hits += o.page_pool_hits;
     }
 }
 

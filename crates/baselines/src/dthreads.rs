@@ -210,6 +210,11 @@ impl DtCtx {
         self.v += u;
         self.bd.update += u;
         self.cnt.pages_propagated += ur.pages_propagated;
+        // Updates race each other in real time, so how much reclaimable
+        // work this particular call finds is nondeterministic — the
+        // collector's work cannot be charged to this thread's virtual
+        // clock (unlike Consequence, whose collector runs under the
+        // token). Totals are harvested from the segment at report time.
         sh.seg.gc(self.sh.cfg.gc_budget);
     }
 
@@ -902,6 +907,11 @@ impl Runtime for DThreadsRuntime {
         for (_, b) in &reports {
             breakdown += *b;
         }
+        let mut counters = counters;
+        let (gc_dropped, gc_squashed) = sh.seg.gc_totals();
+        counters.gc_versions_dropped = gc_dropped;
+        counters.gc_versions_squashed = gc_squashed;
+        counters.page_pool_hits = sh.seg.tracker().pool_hits();
         RunReport {
             virtual_cycles: max_v,
             wall: start.elapsed(),

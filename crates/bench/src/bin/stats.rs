@@ -1,5 +1,14 @@
-//! Prints per-run counters for calibration work.
+//! Prints per-run counters for calibration work, plus a [`Summary`] of the
+//! slowdown distribution across the selected benchmarks so calibration
+//! passes have one comparable number (and its spread) instead of a wall of
+//! rows.
+//!
+//! ```text
+//! stats [--json] [BENCHMARK...]
+//! ```
 use dmt_baselines::RuntimeKind;
+use dmt_bench::json::ToJson;
+use dmt_bench::stats::Summary;
 use dmt_bench::*;
 
 fn main() {
@@ -7,19 +16,33 @@ fn main() {
         pthreads_reps: 1,
         ..Bench::default()
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let names: Vec<&str> = if args.is_empty() {
         ALL_BENCHMARKS.to_vec()
     } else {
         args.iter().map(|s| s.as_str()).collect()
     };
+    let mut slowdowns = Vec::with_capacity(names.len());
     for name in names {
         let pt = run_one(&b, RuntimeKind::Pthreads, name, 4);
         let ic = run_one(&b, RuntimeKind::ConsequenceIc, name, 4);
         let c = &ic.report.counters;
-        println!("{name:<18} pthreads_v={:>10} ic_v={:>11} slow={:>5.1} tok={:>6} coarse={:>6} commits={:>6} pages={:>7} faults={:>6} pub={:>7}",
+        let slow = ic.virtual_cycles as f64 / pt.virtual_cycles as f64;
+        slowdowns.push(slow);
+        println!("{name:<18} pthreads_v={:>10} ic_v={:>11} slow={slow:>5.1} tok={:>6} coarse={:>6} commits={:>6} pages={:>7} faults={:>6} pub={:>7} gc={:>5}",
             pt.virtual_cycles, ic.virtual_cycles,
-            ic.virtual_cycles as f64 / pt.virtual_cycles as f64,
-            c.token_acquisitions, c.coarsened_chunks, c.commits, c.pages_committed, c.faults, c.publications);
+            c.token_acquisitions, c.coarsened_chunks, c.commits, c.pages_committed, c.faults, c.publications,
+            c.gc_versions_dropped + c.gc_versions_squashed);
+    }
+    let s = Summary::of(&slowdowns);
+    if json {
+        println!("{}", s.to_json());
+    } else {
+        println!(
+            "slowdown over {} benchmarks: mean={:.2} min={:.2} max={:.2} stddev={:.2}",
+            s.n, s.mean, s.min, s.max, s.stddev
+        );
     }
 }

@@ -1,0 +1,120 @@
+//! `vmem` — commit/update/merge microbenchmarks for the Conversion layer.
+//!
+//! ```text
+//! vmem [--smoke] [--out PATH]    run the benchmarks, write the JSON artifact
+//! vmem --check PATH              validate an existing artifact (CI gate)
+//! ```
+//!
+//! The full run regenerates `BENCH_vmem.json` (committed at the repo root as
+//! the performance baseline; always use `--release`). `--smoke` shrinks
+//! iteration counts for CI. `--check` parses an emitted document with the
+//! in-tree JSON parser and verifies every grid cell is present — see
+//! `docs/PERF.md` for the schema.
+
+use std::process::ExitCode;
+
+use dmt_bench::json::ToJson;
+use dmt_bench::vmem::{run_vmem_bench, validate_report};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_vmem.json");
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => return usage("--out requires a path"),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => return usage("--check requires a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("vmem: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_report(&text) {
+            Ok(()) => {
+                println!("{path}: ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    eprintln!(
+        "running vmem bench ({} mode)...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = run_vmem_bench(smoke);
+
+    for c in &report.merge {
+        eprintln!(
+            "merge {:>2}% dirty: word {:>10.0} pg/s  byte {:>10.0} pg/s  speedup {:.2}x",
+            c.density_pct, c.word_pages_per_s, c.byte_pages_per_s, c.speedup
+        );
+    }
+    for c in &report.commit {
+        eprintln!(
+            "commit t={} {:>2}% dirty: {:>9.0} pages/s  {:>8.0} commits/s  pool hit {:>5.1}%",
+            c.threads,
+            c.density_pct,
+            c.pages_per_s,
+            c.commits_per_s,
+            c.pool_hit_rate * 100.0
+        );
+    }
+    eprintln!(
+        "gc: {} iters, budget {}, reader lag {}: max retained {} (bound {}) -> {}",
+        report.gc.iters,
+        report.gc.budget,
+        report.gc.reader_lag,
+        report.gc.max_retained,
+        report.gc.bound,
+        if report.gc.bounded {
+            "bounded"
+        } else {
+            "UNBOUNDED"
+        }
+    );
+
+    let text = report.to_json();
+    if let Err(e) = validate_report(&text) {
+        eprintln!("vmem: emitted report failed self-validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, text + "\n") {
+        eprintln!("vmem: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("vmem: {err}");
+    }
+    eprintln!("usage: vmem [--smoke] [--out PATH] | vmem --check PATH");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -8,6 +8,9 @@
 //! reproduction targets recorded in `EXPERIMENTS.md`.
 
 pub mod json;
+pub mod jsonparse;
+pub mod stats;
+pub mod vmem;
 
 use consequence::{ConsequenceRuntime, Options};
 use std::sync::Arc;

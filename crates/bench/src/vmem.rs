@@ -1,0 +1,521 @@
+//! `bench vmem`: microbenchmarks for the Conversion commit/update hot path.
+//!
+//! Three experiments, emitted together as `BENCH_vmem.json` (see
+//! `docs/PERF.md` for the schema and how to compare runs):
+//!
+//! * **merge kernel** — single-page word-wide [`conversion::merge`] against
+//!   the retained byte-loop reference, across dirty densities. This pins
+//!   the tentpole claim: the bitmap fast path must beat the byte loop by
+//!   ≥ 2× at 10% dirty.
+//! * **commit/update grid** — end-to-end [`Segment::commit`] +
+//!   [`Segment::update`] throughput across thread-count × dirty-density
+//!   cells, with every thread writing disjoint bytes of the *same* pages so
+//!   the merge path is exercised under contention.
+//! * **GC bound** — a long-running commit loop with a lagging reader,
+//!   witnessing that the budgeted collector keeps the retained version
+//!   count within the live-reader window instead of growing without bound
+//!   (the Fig. 12 failure mode).
+//!
+//! Wall-clock throughput numbers are machine-dependent; the *ratios*
+//! (word/byte speedup, scaling across cells) and the GC bound are the
+//! comparable part. Every cell reports a [`Summary`] over repetitions so
+//! noise is visible in the artifact.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use conversion::{merge, Segment, PAGE_SIZE};
+use dmt_api::Tid;
+
+use crate::jsonparse::{self, Value};
+use crate::stats::Summary;
+
+/// Dirty densities (percent of page bytes modified) measured per cell.
+pub const DENSITIES: [u32; 3] = [1, 10, 50];
+/// Thread counts of the commit/update grid.
+pub const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Format version tag of the emitted document.
+pub const SCHEMA: &str = "bench-vmem/1";
+
+/// One merge-kernel cell: word-wide path vs byte-loop baseline at a fixed
+/// dirty density, single page.
+#[derive(Clone, Debug)]
+pub struct MergeCell {
+    /// Percent of page bytes dirtied.
+    pub density_pct: u32,
+    /// Actual distinct bytes dirtied (density applied to 4096).
+    pub dirty_bytes: usize,
+    /// Word-wide path throughput, pages merged per second (mean of reps).
+    pub word_pages_per_s: f64,
+    /// Byte-loop baseline throughput, pages merged per second.
+    pub byte_pages_per_s: f64,
+    /// `word_pages_per_s / byte_pages_per_s`.
+    pub speedup: f64,
+    /// Per-rep spread of the word path.
+    pub word_summary: Summary,
+    /// Per-rep spread of the byte path.
+    pub byte_summary: Summary,
+}
+
+/// One commit/update grid cell.
+#[derive(Clone, Debug)]
+pub struct CommitCell {
+    /// Committing threads (each with its own workspace).
+    pub threads: usize,
+    /// Percent of each written page's bytes dirtied per chunk.
+    pub density_pct: u32,
+    /// Commit+update cycles per second, summed over threads.
+    pub commits_per_s: f64,
+    /// Dirty pages published per second, summed over threads.
+    pub pages_per_s: f64,
+    /// Fraction of page allocations served by the recycle pool.
+    pub pool_hit_rate: f64,
+    /// Per-rep spread of `pages_per_s`.
+    pub summary: Summary,
+}
+
+/// Result of the long-running commit loop under GC.
+#[derive(Clone, Debug)]
+pub struct GcBoundCell {
+    /// Commit iterations executed.
+    pub iters: usize,
+    /// Collector budget per commit (versions).
+    pub budget: usize,
+    /// How many commits the lagging reader falls behind before updating.
+    pub reader_lag: usize,
+    /// Maximum retained version-chain length observed.
+    pub max_retained: usize,
+    /// The bound the chain must stay within: twice the reader lag.
+    pub bound: usize,
+    /// Whether `max_retained <= bound` held for the whole run.
+    pub bounded: bool,
+}
+
+/// The complete `bench vmem` artifact.
+#[derive(Clone, Debug)]
+pub struct VmemReport {
+    /// Format tag ([`SCHEMA`]).
+    pub schema: String,
+    /// `"full"` or `"smoke"`.
+    pub mode: String,
+    /// Merge-kernel cells, one per density in [`DENSITIES`].
+    pub merge: Vec<MergeCell>,
+    /// Commit grid cells, [`THREADS`] × [`DENSITIES`].
+    pub commit: Vec<CommitCell>,
+    /// GC boundedness witness.
+    pub gc: GcBoundCell,
+}
+
+crate::json_struct!(MergeCell {
+    density_pct,
+    dirty_bytes,
+    word_pages_per_s,
+    byte_pages_per_s,
+    speedup,
+    word_summary,
+    byte_summary
+});
+
+crate::json_struct!(CommitCell {
+    threads,
+    density_pct,
+    commits_per_s,
+    pages_per_s,
+    pool_hit_rate,
+    summary
+});
+
+crate::json_struct!(GcBoundCell {
+    iters,
+    budget,
+    reader_lag,
+    max_retained,
+    bound,
+    bounded
+});
+
+crate::json_struct!(VmemReport {
+    schema,
+    mode,
+    merge,
+    commit,
+    gc
+});
+
+/// Knuth LCG for scattering dirty bytes; fixed seeds keep the measured
+/// work identical across runs.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+}
+
+fn dirty_bytes_for(pct: u32) -> usize {
+    (PAGE_SIZE * pct as usize / 100).max(1)
+}
+
+type Page = Box<[u8; PAGE_SIZE]>;
+
+/// Builds (twin, work, latest) pages with `dirty` scattered modified bytes
+/// in `work` and a remote write in `latest` (forcing the contended path at
+/// least once per page).
+fn merge_inputs(dirty: usize, seed: u64) -> (Page, Page, Page) {
+    let mut rng = Lcg(seed);
+    let mut twin = Box::new([0u8; PAGE_SIZE]);
+    for (i, b) in twin.iter_mut().enumerate() {
+        *b = (i % 251) as u8;
+    }
+    let mut work = Box::new(*twin);
+    let mut placed = 0;
+    while placed < dirty {
+        let i = (rng.next() as usize) % PAGE_SIZE;
+        if work[i] == twin[i] {
+            work[i] = twin[i].wrapping_add(1 + (rng.next() % 254) as u8);
+            placed += 1;
+        }
+    }
+    let mut latest = Box::new(*twin);
+    // A remote writer touched a handful of bytes since fault time.
+    for k in 0..8 {
+        let i = (rng.next() as usize) % PAGE_SIZE;
+        latest[i] = latest[i].wrapping_add(1 + k);
+    }
+    (twin, work, latest)
+}
+
+/// Measures both merge kernels at each density in [`DENSITIES`].
+pub fn run_merge_kernel(smoke: bool) -> Vec<MergeCell> {
+    let reps = if smoke { 2 } else { 5 };
+    let iters = if smoke { 400 } else { 4_000 };
+    DENSITIES
+        .iter()
+        .map(|&pct| {
+            let dirty = dirty_bytes_for(pct);
+            let (twin, work, latest) = merge_inputs(dirty, 0xC0FFEE ^ pct as u64);
+            let mut out = Box::new([0u8; PAGE_SIZE]);
+            let mut time_path = |word: bool| -> Vec<f64> {
+                (0..reps)
+                    .map(|_| {
+                        let start = Instant::now();
+                        let mut sink = 0usize;
+                        for _ in 0..iters {
+                            sink = sink.wrapping_add(if word {
+                                merge::merge_into(
+                                    std::hint::black_box(&twin),
+                                    std::hint::black_box(&work),
+                                    std::hint::black_box(&latest),
+                                    &mut out,
+                                )
+                            } else {
+                                merge::bytewise::merge_into(
+                                    std::hint::black_box(&twin),
+                                    std::hint::black_box(&work),
+                                    std::hint::black_box(&latest),
+                                    &mut out,
+                                )
+                            });
+                            std::hint::black_box(&out);
+                        }
+                        std::hint::black_box(sink);
+                        iters as f64 / start.elapsed().as_secs_f64()
+                    })
+                    .collect()
+            };
+            // Warm up both paths once so neither pays first-touch costs.
+            let _ = time_path(true);
+            let word = Summary::of(&time_path(true));
+            let byte = Summary::of(&time_path(false));
+            MergeCell {
+                density_pct: pct,
+                dirty_bytes: dirty,
+                word_pages_per_s: word.mean,
+                byte_pages_per_s: byte.mean,
+                speedup: if byte.mean > 0.0 {
+                    word.mean / byte.mean
+                } else {
+                    0.0
+                },
+                word_summary: word,
+                byte_summary: byte,
+            }
+        })
+        .collect()
+}
+
+/// Measures end-to-end commit/update throughput for one grid cell.
+fn run_commit_cell(threads: usize, pct: u32, smoke: bool) -> CommitCell {
+    let reps = if smoke { 2 } else { 4 };
+    let iters = if smoke { 40 } else { 400 };
+    let pages = if smoke { 8 } else { 32 };
+    let dirty_per_page = dirty_bytes_for(pct);
+
+    let mut samples = Vec::with_capacity(reps);
+    let mut commits_per_s = 0.0;
+    let mut pool_hit_rate = 0.0;
+    for _ in 0..reps {
+        let seg = Arc::new(Segment::new(pages, threads));
+        // Commits must be serialized by the caller (the runtimes hold the
+        // global token); a plain mutex stands in for it here.
+        let token = Arc::new(Mutex::new(()));
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let seg = Arc::clone(&seg);
+                let token = Arc::clone(&token);
+                s.spawn(move || {
+                    let (mut ws, _) = seg.new_workspace(Tid(t as u32));
+                    let mut rng = Lcg(0xBEEF ^ t as u64);
+                    let mut val = 0u8;
+                    for _ in 0..iters {
+                        // Scatter writes: same pages for all threads,
+                        // disjoint bytes per thread (offset stripes), so
+                        // later committers take the merge path.
+                        for p in 0..pages {
+                            for _ in 0..dirty_per_page {
+                                let off = (rng.next() as usize) % (PAGE_SIZE / threads);
+                                let addr = p * PAGE_SIZE + t * (PAGE_SIZE / threads) + off;
+                                val = val.wrapping_add(1);
+                                ws.write_bytes(addr, &[val]);
+                            }
+                        }
+                        let guard = token.lock().unwrap();
+                        seg.commit(&mut ws, None);
+                        seg.update(&mut ws);
+                        seg.gc(4);
+                        drop(guard);
+                    }
+                    seg.detach(Tid(t as u32));
+                });
+            }
+        });
+        let secs = start.elapsed().as_secs_f64();
+        let total_commits = (threads * iters) as f64;
+        let total_pages = (threads * iters * pages) as f64;
+        samples.push(total_pages / secs);
+        commits_per_s = total_commits / secs;
+        let hits = seg.tracker().pool_hits() as f64;
+        let misses = seg.tracker().pool_misses() as f64;
+        pool_hit_rate = if hits + misses > 0.0 {
+            hits / (hits + misses)
+        } else {
+            0.0
+        };
+    }
+    let summary = Summary::of(&samples);
+    CommitCell {
+        threads,
+        density_pct: pct,
+        commits_per_s,
+        pages_per_s: summary.mean,
+        pool_hit_rate,
+        summary,
+    }
+}
+
+/// Runs the full [`THREADS`] × [`DENSITIES`] commit grid.
+pub fn run_commit_grid(smoke: bool) -> Vec<CommitCell> {
+    let mut out = Vec::new();
+    for &t in &THREADS {
+        for &d in &DENSITIES {
+            out.push(run_commit_cell(t, d, smoke));
+        }
+    }
+    out
+}
+
+/// Long-running commit loop with a lagging reader: the retained version
+/// chain must stay within twice the reader's lag window under the budgeted
+/// collector, or memory grows without bound (Fig. 12).
+pub fn run_gc_bound(smoke: bool) -> GcBoundCell {
+    let iters = if smoke { 2_000 } else { 20_000 };
+    let budget = 4;
+    let reader_lag = 64;
+    let seg = Segment::new(4, 2);
+    let (mut w, _) = seg.new_workspace(Tid(0));
+    let (mut r, _) = seg.new_workspace(Tid(1));
+    let mut max_retained = 0;
+    for i in 0..iters {
+        w.write_bytes((i % 4) * PAGE_SIZE, &[i as u8]);
+        seg.commit(&mut w, None);
+        seg.update(&mut w);
+        if i % reader_lag == reader_lag - 1 {
+            seg.update(&mut r);
+        }
+        seg.gc(budget);
+        max_retained = max_retained.max(seg.retained_versions());
+    }
+    let bound = 2 * reader_lag;
+    GcBoundCell {
+        iters,
+        budget,
+        reader_lag,
+        max_retained,
+        bound,
+        bounded: max_retained <= bound,
+    }
+}
+
+/// Runs every experiment and assembles the artifact.
+pub fn run_vmem_bench(smoke: bool) -> VmemReport {
+    VmemReport {
+        schema: SCHEMA.to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        merge: run_merge_kernel(smoke),
+        commit: run_commit_grid(smoke),
+        gc: run_gc_bound(smoke),
+    }
+}
+
+/// Validates an emitted `BENCH_vmem.json`: it must parse, carry the current
+/// schema tag, contain every merge and commit grid cell with positive
+/// throughputs (both word *and* byte numbers present), and witness a
+/// bounded GC run. Returns a description of the first problem found.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let v = jsonparse::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if v.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        return Err(format!("schema tag is not {SCHEMA:?}"));
+    }
+    let merge = v
+        .get("merge")
+        .and_then(Value::as_arr)
+        .ok_or("missing merge cells")?;
+    for &pct in &DENSITIES {
+        let cell = merge
+            .iter()
+            .find(|c| c.get("density_pct").and_then(Value::as_f64) == Some(pct as f64))
+            .ok_or(format!("missing merge cell for density {pct}%"))?;
+        for key in ["word_pages_per_s", "byte_pages_per_s", "speedup"] {
+            let x = cell
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or(format!("merge cell {pct}%: missing {key}"))?;
+            if x <= 0.0 {
+                return Err(format!("merge cell {pct}%: non-positive {key}"));
+            }
+        }
+    }
+    let commit = v
+        .get("commit")
+        .and_then(Value::as_arr)
+        .ok_or("missing commit cells")?;
+    for &t in &THREADS {
+        for &pct in &DENSITIES {
+            let cell = commit
+                .iter()
+                .find(|c| {
+                    c.get("threads").and_then(Value::as_f64) == Some(t as f64)
+                        && c.get("density_pct").and_then(Value::as_f64) == Some(pct as f64)
+                })
+                .ok_or(format!("missing commit cell for {t} threads / {pct}%"))?;
+            let pps = cell
+                .get("pages_per_s")
+                .and_then(Value::as_f64)
+                .ok_or(format!("commit cell {t}/{pct}%: missing pages_per_s"))?;
+            if pps <= 0.0 {
+                return Err(format!("commit cell {t}/{pct}%: non-positive pages_per_s"));
+            }
+        }
+    }
+    let gc = v.get("gc").ok_or("missing gc witness")?;
+    if gc.get("bounded").and_then(Value::as_bool) != Some(true) {
+        return Err("gc.bounded is not true: version chain outran the collector".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::ToJson;
+
+    #[test]
+    fn smoke_report_passes_its_own_validation() {
+        let r = run_vmem_bench(true);
+        validate_report(&r.to_json()).expect("smoke artifact validates");
+    }
+
+    #[test]
+    fn gc_keeps_version_chain_within_reader_window() {
+        let g = run_gc_bound(true);
+        assert!(
+            g.bounded,
+            "retained {} versions, bound {}",
+            g.max_retained, g.bound
+        );
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_report("not json").is_err());
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report(r#"{"schema":"bench-vmem/1"}"#).is_err());
+        // A full document with a missing grid cell.
+        let mut r = run_gc_bound_stub();
+        r.merge.remove(0);
+        assert!(validate_report(&r.to_json())
+            .unwrap_err()
+            .contains("missing merge cell"));
+        // An unbounded GC run must fail validation.
+        let mut r = run_gc_bound_stub();
+        r.gc.bounded = false;
+        assert!(validate_report(&r.to_json()).unwrap_err().contains("gc"));
+    }
+
+    /// A structurally complete report with fabricated numbers (no timing),
+    /// for validation tests that must stay fast.
+    fn run_gc_bound_stub() -> VmemReport {
+        let merge = DENSITIES
+            .iter()
+            .map(|&pct| MergeCell {
+                density_pct: pct,
+                dirty_bytes: dirty_bytes_for(pct),
+                word_pages_per_s: 2.0,
+                byte_pages_per_s: 1.0,
+                speedup: 2.0,
+                word_summary: Summary::of(&[2.0]),
+                byte_summary: Summary::of(&[1.0]),
+            })
+            .collect();
+        let mut commit = Vec::new();
+        for &t in &THREADS {
+            for &d in &DENSITIES {
+                commit.push(CommitCell {
+                    threads: t,
+                    density_pct: d,
+                    commits_per_s: 1.0,
+                    pages_per_s: 1.0,
+                    pool_hit_rate: 0.5,
+                    summary: Summary::of(&[1.0]),
+                });
+            }
+        }
+        VmemReport {
+            schema: SCHEMA.to_string(),
+            mode: "stub".to_string(),
+            merge,
+            commit,
+            gc: GcBoundCell {
+                iters: 1,
+                budget: 4,
+                reader_lag: 64,
+                max_retained: 1,
+                bound: 128,
+                bounded: true,
+            },
+        }
+    }
+
+    #[test]
+    fn merge_inputs_have_requested_density() {
+        let (twin, work, _) = merge_inputs(409, 7);
+        let diff = twin.iter().zip(work.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(diff, 409);
+    }
+}

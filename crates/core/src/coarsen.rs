@@ -33,9 +33,12 @@ impl Ewma {
         self.0
     }
 
-    /// Folds in a new sample.
+    /// Folds in a new sample. `(est & s) + ((est ^ s) >> 1)` is the
+    /// overflow-safe form of `(est + s) / 2` (shared bits plus half the
+    /// differing bits), exact for all inputs including those whose sum
+    /// exceeds `u64::MAX`.
     pub fn update(&mut self, sample: u64) {
-        self.0 = (self.0 + sample) / 2;
+        self.0 = (self.0 & sample) + ((self.0 ^ sample) >> 1);
     }
 }
 
@@ -77,9 +80,13 @@ impl CoarsenState {
             return;
         }
         if same_thread {
-            self.max_chunk = (self.max_chunk * 2).min(self.cap);
+            // Saturating: with `cap` near `u64::MAX` the doubling must not
+            // wrap around to a tiny budget.
+            self.max_chunk = self.max_chunk.saturating_mul(2).min(self.cap);
         } else {
-            self.max_chunk = (self.max_chunk * 3 / 4).max(self.min);
+            // Widen through u128 so `max_chunk * 3` cannot overflow while
+            // keeping the exact `⌊3m/4⌋` the figures were calibrated with.
+            self.max_chunk = ((self.max_chunk as u128 * 3 / 4) as u64).max(self.min);
         }
     }
 

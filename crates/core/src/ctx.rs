@@ -434,7 +434,15 @@ impl Ctx {
             version: ur.new_base,
             pages: ur.pages_propagated,
         });
-        sh.seg.gc(self.sh.cfg.gc_budget);
+        let gr = sh.seg.gc(self.sh.cfg.gc_budget);
+        // The single-threaded collector runs on the committing thread's
+        // critical path (Fig. 12): charge its work like any other commit
+        // bookkeeping.
+        let g = gr.spent() as u64 * self.cost.gc_version;
+        self.v += g;
+        self.bd.commit += g;
+        self.cnt.gc_versions_dropped += gr.dropped as u64;
+        self.cnt.gc_versions_squashed += gr.squashed as u64;
         self.cnt.chunks += 1;
         self.chunk_start_clock = self.clock;
         self.current_since_acquire = true;

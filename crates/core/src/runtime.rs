@@ -177,6 +177,13 @@ impl Runtime for ConsequenceRuntime {
         for (_, b) in &reports {
             breakdown += *b;
         }
+        let mut counters = counters;
+        // Collector and allocator totals live on the segment, not in any
+        // per-thread counter set: harvest them at report time.
+        let (gc_dropped, gc_squashed) = sh.seg.gc_totals();
+        counters.gc_versions_dropped = gc_dropped;
+        counters.gc_versions_squashed = gc_squashed;
+        counters.page_pool_hits = sh.seg.tracker().pool_hits();
         RunReport {
             virtual_cycles: max_v,
             wall: start.elapsed(),

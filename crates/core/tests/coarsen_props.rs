@@ -1,0 +1,128 @@
+//! Property tests for the adaptive-coarsening predictors (§3.1).
+//!
+//! The coarsening decisions feed directly into virtual time, so the
+//! arithmetic must be total: no overflow panic, no wraparound, for *any*
+//! chunk-length sample or budget configuration. These properties drive the
+//! predictors with adversarial 64-bit inputs (the EWMA average and the
+//! multiplicative increase both used to overflow near `u64::MAX`).
+
+use consequence::coarsen::{CoarsenState, Ewma};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0
+    }
+
+    /// Mixes huge values in so sums and products actually overflow.
+    fn sample(&mut self) -> u64 {
+        match self.next() % 4 {
+            0 => u64::MAX - self.next() % 1_000,
+            1 => self.next() % 1_000,
+            _ => self.next(),
+        }
+    }
+}
+
+#[test]
+fn ewma_stays_between_old_estimate_and_sample() {
+    let mut rng = Lcg(42);
+    for _ in 0..10_000 {
+        let mut e = Ewma::default();
+        for _ in 0..8 {
+            let prev = e.get();
+            let s = rng.sample();
+            e.update(s);
+            let (lo, hi) = (prev.min(s), prev.max(s));
+            assert!(
+                e.get() >= lo && e.get() <= hi,
+                "EWMA {} left [{lo}, {hi}] (prev {prev}, sample {s})",
+                e.get()
+            );
+        }
+    }
+}
+
+#[test]
+fn ewma_matches_wide_arithmetic() {
+    let mut rng = Lcg(7);
+    for _ in 0..10_000 {
+        let mut e = Ewma::default();
+        let mut wide = 0u128;
+        for _ in 0..4 {
+            let s = rng.sample();
+            e.update(s);
+            wide = (wide + s as u128) / 2;
+            assert_eq!(e.get() as u128, wide, "overflow-safe average diverged");
+        }
+    }
+}
+
+#[test]
+fn adapt_never_leaves_configured_bounds() {
+    let mut rng = Lcg(1234);
+    for _ in 0..2_000 {
+        let a = rng.sample();
+        let b = rng.sample();
+        let (min, cap) = (a.min(b), a.max(b));
+        let mut c = CoarsenState::new(rng.sample(), min, cap, None);
+        for _ in 0..64 {
+            let budget = c.budget();
+            assert!(
+                (min..=cap).contains(&budget),
+                "budget {budget} outside [{min}, {cap}]"
+            );
+            c.adapt(rng.next().is_multiple_of(2));
+        }
+    }
+}
+
+#[test]
+fn adapt_monotone_per_step() {
+    // One increase step never shrinks the budget; one decrease step never
+    // grows it (each may be clipped by cap/min, but never cross over).
+    let mut rng = Lcg(99);
+    for _ in 0..2_000 {
+        let a = rng.sample();
+        let b = rng.sample();
+        let (min, cap) = (a.min(b), a.max(b));
+        let mut c = CoarsenState::new(rng.sample(), min, cap, None);
+        for _ in 0..32 {
+            let before = c.budget();
+            let grow = rng.next().is_multiple_of(2);
+            c.adapt(grow);
+            if grow {
+                assert!(c.budget() >= before, "increase shrank the budget");
+            } else {
+                assert!(c.budget() <= before, "decrease grew the budget");
+            }
+        }
+    }
+}
+
+#[test]
+fn extreme_bounds_are_total() {
+    // cap = u64::MAX: doubling from near the top must saturate, not wrap.
+    let mut c = CoarsenState::new(u64::MAX - 1, 1, u64::MAX, None);
+    c.adapt(true);
+    assert_eq!(c.budget(), u64::MAX);
+    c.adapt(true);
+    assert_eq!(c.budget(), u64::MAX);
+    // And the 3/4 decrease from the top keeps exact ⌊3m/4⌋ semantics.
+    c.adapt(false);
+    assert_eq!(c.budget(), (u64::MAX as u128 * 3 / 4) as u64);
+
+    // min = 0 must not underflow or get stuck above the floor.
+    let mut c = CoarsenState::new(1, 0, 8, None);
+    for _ in 0..8 {
+        c.adapt(false);
+    }
+    assert_eq!(c.budget(), 0);
+    c.adapt(true);
+    assert_eq!(c.budget(), 0, "doubling zero stays zero");
+}

@@ -38,10 +38,11 @@ pub mod version;
 pub mod workspace;
 
 pub use dmt_api::PAGE_SIZE;
+pub use merge::DirtyMap;
 pub use page::{PageBuf, PageRef, PageTracker};
 pub use parallel::ParallelCommit;
 pub use registry::Registry;
-pub use segment::{CommitResult, Segment, UpdateResult};
+pub use segment::{CommitResult, GcResult, Segment, UpdateResult};
 pub use version::Version;
 pub use workspace::Workspace;
 

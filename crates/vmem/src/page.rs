@@ -1,29 +1,42 @@
-//! Pages and live-page accounting.
+//! Pages, live-page accounting, and the freed-page pool.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use dmt_api::sync::Mutex;
 use dmt_api::PAGE_SIZE;
 
 /// Shared, immutable reference to a committed or snapshot page.
 pub type PageRef = Arc<PageBuf>;
 
+/// Upper bound on pooled free pages per segment (16 MiB of 4 KiB pages).
+/// Beyond this the steady state is covered and extra frees go back to the
+/// allocator, so a transient spike cannot pin memory forever.
+const POOL_CAP: usize = 4096;
+
 /// Tracks the number of distinct live pages so a run can report its peak
-/// memory footprint (Figure 12 of the Consequence paper).
+/// memory footprint (Figure 12 of the Consequence paper), and recycles
+/// freed page buffers so the commit/update steady state allocates nothing.
 ///
 /// Every [`PageBuf`] holds a handle to the tracker of the segment that
 /// created it; construction increments the live count and `Drop` decrements
 /// it, so the count covers pages reachable from the latest version, retained
 /// old versions, workspace snapshots, twins and working copies — exactly the
-/// segment's physical footprint.
+/// segment's physical footprint. On drop the raw 4 KiB buffer is parked in
+/// the tracker's pool (up to `POOL_CAP`, 4096 pages); the next fault-time twin copy or
+/// merge output reuses it instead of hitting the allocator. Pooled buffers
+/// are *not* live pages.
 #[derive(Debug, Default)]
 pub struct PageTracker {
     live: AtomicUsize,
     peak: AtomicUsize,
+    pool: Mutex<Vec<Box<[u8; PAGE_SIZE]>>>,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
 impl PageTracker {
-    /// Creates a tracker with zero live pages.
+    /// Creates a tracker with zero live pages and an empty pool.
     pub fn new() -> Arc<Self> {
         Arc::new(PageTracker::default())
     }
@@ -38,6 +51,21 @@ impl PageTracker {
         self.peak.load(Ordering::Relaxed)
     }
 
+    /// Page allocations served from the recycle pool.
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits.load(Ordering::Relaxed)
+    }
+
+    /// Page allocations that fell through to the system allocator.
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses.load(Ordering::Relaxed)
+    }
+
+    /// Free pages currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().len()
+    }
+
     fn incr(&self) {
         let now = self.live.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak.fetch_max(now, Ordering::Relaxed);
@@ -45,6 +73,29 @@ impl PageTracker {
 
     fn decr(&self) {
         self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Takes a recycled buffer (contents unspecified), or `None` when the
+    /// pool is empty.
+    fn take(&self) -> Option<Box<[u8; PAGE_SIZE]>> {
+        let got = self.pool.lock().pop();
+        match got {
+            Some(b) => {
+                self.pool_hits.fetch_add(1, Ordering::Relaxed);
+                Some(b)
+            }
+            None => {
+                self.pool_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn park(&self, buf: Box<[u8; PAGE_SIZE]>) {
+        let mut pool = self.pool.lock();
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
     }
 }
 
@@ -55,7 +106,9 @@ impl PageTracker {
 /// committed.
 #[derive(Debug)]
 pub struct PageBuf {
-    data: Box<[u8; PAGE_SIZE]>,
+    /// `None` only transiently inside `Drop`, where the buffer is moved
+    /// back to the tracker's pool.
+    data: Option<Box<[u8; PAGE_SIZE]>>,
     tracker: Arc<PageTracker>,
 }
 
@@ -63,8 +116,15 @@ impl PageBuf {
     /// A zero-filled page accounted against `tracker`.
     pub fn zeroed(tracker: &Arc<PageTracker>) -> PageBuf {
         tracker.incr();
+        let data = match tracker.take() {
+            Some(mut b) => {
+                b.fill(0);
+                b
+            }
+            None => Box::new([0u8; PAGE_SIZE]),
+        };
         PageBuf {
-            data: Box::new([0u8; PAGE_SIZE]),
+            data: Some(data),
             tracker: Arc::clone(tracker),
         }
     }
@@ -72,8 +132,15 @@ impl PageBuf {
     /// A copy of `src` accounted against the same tracker.
     pub fn duplicate(src: &PageBuf) -> PageBuf {
         src.tracker.incr();
+        let data = match src.tracker.take() {
+            Some(mut b) => {
+                b.copy_from_slice(src.bytes());
+                b
+            }
+            None => Box::new(*src.bytes()),
+        };
         PageBuf {
-            data: Box::new(*src.data),
+            data: Some(data),
             tracker: Arc::clone(&src.tracker),
         }
     }
@@ -81,20 +148,23 @@ impl PageBuf {
     /// Read access to the page bytes.
     #[inline]
     pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
-        &self.data
+        self.data.as_ref().expect("page present outside drop")
     }
 
     /// Write access to the page bytes (only possible pre-publication, while
     /// the page is still uniquely owned).
     #[inline]
     pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
-        &mut self.data
+        self.data.as_mut().expect("page present outside drop")
     }
 }
 
 impl Drop for PageBuf {
     fn drop(&mut self) {
         self.tracker.decr();
+        if let Some(buf) = self.data.take() {
+            self.tracker.park(buf);
+        }
     }
 }
 
@@ -137,5 +207,33 @@ mod tests {
         drop(a);
         drop(b);
         assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn dropped_pages_are_recycled_not_reallocated() {
+        let t = PageTracker::new();
+        let mut a = PageBuf::zeroed(&t);
+        a.bytes_mut().fill(0xee);
+        drop(a);
+        assert_eq!(t.pooled(), 1);
+        let hits_before = t.pool_hits();
+        // The recycled buffer is reused and re-zeroed.
+        let b = PageBuf::zeroed(&t);
+        assert_eq!(t.pool_hits(), hits_before + 1);
+        assert_eq!(t.pooled(), 0);
+        assert!(b.bytes().iter().all(|&x| x == 0), "recycled page is zeroed");
+    }
+
+    #[test]
+    fn duplicate_from_pool_copies_source() {
+        let t = PageTracker::new();
+        drop(PageBuf::zeroed(&t)); // seed the pool
+        let mut src = PageBuf::zeroed(&t);
+        src.bytes_mut()[5] = 9;
+        drop(PageBuf::zeroed(&t)); // ensure a pooled buffer is available
+        let hits = t.pool_hits();
+        let dup = PageBuf::duplicate(&src);
+        assert_eq!(t.pool_hits(), hits + 1);
+        assert_eq!(dup.bytes()[5], 9);
     }
 }

@@ -25,12 +25,15 @@ use crate::page::{PageBuf, PageRef};
 use crate::segment::Segment;
 use crate::workspace::Workspace;
 
-/// One registered diff: a thread's modification of one page.
+/// One registered diff: a thread's modification of one page. The dirty-word
+/// bitmap is computed once at registration (where it also answers the
+/// is-modified test) and reused by every phase-2 merge of this diff.
 #[derive(Clone)]
 struct Diff {
     participant: usize,
     twin: PageRef,
     work: PageRef,
+    map: merge::DirtyMap,
 }
 
 struct PagePlan {
@@ -95,7 +98,8 @@ impl ParallelCommit {
         let dirty = ws.take_dirty();
         let mut registered = 0;
         for (p, d) in dirty {
-            if !merge::is_modified(d.twin.bytes(), d.work.bytes()) {
+            let map = merge::DirtyMap::diff(d.twin.bytes(), d.work.bytes());
+            if map.is_clean() {
                 continue;
             }
             registered += 1;
@@ -105,6 +109,7 @@ impl ParallelCommit {
                     participant,
                     twin: d.twin,
                     work,
+                    map,
                 });
             } else {
                 let base = seg.latest_page(p);
@@ -116,6 +121,7 @@ impl ParallelCommit {
                         participant,
                         twin: d.twin,
                         work,
+                        map,
                     }],
                 });
                 inner.index.insert(p, i);
@@ -175,7 +181,7 @@ impl ParallelCommit {
                 work.merged += 1;
                 let mut buf = Box::new(PageBuf::duplicate(&base));
                 for d in &diffs {
-                    merge::apply_diff(d.twin.bytes(), d.work.bytes(), buf.bytes_mut());
+                    merge::apply_with_map(&d.map, d.twin.bytes(), d.work.bytes(), buf.bytes_mut());
                 }
                 PageRef::from(buf)
             };

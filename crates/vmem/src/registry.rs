@@ -10,10 +10,13 @@ const DEAD: u64 = u64::MAX;
 /// Tracks, for each thread slot, the version its workspace is based on.
 ///
 /// The collector may only reclaim versions every live workspace has already
-/// replayed, i.e. versions with id ≤ the minimum registered base.
+/// replayed, i.e. versions with id ≤ the minimum registered base. A
+/// generation counter bumps on every base change so the collector can skip
+/// rescanning history when nothing moved since its last pass.
 #[derive(Debug)]
 pub struct Registry {
     bases: Vec<AtomicU64>,
+    generation: AtomicU64,
 }
 
 impl Registry {
@@ -21,6 +24,7 @@ impl Registry {
     pub fn new(slots: usize) -> Self {
         Registry {
             bases: (0..slots).map(|_| AtomicU64::new(DEAD)).collect(),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -36,11 +40,19 @@ impl Registry {
     /// Panics if `tid` exceeds the slot count.
     pub fn set_base(&self, tid: Tid, base: u64) {
         self.bases[tid.index()].store(base, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Marks `tid` detached; its workspace no longer pins versions.
     pub fn mark_dead(&self, tid: Tid) {
         self.bases[tid.index()].store(DEAD, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Monotonic counter of base changes; equal values mean no workspace
+    /// moved between two reads.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Minimum base version across live threads, or `None` if no thread is
@@ -80,6 +92,17 @@ mod tests {
         assert_eq!(r.min_live_base(), Some(10));
         r.mark_dead(Tid(0));
         assert_eq!(r.min_live_base(), None);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_base_change() {
+        let r = Registry::new(2);
+        let g0 = r.generation();
+        r.set_base(Tid(0), 3);
+        assert!(r.generation() > g0);
+        let g1 = r.generation();
+        r.mark_dead(Tid(0));
+        assert!(r.generation() > g1);
     }
 
     #[test]

@@ -33,6 +33,23 @@ pub struct CommitResult {
     pub page_set: u64,
 }
 
+/// Outcome of a [`Segment::gc`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcResult {
+    /// Versions dropped outright (every live workspace had replayed them).
+    pub dropped: usize,
+    /// Version pairs squashed into one (history pinned by a lagging
+    /// workspace, compacted in place).
+    pub squashed: usize,
+}
+
+impl GcResult {
+    /// Total collector work units spent (drops + squashes).
+    pub fn spent(&self) -> usize {
+        self.dropped + self.squashed
+    }
+}
+
 /// Outcome of a [`Segment::update`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UpdateResult {
@@ -65,6 +82,15 @@ struct SegInner {
     /// Running digest of `(id, committer, page, content)` for every commit:
     /// the determinism witness.
     log: Fnv1a,
+    /// Registry generation and `next_id` observed by the last collector
+    /// pass that ran out of *work* (not budget). While both are unchanged
+    /// — no workspace moved, nothing new committed, no pin released — a
+    /// [`Segment::gc`] call is a no-op and returns without scanning.
+    gc_seen: Option<(u64, u64)>,
+    /// Cumulative versions dropped by the collector.
+    gc_dropped_total: u64,
+    /// Cumulative version pairs squashed by the collector.
+    gc_squashed_total: u64,
 }
 
 /// A version-controlled memory segment (user-space Conversion).
@@ -102,6 +128,9 @@ impl Segment {
                 counts: VecDeque::new(),
                 latest,
                 log: Fnv1a::new(),
+                gc_seen: None,
+                gc_dropped_total: 0,
+                gc_squashed_total: 0,
             }),
             tracker,
             registry: Registry::new(slots),
@@ -249,7 +278,10 @@ impl Segment {
         let mut pages: Vec<(u32, PageRef)> = Vec::with_capacity(dirty.len());
         let mut merged = 0u32;
         for (p, d) in dirty {
-            if !merge::is_modified(d.twin.bytes(), d.work.bytes()) {
+            // One word-wide scan produces the dirty bitmap that answers
+            // both "was this page modified?" and "which words to merge?".
+            let map = merge::DirtyMap::diff(d.twin.bytes(), d.work.bytes());
+            if map.is_clean() {
                 continue;
             }
             let latest = &inner.latest[p as usize];
@@ -259,7 +291,8 @@ impl Segment {
                 PageRef::from(d.work)
             } else {
                 let mut out = Box::new(PageBuf::duplicate(latest));
-                merge::merge_into(
+                merge::merge_with_map(
+                    &map,
                     d.twin.bytes(),
                     d.work.bytes(),
                     latest.bytes(),
@@ -360,8 +393,17 @@ impl Segment {
             *n -= 1;
             if *n == 0 {
                 inner.pins.remove(&id);
+                // A released pin can unblock squashing.
+                inner.gc_seen = None;
             }
         }
+    }
+
+    /// Cumulative collector totals `(versions dropped, pairs squashed)`
+    /// since the segment was created.
+    pub fn gc_totals(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.gc_dropped_total, inner.gc_squashed_total)
     }
 
     /// Brings `ws` forward to the latest version by replaying deltas.
@@ -459,11 +501,25 @@ impl Segment {
     /// which is exactly the Figure 12 memory blow-up on `canneal`/
     /// `lu_ncb`. The paper's proposed multi-threaded collector corresponds
     /// to a large budget.
-    pub fn gc(&self, budget: usize) -> usize {
+    ///
+    /// Calls are cheap when nothing changed: a pass that runs out of work
+    /// records the registry generation and version count it saw, and
+    /// subsequent calls return immediately until a commit, a workspace
+    /// base change, or a pin release invalidates that snapshot. This keeps
+    /// the per-chunk `gc()` call on the runtime hot path near-free in the
+    /// steady state where every thread is up to date.
+    pub fn gc(&self, budget: usize) -> GcResult {
+        // Read the generation *before* taking the lock: a concurrent base
+        // change between the read and the scan makes the early-out snapshot
+        // conservative (stale generation → next call rescans), never unsafe.
+        let gen = self.registry.generation();
         let mut inner = self.inner.lock();
+        if inner.gc_seen == Some((gen, inner.next_id)) {
+            return GcResult::default();
+        }
         let min = self.registry.min_live_base().unwrap_or(inner.next_id - 1);
-        let mut spent = 0;
-        while spent < budget {
+        let mut res = GcResult::default();
+        while res.spent() < budget {
             match inner.versions.front() {
                 Some(v) if v.id <= min => {
                     let dropped_to = v.id;
@@ -477,7 +533,7 @@ impl Segment {
                         inner.counts.pop_front();
                     }
                     inner.first_retained += 1;
-                    spent += 1;
+                    res.dropped += 1;
                 }
                 _ => break,
             }
@@ -485,7 +541,7 @@ impl Segment {
         // Squash the oldest retained pair per remaining unit of budget —
         // but never across a pinned `update_to` target (the merged version
         // could no longer reproduce the pinned point exactly).
-        while spent < budget && inner.versions.len() >= 2 {
+        while res.spent() < budget && inner.versions.len() >= 2 {
             {
                 let va = &inner.versions[0];
                 let vb = &inner.versions[1];
@@ -521,9 +577,18 @@ impl Segment {
             }
             vb.pages = merged;
             vb.base_id = va.base_id;
-            spent += 1;
+            res.squashed += 1;
         }
-        spent
+        inner.gc_dropped_total += res.dropped as u64;
+        inner.gc_squashed_total += res.squashed as u64;
+        // Only a pass that stopped for lack of *work* licenses the
+        // early-out; a budget-limited pass must resume next call.
+        inner.gc_seen = if res.spent() < budget {
+            Some((gen, inner.next_id))
+        } else {
+            None
+        };
+        res
     }
 }
 
@@ -642,7 +707,14 @@ mod tests {
         assert_eq!(seg.retained_versions(), 5);
         // B is still at base 0: nothing can be dropped, but the pinned
         // history can be squashed down to a single version.
-        assert_eq!(seg.gc(usize::MAX), 4, "four squash units");
+        assert_eq!(
+            seg.gc(usize::MAX),
+            GcResult {
+                dropped: 0,
+                squashed: 4
+            },
+            "four squash units"
+        );
         assert_eq!(seg.retained_versions(), 1);
         // B replays the squashed history and sees the final value.
         seg.update(&mut b);
@@ -650,8 +722,15 @@ mod tests {
         b.read_bytes(0, &mut buf);
         assert_eq!(buf[0], 5);
         // Now everything is droppable.
-        assert_eq!(seg.gc(usize::MAX), 1);
+        assert_eq!(
+            seg.gc(usize::MAX),
+            GcResult {
+                dropped: 1,
+                squashed: 0
+            }
+        );
         assert_eq!(seg.retained_versions(), 0);
+        assert_eq!(seg.gc_totals(), (1, 4));
     }
 
     #[test]
@@ -664,8 +743,11 @@ mod tests {
             seg.commit(&mut a, None);
             seg.update(&mut a);
         }
-        assert_eq!(seg.gc(2), 2);
+        assert_eq!(seg.gc(2).spent(), 2);
         assert_eq!(seg.retained_versions(), 4);
+        // A budget-limited pass must not arm the no-work early-out.
+        assert_eq!(seg.gc(2).spent(), 2);
+        assert_eq!(seg.retained_versions(), 2);
     }
 
     #[test]
@@ -704,9 +786,26 @@ mod tests {
         a.write_bytes(0, &[1]);
         seg.commit(&mut a, None);
         seg.update(&mut a);
-        assert_eq!(seg.gc(usize::MAX), 0, "B pins version 1");
+        assert_eq!(seg.gc(usize::MAX).spent(), 0, "B pins version 1");
         seg.detach(Tid(1));
-        assert_eq!(seg.gc(usize::MAX), 1);
+        assert_eq!(seg.gc(usize::MAX).dropped, 1);
+    }
+
+    #[test]
+    fn idle_gc_early_outs_until_state_changes() {
+        let seg = Segment::new(1, 2);
+        let (mut a, _) = seg.new_workspace(Tid(0));
+        a.write_bytes(0, &[1]);
+        seg.commit(&mut a, None);
+        seg.update(&mut a);
+        assert_eq!(seg.gc(usize::MAX).dropped, 1);
+        // No commit and no base change since the exhaustive pass: no-op.
+        assert_eq!(seg.gc(usize::MAX), GcResult::default());
+        // A new commit invalidates the early-out snapshot.
+        a.write_bytes(0, &[2]);
+        seg.commit(&mut a, None);
+        seg.update(&mut a);
+        assert_eq!(seg.gc(usize::MAX).dropped, 1);
     }
 
     #[test]
