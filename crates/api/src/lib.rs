@@ -43,6 +43,7 @@ pub mod ctx;
 pub mod hash;
 pub mod ids;
 pub mod mem;
+pub mod pad;
 pub mod perturb;
 pub mod report;
 pub mod runtime;
@@ -55,6 +56,7 @@ pub use ctx::{Job, ThreadCtx};
 pub use hash::Fnv1a;
 pub use ids::{Addr, BarrierId, CondId, MutexId, RwLockId, Tid};
 pub use mem::{MemExt, RuntimeMemExt};
+pub use pad::CachePadded;
 pub use perturb::{
     PerturbEntry, PerturbHandle, PerturbPlan, PerturbSite, Perturber, PlanPerturber,
 };

@@ -104,6 +104,15 @@ pub struct Counters {
     /// Page allocations served from the freed-page recycle pool instead of
     /// the system allocator.
     pub page_pool_hits: u64,
+    /// Iterations of the token wait loop (one per wake-up, spurious or
+    /// not). `token_wake_loops / token_acquisitions` is the wakeups-per-
+    /// grant fan-out: ~1 under targeted handoff, up to T under broadcast.
+    pub token_wake_loops: u64,
+    /// Targeted single-thread wake-ups sent (fast-path scheduler).
+    pub targeted_wakes: u64,
+    /// Broadcast `notify_all` wake-ups sent on the token path (reference
+    /// scheduler, or fast-path fallback).
+    pub broadcast_wakes: u64,
 }
 
 impl AddAssign for Counters {
@@ -126,6 +135,9 @@ impl AddAssign for Counters {
         self.gc_versions_dropped += o.gc_versions_dropped;
         self.gc_versions_squashed += o.gc_versions_squashed;
         self.page_pool_hits += o.page_pool_hits;
+        self.token_wake_loops += o.token_wake_loops;
+        self.targeted_wakes += o.targeted_wakes;
+        self.broadcast_wakes += o.broadcast_wakes;
     }
 }
 

@@ -1,0 +1,116 @@
+//! `sched` — scheduler fast-path microbenchmarks.
+//!
+//! ```text
+//! sched [--smoke] [--out PATH]    run the benchmarks, write the JSON artifact
+//! sched --check PATH              validate an existing artifact (CI gate)
+//! ```
+//!
+//! The full run regenerates `BENCH_sched.json` (committed at the repo root
+//! as the performance baseline; always use `--release`). `--smoke` shrinks
+//! iteration counts for CI. `--check` parses an emitted document with the
+//! in-tree JSON parser, verifies every grid cell is present, that fast and
+//! reference schedules matched bit-for-bit, and (full mode) that the fast
+//! path wins at ≥ 4 threads — see `docs/PERF.md` for the schema.
+
+use std::process::ExitCode;
+
+use dmt_bench::json::ToJson;
+use dmt_bench::sched::{run_sched_bench, validate_report};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_sched.json");
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => return usage("--out requires a path"),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => return usage("--check requires a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sched: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_report(&text) {
+            Ok(()) => {
+                println!("{path}: ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    eprintln!(
+        "running sched bench ({} mode)...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = run_sched_bench(smoke);
+
+    for c in &report.publish {
+        eprintln!(
+            "publish t={}: fast {:>11.0} pub/s  ref {:>11.0} pub/s  speedup {:.2}x",
+            c.threads, c.fast_pub_per_s, c.ref_pub_per_s, c.speedup
+        );
+    }
+    for c in &report.handoff {
+        eprintln!(
+            "handoff t={} locks={}: fast {:>8.0} ns/grant ({:.2} wakes)  \
+             ref {:>8.0} ns/grant ({:.2} wakes)  speedup {:.2}x  schedules {}",
+            c.threads,
+            c.locks,
+            c.fast_ns_per_handoff,
+            c.fast_wakeups_per_grant,
+            c.ref_ns_per_handoff,
+            c.ref_wakeups_per_grant,
+            c.speedup,
+            if c.schedules_match {
+                "match"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+
+    let text = report.to_json();
+    if let Err(e) = validate_report(&text) {
+        eprintln!("sched: emitted report failed self-validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, text + "\n") {
+        eprintln!("sched: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("sched: {err}");
+    }
+    eprintln!("usage: sched [--smoke] [--out PATH] | sched --check PATH");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,1047 @@
+//! Scheduler fast path: lock-free clock publication and O(log T)
+//! eligibility.
+//!
+//! The reference [`ClockTable`] is a passive
+//! state machine mutated under the runtime's one global mutex, and its
+//! queries are O(T) scans. That is correct but serializes *every* counter
+//! overflow through the global lock and makes every wake-up decision walk
+//! the whole table. This module splits the scheduler state in two:
+//!
+//! * [`Slots`] — the lock-free half. One cache-padded `AtomicU64` per
+//!   thread holds the thread's *effective clock bound* packed with its tid
+//!   (so a single integer compare is the lexicographic `(clock, tid)`
+//!   order), plus a per-thread publication history behind a per-thread
+//!   mutex. Counter-overflow [`Slots::publish`] touches only the
+//!   publisher's own cache line and never takes the global mutex; the
+//!   eligibility *read* ([`Slots::eligible_read`]) is a lock-free scan.
+//! * [`FastTable`] — the locked half. State transitions (arrive, depart,
+//!   finish, reactivate, resume) and wait-queue mutation still happen
+//!   under the global runtime lock, exactly like the reference table, but
+//!   eligibility and `min_waiting_other` become O(log T) via two ordered
+//!   sets: `waiters` (threads blocked `AtSync`, keyed by their waiting
+//!   `(clock, tid)`) and `bounds` (every live thread's last *known*
+//!   effective bound). Running threads' cached bounds may lag their atomic
+//!   slots — staleness only ever under-reports a clock, which is
+//!   conservative — and [`FastTable::eligible`] refreshes a stale minimum
+//!   lazily from the slot, so each refresh is paid for by a real
+//!   publication.
+//!
+//! # Why the schedule cannot change
+//!
+//! Eligibility under GMIC is a monotone predicate of published clocks: once
+//! a waiter is eligible it stays eligible until it runs, and at most one
+//! waiter (the global minimum `(clock, tid)`) is eligible at a time. Wake
+//! *timing* therefore cannot reorder token grants — a late or spurious
+//! wake-up only delays the same grant. Virtual time is likewise unaffected:
+//! wake virtual times come from the deterministic publication histories
+//! ([`FastTable::crossing_v`]), not from wall-clock arrival order. The
+//! differential stress matrix (`stress --sched-diff`) checks the resulting
+//! schedule hashes are bit-identical against the reference table.
+//!
+//! # Memory-order arguments (no lost wake-up)
+//!
+//! A publisher that crosses the head waiter's key must ensure somebody
+//! wakes that waiter. Three races matter, all resolved with `SeqCst`:
+//!
+//! 1. *Publisher vs. waiter parking.* The publisher's wake hint is only a
+//!    hint: the runtime takes the global mutex before notifying the
+//!    waiter's parker. Under that mutex the waiter is either already
+//!    parked (the notify lands) or has not yet evaluated its predicate —
+//!    and its predicate read, ordered after the mutex acquisition, sees
+//!    the publisher's earlier `SeqCst` slot store.
+//! 2. *Publisher vs. token release.* Publisher does `W(slot); R(token_free)`
+//!    while the releaser does `W(token_free); R(slot)` (the successor
+//!    eligibility check). Under `SeqCst` at least one side observes the
+//!    other's store, so at least one of them initiates the wake.
+//! 3. *Two concurrent publishers both blocking the head.* Each does
+//!    `W(own slot)` then reads the other's slot in [`Slots::eligible_read`].
+//!    The publisher whose store is later in the `SeqCst` total order
+//!    observes every earlier store, finds the head eligible, and raises
+//!    the hint — the "last crosser" always reports.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+use dmt_api::sync::Mutex;
+use dmt_api::{CachePadded, Tid};
+
+use crate::table::{prune_history, ClockTable, OrderPolicy, ThreadState, PRUNE_MIN};
+
+/// Bits of a packed key holding the clock; the low 16 bits hold the tid.
+pub const TID_BITS: u32 = 16;
+/// Largest clock a packed key can represent; larger clocks saturate, which
+/// is indistinguishable from "unblocked" (2^48 virtual cycles is decades
+/// of simulated work — unreachable in practice, asserted in debug builds).
+pub const MAX_PACKED_CLOCK: u64 = (1 << (64 - TID_BITS)) - 1;
+/// Sentinel "no thread is waiting" head key. Distinct from every packed
+/// key because tids are asserted `< 0xFFFF` at registration.
+pub const NO_WAITER: u64 = u64::MAX;
+
+/// Packs `(clock, tid)` so that unsigned integer compare is the
+/// lexicographic GMIC order.
+#[inline]
+pub fn pack(clock: u64, tid: u32) -> u64 {
+    debug_assert!(u64::from(tid) < (1 << TID_BITS) - 1);
+    (clock.min(MAX_PACKED_CLOCK) << TID_BITS) | u64::from(tid)
+}
+
+/// Clock half of a packed key.
+#[inline]
+pub fn packed_clock(key: u64) -> u64 {
+    key >> TID_BITS
+}
+
+/// Tid half of a packed key.
+#[inline]
+pub fn packed_tid(key: u64) -> u32 {
+    (key & ((1 << TID_BITS) - 1)) as u32
+}
+
+/// Effective bound of a departed or finished thread: blocks nobody.
+#[inline]
+fn unblocked_key(tid: u32) -> u64 {
+    pack(MAX_PACKED_CLOCK, tid)
+}
+
+/// Outcome of a lock-free [`Slots::publish`].
+#[derive(Clone, Copy, Debug)]
+pub struct PublishOutcome {
+    /// The published bound advanced (mirrors the reference table's
+    /// notification hint).
+    pub advanced: bool,
+    /// Current head waiter `(clock, tid)`, if any — the lock-free
+    /// equivalent of `min_waiting_other` for the adaptive-overflow target.
+    pub head: Option<(u64, u32)>,
+    /// This publication crossed the head waiter's key, the token looked
+    /// free, and every other slot is past the head too: the runtime should
+    /// take the global lock, re-check, and wake exactly this thread.
+    pub wake_hint: Option<Tid>,
+}
+
+/// Per-thread publication history behind its own (uncontended) mutex.
+#[derive(Debug, Default)]
+struct HistSlot {
+    hist: Mutex<Vec<(u64, u64)>>,
+    /// Length right after the last prune attempt (amortization floor).
+    floor: AtomicUsize,
+}
+
+/// The lock-free half of the fast-path scheduler.
+///
+/// Shared by the runtime (publishers go straight here, bypassing the
+/// global mutex) and the [`FastTable`] (which mirrors locked state
+/// transitions into the slots so lock-free readers see every bound).
+#[derive(Debug)]
+pub struct Slots {
+    /// `pack(effective bound, tid)` per thread slot. Unregistered slots
+    /// hold `u64::MAX` (blocks nobody).
+    bounds: Box<[CachePadded<AtomicU64>]>,
+    hists: Box<[HistSlot]>,
+    /// `pack(clock, tid)` of the minimum `AtSync` waiter, or [`NO_WAITER`].
+    /// Written only under the global runtime lock (wait-queue mutation);
+    /// read lock-free by publishers.
+    head_key: AtomicU64,
+    /// 1 while no thread holds the global token. Written under the global
+    /// lock; read lock-free by publishers.
+    token_free: AtomicU64,
+    /// Monotone lower bound on every clock any current or future waiter
+    /// can query (see `ClockTable::watermark`). Raised under the global
+    /// lock via `fetch_max`; read lock-free by publishers pruning their
+    /// own histories. A stale read is a *lower* watermark, which only
+    /// prunes less — always safe.
+    watermark: AtomicU64,
+}
+
+impl Slots {
+    /// Slots for up to `n` threads, all unregistered.
+    pub fn new(n: usize) -> Arc<Slots> {
+        Arc::new(Slots {
+            bounds: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(u64::MAX)))
+                .collect(),
+            hists: (0..n).map(|_| HistSlot::default()).collect(),
+            head_key: AtomicU64::new(NO_WAITER),
+            token_free: AtomicU64::new(1),
+            watermark: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of thread slots.
+    pub fn capacity(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Lock-free publication of a running thread's clock: append to own
+    /// history (with amortized watermark pruning), raise own slot, and
+    /// check whether this store crossed the head waiter.
+    pub fn publish(&self, t: Tid, clock: u64, v: u64) -> PublishOutcome {
+        debug_assert!(clock < MAX_PACKED_CLOCK, "clock saturates packed keys");
+        let i = t.index();
+        // History before bound: an acquirer that observed the new bound
+        // (that is why it became eligible) must find the crossing entry.
+        {
+            let mut h = self.hists[i].hist.lock();
+            h.push((clock, v));
+            self.prune_locked(i, &mut h);
+        }
+        let key = pack(clock, t.0);
+        let old = self.bounds[i].swap(key, SeqCst);
+        let advanced = key > old;
+        let head = self.head_key.load(SeqCst);
+        let mut wake_hint = None;
+        if advanced
+            && head != NO_WAITER
+            && packed_tid(head) != t.0
+            && old <= head
+            && head < key
+            && self.token_free.load(SeqCst) == 1
+            && self.eligible_read(head)
+        {
+            wake_hint = Some(Tid(packed_tid(head)));
+        }
+        PublishOutcome {
+            advanced,
+            head: (head != NO_WAITER).then(|| (packed_clock(head), packed_tid(head))),
+            wake_hint,
+        }
+    }
+
+    /// Lock-free eligibility read: every slot other than the head's own is
+    /// past `head_key`. (Unregistered slots hold `u64::MAX` and pass.)
+    pub fn eligible_read(&self, head_key: u64) -> bool {
+        let head_idx = packed_tid(head_key) as usize;
+        self.bounds
+            .iter()
+            .enumerate()
+            .all(|(i, b)| i == head_idx || b.load(SeqCst) > head_key)
+    }
+
+    /// Current head waiter key ([`NO_WAITER`] if none).
+    pub fn head_key(&self) -> u64 {
+        self.head_key.load(SeqCst)
+    }
+
+    /// Publishes whether the global token is free (called under the global
+    /// lock on every token hand-off).
+    pub fn set_token_free(&self, free: bool) {
+        self.token_free.store(u64::from(free), SeqCst);
+    }
+
+    /// Raw bound key of one slot.
+    fn bound_key(&self, i: usize) -> u64 {
+        self.bounds[i].load(SeqCst)
+    }
+
+    fn store_bound(&self, i: usize, key: u64) {
+        self.bounds[i].store(key, SeqCst);
+    }
+
+    fn append_hist(&self, i: usize, bound: u64, v: u64) {
+        self.hists[i].hist.lock().push((bound, v));
+    }
+
+    /// Amortized watermark prune of one history once it has doubled past
+    /// the last attempt. A stale watermark read only prunes less.
+    fn prune_locked(&self, i: usize, h: &mut Vec<(u64, u64)>) {
+        let len = h.len();
+        let floor = self.hists[i].floor.load(SeqCst);
+        if len >= PRUNE_MIN && len >= 2 * floor.max(PRUNE_MIN / 2) {
+            prune_history(h, self.watermark.load(SeqCst));
+            self.hists[i].floor.store(h.len(), SeqCst);
+        }
+    }
+
+    /// Prune entry point for the locked table paths (threads that sync
+    /// without ever overflowing a counter still grow history).
+    fn maybe_prune_hist(&self, i: usize) {
+        let mut h = self.hists[i].hist.lock();
+        self.prune_locked(i, &mut h);
+    }
+
+    fn hist_len(&self, i: usize) -> usize {
+        self.hists[i].hist.lock().len()
+    }
+}
+
+/// Cached locked-side view of one thread.
+#[derive(Clone, Copy, Debug)]
+struct FastEntry {
+    state: ThreadState,
+    /// Authoritative published clock for `AtSync` / `Departed` /
+    /// `Finished`; for `Running` the atomic slot may be ahead.
+    published: u64,
+    /// Key currently stored for this thread in [`FastTable::bounds`].
+    bounds_key: u64,
+    /// Key currently stored in [`FastTable::waiters`] (`AtSync` only).
+    waiters_key: Option<u64>,
+    /// Key currently stored in [`FastTable::departed`] (`Departed` only).
+    departed_key: Option<u64>,
+}
+
+/// The locked half of the fast-path scheduler: drop-in replacement for the
+/// reference [`ClockTable`] with O(log T) `eligible` / `min_waiting_other`.
+///
+/// All methods must be called under the runtime's global lock, except that
+/// publications may *also* flow directly through the shared [`Slots`]
+/// without this table's involvement — the cached `bounds` keys then lag
+/// and are refreshed lazily.
+#[derive(Debug)]
+pub struct FastTable {
+    policy: OrderPolicy,
+    slots: Arc<Slots>,
+    entries: Vec<Option<FastEntry>>,
+    /// Last known effective bound `pack(bound, tid)` of every registered,
+    /// non-finished thread (departed threads appear as `unblocked_key`).
+    bounds: std::collections::BTreeSet<u64>,
+    /// `pack(clock, tid)` of every `AtSync` thread.
+    waiters: std::collections::BTreeSet<u64>,
+    /// `pack(published, tid)` of every `Departed` thread — their future
+    /// query floor, needed by the watermark but hidden from `bounds`.
+    departed: std::collections::BTreeSet<u64>,
+    rr_turn: usize,
+    rr_turn_v: u64,
+}
+
+impl FastTable {
+    /// An empty table over `slots` (capacity fixed by [`Slots::new`]).
+    pub fn new(policy: OrderPolicy, slots: Arc<Slots>) -> FastTable {
+        let n = slots.capacity();
+        FastTable {
+            policy,
+            slots,
+            entries: vec![None; n],
+            bounds: std::collections::BTreeSet::new(),
+            waiters: std::collections::BTreeSet::new(),
+            departed: std::collections::BTreeSet::new(),
+            rr_turn: 0,
+            rr_turn_v: 0,
+        }
+    }
+
+    /// The shared lock-free half.
+    pub fn slots(&self) -> &Arc<Slots> {
+        &self.slots
+    }
+
+    /// The ordering policy in force.
+    pub fn policy(&self) -> OrderPolicy {
+        self.policy
+    }
+
+    fn entry(&self, t: Tid) -> &FastEntry {
+        self.entries[t.index()].as_ref().expect("unregistered tid")
+    }
+
+    /// Publishes the new head-waiter key and raises the watermark; call
+    /// after any wait-queue or state mutation.
+    fn sync_head(&mut self) {
+        let head = self.waiters.iter().next().copied().unwrap_or(NO_WAITER);
+        self.slots.head_key.store(head, SeqCst);
+        let mut w = u64::MAX;
+        for set in [&self.waiters, &self.bounds, &self.departed] {
+            if let Some(&k) = set.iter().next() {
+                w = w.min(packed_clock(k));
+            }
+        }
+        if w != u64::MAX {
+            self.slots.watermark.fetch_max(w, SeqCst);
+        }
+    }
+
+    /// Moves `t`'s key in `bounds` to `new_key`.
+    fn rekey_bounds(&mut self, t: Tid, new_key: u64) {
+        let e = self.entries[t.index()].as_mut().expect("unregistered tid");
+        let old = e.bounds_key;
+        if old != new_key {
+            self.bounds.remove(&old);
+            self.bounds.insert(new_key);
+            self.entries[t.index()].as_mut().unwrap().bounds_key = new_key;
+        }
+    }
+
+    /// Registers a new thread with an inherited starting clock, at the
+    /// spawner's virtual time `v`. Mirrors `ClockTable::register`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is taken, out of range, or `t` overflows the
+    /// packed-key tid field.
+    pub fn register(&mut self, t: Tid, clock: u64, v: u64) {
+        assert!(
+            u64::from(t.0) < (1 << TID_BITS) - 1,
+            "tid {t} overflows packed keys"
+        );
+        let slot = &mut self.entries[t.index()];
+        assert!(slot.is_none(), "tid {t} registered twice");
+        let key = pack(clock, t.0);
+        *slot = Some(FastEntry {
+            state: ThreadState::Running,
+            published: clock,
+            bounds_key: key,
+            waiters_key: None,
+            departed_key: None,
+        });
+        self.slots.append_hist(t.index(), clock, v);
+        self.slots.store_bound(t.index(), key);
+        self.bounds.insert(key);
+        self.rr_fixup(v);
+        self.sync_head();
+    }
+
+    /// Current state of `t`.
+    pub fn state(&self, t: Tid) -> ThreadState {
+        self.entry(t).state
+    }
+
+    /// Last published clock of `t` (for a running thread this reads the
+    /// atomic slot, which lock-free publications may have advanced past
+    /// the cached value).
+    pub fn published(&self, t: Tid) -> u64 {
+        let e = self.entry(t);
+        match e.state {
+            ThreadState::Running => packed_clock(self.slots.bound_key(t.index())),
+            _ => e.published,
+        }
+    }
+
+    /// Current length of `t`'s publication history.
+    pub fn history_len(&self, t: Tid) -> usize {
+        self.slots.hist_len(t.index())
+    }
+
+    /// Locked-path publication (used by the reference-parity API and
+    /// tests; the runtime's hot path calls [`Slots::publish`] directly).
+    pub fn publish(&mut self, t: Tid, clock: u64, v: u64) -> bool {
+        debug_assert!(matches!(self.entry(t).state, ThreadState::Running));
+        let out = self.slots.publish(t, clock, v);
+        self.rekey_bounds(t, pack(clock, t.0));
+        self.entries[t.index()].as_mut().unwrap().published = clock;
+        out.advanced
+    }
+
+    /// Thread `t` arrives at a synchronization operation with exact clock
+    /// `clock`, at virtual time `v`.
+    pub fn arrive_sync(&mut self, t: Tid, clock: u64, v: u64) {
+        debug_assert!(clock < MAX_PACKED_CLOCK);
+        let i = t.index();
+        // Fold in any bound the thread published lock-free since the table
+        // last saw it.
+        let seen = match self.entry(t).state {
+            ThreadState::Running => packed_clock(self.slots.bound_key(i)),
+            _ => self.entry(t).published,
+        };
+        let published = clock.max(seen);
+        let e = self.entries[i].as_mut().expect("unregistered tid");
+        e.published = published;
+        e.state = ThreadState::AtSync(clock);
+        e.waiters_key = Some(pack(clock, t.0));
+        self.slots.append_hist(i, published, v);
+        self.slots.maybe_prune_hist(i);
+        self.slots.store_bound(i, pack(published, t.0));
+        self.rekey_bounds(t, pack(published, t.0));
+        self.waiters.insert(pack(clock, t.0));
+        self.sync_head();
+    }
+
+    /// Removes `t` from the waiters set if present (it may be blocking at
+    /// a sync op when it departs or finishes).
+    fn unwait(&mut self, t: Tid) {
+        if let Some(k) = self.entries[t.index()].as_mut().unwrap().waiters_key.take() {
+            self.waiters.remove(&k);
+        }
+    }
+
+    /// Thread `t` removes itself from GMIC consideration (`clockDepart`)
+    /// at virtual time `v`.
+    pub fn depart(&mut self, t: Tid, v: u64) {
+        let i = t.index();
+        self.unwait(t);
+        let e = self.entries[i].as_mut().expect("unregistered tid");
+        e.state = ThreadState::Departed;
+        let floor_key = pack(e.published, t.0);
+        e.departed_key = Some(floor_key);
+        self.slots.append_hist(i, u64::MAX, v);
+        self.slots.store_bound(i, unblocked_key(t.0));
+        self.rekey_bounds(t, unblocked_key(t.0));
+        self.departed.insert(floor_key);
+        if self.policy == OrderPolicy::RoundRobin && self.rr_turn == i {
+            self.rr_advance(v);
+        }
+        self.sync_head();
+    }
+
+    /// Thread `t` finishes at virtual time `v`.
+    pub fn finish(&mut self, t: Tid, v: u64) {
+        let i = t.index();
+        self.unwait(t);
+        let e = self.entries[i].as_mut().expect("unregistered tid");
+        e.state = ThreadState::Finished;
+        let bounds_key = e.bounds_key;
+        if let Some(k) = e.departed_key.take() {
+            self.departed.remove(&k);
+        }
+        self.slots.append_hist(i, u64::MAX, v);
+        self.slots.store_bound(i, unblocked_key(t.0));
+        self.bounds.remove(&bounds_key);
+        if self.policy == OrderPolicy::RoundRobin && self.rr_turn == i {
+            self.rr_advance(v);
+        }
+        self.sync_head();
+    }
+
+    /// A departed thread rejoins GMIC consideration with clock `clock` at
+    /// virtual time `v`.
+    pub fn reactivate(&mut self, t: Tid, clock: u64, v: u64) {
+        let i = t.index();
+        let e = self.entries[i].as_mut().expect("unregistered tid");
+        debug_assert!(matches!(e.state, ThreadState::Departed));
+        e.state = ThreadState::Running;
+        e.published = e.published.max(clock);
+        let published = e.published;
+        if let Some(k) = e.departed_key.take() {
+            self.departed.remove(&k);
+        }
+        self.slots.append_hist(i, published, v);
+        self.slots.store_bound(i, pack(published, t.0));
+        self.rekey_bounds(t, pack(published, t.0));
+        self.rr_fixup(v);
+        self.sync_head();
+    }
+
+    /// Thread `t` resumes running after completing a sync op.
+    pub fn resume(&mut self, t: Tid, clock: u64, v: u64) {
+        let i = t.index();
+        self.unwait(t);
+        let e = self.entries[i].as_mut().expect("unregistered tid");
+        e.state = ThreadState::Running;
+        e.published = e.published.max(clock);
+        let published = e.published;
+        self.slots.append_hist(i, published, v);
+        self.slots.store_bound(i, pack(published, t.0));
+        self.rekey_bounds(t, pack(published, t.0));
+        self.sync_head();
+    }
+
+    /// Whether `t` (which must be `AtSync`) may proceed under the policy.
+    ///
+    /// O(log T) amortized: takes the minimum cached bound of the other
+    /// threads; if it blocks `t` but belongs to a running thread whose
+    /// atomic slot has moved on, refreshes that one cache entry and
+    /// retries. Every refresh strictly raises a key, and each raise is
+    /// paid for by a real lock-free publication.
+    pub fn eligible(&mut self, t: Tid) -> bool {
+        let ThreadState::AtSync(c) = self.entry(t).state else {
+            return false;
+        };
+        if self.policy == OrderPolicy::RoundRobin {
+            return self.rr_turn == t.index();
+        }
+        let k = pack(c, t.0);
+        loop {
+            // Only `t`'s own key can be skipped, so this inspects at most
+            // two set elements.
+            let Some(&m) = self.bounds.iter().find(|&&b| packed_tid(b) != t.0) else {
+                return true;
+            };
+            if m > k {
+                return true;
+            }
+            let j = Tid(packed_tid(m));
+            let fresh = match self.entry(j).state {
+                // Only running threads publish outside the lock.
+                ThreadState::Running => self.slots.bound_key(j.index()),
+                _ => return false,
+            };
+            if fresh == m {
+                return false;
+            }
+            debug_assert!(fresh > m, "published bounds are monotone");
+            self.rekey_bounds(j, fresh);
+            self.entries[j.index()].as_mut().unwrap().published = packed_clock(fresh);
+        }
+    }
+
+    /// Deterministic wake virtual time for `t` waiting at clock `c`; same
+    /// backward history walk as the reference table, over the (bounded)
+    /// per-thread histories.
+    pub fn crossing_v(&self, t: Tid, c: u64) -> u64 {
+        let mut wake = 0;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.is_none() || i == t.index() {
+                continue;
+            }
+            let h = self.slots.hists[i].hist.lock();
+            let mut cross = None;
+            let mut blocked = false;
+            for &(bound, v) in h.iter().rev() {
+                if (bound, i as u32) > (c, t.0) {
+                    cross = Some(v);
+                } else {
+                    blocked = true;
+                    break;
+                }
+            }
+            if blocked {
+                if let Some(v) = cross {
+                    wake = wake.max(v);
+                }
+            }
+        }
+        wake
+    }
+
+    /// Smallest `(clock, tid)` among threads waiting at a sync op, other
+    /// than `t`. O(log T): at most two elements inspected.
+    pub fn min_waiting_other(&self, t: Tid) -> Option<(u64, u32)> {
+        self.waiters
+            .iter()
+            .find(|&&k| packed_tid(k) != t.0)
+            .map(|&k| (packed_clock(k), packed_tid(k)))
+    }
+
+    /// The unique thread a token release should wake, if any: the head
+    /// waiter when it is (now) eligible. `None` means nobody can take the
+    /// token yet — the next crossing publication will raise the hint.
+    pub fn successor(&mut self) -> Option<Tid> {
+        match self.policy {
+            OrderPolicy::InstructionCount => {
+                let head = self.waiters.iter().next().copied()?;
+                let t = Tid(packed_tid(head));
+                self.eligible(t).then_some(t)
+            }
+            OrderPolicy::RoundRobin => {
+                let t = Tid(self.rr_turn as u32);
+                match self.entries.get(self.rr_turn)?.as_ref()?.state {
+                    ThreadState::AtSync(_) => Some(t),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Round robin only: advances the turn past the current holder.
+    pub fn rr_advance(&mut self, v: u64) {
+        debug_assert_eq!(self.policy, OrderPolicy::RoundRobin);
+        let n = self.entries.len();
+        for step in 1..=n {
+            let i = (self.rr_turn + step) % n;
+            if let Some(e) = &self.entries[i] {
+                if matches!(e.state, ThreadState::Running | ThreadState::AtSync(_)) {
+                    self.rr_turn = i;
+                    self.rr_turn_v = self.rr_turn_v.max(v);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn rr_fixup(&mut self, v: u64) {
+        if self.policy != OrderPolicy::RoundRobin {
+            return;
+        }
+        let ok = self.entries[self.rr_turn]
+            .as_ref()
+            .map(|e| matches!(e.state, ThreadState::Running | ThreadState::AtSync(_)))
+            .unwrap_or(false);
+        if !ok {
+            self.rr_advance(v);
+        }
+    }
+
+    /// Round robin only: current turn holder.
+    pub fn rr_holder(&self) -> usize {
+        self.rr_turn
+    }
+
+    /// Round robin only: virtual time at which the current turn was set.
+    pub fn rr_turn_v(&self) -> u64 {
+        self.rr_turn_v
+    }
+
+    /// Number of threads in each non-finished state:
+    /// `(running, at_sync, departed)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut r = (0, 0, 0);
+        for e in self.entries.iter().flatten() {
+            match e.state {
+                ThreadState::Running => r.0 += 1,
+                ThreadState::AtSync(_) => r.1 += 1,
+                ThreadState::Departed => r.2 += 1,
+                ThreadState::Finished => {}
+            }
+        }
+        r
+    }
+}
+
+/// Which clock-table implementation a runtime uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedKind {
+    /// Lock-free publication slots + O(log T) sets + targeted wake-ups.
+    #[default]
+    Fast,
+    /// The original all-under-one-lock [`ClockTable`] with `notify_all`
+    /// wake-ups; kept selectable for differential testing (same precedent
+    /// as `merge::bytewise`).
+    Reference,
+}
+
+/// Either clock-table implementation behind one interface.
+///
+/// The runtime holds this inside its global lock; in `Fast` mode the
+/// shared [`Slots`] half is additionally reachable lock-free.
+#[derive(Debug)]
+pub enum SchedTable {
+    /// Reference implementation.
+    Reference(ClockTable),
+    /// Fast path.
+    Fast(FastTable),
+}
+
+impl SchedTable {
+    /// Builds the chosen implementation over up to `slots.capacity()`
+    /// threads. The reference table ignores `slots` beyond sizing.
+    pub fn new(kind: SchedKind, policy: OrderPolicy, slots: Arc<Slots>) -> SchedTable {
+        match kind {
+            SchedKind::Reference => {
+                SchedTable::Reference(ClockTable::new(policy, slots.capacity()))
+            }
+            SchedKind::Fast => SchedTable::Fast(FastTable::new(policy, slots)),
+        }
+    }
+
+    /// Which implementation this is.
+    pub fn kind(&self) -> SchedKind {
+        match self {
+            SchedTable::Reference(_) => SchedKind::Reference,
+            SchedTable::Fast(_) => SchedKind::Fast,
+        }
+    }
+
+    /// See [`ClockTable::policy`].
+    pub fn policy(&self) -> OrderPolicy {
+        match self {
+            SchedTable::Reference(t) => t.policy(),
+            SchedTable::Fast(t) => t.policy(),
+        }
+    }
+
+    /// See [`ClockTable::register`].
+    pub fn register(&mut self, t: Tid, clock: u64, v: u64) {
+        match self {
+            SchedTable::Reference(x) => x.register(t, clock, v),
+            SchedTable::Fast(x) => x.register(t, clock, v),
+        }
+    }
+
+    /// See [`ClockTable::state`].
+    pub fn state(&self, t: Tid) -> ThreadState {
+        match self {
+            SchedTable::Reference(x) => x.state(t),
+            SchedTable::Fast(x) => x.state(t),
+        }
+    }
+
+    /// See [`ClockTable::published`].
+    pub fn published(&self, t: Tid) -> u64 {
+        match self {
+            SchedTable::Reference(x) => x.published(t),
+            SchedTable::Fast(x) => x.published(t),
+        }
+    }
+
+    /// See [`ClockTable::history_len`].
+    pub fn history_len(&self, t: Tid) -> usize {
+        match self {
+            SchedTable::Reference(x) => x.history_len(t),
+            SchedTable::Fast(x) => x.history_len(t),
+        }
+    }
+
+    /// See [`ClockTable::publish`].
+    pub fn publish(&mut self, t: Tid, clock: u64, v: u64) -> bool {
+        match self {
+            SchedTable::Reference(x) => x.publish(t, clock, v),
+            SchedTable::Fast(x) => x.publish(t, clock, v),
+        }
+    }
+
+    /// See [`ClockTable::arrive_sync`].
+    pub fn arrive_sync(&mut self, t: Tid, clock: u64, v: u64) {
+        match self {
+            SchedTable::Reference(x) => x.arrive_sync(t, clock, v),
+            SchedTable::Fast(x) => x.arrive_sync(t, clock, v),
+        }
+    }
+
+    /// See [`ClockTable::depart`].
+    pub fn depart(&mut self, t: Tid, v: u64) {
+        match self {
+            SchedTable::Reference(x) => x.depart(t, v),
+            SchedTable::Fast(x) => x.depart(t, v),
+        }
+    }
+
+    /// See [`ClockTable::finish`].
+    pub fn finish(&mut self, t: Tid, v: u64) {
+        match self {
+            SchedTable::Reference(x) => x.finish(t, v),
+            SchedTable::Fast(x) => x.finish(t, v),
+        }
+    }
+
+    /// See [`ClockTable::reactivate`].
+    pub fn reactivate(&mut self, t: Tid, clock: u64, v: u64) {
+        match self {
+            SchedTable::Reference(x) => x.reactivate(t, clock, v),
+            SchedTable::Fast(x) => x.reactivate(t, clock, v),
+        }
+    }
+
+    /// See [`ClockTable::resume`].
+    pub fn resume(&mut self, t: Tid, clock: u64, v: u64) {
+        match self {
+            SchedTable::Reference(x) => x.resume(t, clock, v),
+            SchedTable::Fast(x) => x.resume(t, clock, v),
+        }
+    }
+
+    /// See [`ClockTable::eligible`]. `&mut` because the fast path may
+    /// refresh stale cached bounds.
+    pub fn eligible(&mut self, t: Tid) -> bool {
+        match self {
+            SchedTable::Reference(x) => x.eligible(t),
+            SchedTable::Fast(x) => x.eligible(t),
+        }
+    }
+
+    /// See [`ClockTable::crossing_v`].
+    pub fn crossing_v(&self, t: Tid, c: u64) -> u64 {
+        match self {
+            SchedTable::Reference(x) => x.crossing_v(t, c),
+            SchedTable::Fast(x) => x.crossing_v(t, c),
+        }
+    }
+
+    /// See [`ClockTable::min_waiting_other`].
+    pub fn min_waiting_other(&self, t: Tid) -> Option<(u64, u32)> {
+        match self {
+            SchedTable::Reference(x) => x.min_waiting_other(t),
+            SchedTable::Fast(x) => x.min_waiting_other(t),
+        }
+    }
+
+    /// Fast path only: the unique thread a token release should wake (see
+    /// [`FastTable::successor`]). `None` under the reference table, whose
+    /// releases broadcast.
+    pub fn successor(&mut self) -> Option<Tid> {
+        match self {
+            SchedTable::Reference(_) => None,
+            SchedTable::Fast(x) => x.successor(),
+        }
+    }
+
+    /// See [`ClockTable::rr_advance`].
+    pub fn rr_advance(&mut self, v: u64) {
+        match self {
+            SchedTable::Reference(x) => x.rr_advance(v),
+            SchedTable::Fast(x) => x.rr_advance(v),
+        }
+    }
+
+    /// See [`ClockTable::rr_holder`].
+    pub fn rr_holder(&self) -> usize {
+        match self {
+            SchedTable::Reference(x) => x.rr_holder(),
+            SchedTable::Fast(x) => x.rr_holder(),
+        }
+    }
+
+    /// See [`ClockTable::rr_turn_v`].
+    pub fn rr_turn_v(&self) -> u64 {
+        match self {
+            SchedTable::Reference(x) => x.rr_turn_v(),
+            SchedTable::Fast(x) => x.rr_turn_v(),
+        }
+    }
+
+    /// See [`ClockTable::census`].
+    pub fn census(&self) -> (usize, usize, usize) {
+        match self {
+            SchedTable::Reference(x) => x.census(),
+            SchedTable::Fast(x) => x.census(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(n: usize) -> FastTable {
+        FastTable::new(OrderPolicy::InstructionCount, Slots::new(n))
+    }
+
+    #[test]
+    fn packed_keys_order_lexicographically() {
+        assert!(pack(5, 3) < pack(6, 0));
+        assert!(pack(5, 0) < pack(5, 1));
+        assert!(pack(5, 9) < pack(6, 9));
+        assert_eq!(packed_clock(pack(77, 3)), 77);
+        assert_eq!(packed_tid(pack(77, 3)), 3);
+        // Saturation keeps the unblocked sentinel below NO_WAITER.
+        assert!(unblocked_key(0xFFFE) < NO_WAITER);
+        assert_eq!(packed_clock(pack(u64::MAX, 1)), MAX_PACKED_CLOCK);
+    }
+
+    #[test]
+    fn fast_table_basic_eligibility_matches_gmic() {
+        let mut t = fast(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(0), 50, 0);
+        t.arrive_sync(Tid(1), 40, 0);
+        assert!(!t.eligible(Tid(0)));
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.min_waiting_other(Tid(0)), Some((40, 1)));
+    }
+
+    #[test]
+    fn lock_free_publication_is_seen_by_locked_eligibility() {
+        let mut t = fast(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 50, 7);
+        assert!(!t.eligible(Tid(1)));
+        // Publish around the table, straight through the slots — the
+        // runtime's hot path.
+        let out = t.slots().clone().publish(Tid(0), 60, 123);
+        assert!(out.advanced);
+        assert_eq!(out.head, Some((50, 1)));
+        assert_eq!(out.wake_hint, Some(Tid(1)));
+        assert!(t.eligible(Tid(1)), "stale cached bound must refresh");
+        assert_eq!(t.crossing_v(Tid(1), 50), 123);
+        assert_eq!(t.published(Tid(0)), 60);
+    }
+
+    #[test]
+    fn publish_does_not_hint_when_token_is_held() {
+        let mut t = fast(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 50, 0);
+        t.slots().set_token_free(false);
+        let out = t.slots().clone().publish(Tid(0), 60, 1);
+        assert!(out.advanced);
+        assert_eq!(out.wake_hint, None, "no hint while the token is held");
+        // The wake is the releaser's job: its successor check (made after
+        // setting the token free) observes the crossing.
+        t.slots().set_token_free(true);
+        assert_eq!(t.successor(), Some(Tid(1)));
+    }
+
+    #[test]
+    fn publish_does_not_hint_while_third_thread_blocks_head() {
+        let mut t = fast(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.register(Tid(2), 0, 0);
+        t.arrive_sync(Tid(1), 50, 0);
+        // T0 crosses, but T2 (published 0) still blocks the head.
+        let out = t.slots().clone().publish(Tid(0), 60, 1);
+        assert_eq!(out.wake_hint, None);
+        // T2 crosses last: it raises the hint.
+        let out = t.slots().clone().publish(Tid(2), 60, 2);
+        assert_eq!(out.wake_hint, Some(Tid(1)));
+    }
+
+    #[test]
+    fn successor_is_the_eligible_head_waiter() {
+        let mut t = fast(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.register(Tid(2), 0, 0);
+        t.arrive_sync(Tid(1), 70, 0);
+        t.arrive_sync(Tid(2), 30, 0);
+        // T0 still running at clock 0: nobody is eligible yet.
+        assert_eq!(t.successor(), None);
+        t.publish(Tid(0), 100, 1);
+        assert_eq!(t.successor(), Some(Tid(2)));
+        // T2 resumes at clock 30: still below T1's (70, 1), so it blocks
+        // the new head until it runs past it.
+        t.resume(Tid(2), 30, 2);
+        assert_eq!(t.successor(), None);
+        t.publish(Tid(2), 90, 3);
+        assert_eq!(t.successor(), Some(Tid(1)));
+    }
+
+    #[test]
+    fn departed_and_finished_threads_unblock_waiters() {
+        let mut t = fast(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.register(Tid(2), 0, 0);
+        t.arrive_sync(Tid(1), 50, 0);
+        assert!(!t.eligible(Tid(1)));
+        t.depart(Tid(0), 10);
+        assert!(!t.eligible(Tid(1)));
+        t.finish(Tid(2), 11);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.crossing_v(Tid(1), 50), 11);
+        // Reactivation at a low clock blocks the waiter again.
+        t.reactivate(Tid(0), 10, 12);
+        assert!(!t.eligible(Tid(1)));
+    }
+
+    #[test]
+    fn sched_table_reference_has_no_successor() {
+        let mut t = SchedTable::new(
+            SchedKind::Reference,
+            OrderPolicy::InstructionCount,
+            Slots::new(2),
+        );
+        t.register(Tid(0), 0, 0);
+        t.arrive_sync(Tid(0), 1, 0);
+        assert!(t.eligible(Tid(0)));
+        assert_eq!(t.successor(), None);
+        assert_eq!(t.kind(), SchedKind::Reference);
+    }
+
+    #[test]
+    fn fast_round_robin_takes_turns() {
+        let mut t = FastTable::new(OrderPolicy::RoundRobin, Slots::new(4));
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 10, 0);
+        t.arrive_sync(Tid(0), 99, 0);
+        assert!(t.eligible(Tid(0)));
+        assert!(!t.eligible(Tid(1)));
+        assert_eq!(t.successor(), Some(Tid(0)));
+        t.rr_advance(5);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.rr_turn_v(), 5);
+    }
+
+    #[test]
+    fn fast_history_stays_bounded_under_publication() {
+        let mut t = fast(2);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        let slots = t.slots().clone();
+        let mut peak = 0;
+        for i in 1..=100_000u64 {
+            slots.publish(Tid(0), i, i);
+            if i % 64 == 0 {
+                t.arrive_sync(Tid(1), i - 1, i);
+                assert!(t.eligible(Tid(1)));
+                t.resume(Tid(1), i - 1, i);
+            }
+            peak = peak.max(t.history_len(Tid(0)));
+        }
+        assert!(peak < 4 * PRUNE_MIN, "history peaked at {peak} entries");
+        assert!(t.history_len(Tid(1)) < 4 * PRUNE_MIN);
+        t.arrive_sync(Tid(1), 99_999, 100_001);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.crossing_v(Tid(1), 99_999), 100_000);
+    }
+}

@@ -20,8 +20,10 @@
 //! resumes no earlier (in virtual time) than the event that released it.
 //! This is what makes reported runtimes reflect deterministic waiting.
 
+pub mod fast;
 pub mod overflow;
 pub mod table;
 
+pub use fast::{FastTable, PublishOutcome, SchedKind, SchedTable, Slots};
 pub use overflow::OverflowPolicy;
 pub use table::{ClockTable, OrderPolicy, ThreadState};

@@ -31,6 +31,10 @@ pub enum ThreadState {
 /// or finished threads).
 const UNBLOCKED: u64 = u64::MAX;
 
+/// Histories shorter than this are never pruned: below it the scan cost is
+/// noise and the doubling amortization would thrash.
+pub(crate) const PRUNE_MIN: usize = 64;
+
 #[derive(Clone, Debug)]
 struct Entry {
     state: ThreadState,
@@ -42,7 +46,26 @@ struct Entry {
     /// function of the program, which is what makes virtual-time waits
     /// reproducible: a waiter's wake time is looked up here rather than
     /// taken from racy wall-clock arrival order.
+    ///
+    /// Bounded by watermark pruning: entries below the minimum clock any
+    /// current or future waiter can query are unreachable by the backward
+    /// walk in [`ClockTable::crossing_v`] and are periodically dropped.
     history: Vec<(u64, u64)>,
+    /// History length right after the last prune attempt; the next attempt
+    /// waits for the history to double past it (amortized O(1) per push).
+    hist_floor: usize,
+}
+
+/// Drops history entries unreachable by any query at clock `>= w`.
+///
+/// An entry with `bound < w` compares lexicographically below every future
+/// query key `(c, tid)` with `c >= w`, so the backward walk in `crossing_v`
+/// always stops at the *newest* such entry ("blocked"); everything older is
+/// dead. That newest entry itself is retained as the blocked sentinel.
+pub(crate) fn prune_history(h: &mut Vec<(u64, u64)>, w: u64) {
+    if let Some(k) = h.iter().rposition(|&(b, _)| b < w) {
+        h.drain(..k);
+    }
 }
 
 /// Per-thread logical clocks plus the eligibility rule for the global token.
@@ -96,6 +119,7 @@ impl ClockTable {
             state: ThreadState::Running,
             published: clock,
             history: vec![(clock, v)],
+            hist_floor: 0,
         });
         self.rr_fixup(v);
     }
@@ -110,6 +134,43 @@ impl ClockTable {
         self.entry(t).published
     }
 
+    /// Current length of `t`'s publication history (watermark pruning keeps
+    /// this bounded while the rest of the table makes progress).
+    pub fn history_len(&self, t: Tid) -> usize {
+        self.entry(t).history.len()
+    }
+
+    /// The minimum clock any current or future waiter can still query:
+    /// `AtSync` threads can query at their waiting clock, Running and
+    /// Departed threads at no less than their published clock (clocks are
+    /// monotone, and a new registration inherits its spawner's clock).
+    /// Finished threads never query again.
+    fn watermark(&self) -> u64 {
+        let mut w = u64::MAX;
+        for e in self.entries.iter().flatten() {
+            let floor = match e.state {
+                ThreadState::Running | ThreadState::Departed => e.published,
+                ThreadState::AtSync(c) => c,
+                ThreadState::Finished => continue,
+            };
+            w = w.min(floor);
+        }
+        w
+    }
+
+    /// Prunes `t`'s history against the watermark once it has doubled since
+    /// the last attempt (and is past [`PRUNE_MIN`]).
+    fn maybe_prune(&mut self, t: Tid) {
+        let len = self.entry(t).history.len();
+        if len < PRUNE_MIN || len < 2 * self.entry(t).hist_floor.max(PRUNE_MIN / 2) {
+            return;
+        }
+        let w = self.watermark();
+        let e = self.entry_mut(t);
+        prune_history(&mut e.history, w);
+        e.hist_floor = e.history.len();
+    }
+
     /// Publishes a running thread's clock (a counter overflow) at virtual
     /// time `v`. Returns `true` if the published value advanced (waiters
     /// may have become eligible — a notification hint).
@@ -120,6 +181,7 @@ impl ClockTable {
         debug_assert!(clock >= old, "published clock must be monotone");
         e.published = clock;
         e.history.push((clock, v));
+        self.maybe_prune(t);
         clock > old
     }
 
@@ -131,6 +193,7 @@ impl ClockTable {
         e.state = ThreadState::AtSync(clock);
         let p = e.published;
         e.history.push((p, v));
+        self.maybe_prune(t);
     }
 
     /// Thread `t` removes itself from GMIC consideration (`clockDepart`)
@@ -526,5 +589,56 @@ mod tests {
         let mut t = ic(2);
         t.register(Tid(0), 0, 0);
         t.register(Tid(0), 0, 0);
+    }
+
+    #[test]
+    fn long_running_publisher_history_stays_bounded() {
+        // Regression: before watermark pruning, `Entry::history` grew by
+        // one entry per publication forever. A publisher that overflows
+        // 100k times while a peer keeps syncing (advancing the watermark)
+        // must keep a small bounded history.
+        let mut t = ic(2);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        let mut peak = 0;
+        for i in 1..=100_000u64 {
+            t.publish(Tid(0), i, i);
+            if i % 64 == 0 {
+                // Peer syncs just behind the publisher, then resumes: the
+                // watermark trails the publisher's clock closely.
+                t.arrive_sync(Tid(1), i - 1, i);
+                assert!(t.eligible(Tid(1)));
+                t.resume(Tid(1), i - 1, i);
+            }
+            peak = peak.max(t.history_len(Tid(0)));
+        }
+        assert!(
+            peak < 4 * PRUNE_MIN,
+            "publisher history peaked at {peak} entries"
+        );
+        assert!(t.history_len(Tid(1)) < 4 * PRUNE_MIN);
+        // Pruning must not change answers: T1 waits at the final clock and
+        // the crossing virtual time is still the publisher's last advance.
+        t.arrive_sync(Tid(1), 99_999, 100_001);
+        assert!(t.eligible(Tid(1)));
+        assert_eq!(t.crossing_v(Tid(1), 99_999), 100_000);
+    }
+
+    #[test]
+    fn pruning_preserves_crossing_answers_above_watermark() {
+        let mut h: Vec<(u64, u64)> = (0..100).map(|i| (i * 10, i)).collect();
+        prune_history(&mut h, 500);
+        // Newest entry below 500 is (490, 49): kept as the blocked
+        // sentinel; everything older dropped.
+        assert_eq!(h[0], (490, 49));
+        assert_eq!(h.len(), 51);
+        // A second prune at the same watermark is a no-op.
+        let before = h.clone();
+        prune_history(&mut h, 500);
+        assert_eq!(h, before);
+        // No entry below the watermark at all: nothing to drop.
+        let mut h2 = vec![(700, 1), (800, 2)];
+        prune_history(&mut h2, 500);
+        assert_eq!(h2.len(), 2);
     }
 }

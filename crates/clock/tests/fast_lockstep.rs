@@ -1,0 +1,266 @@
+//! Differential property test for the scheduler fast path.
+//!
+//! Drives the lock-free [`FastTable`] and the reference [`ClockTable`]
+//! through identical pseudo-random — but protocol-valid — operation
+//! sequences, asserting after every single step that the two agree exactly
+//! on each scheduling query the runtime uses: `state`, `published`,
+//! `eligible`, `crossing_v` and `min_waiting_other` (plus the round-robin
+//! turn). Any divergence would let the fast scheduler produce a different
+//! token order than the reference table, breaking the bit-identical
+//! schedule guarantee that `stress --sched-diff` checks end to end.
+
+use det_clock::{ClockTable, FastTable, OrderPolicy, Slots};
+use dmt_api::Tid;
+
+/// Deterministic LCG (MMIX constants) driving case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// What the harness believes each simulated thread is doing. Mirrors the
+/// runtime's own call discipline so every generated op is one the runtime
+/// could have issued.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Model {
+    /// Executing a chunk; may publish or arrive at a sync op.
+    Running,
+    /// Blocked at a sync op performed at this clock.
+    AtSync(u64),
+    /// Departed (blocked on a lock/condvar) at this saved clock.
+    Departed(u64),
+    /// Exited; its tid is never reused.
+    Finished,
+}
+
+const MAX_THREADS: usize = 8;
+
+struct Harness {
+    fast: FastTable,
+    refr: ClockTable,
+    model: Vec<Model>,
+    clock: Vec<u64>,
+    v: u64,
+}
+
+impl Harness {
+    fn new(policy: OrderPolicy) -> Harness {
+        let mut h = Harness {
+            fast: FastTable::new(policy, Slots::new(MAX_THREADS)),
+            refr: ClockTable::new(policy, MAX_THREADS),
+            model: Vec::new(),
+            clock: Vec::new(),
+            v: 0,
+        };
+        h.register(0);
+        h
+    }
+
+    fn register(&mut self, birth_clock: u64) {
+        let t = Tid(self.model.len() as u32);
+        self.fast.register(t, birth_clock, self.v);
+        self.refr.register(t, birth_clock, self.v);
+        self.model.push(Model::Running);
+        self.clock.push(birth_clock);
+    }
+
+    /// All-queries comparison; the heart of the lockstep property.
+    fn check(&mut self) {
+        for i in 0..self.model.len() {
+            let t = Tid(i as u32);
+            if self.model[i] == Model::Finished {
+                continue;
+            }
+            assert_eq!(self.fast.state(t), self.refr.state(t), "state({t})");
+            assert_eq!(
+                self.fast.published(t),
+                self.refr.published(t),
+                "published({t})"
+            );
+            assert_eq!(
+                self.fast.min_waiting_other(t),
+                self.refr.min_waiting_other(t),
+                "min_waiting_other({t})"
+            );
+            if let Model::AtSync(c) = self.model[i] {
+                assert_eq!(
+                    self.fast.eligible(t),
+                    self.refr.eligible(t),
+                    "eligible({t}) at clock {c}"
+                );
+                assert_eq!(
+                    self.fast.crossing_v(t, c),
+                    self.refr.crossing_v(t, c),
+                    "crossing_v({t}, {c})"
+                );
+            }
+        }
+        match self.fast.policy() {
+            OrderPolicy::InstructionCount => {
+                // The fast table's successor — the one thread a token
+                // release wakes — must be exactly the waiter the reference
+                // table would grant to: the minimum (clock, tid) waiter,
+                // when eligible.
+                let min_waiter = self
+                    .model
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, m)| match m {
+                        Model::AtSync(c) => Some((*c, i as u32)),
+                        _ => None,
+                    })
+                    .min();
+                let expect = min_waiter
+                    .filter(|&(_, w)| self.refr.eligible(Tid(w)))
+                    .map(|(_, w)| Tid(w));
+                assert_eq!(self.fast.successor(), expect, "successor");
+            }
+            OrderPolicy::RoundRobin => {
+                assert_eq!(self.fast.rr_holder(), self.refr.rr_holder(), "rr_holder");
+                assert_eq!(self.fast.rr_turn_v(), self.refr.rr_turn_v(), "rr_turn_v");
+                let holder = self.fast.rr_holder();
+                let expect = matches!(self.model.get(holder), Some(Model::AtSync(_)))
+                    .then(|| Tid(holder as u32));
+                assert_eq!(self.fast.successor(), expect, "rr successor");
+            }
+        }
+    }
+
+    fn step(&mut self, rng: &mut Rng) {
+        self.v += 1 + rng.below(5);
+        let i = rng.below(self.model.len() as u64) as usize;
+        let t = Tid(i as u32);
+        match self.model[i] {
+            Model::Running => match rng.below(10) {
+                // Publish a counter-overflow bound (the hot path).
+                0..=4 => {
+                    self.clock[i] += 1 + rng.below(50);
+                    let adv_f = self.fast.publish(t, self.clock[i], self.v);
+                    let adv_r = self.refr.publish(t, self.clock[i], self.v);
+                    assert_eq!(adv_f, adv_r, "publish advanced");
+                }
+                // Arrive at a sync op (possibly at the current clock).
+                5..=8 => {
+                    self.clock[i] += rng.below(20);
+                    self.fast.arrive_sync(t, self.clock[i], self.v);
+                    self.refr.arrive_sync(t, self.clock[i], self.v);
+                    self.model[i] = Model::AtSync(self.clock[i]);
+                }
+                // Spawn: the child starts at the parent's clock, which is
+                // ≥ every pruning watermark (the parent is live).
+                _ => {
+                    if self.model.len() < MAX_THREADS {
+                        self.register(self.clock[i]);
+                    }
+                }
+            },
+            Model::AtSync(_) => match rng.below(10) {
+                // Granted the token and released it: resume running,
+                // possibly fast-forwarded past the arrival clock.
+                0..=5 => {
+                    self.clock[i] += rng.below(10);
+                    self.fast.resume(t, self.clock[i], self.v);
+                    self.refr.resume(t, self.clock[i], self.v);
+                    self.model[i] = Model::Running;
+                    if self.fast.policy() == OrderPolicy::RoundRobin && self.fast.rr_holder() == i {
+                        // The runtime advances the turn when the holder
+                        // releases the token.
+                        self.fast.rr_advance(self.v);
+                        self.refr.rr_advance(self.v);
+                    }
+                }
+                // Block on a lock or condvar: leave GMIC consideration.
+                6..=8 => {
+                    self.fast.depart(t, self.v);
+                    self.refr.depart(t, self.v);
+                    self.model[i] = Model::Departed(self.clock[i]);
+                }
+                // Exit (from the sync arrival, as ctx::finish does).
+                _ => {
+                    self.fast.finish(t, self.v);
+                    self.refr.finish(t, self.v);
+                    self.model[i] = Model::Finished;
+                }
+            },
+            Model::Departed(saved) => {
+                // Woken by an unlock/signal at the waker's virtual time.
+                self.fast.reactivate(t, saved, self.v);
+                self.refr.reactivate(t, saved, self.v);
+                self.clock[i] = self.clock[i].max(saved);
+                self.model[i] = Model::Running;
+            }
+            Model::Finished => {}
+        }
+        self.check();
+    }
+}
+
+fn run_seed(policy: OrderPolicy, seed: u64) {
+    let mut rng = Rng(seed);
+    let mut h = Harness::new(policy);
+    for _ in 0..400 {
+        h.step(&mut rng);
+    }
+}
+
+#[test]
+fn fast_and_reference_agree_under_instruction_count() {
+    for seed in 0..20 {
+        run_seed(OrderPolicy::InstructionCount, 0x5EED_1C00 + seed);
+    }
+}
+
+#[test]
+fn fast_and_reference_agree_under_round_robin() {
+    for seed in 0..20 {
+        run_seed(OrderPolicy::RoundRobin, 0x5EED_4200 + seed);
+    }
+}
+
+/// Long publication streams with an active waiter: pruning fires on both
+/// tables, and every query must still agree (the watermark proof in
+/// `table.rs` says pruned entries can never change an answer above the
+/// watermark).
+#[test]
+fn agreement_survives_history_pruning() {
+    let mut h = Harness::new(OrderPolicy::InstructionCount);
+    h.register(0); // Tid(1)
+    let mut rng = Rng(0x5EED_9900);
+    for round in 0..2_000u64 {
+        h.v += 1;
+        h.clock[0] += 1 + rng.below(8);
+        let f = h.fast.publish(Tid(0), h.clock[0], h.v);
+        let r = h.refr.publish(Tid(0), h.clock[0], h.v);
+        assert_eq!(f, r);
+        if round % 64 == 0 {
+            h.v += 1;
+            h.clock[1] = h.clock[0].saturating_sub(1);
+            h.fast.arrive_sync(Tid(1), h.clock[1], h.v);
+            h.refr.arrive_sync(Tid(1), h.clock[1], h.v);
+            h.model[1] = Model::AtSync(h.clock[1]);
+            h.check();
+            h.v += 1;
+            h.fast.resume(Tid(1), h.clock[1], h.v);
+            h.refr.resume(Tid(1), h.clock[1], h.v);
+            h.model[1] = Model::Running;
+        }
+        h.check();
+    }
+    // Pruning actually happened: the publisher's history stayed bounded.
+    assert!(h.fast.history_len(Tid(0)) < 512, "fast history unbounded");
+    assert!(
+        h.refr.history_len(Tid(0)) < 512,
+        "reference history unbounded"
+    );
+}

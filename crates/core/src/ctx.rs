@@ -12,11 +12,11 @@
 use std::sync::Arc;
 
 use conversion::Workspace;
-use det_clock::{OrderPolicy, OverflowPolicy};
+use det_clock::{OrderPolicy, OverflowPolicy, SchedKind};
 use dmt_api::trace::Event;
 use dmt_api::{
-    Addr, BarrierId, Breakdown, CondId, CostModel, Counters, Job, MutexId, PerturbSite, RwLockId,
-    ThreadCtx, Tid,
+    Addr, BarrierId, Breakdown, CachePadded, CondId, CostModel, Counters, Job, MutexId,
+    PerturbSite, RwLockId, ThreadCtx, Tid,
 };
 
 use crate::coarsen::CoarsenState;
@@ -53,7 +53,9 @@ pub(crate) struct Ctx {
     last_sync_end_clock: u64,
     chunk_start_clock: u64,
     bd: Breakdown,
-    cnt: Counters,
+    /// Cache-padded so neighbouring threads' hot counter lines never
+    /// false-share when contexts live in adjacent allocations.
+    cnt: CachePadded<Counters>,
     cost: CostModel,
 }
 
@@ -93,8 +95,59 @@ impl Ctx {
             last_sync_end_clock: clock,
             chunk_start_clock: clock,
             bd: Breakdown::default(),
-            cnt: Counters::default(),
+            cnt: CachePadded::new(Counters::default()),
             cost,
+        }
+    }
+
+    /// Whether the fast-path scheduler (lock-free publication slots +
+    /// targeted per-thread parkers) is active.
+    #[inline]
+    fn fast_sched(&self) -> bool {
+        self.sh.opts.sched == SchedKind::Fast
+    }
+
+    /// Wakes the unique thread the deterministic order designates to take
+    /// the token next, if one is eligible. Fast path: a targeted
+    /// `notify_one` on that thread's parker. Reference path: the original
+    /// `notify_all` broadcast on the shared condvar.
+    ///
+    /// Wake timing cannot change the schedule: eligibility is a monotone
+    /// predicate of published clocks with a unique minimum, so a missed or
+    /// extra wake only moves real time, never the grant order.
+    fn wake_successor(&mut self, inner: &mut Inner) {
+        if self.fast_sched() {
+            if inner.token.is_none() {
+                if let Some(w) = inner.table.successor() {
+                    if w != self.tid {
+                        self.sh.parkers[w.index()].notify_one();
+                        self.cnt.targeted_wakes += 1;
+                    }
+                }
+            }
+        } else {
+            self.cnt.broadcast_wakes += 1;
+            self.sh.cv.notify_all();
+        }
+    }
+
+    /// Wakes a thread whose wake flag was just raised (lock hand-off,
+    /// signal, join). Fast path: targeted parker notify. Reference path:
+    /// no-op — the caller's existing broadcast covers it.
+    fn notify_blocked(&mut self, w: Tid) {
+        if self.fast_sched() {
+            self.sh.parkers[w.index()].notify_one();
+            self.cnt.targeted_wakes += 1;
+        }
+    }
+
+    /// Spurious-wake injection support: stirs every waiter in the system
+    /// (shared condvar and all parkers), so blocked threads must tolerate
+    /// waking with nothing changed regardless of scheduler mode.
+    fn stir_all(&self) {
+        self.sh.cv.notify_all();
+        for p in self.sh.parkers.iter() {
+            p.notify_all();
         }
     }
 
@@ -191,18 +244,51 @@ impl Ctx {
             clock: self.clock,
         });
         let sh = Arc::clone(&self.sh);
-        let mut inner = sh.inner.lock();
-        let hint = inner.table.publish(self.tid, self.clock, self.v);
-        let min_w = if self.sh.opts.adaptive_overflow {
-            inner
-                .table
-                .min_waiting_other(self.tid)
-                .map(|(c, _)| c)
-                .filter(|c| *c >= self.clock)
+        let min_w;
+        if self.fast_sched() {
+            // Fast path: publish straight into our lock-free slot — no
+            // global mutex on the publication hot path. The adaptive
+            // threshold reads the head waiter's packed key instead of an
+            // O(T) scan; it may miss a non-head waiter the reference scan
+            // would find, which only shifts publication frequency — the
+            // §3.2 contract makes that safe for determinism.
+            let out = sh.slots.publish(self.tid, self.clock, self.v);
+            min_w = if self.sh.opts.adaptive_overflow {
+                out.head.map(|(c, _)| c).filter(|c| *c >= self.clock)
+            } else {
+                None
+            };
+            if let Some(w) = out.wake_hint {
+                // Lock-then-notify: under the runtime mutex the hinted
+                // waiter is either parked (our notify lands) or has not
+                // yet evaluated its predicate (it will observe our SeqCst
+                // slot store). Re-check eligibility under the lock so a
+                // stale hint never wakes an ineligible thread.
+                let mut inner = sh.inner.lock();
+                if inner.token.is_none() && inner.table.eligible(w) {
+                    sh.parkers[w.index()].notify_one();
+                    self.cnt.targeted_wakes += 1;
+                }
+                drop(inner);
+            }
         } else {
-            None
-        };
-        drop(inner);
+            let mut inner = sh.inner.lock();
+            let hint = inner.table.publish(self.tid, self.clock, self.v);
+            min_w = if self.sh.opts.adaptive_overflow {
+                inner
+                    .table
+                    .min_waiting_other(self.tid)
+                    .map(|(c, _)| c)
+                    .filter(|c| *c >= self.clock)
+            } else {
+                None
+            };
+            drop(inner);
+            if hint {
+                self.cnt.broadcast_wakes += 1;
+                sh.cv.notify_all();
+            }
+        }
         // Publication timing is biased by the fault injector when one is
         // attached (forced early/late overflow); the §3.2 contract —
         // frequency affects real time only, never determinism — makes any
@@ -211,9 +297,6 @@ impl Ctx {
         self.next_pub = self.ovf.next_threshold_biased(self.clock, min_w, |iv| {
             sh.cfg.perturb.overflow_interval(tid, iv)
         });
-        if hint {
-            sh.cv.notify_all();
-        }
     }
 
     /// §2.7: forcibly end the current chunk so spinning threads observe
@@ -264,7 +347,17 @@ impl Ctx {
         let mut inner = sh.inner.lock();
         let arrival_clock = self.clock;
         inner.table.arrive_sync(self.tid, arrival_clock, self.v);
-        sh.cv.notify_all();
+        // Our arrival published a bound; the head waiter may have become
+        // eligible. Fast path: wake exactly that thread; reference path:
+        // broadcast as before.
+        self.wake_successor(&mut inner);
+        // A token waiter parks on its own cache-padded condvar under the
+        // fast scheduler, so a hand-off wakes one thread, not the herd.
+        let waitcv: &dmt_api::sync::Condvar = if self.fast_sched() {
+            &sh.parkers[self.tid.index()]
+        } else {
+            &sh.cv
+        };
         let wait_from = self.v;
         loop {
             if inner.token.is_none()
@@ -279,16 +372,16 @@ impl Ctx {
                 break;
             }
             if sh.cfg.perturb.spurious_wake(self.tid) {
-                // Spurious wake-up injection: every waiter on the runtime
-                // condvar must tolerate being woken with nothing changed.
-                sh.cv.notify_all();
+                // Spurious wake-up injection: every waiter in the runtime
+                // (shared condvar and parkers) must tolerate being woken
+                // with nothing changed.
+                self.stir_all();
             }
             // In debug builds, a very long token wait dumps the scheduler
             // state: deadlocks here are runtime bugs, not program bugs.
             #[cfg(debug_assertions)]
             {
-                let timed_out = sh
-                    .cv
+                let timed_out = waitcv
                     .wait_for(&mut inner, std::time::Duration::from_secs(5))
                     .timed_out();
                 if timed_out && std::env::var_os("CONSEQ_DEBUG").is_some() {
@@ -310,9 +403,13 @@ impl Ctx {
                 }
             }
             #[cfg(not(debug_assertions))]
-            sh.cv.wait(&mut inner);
+            waitcv.wait(&mut inner);
+            self.cnt.token_wake_loops += 1;
         }
         inner.token = Some(self.tid);
+        // Mirror the grant into the lock-free flag so racing publishers
+        // stop hinting wake-ups while the token is held.
+        sh.slots.set_token_free(false);
         if self.sh.opts.record_schedule {
             inner.schedule.push((self.tid, arrival_clock));
         }
@@ -393,7 +490,18 @@ impl Ctx {
             inner.table.rr_advance(self.v);
         }
         self.holding_token = false;
-        self.sh.cv.notify_all();
+        if self.fast_sched() {
+            // Publish the free token to racing lock-free publishers, then
+            // hand off to the unique deterministic successor. The release
+            // store of `token_free` and a publisher's slot store form the
+            // classic store-buffer pair: at least one side observes the
+            // other under SC, so no eligible waiter is ever left asleep.
+            self.sh.slots.set_token_free(true);
+            self.wake_successor(inner);
+        } else {
+            self.cnt.broadcast_wakes += 1;
+            self.sh.cv.notify_all();
+        }
     }
 
     /// Commits dirty pages and pulls remote versions (Fig. 7 line 6:
@@ -478,7 +586,13 @@ impl Ctx {
                 let sh = Arc::clone(&self.sh);
                 let mut inner = sh.inner.lock();
                 inner.table.resume(self.tid, self.clock, self.v);
-                sh.cv.notify_all();
+                if !self.fast_sched() {
+                    // We still hold the token, so no waiter can proceed;
+                    // the reference path broadcasts anyway (part of the
+                    // thundering herd the fast path eliminates).
+                    self.cnt.broadcast_wakes += 1;
+                    sh.cv.notify_all();
+                }
                 return;
             }
         }
@@ -494,17 +608,23 @@ impl Ctx {
     /// token; `inner` is consumed and re-acquired across the wait.
     fn block_until_woken(&mut self, inner: &mut dmt_api::sync::MutexGuard<'_, Inner>) {
         let sh = Arc::clone(&self.sh);
+        // Flag-blocked threads park on their own condvar under the fast
+        // scheduler; the waker notifies exactly this thread.
+        let waitcv: &dmt_api::sync::Condvar = if self.fast_sched() {
+            &sh.parkers[self.tid.index()]
+        } else {
+            &sh.cv
+        };
         let from = self.v;
         while !inner.threads[self.tid.index()].wake {
             if sh.cfg.perturb.spurious_wake(self.tid) {
                 // Spurious wake injection: blocked threads re-check their
                 // wake flags, never act on the notification itself.
-                sh.cv.notify_all();
+                self.stir_all();
             }
             #[cfg(debug_assertions)]
             {
-                let timed_out = sh
-                    .cv
+                let timed_out = waitcv
                     .wait_for(inner, std::time::Duration::from_secs(5))
                     .timed_out();
                 if timed_out && std::env::var_os("CONSEQ_DEBUG").is_some() {
@@ -523,7 +643,7 @@ impl Ctx {
                 continue;
             }
             #[allow(unreachable_code)]
-            sh.cv.wait(inner);
+            waitcv.wait(inner);
         }
         let st = &mut inner.threads[self.tid.index()];
         st.wake = false;
@@ -567,6 +687,7 @@ impl Ctx {
             inner.threads[w.index()].wake_v = self.v;
             let saved = inner.threads[w.index()].saved_clock;
             inner.table.reactivate(w, saved, self.v);
+            self.notify_blocked(w);
         }
         if let Some(l) = inner.lrc.as_mut() {
             l.on_release(self.tid, LrcObject::Mutex(m.0));
@@ -635,6 +756,7 @@ impl Ctx {
             inner.threads[w.index()].wake_v = self.v;
             let saved = inner.threads[w.index()].saved_clock;
             inner.table.reactivate(w, saved, self.v);
+            self.notify_blocked(w);
             // Direct hand-off: the grant happens here, under the waker's
             // token, so it is a schedule event of the waker's turn.
             self.sh.cfg.trace.emit(Event::RwAcquire {
@@ -689,6 +811,7 @@ impl Ctx {
             inner.threads[j.index()].wake_v = self.v;
             let saved = inner.threads[j.index()].saved_clock;
             inner.table.reactivate(j, saved, self.v);
+            self.notify_blocked(j);
         }
         if let Some(l) = inner.lrc.as_mut() {
             l.on_release(self.tid, LrcObject::Thread(self.tid.0));
@@ -716,7 +839,7 @@ impl Ctx {
         inner.live -= 1;
         inner.max_exit_v = inner.max_exit_v.max(self.v);
         inner.reports.push((self.tid, self.bd));
-        let mut cnt = self.cnt;
+        let mut cnt = *self.cnt;
         cnt.lrc_pages_propagated = 0; // aggregated once, from the tracker
         inner.counters += cnt;
         sh.cv.notify_all();
@@ -863,7 +986,13 @@ impl ThreadCtx for Ctx {
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
         let woke = self.unlock_state(&mut inner, m);
-        sh.cv.notify_all();
+        if !self.fast_sched() {
+            // Reference herd: broadcast even though the woken waiter was
+            // already flagged; the fast path's unlock_state notified the
+            // one parker that matters.
+            self.cnt.broadcast_wakes += 1;
+            sh.cv.notify_all();
+        }
         drop(inner);
         if woke {
             // A woken waiter must get a fair shot at the lock: retaining
@@ -932,6 +1061,7 @@ impl ThreadCtx for Ctx {
             inner.threads[w.index()].wake_v = self.v;
             let saved = inner.threads[w.index()].saved_clock;
             inner.table.reactivate(w, saved, self.v);
+            self.notify_blocked(w);
         }
         if let Some(l) = inner.lrc.as_mut() {
             l.on_release(self.tid, LrcObject::Cond(c.0));
@@ -957,6 +1087,7 @@ impl ThreadCtx for Ctx {
             inner.threads[w.index()].wake_v = self.v;
             let saved = inner.threads[w.index()].saved_clock;
             inner.table.reactivate(w, saved, self.v);
+            self.notify_blocked(w);
             woken += 1;
         }
         self.sh.cfg.trace.emit(Event::CondBroadcast {

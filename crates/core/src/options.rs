@@ -4,7 +4,7 @@
 //! these options are that ablation surface. The presets at the bottom
 //! configure the runtime as Consequence-IC, Consequence-RR and DWC.
 
-use det_clock::OrderPolicy;
+use det_clock::{OrderPolicy, SchedKind};
 
 /// Consequence configuration.
 #[derive(Clone, Debug)]
@@ -46,6 +46,13 @@ pub struct Options {
     /// Clock increment added on each failed polling acquire (Kendo's
     /// tuning knob; only used with `polling_locks`).
     pub polling_increment: u64,
+    /// Scheduler implementation: the lock-free fast path
+    /// ([`SchedKind::Fast`], the default) or the all-under-one-lock
+    /// reference table with `notify_all` wake-ups
+    /// ([`SchedKind::Reference`]). Both produce bit-identical schedules
+    /// (checked by `stress --sched-diff`); the reference table is kept for
+    /// differential testing, mirroring the `merge::bytewise` precedent.
+    pub sched: SchedKind,
     /// Record the token-grant schedule — `(thread, logical clock)` per
     /// grant — retrievable after the run via
     /// [`crate::ConsequenceRuntime::take_schedule`]. The schedule is the
@@ -85,6 +92,7 @@ impl Options {
             single_global_lock: false,
             polling_locks: false,
             polling_increment: 1_000,
+            sched: SchedKind::Fast,
             record_schedule: false,
             base_overflow: det_clock::overflow::BASE_OVERFLOW,
             coarsen_initial: 32_768,
@@ -119,6 +127,7 @@ impl Options {
             single_global_lock: true,
             polling_locks: false,
             polling_increment: 1_000,
+            sched: SchedKind::Fast,
             record_schedule: false,
             base_overflow: det_clock::overflow::BASE_OVERFLOW,
             coarsen_initial: 32_768,
@@ -132,7 +141,7 @@ impl Options {
     ///
     /// Recognized names: `"coarsening"`, `"fast_forward"`,
     /// `"parallel_barrier"`, `"adaptive_overflow"`, `"user_counter_read"`,
-    /// `"thread_pool"`.
+    /// `"thread_pool"`, `"fast_sched"`.
     ///
     /// # Panics
     ///
@@ -145,6 +154,7 @@ impl Options {
             "adaptive_overflow" => self.adaptive_overflow = false,
             "user_counter_read" => self.user_counter_read = false,
             "thread_pool" => self.thread_pool = false,
+            "fast_sched" => self.sched = SchedKind::Reference,
             other => panic!("unknown optimization {other:?}"),
         }
         self
@@ -182,6 +192,7 @@ mod tests {
             "adaptive_overflow",
             "user_counter_read",
             "thread_pool",
+            "fast_sched",
         ] {
             let o = Options::consequence_ic().without(name);
             let disabled = match name {
@@ -191,10 +202,18 @@ mod tests {
                 "adaptive_overflow" => !o.adaptive_overflow,
                 "user_counter_read" => !o.user_counter_read,
                 "thread_pool" => !o.thread_pool,
+                "fast_sched" => o.sched == SchedKind::Reference,
                 _ => unreachable!(),
             };
             assert!(disabled, "{name} not disabled");
         }
+    }
+
+    #[test]
+    fn fast_sched_is_the_default_everywhere() {
+        assert_eq!(Options::consequence_ic().sched, SchedKind::Fast);
+        assert_eq!(Options::consequence_rr().sched, SchedKind::Fast);
+        assert_eq!(Options::dwc().sched, SchedKind::Fast);
     }
 
     #[test]

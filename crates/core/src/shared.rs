@@ -9,8 +9,8 @@ use std::thread::JoinHandle;
 use dmt_api::sync::{Condvar, Mutex};
 
 use conversion::{ParallelCommit, Segment, Workspace};
-use det_clock::ClockTable;
-use dmt_api::{Breakdown, CommonConfig, Counters, Job, Tid};
+use det_clock::{SchedTable, Slots};
+use dmt_api::{Breakdown, CachePadded, CommonConfig, Counters, Job, Tid};
 
 use crate::coarsen::Ewma;
 use crate::lrc::LrcTracker;
@@ -150,7 +150,7 @@ pub(crate) struct PoolEntry {
 
 /// Lock-protected mutable runtime state.
 pub(crate) struct Inner {
-    pub table: ClockTable,
+    pub table: SchedTable,
     pub token: Option<Tid>,
     /// Clock of the last thread to release the token (§3.5 fast-forward).
     pub last_release_clock: u64,
@@ -184,6 +184,15 @@ pub(crate) struct Shared {
     pub seg: Segment,
     pub inner: Mutex<Inner>,
     pub cv: Condvar,
+    /// Per-thread parkers for targeted wake-ups (fast-path scheduler):
+    /// a thread blocked on the token or a wake flag waits on its own
+    /// cache-padded condvar (paired with `inner`), so a hand-off wakes
+    /// exactly one thread instead of broadcasting on `cv`.
+    pub parkers: Box<[CachePadded<Condvar>]>,
+    /// Lock-free half of the fast-path scheduler (also reachable through
+    /// `Inner::table` when it is the fast table): publication slots,
+    /// head-waiter key, token-free flag, watermark.
+    pub slots: Arc<Slots>,
 }
 
 impl Shared {
@@ -191,9 +200,17 @@ impl Shared {
         let mut seg = Segment::new(cfg.heap_pages, cfg.max_threads);
         seg.set_perturb(cfg.perturb.clone());
         let lrc = cfg.track_lrc.then(|| LrcTracker::new(cfg.max_threads));
+        let slots = Slots::new(cfg.max_threads);
+        let parkers = (0..cfg.max_threads)
+            .map(|_| CachePadded::new(Condvar::new()))
+            .collect();
+        // Preallocate per-thread vectors to their max_threads-derived
+        // bounds so hot paths never reallocate (and never move the
+        // cache-padded thread slots mid-run).
+        let max_t = cfg.max_threads;
         Arc::new(Shared {
             inner: Mutex::new(Inner {
-                table: ClockTable::new(opts.order, cfg.max_threads),
+                table: SchedTable::new(opts.sched, opts.order, slots.clone()),
                 token: None,
                 last_release_clock: 0,
                 last_release_v: 0,
@@ -202,19 +219,27 @@ impl Shared {
                 conds: Vec::new(),
                 rwlocks: Vec::new(),
                 barriers: Vec::new(),
-                threads: Vec::new(),
+                threads: Vec::with_capacity(max_t),
                 next_tid: 0,
                 live: 0,
-                pool: Vec::new(),
-                handles: Vec::new(),
-                reports: Vec::new(),
+                pool: Vec::with_capacity(max_t),
+                handles: Vec::with_capacity(max_t),
+                reports: Vec::with_capacity(max_t),
                 counters: Counters::default(),
                 max_exit_v: 0,
                 lrc,
                 started: false,
-                schedule: Vec::new(),
+                schedule: if opts.record_schedule {
+                    // One grant per sync op; start with a generous page-
+                    // sized chunk per thread and let it grow from there.
+                    Vec::with_capacity(max_t * 512)
+                } else {
+                    Vec::new()
+                },
             }),
             cv: Condvar::new(),
+            parkers,
+            slots,
             cfg,
             opts,
             seg,

@@ -4,6 +4,7 @@
 //! cargo run -p dmt-stress --release --bin stress -- --smoke
 //! cargo run -p dmt-stress --release --bin stress -- --deep
 //! cargo run -p dmt-stress --release --bin stress -- --inject-bug
+//! cargo run -p dmt-stress --release --bin stress -- --sched-diff
 //! cargo run -p dmt-stress --release --bin stress -- \
 //!     --workloads histogram,kmeans --runtimes consequence-ic --seeds 4
 //! ```
@@ -14,15 +15,18 @@
 //! and 1 otherwise. `--inject-bug` inverts the convention: it *must* catch
 //! the deliberately injected eligibility bug, print the shrunk reproducer
 //! plus the first divergent event, and exit 1; exiting 0 means the harness
-//! failed to detect a real determinism bug. JSON reports land in
-//! `target/stress/`. See `docs/STRESS.md`.
+//! failed to detect a real determinism bug. `--sched-diff` runs the seed
+//! matrix under both the fast and the reference scheduler and exits 1 on
+//! any schedule-hash or output divergence between them (the PR 4 fast
+//! path must be bit-identical). JSON reports land in `target/stress/`.
+//! See `docs/STRESS.md`.
 
 use std::fs;
 use std::time::Instant;
 
 use dmt_baselines::RuntimeKind;
 use dmt_bench::json::ToJson;
-use dmt_stress::{run_inject_bug, run_matrix, StressConfig};
+use dmt_stress::{run_inject_bug, run_matrix, run_sched_diff, StressConfig};
 
 fn dump<T: ToJson>(name: &str, value: &T) {
     let dir = "target/stress";
@@ -39,7 +43,7 @@ fn runtime_by_label(label: &str) -> Option<RuntimeKind> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: stress [--smoke|--deep|--inject-bug] [--workloads a,b,..] \
+        "usage: stress [--smoke|--deep|--inject-bug|--sched-diff] [--workloads a,b,..] \
          [--runtimes a,b,..] [--seeds N] [--threads N] [--scale N] [--base-seed N]"
     );
     std::process::exit(2);
@@ -61,6 +65,7 @@ fn main() {
     let mut cfg = StressConfig::smoke();
     let mut custom = false;
     let mut inject = false;
+    let mut sched_diff = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,6 +87,7 @@ fn main() {
                 }
             }
             "--inject-bug" => inject = true,
+            "--sched-diff" => sched_diff = true,
             "--workloads" => {
                 i += 1;
                 let list = args.get(i).unwrap_or_else(|| usage());
@@ -141,6 +147,43 @@ fn main() {
         );
         eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
         std::process::exit(0);
+    }
+
+    if sched_diff {
+        println!(
+            "== stress --sched-diff: fast vs reference scheduler, {} workloads x {} seeds, {} threads",
+            cfg.workloads.len(),
+            cfg.seeds,
+            cfg.threads
+        );
+        println!(
+            "{:<16}{:<16}{:>6}{:>20}{:>20}{:>11}",
+            "workload", "runtime", "runs", "fast_hash", "reference_hash", "verdict"
+        );
+        let report = run_sched_diff(&cfg, |cell| {
+            println!(
+                "{:<16}{:<16}{:>6}{:>#20x}{:>#20x}{:>11}",
+                cell.workload,
+                cell.runtime,
+                cell.runs,
+                cell.fast_hash,
+                cell.reference_hash,
+                if cell.schedules_match && cell.outputs_match && cell.validated {
+                    "identical"
+                } else {
+                    "DIVERGED"
+                }
+            );
+        });
+        println!(
+            "{}: {} runs, {} cells",
+            if report.passed { "PASSED" } else { "FAILED" },
+            report.total_runs,
+            report.cells.len()
+        );
+        dump("sched_diff", &report);
+        eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        std::process::exit(if report.passed { 0 } else { 1 });
     }
 
     println!(

@@ -23,6 +23,7 @@
 
 pub mod inject;
 pub mod report;
+pub mod sched_diff;
 pub mod shrink;
 
 use std::collections::BTreeSet;
@@ -37,6 +38,7 @@ use dmt_workloads::{workload_by_name, Params, Validation};
 
 pub use inject::{run_inject_bug, InjectOutcome};
 pub use report::{CellSummary, StressReport, Violation};
+pub use sched_diff::{run_consequence_workload, run_sched_diff, SchedDiffCell, SchedDiffReport};
 pub use shrink::shrink_plan;
 
 /// Events a repro-trace sink retains (oldest dropped beyond this).
@@ -126,7 +128,7 @@ pub struct CellRun {
     pub report: RunReport,
 }
 
-fn cell_cfg(pages: usize, trace: TraceHandle, perturb: PerturbHandle) -> CommonConfig {
+pub(crate) fn cell_cfg(pages: usize, trace: TraceHandle, perturb: PerturbHandle) -> CommonConfig {
     CommonConfig {
         heap_pages: pages,
         max_threads: 64,

@@ -1,0 +1,195 @@
+//! `stress --sched-diff`: differential validation of the scheduler fast
+//! path.
+//!
+//! PR 4 replaced the reference scheduler's global-lock clock table and
+//! `notify_all` token handoff with lock-free publication slots, targeted
+//! per-thread wakeups and O(log T) eligibility queues (`det_clock::fast`).
+//! The optimization contract is that the *schedule* — and therefore every
+//! output — is bit-identical to the reference implementation: the fast
+//! structures change how fast a grant happens, never which thread gets it.
+//!
+//! This mode checks that contract end to end. For every workload × every
+//! Consequence-backed runtime (dwc, consequence-rr, consequence-ic) it
+//! runs the fast scheduler and the reference scheduler
+//! (`Options::without("fast_sched")`) over the same perturbation-seed
+//! matrix the main fuzzer uses, and requires every run — baseline and
+//! perturbed, fast and reference — to produce the same schedule hash and
+//! the same output hash. A single divergent grant anywhere in the run
+//! changes the hash, so this is a whole-execution oracle on top of the
+//! per-query `fast_lockstep` property test in `det-clock`.
+
+use consequence::Options;
+use dmt_api::{PerturbHandle, PerturbPlan, TraceHandle};
+use dmt_baselines::{make_consequence, RuntimeKind};
+use dmt_bench::json_struct;
+use dmt_workloads::{workload_by_name, Params, Validation};
+use std::sync::Arc;
+
+use crate::{cell_cfg, mix64, plan_handle, CellRun, StressConfig};
+
+/// The base option presets whose runtimes the fast scheduler backs. Other
+/// kinds (pthreads, dthreads) never touch the clock table.
+fn kind_options(kind: RuntimeKind) -> Option<Options> {
+    match kind {
+        RuntimeKind::Dwc => Some(Options::dwc()),
+        RuntimeKind::ConsequenceRr => Some(Options::consequence_rr()),
+        RuntimeKind::ConsequenceIc => Some(Options::consequence_ic()),
+        _ => None,
+    }
+}
+
+/// Like [`crate::run_workload`], but builds the Consequence runtime with
+/// explicit [`Options`] so both scheduler implementations can be driven.
+pub fn run_consequence_workload(
+    opts: Options,
+    name: &str,
+    threads: usize,
+    scale: u32,
+    input_seed: u64,
+    perturb: PerturbHandle,
+) -> CellRun {
+    let w = workload_by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let p = Params::new(threads, scale, input_seed);
+    let sink = Arc::new(dmt_api::HashSink::new());
+    let cfg = cell_cfg(w.heap_pages(&p), TraceHandle::to(sink), perturb);
+    let mut rt = make_consequence(cfg, opts);
+    let prepared = w.prepare(rt.as_mut(), &p);
+    let report = rt.run(prepared.job);
+    let v: Validation = (prepared.validate)(rt.as_ref());
+    CellRun {
+        schedule_hash: report.schedule_hash,
+        output_hash: v.output_hash,
+        matches_reference: v.matches_reference,
+        report,
+    }
+}
+
+/// One workload × runtime cell of the scheduler-differential matrix.
+#[derive(Clone, Debug)]
+pub struct SchedDiffCell {
+    pub workload: String,
+    pub runtime: String,
+    /// Total runs in the cell: (fast + reference) × (baseline + seeds).
+    pub runs: u64,
+    /// Unperturbed schedule hash under the fast scheduler.
+    pub fast_hash: u64,
+    /// Unperturbed schedule hash under the reference scheduler.
+    pub reference_hash: u64,
+    /// Every run (both schedulers, every seed) hashed to `fast_hash`.
+    pub schedules_match: bool,
+    /// Every run produced the same output hash.
+    pub outputs_match: bool,
+    /// Every run matched the sequential reference output.
+    pub validated: bool,
+}
+
+/// The full scheduler-differential result.
+#[derive(Clone, Debug)]
+pub struct SchedDiffReport {
+    pub threads: usize,
+    pub seeds: u64,
+    pub base_seed: u64,
+    pub total_runs: u64,
+    pub cells: Vec<SchedDiffCell>,
+    pub passed: bool,
+}
+
+json_struct!(SchedDiffCell {
+    workload,
+    runtime,
+    runs,
+    fast_hash,
+    reference_hash,
+    schedules_match,
+    outputs_match,
+    validated
+});
+
+json_struct!(SchedDiffReport {
+    threads,
+    seeds,
+    base_seed,
+    total_runs,
+    cells,
+    passed
+});
+
+/// Runs the fast-vs-reference scheduler matrix and returns the report.
+///
+/// Non-Consequence runtimes in `cfg.runtimes` are skipped (they have no
+/// scheduler to swap). `progress` is called once per finished cell.
+pub fn run_sched_diff(
+    cfg: &StressConfig,
+    mut progress: impl FnMut(&SchedDiffCell),
+) -> SchedDiffReport {
+    let mut cells = Vec::new();
+    let mut total_runs = 0u64;
+
+    for (wi, name) in cfg.workloads.iter().enumerate() {
+        for (ki, &kind) in cfg.runtimes.iter().enumerate() {
+            let Some(base_opts) = kind_options(kind) else {
+                continue;
+            };
+            let fast_opts = base_opts.clone();
+            let ref_opts = base_opts.without("fast_sched");
+            let run = |opts: &Options, perturb: PerturbHandle| {
+                run_consequence_workload(
+                    opts.clone(),
+                    name,
+                    cfg.threads,
+                    cfg.scale,
+                    cfg.input_seed,
+                    perturb,
+                )
+            };
+
+            let fast = run(&fast_opts, PerturbHandle::off());
+            let refr = run(&ref_opts, PerturbHandle::off());
+            total_runs += 2;
+            let mut schedules_match = fast.schedule_hash == refr.schedule_hash;
+            let mut outputs_match = fast.output_hash == refr.output_hash;
+            let mut validated = fast.matches_reference && refr.matches_reference;
+
+            // Same derivation as `run_matrix`, salted so the two modes
+            // exercise distinct plans.
+            let cell_salt = mix64(cfg.base_seed ^ 0x5C4E_D1FF ^ ((wi as u64) << 32) ^ (ki as u64));
+            for s in 0..cfg.seeds {
+                let plan = PerturbPlan::full(mix64(cell_salt ^ (s + 1)));
+                let pf = run(&fast_opts, plan_handle(&plan));
+                let pr = run(&ref_opts, plan_handle(&plan));
+                total_runs += 2;
+                schedules_match &= pf.schedule_hash == fast.schedule_hash
+                    && pr.schedule_hash == fast.schedule_hash;
+                outputs_match &=
+                    pf.output_hash == fast.output_hash && pr.output_hash == fast.output_hash;
+                validated &= pf.matches_reference && pr.matches_reference;
+            }
+
+            let cell = SchedDiffCell {
+                workload: name.clone(),
+                runtime: kind.label().to_string(),
+                runs: 2 * (1 + cfg.seeds),
+                fast_hash: fast.schedule_hash,
+                reference_hash: refr.schedule_hash,
+                schedules_match,
+                outputs_match,
+                validated,
+            };
+            progress(&cell);
+            cells.push(cell);
+        }
+    }
+
+    let passed = !cells.is_empty()
+        && cells
+            .iter()
+            .all(|c| c.schedules_match && c.outputs_match && c.validated);
+    SchedDiffReport {
+        threads: cfg.threads,
+        seeds: cfg.seeds,
+        base_seed: cfg.base_seed,
+        total_runs,
+        cells,
+        passed,
+    }
+}

@@ -2,7 +2,9 @@
 //! report is self-describing, and the injected bug is caught and shrunk.
 
 use dmt_baselines::RuntimeKind;
-use dmt_stress::{plan_handle, run_inject_bug, run_matrix, run_workload, StressConfig};
+use dmt_stress::{
+    plan_handle, run_inject_bug, run_matrix, run_sched_diff, run_workload, StressConfig,
+};
 
 use dmt_api::PerturbPlan;
 
@@ -81,4 +83,29 @@ fn injected_bug_is_caught_shrunk_and_diagnosed() {
         diagnosis.contains("diverge at event"),
         "diagnosis does not name the first divergent event: {diagnosis}"
     );
+}
+
+/// PR 4: the fast scheduler must be schedule- and output-identical to the
+/// reference scheduler on whole executions, across perturbation seeds and
+/// both token-order policies.
+#[test]
+fn fast_and_reference_schedulers_agree_end_to_end() {
+    let cfg = tiny_matrix(
+        vec![RuntimeKind::ConsequenceIc, RuntimeKind::ConsequenceRr],
+        1,
+    );
+    let report = run_sched_diff(&cfg, |_| {});
+    assert_eq!(report.cells.len(), 2);
+    for cell in &report.cells {
+        assert!(
+            cell.schedules_match && cell.outputs_match && cell.validated,
+            "{} under {} diverged: {cell:?}",
+            cell.workload,
+            cell.runtime
+        );
+        assert_eq!(cell.fast_hash, cell.reference_hash);
+        assert_eq!(cell.runs, 4);
+    }
+    assert!(report.passed);
+    assert_eq!(report.total_runs, 8);
 }
