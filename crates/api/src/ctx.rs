@@ -1,5 +1,6 @@
 //! The per-thread execution context.
 
+use crate::error::DmtResult;
 use crate::ids::{Addr, BarrierId, CondId, MutexId, RwLockId, Tid};
 
 /// A unit of work executed by one thread of a DMT program.
@@ -70,12 +71,31 @@ pub trait ThreadCtx {
     /// Acquires a deterministic mutex, blocking until available.
     fn mutex_lock(&mut self, m: MutexId);
 
+    /// Fallible [`mutex_lock`](ThreadCtx::mutex_lock): returns
+    /// `Err(DmtError::MutexPoisoned)` if a previous owner panicked while
+    /// holding `m`, instead of unwinding. Runtimes without poisoning
+    /// semantics fall back to the infallible path and return `Ok(())`.
+    fn try_mutex_lock(&mut self, m: MutexId) -> DmtResult<()> {
+        self.mutex_lock(m);
+        Ok(())
+    }
+
     /// Releases a deterministic mutex held by this thread.
     fn mutex_unlock(&mut self, m: MutexId);
 
     /// Atomically releases `m` and blocks on `c`; re-acquires `m` before
     /// returning. The calling thread must hold `m`.
     fn cond_wait(&mut self, c: CondId, m: MutexId);
+
+    /// Fallible [`cond_wait`](ThreadCtx::cond_wait): returns
+    /// `Err(DmtError::CondOwnerDied)` if the wait was aborted because the
+    /// owner of `m` panicked (the mutex is then poisoned and is *not*
+    /// re-acquired). Runtimes without poisoning fall back to the
+    /// infallible path and return `Ok(())`.
+    fn try_cond_wait(&mut self, c: CondId, m: MutexId) -> DmtResult<()> {
+        self.cond_wait(c, m);
+        Ok(())
+    }
 
     /// Wakes one waiter of `c` (deterministically the earliest), if any.
     fn cond_signal(&mut self, c: CondId);
@@ -144,6 +164,16 @@ pub trait ThreadCtx {
 
     /// Blocks until thread `t` has finished.
     fn join(&mut self, t: Tid);
+
+    /// Fallible [`join`](ThreadCtx::join): returns
+    /// `Err(DmtError::ThreadPanicked)` if `t` panicked, at the same
+    /// deterministic schedule point where the join would have succeeded.
+    /// Runtimes without panic containment fall back to the infallible path
+    /// and return `Ok(())`.
+    fn try_join(&mut self, t: Tid) -> DmtResult<()> {
+        self.join(t);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 
 pub mod cost;
 pub mod ctx;
+pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod mem;
@@ -53,12 +54,14 @@ pub mod vclock;
 
 pub use cost::CostModel;
 pub use ctx::{Job, ThreadCtx};
+pub use error::{ContainedError, DmtError, DmtResult};
 pub use hash::Fnv1a;
 pub use ids::{Addr, BarrierId, CondId, MutexId, RwLockId, Tid};
 pub use mem::{MemExt, RuntimeMemExt};
 pub use pad::CachePadded;
 pub use perturb::{
-    PerturbEntry, PerturbHandle, PerturbPlan, PerturbSite, Perturber, PlanPerturber,
+    InjectedPanic, PanicSite, PerturbEntry, PerturbHandle, PerturbPlan, PerturbSite, Perturber,
+    PlanPerturber,
 };
 pub use report::{Breakdown, Counters, RunReport};
 pub use runtime::{CommonConfig, Runtime};

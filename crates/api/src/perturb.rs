@@ -105,6 +105,66 @@ impl fmt::Display for PerturbSite {
     }
 }
 
+/// A workload-visible operation at which a panic can be injected.
+///
+/// Unlike [`PerturbSite`] hook points — which may only move *real* time —
+/// panic injection kills the calling thread at a deterministic point in
+/// its own instruction stream (the N-th lock / barrier / commit *that
+/// thread* performs). The resulting death is therefore itself a
+/// deterministic event, and the runtime's containment of it (poison
+/// delivery, token reclamation, `ThreadPanicked` joins) must reproduce
+/// bit-identical surviving-thread schedules across reruns of the same
+/// seed. See `docs/ROBUSTNESS.md`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum PanicSite {
+    /// On entry to `mutex_lock` (the injected thread may already hold
+    /// other mutexes — the poison path).
+    Lock,
+    /// On entry to `barrier_wait` (kills a barrier party — the broken-
+    /// barrier path).
+    Barrier,
+    /// On entry to a commit (the injected thread holds the global token —
+    /// the token-reclamation path).
+    Commit,
+}
+
+impl PanicSite {
+    /// Every site, in declaration order.
+    pub const ALL: [PanicSite; 3] = [PanicSite::Lock, PanicSite::Barrier, PanicSite::Commit];
+
+    /// Stable lowercase name (used in reports and reproducers).
+    pub fn name(self) -> &'static str {
+        match self {
+            PanicSite::Lock => "lock",
+            PanicSite::Barrier => "barrier",
+            PanicSite::Commit => "commit",
+        }
+    }
+}
+
+impl fmt::Display for PanicSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Unwind payload of an injected panic, so harnesses can tell their own
+/// injected deaths apart from genuine workload bugs.
+#[derive(Clone, Debug)]
+pub struct InjectedPanic {
+    /// The site class the panic fired at.
+    pub site: PanicSite,
+    /// Which occurrence on the dying thread (0-based).
+    pub nth: u64,
+}
+
+impl fmt::Display for InjectedPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected panic at {} #{}", self.site, self.nth)
+    }
+}
+
 /// A fault injector attached to a runtime.
 ///
 /// Implementations may sleep, yield or spin inside [`hit`](Perturber::hit)
@@ -131,6 +191,16 @@ pub trait Perturber: Send + Sync {
     /// re-check their predicates and go back to sleep.
     fn spurious_wake(&self, tid: Tid) -> bool {
         let _ = tid;
+        false
+    }
+
+    /// Whether thread `tid` should panic now, at its `nth` (0-based)
+    /// operation of class `site`. Decisions must be a pure function of
+    /// `(site, tid, nth)` — never of real time or a shared draw counter —
+    /// so the injected death lands at the same point in the dying thread's
+    /// instruction stream on every rerun. Default: never.
+    fn panic_at(&self, site: PanicSite, tid: Tid, nth: u64) -> bool {
+        let _ = (site, tid, nth);
         false
     }
 
@@ -422,6 +492,16 @@ impl PerturbHandle {
         }
     }
 
+    /// Whether `tid` should panic at its `nth` operation of class `site`
+    /// (never when off). See [`Perturber::panic_at`].
+    #[inline]
+    pub fn panic_at(&self, site: PanicSite, tid: Tid, nth: u64) -> bool {
+        match &self.0 {
+            Some(p) => p.panic_at(site, tid, nth),
+            None => false,
+        }
+    }
+
     /// Master seed of the attached plan (0 when off).
     pub fn seed(&self) -> u64 {
         self.0.as_ref().map_or(0, |p| p.seed())
@@ -490,8 +570,22 @@ mod tests {
         assert_eq!(h.hit(PerturbSite::Commit, Tid(3)), 0);
         assert_eq!(h.overflow_interval(Tid(0), 5_000), 5_000);
         assert!(!h.spurious_wake(Tid(0)));
+        assert!(!h.panic_at(PanicSite::Lock, Tid(0), 0));
         assert_eq!(h.seed(), 0);
         assert_eq!(h.plan_digest(), 0);
+    }
+
+    #[test]
+    fn panic_injection_defaults_off_for_plan_perturbers() {
+        // PlanPerturber drives timing perturbations only; panic injection
+        // is a separate, deterministic decision and must not be implied by
+        // a timing plan.
+        let p = PlanPerturber::new(PerturbPlan::full(5));
+        for site in PanicSite::ALL {
+            for n in 0..32 {
+                assert!(!p.panic_at(site, Tid(1), n));
+            }
+        }
     }
 
     #[test]

@@ -183,6 +183,19 @@ pub struct RunReport {
     /// FNV-1a digest of the active fault-injection plan (identifies shrunk
     /// plans, whose master seed alone is ambiguous); 0 when off.
     pub perturb_plan: u64,
+    /// Workload panics contained during the run, `(tid, message)` in
+    /// deterministic containment (token-grant) order. Empty for a clean
+    /// run; runtimes without containment leave it empty too (the panic
+    /// propagates instead).
+    pub panics: Vec<(Tid, String)>,
+    /// The watchdog's diagnosis when the run was torn down for lack of
+    /// logical progress (deadlock / wedged holder); `None` for a run that
+    /// finished on its own.
+    pub fault: Option<String>,
+    /// Whether a fast-scheduler invariant violation forced a mid-run
+    /// failover to the reference scheduler. The schedule stays correct
+    /// (and hash-identical) — only performance degrades.
+    pub degraded: bool,
 }
 
 impl RunReport {
@@ -260,6 +273,9 @@ mod tests {
             threads: 1,
             perturb_seed: 0,
             perturb_plan: 0,
+            panics: Vec::new(),
+            fault: None,
+            degraded: false,
         };
         assert!(r.thread_breakdown(Tid(0)).is_some());
         assert!(r.thread_breakdown(Tid(1)).is_none());

@@ -133,6 +133,11 @@ pub enum Event {
     Join { tid: Tid, target: Tid },
     /// Thread exit at the given logical clock.
     Exit { tid: Tid, clock: u64 },
+    /// A contained workload panic: the thread died at the given logical
+    /// clock, after deterministically poisoning its held locks and
+    /// departing the order. A schedule event — the death is part of the
+    /// deterministic total order and must reproduce across reruns.
+    ThreadPanic { tid: Tid, clock: u64 },
     /// A logical-clock publication (counter overflow, §3.2). Auxiliary:
     /// its real-time interleaving is not part of the determinism contract
     /// under adaptive notification.
@@ -166,6 +171,7 @@ pub enum EventKind {
     Spawn,
     Join,
     Exit,
+    ThreadPanic,
     Publish,
     FastForward,
     Coarsen,
@@ -173,7 +179,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every kind, in tag order.
-    pub const ALL: [EventKind; 21] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::TokenAcquire,
         EventKind::TokenRelease,
         EventKind::Depart,
@@ -192,6 +198,7 @@ impl EventKind {
         EventKind::Spawn,
         EventKind::Join,
         EventKind::Exit,
+        EventKind::ThreadPanic,
         EventKind::Publish,
         EventKind::FastForward,
         EventKind::Coarsen,
@@ -218,6 +225,7 @@ impl EventKind {
             EventKind::Spawn => "spawn",
             EventKind::Join => "join",
             EventKind::Exit => "exit",
+            EventKind::ThreadPanic => "thread_panic",
             EventKind::Publish => "publish",
             EventKind::FastForward => "fast_forward",
             EventKind::Coarsen => "coarsen",
@@ -247,6 +255,7 @@ impl Event {
             Event::Spawn { .. } => EventKind::Spawn,
             Event::Join { .. } => EventKind::Join,
             Event::Exit { .. } => EventKind::Exit,
+            Event::ThreadPanic { .. } => EventKind::ThreadPanic,
             Event::Publish { .. } => EventKind::Publish,
             Event::FastForward { .. } => EventKind::FastForward,
             Event::Coarsen { .. } => EventKind::Coarsen,
@@ -273,6 +282,7 @@ impl Event {
             | Event::Update { tid, .. }
             | Event::Join { tid, .. }
             | Event::Exit { tid, .. }
+            | Event::ThreadPanic { tid, .. }
             | Event::Publish { tid, .. }
             | Event::FastForward { tid, .. }
             | Event::Coarsen { tid, .. } => tid,
@@ -292,6 +302,7 @@ impl Event {
             | Event::TokenRelease { tid, clock }
             | Event::Depart { tid, clock }
             | Event::Exit { tid, clock }
+            | Event::ThreadPanic { tid, clock }
             | Event::Publish { tid, clock }
             | Event::Coarsen { tid, clock } => {
                 h.update_u64(tid.0 as u64);
@@ -463,6 +474,9 @@ impl fmt::Display for Event {
             ),
             Event::Join { tid, target } => write!(f, "{tid} joins {target}"),
             Event::Exit { tid, clock } => write!(f, "{tid} exits @clock {clock}"),
+            Event::ThreadPanic { tid, clock } => {
+                write!(f, "{tid} panics (contained) @clock {clock}")
+            }
             Event::Publish { tid, clock } => write!(f, "{tid} publishes clock {clock}"),
             Event::FastForward { tid, from, to } => {
                 write!(f, "{tid} fast-forwards clock {from} -> {to}")

@@ -925,6 +925,9 @@ impl Runtime for DThreadsRuntime {
             threads,
             perturb_seed: sh.cfg.perturb.seed(),
             perturb_plan: sh.cfg.perturb.plan_digest(),
+            panics: Vec::new(),
+            fault: None,
+            degraded: false,
         }
     }
 }

@@ -720,6 +720,9 @@ impl Runtime for PthreadsRuntime {
             threads,
             perturb_seed: sh.cfg.perturb.seed(),
             perturb_plan: sh.cfg.perturb.plan_digest(),
+            panics: Vec::new(),
+            fault: None,
+            degraded: false,
         }
     }
 }

@@ -209,7 +209,10 @@ json_struct!(RunReport {
     events,
     threads,
     perturb_seed,
-    perturb_plan
+    perturb_plan,
+    panics,
+    fault,
+    degraded
 });
 
 json_struct!(crate::Measured {

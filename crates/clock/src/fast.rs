@@ -328,8 +328,18 @@ impl FastTable {
         self.policy
     }
 
+    // INVARIANT: every `Tid` reaching a table method was registered by the
+    // runtime (under the same global lock) before use; an unregistered tid
+    // is caller API misuse, not a recoverable condition. These accessors
+    // are the crate's sanctioned panic sites for that misuse.
+    #[allow(clippy::expect_used)]
     fn entry(&self, t: Tid) -> &FastEntry {
         self.entries[t.index()].as_ref().expect("unregistered tid")
+    }
+
+    #[allow(clippy::expect_used)]
+    fn entry_mut(&mut self, t: Tid) -> &mut FastEntry {
+        self.entries[t.index()].as_mut().expect("unregistered tid")
     }
 
     /// Publishes the new head-waiter key and raises the watermark; call
@@ -350,12 +360,11 @@ impl FastTable {
 
     /// Moves `t`'s key in `bounds` to `new_key`.
     fn rekey_bounds(&mut self, t: Tid, new_key: u64) {
-        let e = self.entries[t.index()].as_mut().expect("unregistered tid");
-        let old = e.bounds_key;
+        let old = self.entry_mut(t).bounds_key;
         if old != new_key {
             self.bounds.remove(&old);
             self.bounds.insert(new_key);
-            self.entries[t.index()].as_mut().unwrap().bounds_key = new_key;
+            self.entry_mut(t).bounds_key = new_key;
         }
     }
 
@@ -415,7 +424,7 @@ impl FastTable {
         debug_assert!(matches!(self.entry(t).state, ThreadState::Running));
         let out = self.slots.publish(t, clock, v);
         self.rekey_bounds(t, pack(clock, t.0));
-        self.entries[t.index()].as_mut().unwrap().published = clock;
+        self.entry_mut(t).published = clock;
         out.advanced
     }
 
@@ -431,7 +440,7 @@ impl FastTable {
             _ => self.entry(t).published,
         };
         let published = clock.max(seen);
-        let e = self.entries[i].as_mut().expect("unregistered tid");
+        let e = self.entry_mut(t);
         e.published = published;
         e.state = ThreadState::AtSync(clock);
         e.waiters_key = Some(pack(clock, t.0));
@@ -446,7 +455,7 @@ impl FastTable {
     /// Removes `t` from the waiters set if present (it may be blocking at
     /// a sync op when it departs or finishes).
     fn unwait(&mut self, t: Tid) {
-        if let Some(k) = self.entries[t.index()].as_mut().unwrap().waiters_key.take() {
+        if let Some(k) = self.entry_mut(t).waiters_key.take() {
             self.waiters.remove(&k);
         }
     }
@@ -456,7 +465,7 @@ impl FastTable {
     pub fn depart(&mut self, t: Tid, v: u64) {
         let i = t.index();
         self.unwait(t);
-        let e = self.entries[i].as_mut().expect("unregistered tid");
+        let e = self.entry_mut(t);
         e.state = ThreadState::Departed;
         let floor_key = pack(e.published, t.0);
         e.departed_key = Some(floor_key);
@@ -474,7 +483,7 @@ impl FastTable {
     pub fn finish(&mut self, t: Tid, v: u64) {
         let i = t.index();
         self.unwait(t);
-        let e = self.entries[i].as_mut().expect("unregistered tid");
+        let e = self.entry_mut(t);
         e.state = ThreadState::Finished;
         let bounds_key = e.bounds_key;
         if let Some(k) = e.departed_key.take() {
@@ -493,7 +502,7 @@ impl FastTable {
     /// virtual time `v`.
     pub fn reactivate(&mut self, t: Tid, clock: u64, v: u64) {
         let i = t.index();
-        let e = self.entries[i].as_mut().expect("unregistered tid");
+        let e = self.entry_mut(t);
         debug_assert!(matches!(e.state, ThreadState::Departed));
         e.state = ThreadState::Running;
         e.published = e.published.max(clock);
@@ -512,7 +521,7 @@ impl FastTable {
     pub fn resume(&mut self, t: Tid, clock: u64, v: u64) {
         let i = t.index();
         self.unwait(t);
-        let e = self.entries[i].as_mut().expect("unregistered tid");
+        let e = self.entry_mut(t);
         e.state = ThreadState::Running;
         e.published = e.published.max(clock);
         let published = e.published;
@@ -557,7 +566,7 @@ impl FastTable {
             }
             debug_assert!(fresh > m, "published bounds are monotone");
             self.rekey_bounds(j, fresh);
-            self.entries[j.index()].as_mut().unwrap().published = packed_clock(fresh);
+            self.entry_mut(j).published = packed_clock(fresh);
         }
     }
 
@@ -671,6 +680,106 @@ impl FastTable {
             }
         }
         r
+    }
+
+    /// Cross-checks the redundant scheduler state: per-entry cached keys
+    /// against the `waiters`/`bounds` sets and the published head key.
+    /// `Err` describes the first violation found — the supervisor's cue to
+    /// fail over to the reference scheduler before the corrupted queues
+    /// mis-order (or lose) a token grant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut at_sync = 0usize;
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(e) = e else { continue };
+            match (e.state, e.waiters_key) {
+                (ThreadState::AtSync(c), Some(wk)) => {
+                    at_sync += 1;
+                    if wk != pack(c, i as u32) {
+                        return Err(format!(
+                            "thread {i}: waiter key {wk:#x} does not encode its AtSync clock {c}"
+                        ));
+                    }
+                    if !self.waiters.contains(&wk) {
+                        return Err(format!(
+                            "thread {i}: AtSync({c}) but missing from the waiter queue \
+                             (lost waiter — it would never be woken)"
+                        ));
+                    }
+                }
+                (ThreadState::AtSync(c), None) => {
+                    return Err(format!("thread {i}: AtSync({c}) with no waiter key"));
+                }
+                (_, Some(wk)) => {
+                    return Err(format!(
+                        "thread {i}: stale waiter key {wk:#x} in state {:?}",
+                        e.state
+                    ));
+                }
+                (_, None) => {}
+            }
+            if !matches!(e.state, ThreadState::Finished) && !self.bounds.contains(&e.bounds_key) {
+                return Err(format!(
+                    "thread {i}: cached bound {:#x} missing from the bounds set",
+                    e.bounds_key
+                ));
+            }
+        }
+        if self.waiters.len() != at_sync {
+            return Err(format!(
+                "waiter queue holds {} keys but {at_sync} threads are AtSync",
+                self.waiters.len()
+            ));
+        }
+        let head = self.slots.head_key();
+        let expect = self.waiters.iter().next().copied().unwrap_or(NO_WAITER);
+        if head != expect {
+            return Err(format!(
+                "published head key {head:#x} disagrees with waiter-queue minimum {expect:#x}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fault-injection hook: silently drops the first waiter other than
+    /// `exclude` from the waiter queue, leaving its entry believing it is
+    /// queued — the lost-waiter corruption class
+    /// [`check_invariants`](Self::check_invariants) exists to catch.
+    /// `exclude` is the thread being granted the token (losing *its* key
+    /// would be harmless: it is about to resume and leave the queue
+    /// anyway). Returns `false` when nobody else is waiting. Testing and
+    /// supervised fault drills only.
+    pub fn corrupt_lose_head_waiter(&mut self, exclude: Tid) -> bool {
+        let Some(&k) = self.waiters.iter().find(|&&k| packed_tid(k) != exclude.0) else {
+            return false;
+        };
+        self.waiters.remove(&k);
+        // Republish the (now wrong) head so lock-free publishers are
+        // equally blind to the lost waiter.
+        self.sync_head();
+        true
+    }
+
+    /// Snapshots this table into an equivalent reference [`ClockTable`] —
+    /// the supervised failover path. States, published bounds (folding in
+    /// any lock-free publication the cached keys lag behind), publication
+    /// histories and the round-robin turn all carry over, so the rebuilt
+    /// table answers every eligibility / wake-time query identically and
+    /// the schedule continues bit-for-bit. The sets this table derives
+    /// from those snapshots (`waiters`, `bounds`, head key) are dropped —
+    /// that redundancy is exactly what a corruption poisons.
+    pub fn export_reference(&self) -> ClockTable {
+        let mut out = ClockTable::new(self.policy, self.entries.len());
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(e) = e else { continue };
+            let published = match e.state {
+                ThreadState::Running => e.published.max(packed_clock(self.slots.bound_key(i))),
+                _ => e.published,
+            };
+            let history = self.slots.hists[i].hist.lock().clone();
+            out.restore_thread(Tid(i as u32), e.state, published, history);
+        }
+        out.restore_rr_turn(self.rr_turn, self.rr_turn_v);
+        out
     }
 }
 
@@ -872,6 +981,37 @@ impl SchedTable {
             SchedTable::Fast(x) => x.census(),
         }
     }
+
+    /// See [`FastTable::check_invariants`]. The reference table has no
+    /// redundant derived state to corrupt: always `Ok`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match self {
+            SchedTable::Reference(_) => Ok(()),
+            SchedTable::Fast(x) => x.check_invariants(),
+        }
+    }
+
+    /// Fails over from the fast path to the reference scheduler in place
+    /// (see [`FastTable::export_reference`]). Returns `false` when already
+    /// on the reference table. After failover the caller must stop routing
+    /// publications through the lock-free [`Slots`] and fall back to
+    /// broadcast wake-ups — the slots are no longer read.
+    pub fn failover(&mut self) -> bool {
+        let SchedTable::Fast(f) = self else {
+            return false;
+        };
+        *self = SchedTable::Reference(f.export_reference());
+        true
+    }
+
+    /// See [`FastTable::corrupt_lose_head_waiter`]. `false` (no-op) on the
+    /// reference table.
+    pub fn corrupt_lose_head_waiter(&mut self, exclude: Tid) -> bool {
+        match self {
+            SchedTable::Reference(_) => false,
+            SchedTable::Fast(x) => x.corrupt_lose_head_waiter(exclude),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1020,6 +1160,124 @@ mod tests {
         t.rr_advance(5);
         assert!(t.eligible(Tid(1)));
         assert_eq!(t.rr_turn_v(), 5);
+    }
+
+    #[test]
+    fn dead_waiter_is_removed_from_queue_on_finish() {
+        // Regression (waiter-queue leak): a thread that dies while queued
+        // AtSync must leave the BTreeSet waiter queue, or the GMIC
+        // successor computation would select a dead thread forever.
+        let mut t = fast(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.register(Tid(2), 0, 0);
+        t.arrive_sync(Tid(1), 50, 1);
+        t.arrive_sync(Tid(2), 70, 1);
+        // T1 (the head waiter) dies while queued.
+        t.finish(Tid(1), 5);
+        assert_eq!(t.slots().head_key(), pack(70, 2), "head must move to T2");
+        t.publish(Tid(0), 100, 6);
+        assert_eq!(t.successor(), Some(Tid(2)), "dead thread must be skipped");
+        assert!(t.eligible(Tid(2)));
+        assert_eq!(t.min_waiting_other(Tid(0)), Some((70, 2)));
+        t.check_invariants()
+            .expect("finish must leave state coherent");
+    }
+
+    #[test]
+    fn dead_waiter_is_removed_from_queue_on_depart() {
+        // Same leak class via the depart path (a queued thread pulled off
+        // to block on a lock hand-off, then never re-queued).
+        let mut t = fast(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 50, 1);
+        assert_eq!(t.slots().head_key(), pack(50, 1));
+        t.depart(Tid(1), 2);
+        assert_eq!(t.slots().head_key(), NO_WAITER);
+        assert_eq!(t.successor(), None);
+        t.check_invariants()
+            .expect("depart must leave state coherent");
+    }
+
+    #[test]
+    fn invariant_check_catches_lost_waiter() {
+        let mut t = fast(4);
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 50, 1);
+        t.check_invariants().expect("healthy table");
+        assert!(t.corrupt_lose_head_waiter(Tid(0)));
+        let err = t.check_invariants().expect_err("corruption must be found");
+        assert!(err.contains("lost waiter"), "{err}");
+        // The corrupted table would never wake T1 again.
+        t.publish(Tid(0), 100, 2);
+        assert_eq!(t.successor(), None);
+    }
+
+    #[test]
+    fn failover_preserves_every_scheduling_answer() {
+        let mut t = SchedTable::new(
+            SchedKind::Fast,
+            OrderPolicy::InstructionCount,
+            Slots::new(4),
+        );
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.register(Tid(2), 0, 0);
+        t.publish(Tid(0), 20, 3);
+        t.arrive_sync(Tid(1), 50, 4);
+        t.depart(Tid(2), 5);
+        // Lock-free publication the cached keys lag behind.
+        if let SchedTable::Fast(f) = &t {
+            f.slots().clone().publish(Tid(0), 60, 7);
+        }
+        assert!(t.failover());
+        assert_eq!(t.kind(), SchedKind::Reference);
+        assert!(!t.failover(), "second failover is a no-op");
+        assert_eq!(t.state(Tid(1)), ThreadState::AtSync(50));
+        assert_eq!(t.state(Tid(2)), ThreadState::Departed);
+        assert_eq!(t.published(Tid(0)), 60, "lock-free bound must carry over");
+        assert!(t.eligible(Tid(1)), "T0 at 60 and departed T2 unblock T1");
+        assert_eq!(t.crossing_v(Tid(1), 50), 7, "wake time from history");
+        assert_eq!(t.min_waiting_other(Tid(0)), Some((50, 1)));
+        assert_eq!(t.census(), (1, 1, 1));
+    }
+
+    #[test]
+    fn failover_recovers_a_corrupted_queue() {
+        // End-to-end at the table level: corrupt, detect, fail over; the
+        // lost waiter is schedulable again on the rebuilt table.
+        let mut t = SchedTable::new(
+            SchedKind::Fast,
+            OrderPolicy::InstructionCount,
+            Slots::new(4),
+        );
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(1), 50, 1);
+        assert!(t.corrupt_lose_head_waiter(Tid(0)));
+        assert!(t.check_invariants().is_err());
+        t.publish(Tid(0), 100, 2);
+        assert_eq!(t.successor(), None, "fast path would hang here");
+        assert!(t.failover());
+        t.check_invariants().expect("reference table is coherent");
+        assert!(t.eligible(Tid(1)), "lost waiter is schedulable again");
+        assert_eq!(t.crossing_v(Tid(1), 50), 2);
+    }
+
+    #[test]
+    fn failover_preserves_round_robin_turn() {
+        let mut t = SchedTable::new(SchedKind::Fast, OrderPolicy::RoundRobin, Slots::new(4));
+        t.register(Tid(0), 0, 0);
+        t.register(Tid(1), 0, 0);
+        t.arrive_sync(Tid(0), 9, 0);
+        t.rr_advance(3);
+        assert_eq!(t.rr_holder(), 1);
+        assert!(t.failover());
+        assert_eq!(t.rr_holder(), 1);
+        assert_eq!(t.rr_turn_v(), 3);
+        assert!(!t.eligible(Tid(0)));
     }
 
     #[test]

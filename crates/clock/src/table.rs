@@ -98,12 +98,44 @@ impl ClockTable {
         self.policy
     }
 
+    // INVARIANT: every `Tid` reaching a table method was registered by the
+    // runtime before use (registration happens under the same global lock
+    // as every query). An unregistered tid is API misuse by the caller —
+    // a program bug, not a recoverable runtime condition — so these two
+    // accessors are the crate's sanctioned panic sites.
+    #[allow(clippy::expect_used)]
     fn entry(&self, t: Tid) -> &Entry {
         self.entries[t.index()].as_ref().expect("unregistered tid")
     }
 
+    #[allow(clippy::expect_used)]
     fn entry_mut(&mut self, t: Tid) -> &mut Entry {
         self.entries[t.index()].as_mut().expect("unregistered tid")
+    }
+
+    /// Restores one thread's snapshot — the fast-scheduler failover path
+    /// (`crate::fast::FastTable::export_reference`). The history must be
+    /// the thread's deterministic publication history: the rebuilt table's
+    /// wake-time answers (`crossing_v`) are computed from it.
+    pub(crate) fn restore_thread(
+        &mut self,
+        t: Tid,
+        state: ThreadState,
+        published: u64,
+        history: Vec<(u64, u64)>,
+    ) {
+        self.entries[t.index()] = Some(Entry {
+            state,
+            published,
+            hist_floor: history.len(),
+            history,
+        });
+    }
+
+    /// Restores the round-robin turn — failover path only.
+    pub(crate) fn restore_rr_turn(&mut self, turn: usize, v: u64) {
+        self.rr_turn = turn;
+        self.rr_turn_v = v;
     }
 
     /// Registers a new thread with an inherited starting clock, at the

@@ -9,14 +9,15 @@
 //! commit, which is safe precisely because the token holder is the only
 //! thread that can commit: its isolated view stays current.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use conversion::Workspace;
-use det_clock::{OrderPolicy, OverflowPolicy, SchedKind};
+use det_clock::{OrderPolicy, OverflowPolicy, SchedKind, ThreadState};
 use dmt_api::trace::Event;
 use dmt_api::{
-    Addr, BarrierId, Breakdown, CachePadded, CondId, CostModel, Counters, Job, MutexId,
-    PerturbSite, RwLockId, ThreadCtx, Tid,
+    Addr, BarrierId, Breakdown, CachePadded, CondId, ContainedError, CostModel, Counters, DmtError,
+    DmtResult, Job, MutexId, PanicSite, PerturbSite, RwLockId, ThreadCtx, Tid,
 };
 
 use crate::coarsen::CoarsenState;
@@ -57,6 +58,17 @@ pub(crate) struct Ctx {
     /// false-share when contexts live in adjacent allocations.
     cnt: CachePadded<Counters>,
     cost: CostModel,
+    /// Per-[`PanicSite`] injection counters, indexed by site position in
+    /// [`PanicSite::ALL`]. The decision to panic is a pure function of
+    /// `(site, tid, nth)`, so the injected schedule is reproducible.
+    inject_counts: [u64; PanicSite::ALL.len()],
+    /// Set while the exit/abort protocol runs: injection must not fire
+    /// inside teardown (it would unwind out of a consumed context), and a
+    /// nested failure during containment falls through to the quiet path.
+    suppress_inject: bool,
+    /// The containment teardown decremented `live` and filed reports; a
+    /// later quiet pass must not double-count.
+    torn_down: bool,
 }
 
 impl Ctx {
@@ -97,14 +109,55 @@ impl Ctx {
             bd: Breakdown::default(),
             cnt: CachePadded::new(Counters::default()),
             cost,
+            inject_counts: [0; PanicSite::ALL.len()],
+            suppress_inject: false,
+            torn_down: false,
         }
     }
 
     /// Whether the fast-path scheduler (lock-free publication slots +
-    /// targeted per-thread parkers) is active.
+    /// targeted per-thread parkers) is active. Flips off when the
+    /// watchdog degrades the run to the reference table.
     #[inline]
     fn fast_sched(&self) -> bool {
-        self.sh.opts.sched == SchedKind::Fast
+        self.sh.opts.sched == SchedKind::Fast && !self.sh.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Delivers a runtime error through an infallible [`ThreadCtx`]
+    /// method: unwind with a [`ContainedError`] payload, caught at the
+    /// thread boundary and turned into deterministic containment.
+    fn raise(&self, e: DmtError) -> ! {
+        std::panic::resume_unwind(Box::new(ContainedError(e)))
+    }
+
+    /// Fires a seeded panic-injection site (`stress --inject-panic`).
+    /// The unwind carries [`dmt_api::InjectedPanic`] so the boundary can
+    /// report what fired. Decisions are pure in `(site, tid, nth)`:
+    /// reruns of the same seed panic at the same logical point.
+    #[inline]
+    fn maybe_inject_panic(&mut self, site: PanicSite) {
+        if self.suppress_inject {
+            return;
+        }
+        let idx = site as usize;
+        let nth = self.inject_counts[idx];
+        self.inject_counts[idx] += 1;
+        if self.sh.cfg.perturb.panic_at(site, self.tid, nth) {
+            std::panic::resume_unwind(Box::new(dmt_api::InjectedPanic { site, nth }));
+        }
+    }
+
+    /// Wakes every thread that could be parked anywhere. Once a run is
+    /// degraded, threads that chose a per-thread parker before the
+    /// failover are still waiting on it, so the reference path's shared-
+    /// condvar broadcast alone would strand them.
+    fn herd_notify(&self) {
+        self.sh.cv.notify_all();
+        if self.sh.degraded.load(Ordering::Relaxed) {
+            for p in self.sh.parkers.iter() {
+                p.notify_all();
+            }
+        }
     }
 
     /// Wakes the unique thread the deterministic order designates to take
@@ -127,7 +180,7 @@ impl Ctx {
             }
         } else {
             self.cnt.broadcast_wakes += 1;
-            self.sh.cv.notify_all();
+            self.herd_notify();
         }
     }
 
@@ -151,6 +204,11 @@ impl Ctx {
         }
     }
 
+    // INVARIANT: `ws` is `Some` from construction until `finish`/`abort`
+    // consume the context; no protocol path touches memory after teardown
+    // begins (teardown sets `suppress_inject` and never re-enters user
+    // code), so this cannot fire on a live context.
+    #[allow(clippy::expect_used)]
     #[inline]
     fn ws(&mut self) -> &mut Workspace {
         self.ws.as_mut().expect("workspace present until finish")
@@ -286,7 +344,7 @@ impl Ctx {
             drop(inner);
             if hint {
                 self.cnt.broadcast_wakes += 1;
-                sh.cv.notify_all();
+                self.herd_notify();
             }
         }
         // Publication timing is biased by the fault injector when one is
@@ -302,7 +360,7 @@ impl Ctx {
     /// §2.7: forcibly end the current chunk so spinning threads observe
     /// remote commits.
     fn forced_commit(&mut self) {
-        self.acquire_token();
+        self.acquire_token_or_raise();
         self.commit_and_update();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
@@ -316,10 +374,22 @@ impl Ctx {
         self.bd.lib += c;
     }
 
+    /// As [`Ctx::acquire_token`], for protocol paths with infallible
+    /// signatures: a shutdown while waiting unwinds to the thread
+    /// boundary instead of propagating an error.
+    fn acquire_token_or_raise(&mut self) -> bool {
+        match self.acquire_token() {
+            Ok(fresh) => fresh,
+            Err(e) => self.raise(e),
+        }
+    }
+
     /// Arrives at a synchronization operation and acquires the global token.
     /// Returns `true` on a fresh acquisition and `false` when the token was
-    /// already held by this thread (a coarsened operation).
-    fn acquire_token(&mut self) -> bool {
+    /// already held by this thread (a coarsened operation). Fails with
+    /// [`DmtError::Shutdown`] when the watchdog has abandoned the run —
+    /// the only way a thread blocked on the token can ever observe that.
+    fn acquire_token(&mut self) -> DmtResult<bool> {
         // Chunk-end counter read: a syscall to the kernel clock module, or
         // a cheap user-space read inside a coarsened chunk (§3.4).
         // Round-robin ordering needs no instruction counters at all.
@@ -336,7 +406,7 @@ impl Ctx {
         let chunk_len = self.clock - self.last_sync_end_clock;
         self.coarsen.thread_est.update(chunk_len);
         if self.holding_token {
-            return false;
+            return Ok(false);
         }
         // Pre-token-acquire delay: the thread is slow to arrive at the
         // sync point. Arrival timing must not matter — eligibility is a
@@ -360,6 +430,9 @@ impl Ctx {
         };
         let wait_from = self.v;
         loop {
+            if inner.shutdown {
+                return Err(DmtError::Shutdown);
+            }
             if inner.token.is_none()
                 && (inner.table.eligible(self.tid)
                     // Deliberate determinism bug for `stress --inject-bug`
@@ -410,6 +483,26 @@ impl Ctx {
         // Mirror the grant into the lock-free flag so racing publishers
         // stop hinting wake-ups while the token is held.
         sh.slots.set_token_free(false);
+        // Logical-progress signal for the watchdog: grants are the pulse.
+        inner.grant_seq += 1;
+        // Robustness drill: corrupt the fast scheduler once, at the first
+        // grant at or past the requested one that has a head waiter to
+        // lose, so the watchdog's detect-and-failover path is exercised
+        // end to end (Options::inject_sched_corruption).
+        if !inner.corruption_done
+            && self
+                .sh
+                .opts
+                .inject_sched_corruption
+                .is_some_and(|n| inner.grant_seq >= n)
+            && inner.table.corrupt_lose_head_waiter(self.tid)
+        {
+            inner.corruption_done = true;
+            eprintln!(
+                "[conseq] injected scheduler corruption at grant {}",
+                inner.grant_seq
+            );
+        }
         if self.sh.opts.record_schedule {
             inner.schedule.push((self.tid, arrival_clock));
         }
@@ -458,7 +551,7 @@ impl Ctx {
         self.current_since_acquire = false;
         self.token_start_clock = self.clock;
         self.ovf.chunk_start();
-        true
+        Ok(true)
     }
 
     /// Releases the token under the runtime lock, chaining virtual time to
@@ -500,7 +593,7 @@ impl Ctx {
             self.wake_successor(inner);
         } else {
             self.cnt.broadcast_wakes += 1;
-            self.sh.cv.notify_all();
+            self.herd_notify();
         }
     }
 
@@ -508,6 +601,9 @@ impl Ctx {
     /// `convCommitAndUpdateMem`). Requires the token.
     fn commit_and_update(&mut self) {
         debug_assert!(self.holding_token);
+        // Seeded panic injection: a thread dying mid-protocol while
+        // holding the token is the hardest containment case.
+        self.maybe_inject_panic(PanicSite::Commit);
         // Commit stall: the token holder dawdles before publishing its
         // dirty pages. Holding the token excludes every other committer,
         // so the stall stretches real and virtual time only.
@@ -591,7 +687,7 @@ impl Ctx {
                     // the reference path broadcasts anyway (part of the
                     // thundering herd the fast path eliminates).
                     self.cnt.broadcast_wakes += 1;
-                    sh.cv.notify_all();
+                    self.herd_notify();
                 }
                 return;
             }
@@ -606,7 +702,15 @@ impl Ctx {
     /// Blocks until this thread's wake flag is raised, folding the waker's
     /// virtual time into ours. Caller must have departed and released the
     /// token; `inner` is consumed and re-acquired across the wait.
-    fn block_until_woken(&mut self, inner: &mut dmt_api::sync::MutexGuard<'_, Inner>) {
+    ///
+    /// Fails with the wake error a dying owner attached (poisoned mutex,
+    /// dead condvar owner, poisoned rwlock) — delivered in the owner's
+    /// deterministic drain order — or with [`DmtError::Shutdown`] when
+    /// the watchdog abandoned the run.
+    fn block_until_woken(
+        &mut self,
+        inner: &mut dmt_api::sync::MutexGuard<'_, Inner>,
+    ) -> DmtResult<()> {
         let sh = Arc::clone(&self.sh);
         // Flag-blocked threads park on their own condvar under the fast
         // scheduler; the waker notifies exactly this thread.
@@ -617,6 +721,9 @@ impl Ctx {
         };
         let from = self.v;
         while !inner.threads[self.tid.index()].wake {
+            if inner.shutdown {
+                return Err(DmtError::Shutdown);
+            }
             if sh.cfg.perturb.spurious_wake(self.tid) {
                 // Spurious wake injection: blocked threads re-check their
                 // wake flags, never act on the notification itself.
@@ -649,6 +756,10 @@ impl Ctx {
         st.wake = false;
         self.v = self.v.max(st.wake_v);
         self.bd.determ_wait += self.v - from;
+        match st.wake_err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn resolve_mutex(&self, m: MutexId) -> MutexId {
@@ -695,11 +806,28 @@ impl Ctx {
         woke.is_some()
     }
 
+    /// Wakes `w` out of a blocked protocol wait with an error instead of
+    /// a grant. Caller holds the token and the runtime lock; callers
+    /// drain queues in FIFO order, so error delivery order is exactly
+    /// the order a healthy owner would have granted in — deterministic.
+    fn wake_with_err(&mut self, inner: &mut Inner, w: Tid, e: DmtError) {
+        let wk = self.cost.wakeup;
+        self.v += wk;
+        self.bd.lib += wk;
+        let st = &mut inner.threads[w.index()];
+        st.wake = true;
+        st.wake_v = self.v;
+        st.wake_err = Some(e);
+        let saved = st.saved_clock;
+        inner.table.reactivate(w, saved, self.v);
+        self.notify_blocked(w);
+    }
+
     /// A null synchronization operation performed at thread birth under
     /// round-robin ordering (see `runtime::worker_loop`).
     pub(crate) fn birth_sync(&mut self) {
         self.sync_prologue();
-        self.acquire_token();
+        self.acquire_token_or_raise();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
         inner.table.resume(self.tid, self.clock, self.v);
@@ -713,7 +841,7 @@ impl Ctx {
     /// other thread can take the token. Returns the previous value.
     fn atomic_rmw(&mut self, addr: Addr, f: impl FnOnce(u64) -> u64) -> u64 {
         self.sync_prologue();
-        let fresh = self.acquire_token();
+        let fresh = self.acquire_token_or_raise();
         if fresh {
             // A coarsened (retained-token) view is already current.
             self.commit_and_update();
@@ -774,7 +902,7 @@ impl Ctx {
     /// A queued rwlock waiter was granted by its waker: take the token to
     /// refresh the isolated view (acquire semantics), then continue.
     fn rw_post_grant(&mut self) {
-        let _ = self.acquire_token();
+        let _ = self.acquire_token_or_raise();
         self.commit_and_update();
         self.finish_rw_op();
     }
@@ -797,8 +925,16 @@ impl Ctx {
     /// deterministic function of the token order — park this worker's
     /// workspace in the thread pool (§3.3).
     pub(crate) fn finish(mut self) {
+        // Teardown runs protocol steps (commit, token ops) that double as
+        // injection sites; firing here would unwind out of a consumed
+        // context, so the exit protocol is injection-free.
+        self.suppress_inject = true;
         self.sync_prologue();
-        self.acquire_token();
+        if self.acquire_token().is_err() {
+            // Watchdog shutdown raced our exit: leave quietly.
+            self.abort_quiet();
+            return;
+        }
         self.commit_and_update();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
@@ -825,6 +961,9 @@ impl Ctx {
             clock: self.clock,
         });
         inner.table.finish(self.tid, self.v);
+        // INVARIANT: `finish` consumes the context; only `finish`/`abort`
+        // take the workspace, and each runs at most once.
+        #[allow(clippy::expect_used)]
         let ws = self.ws.take().expect("workspace present at finish");
         match self.pool_tx.take() {
             Some(tx) if self.sh.opts.thread_pool => {
@@ -843,6 +982,470 @@ impl Ctx {
         cnt.lrc_pages_propagated = 0; // aggregated once, from the tracker
         inner.counters += cnt;
         sh.cv.notify_all();
+    }
+
+    /// Classifies a caught unwind payload from the thread boundary and
+    /// contains it. [`DmtError::Shutdown`] unwinds take the quiet path —
+    /// the watchdog already owns the diagnosis and the schedule is being
+    /// abandoned; everything else runs the deterministic containment
+    /// protocol under the token.
+    pub(crate) fn dispatch_panic(self, payload: Box<dyn std::any::Any + Send>) {
+        if let Some(c) = payload.downcast_ref::<ContainedError>() {
+            if c.0 == DmtError::Shutdown {
+                self.abort_quiet();
+            } else {
+                let msg = c.0.to_string();
+                self.abort(msg);
+            }
+            return;
+        }
+        if let Some(ip) = payload.downcast_ref::<dmt_api::InjectedPanic>() {
+            let msg = ip.to_string();
+            self.abort(msg);
+            return;
+        }
+        let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panic (non-string payload)".to_string()
+        };
+        self.abort(msg);
+    }
+
+    /// Contains a workload panic: runs the deterministic departure
+    /// protocol, and if that protocol itself fails (double panic, or a
+    /// shutdown racing in), degrades to the quiet teardown so the thread
+    /// always retires exactly once.
+    pub(crate) fn abort(mut self, msg: String) {
+        self.suppress_inject = true;
+        let outcome = {
+            let this = std::panic::AssertUnwindSafe(&mut self);
+            let m = msg.clone();
+            std::panic::catch_unwind(move || {
+                let this = this;
+                this.0.abort_protocol(&m)
+            })
+        };
+        if !matches!(outcome, Ok(Ok(()))) {
+            self.abort_quiet();
+        }
+    }
+
+    /// The deterministic containment protocol (clockDepart for a dying
+    /// thread). Runs entirely under the token, so every effect — poison
+    /// delivery order, joiner wake order, the hashed `ThreadPanic` event
+    /// — is a function of the deterministic schedule and reproduces
+    /// bit-for-bit when the same panic recurs.
+    fn abort_protocol(&mut self, msg: &str) -> DmtResult<()> {
+        if !self.holding_token {
+            self.sync_prologue();
+            self.acquire_token()?;
+        }
+        // TSO: stores retired before the panic happened; publish them and
+        // bring the view current so the workspace can be pooled clean.
+        self.commit_and_update();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        self.sh.cfg.trace.emit(Event::ThreadPanic {
+            tid: self.tid,
+            clock: self.clock,
+        });
+
+        // Poison every mutex we own. Queued waiters are drained FIFO —
+        // the order a healthy unlock sequence would have granted in —
+        // and condvar waiters that released a now-poisoned mutex can
+        // never legally reacquire it, so they get the owner-died error.
+        for i in 0..inner.mutexes.len() {
+            if inner.mutexes[i].owner != Some(self.tid) {
+                continue;
+            }
+            let m = MutexId(i as u32);
+            inner.mutexes[i].owner = None;
+            inner.mutexes[i].poisoned = Some(self.tid);
+            let drained: Vec<Tid> = inner.mutexes[i].waiters.drain(..).collect();
+            for w in drained {
+                self.wake_with_err(
+                    &mut inner,
+                    w,
+                    DmtError::MutexPoisoned {
+                        mutex: m,
+                        by: self.tid,
+                    },
+                );
+            }
+            for ci in 0..inner.conds.len() {
+                let all = std::mem::take(&mut inner.conds[ci].waiters);
+                let mut dead = Vec::new();
+                for (w, wm) in all {
+                    if wm == m {
+                        dead.push(w);
+                    } else {
+                        inner.conds[ci].waiters.push_back((w, wm));
+                    }
+                }
+                for w in dead {
+                    self.wake_with_err(
+                        &mut inner,
+                        w,
+                        DmtError::CondOwnerDied {
+                            cond: CondId(ci as u32),
+                            mutex: m,
+                            by: self.tid,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Poison rwlocks we hold exclusively. A dying *reader* cannot be
+        // attributed (holds are a count, not a set), so its count leaks;
+        // the watchdog diagnoses the resulting stall (ROBUSTNESS.md).
+        for i in 0..inner.rwlocks.len() {
+            if inner.rwlocks[i].writer != Some(self.tid) {
+                continue;
+            }
+            let l = RwLockId(i as u32);
+            inner.rwlocks[i].writer = None;
+            inner.rwlocks[i].poisoned = Some(self.tid);
+            let drained: Vec<Tid> = inner.rwlocks[i].waiters.drain(..).map(|(w, _)| w).collect();
+            for w in drained {
+                self.wake_with_err(
+                    &mut inner,
+                    w,
+                    DmtError::RwLockPoisoned {
+                        lock: l,
+                        by: self.tid,
+                    },
+                );
+            }
+        }
+
+        // Un-arrive from any barrier mid-protocol deaths registered with:
+        // a dead thread must never be reactivated by a barrier open. (The
+        // generation then waits for an arrival that cannot come; either
+        // the break below fires or the watchdog diagnoses the stall.)
+        for bi in 0..inner.barriers.len() {
+            inner.barriers[bi].arrived.retain(|t| *t != self.tid);
+        }
+        // Break barriers that can never fill once we are gone (fewer
+        // surviving threads than parties). Arrived waiters left the clock
+        // order (clockDepart); put them back so they can observe the
+        // broken flag and run their own containment.
+        let survivors = inner.live.saturating_sub(1) as usize;
+        for bi in 0..inner.barriers.len() {
+            if inner.barriers[bi].broken || inner.barriers[bi].parties <= survivors {
+                continue;
+            }
+            inner.barriers[bi].broken = true;
+            let arrived = inner.barriers[bi].arrived.clone();
+            for t in arrived {
+                if t != self.tid && matches!(inner.table.state(t), ThreadState::Departed) {
+                    let saved = inner.threads[t.index()].saved_clock;
+                    inner.table.reactivate(t, saved, self.v);
+                }
+            }
+        }
+
+        // Retire the thread: joiners wake normally and observe `panicked`
+        // under their own token turn (deterministic ThreadPanicked).
+        let joiners = std::mem::take(&mut inner.threads[self.tid.index()].joiners);
+        for j in joiners {
+            let wk = self.cost.wakeup;
+            self.v += wk;
+            self.bd.lib += wk;
+            inner.threads[j.index()].wake = true;
+            inner.threads[j.index()].wake_v = self.v;
+            let saved = inner.threads[j.index()].saved_clock;
+            inner.table.reactivate(j, saved, self.v);
+            self.notify_blocked(j);
+        }
+        if let Some(l) = inner.lrc.as_mut() {
+            l.on_release(self.tid, LrcObject::Thread(self.tid.0));
+        }
+        let st = &mut inner.threads[self.tid.index()];
+        st.finished = true;
+        st.panicked = true;
+        st.panic_msg = msg.to_string();
+        st.exit_clock = self.clock;
+        st.exit_v = self.v;
+        inner.panics.push((self.tid, msg.to_string()));
+        inner.table.finish(self.tid, self.v);
+        if let Some(ws) = self.ws.take() {
+            match self.pool_tx.take() {
+                Some(tx) if self.sh.opts.thread_pool => {
+                    // The view was committed and updated above: the pooled
+                    // workspace is as clean as one parked by `finish`.
+                    inner.pool.push(crate::shared::PoolEntry { tx, ws });
+                }
+                _ => {
+                    sh.seg.detach(self.tid);
+                    drop(ws);
+                }
+            }
+        }
+        self.release_token_locked(&mut inner);
+        inner.live -= 1;
+        inner.max_exit_v = inner.max_exit_v.max(self.v);
+        inner.reports.push((self.tid, self.bd));
+        let mut cnt = *self.cnt;
+        cnt.lrc_pages_propagated = 0;
+        inner.counters += cnt;
+        self.torn_down = true;
+        drop(inner);
+        // Barrier-phase waiters and the runtime's teardown loop wait on
+        // the shared condvar regardless of scheduler mode.
+        sh.cv.notify_all();
+        self.herd_notify();
+        Ok(())
+    }
+
+    /// Last-resort teardown: no hashed events, no token protocol. Used on
+    /// shutdown (the watchdog owns the diagnosis and the schedule is
+    /// abandoned) and when the containment protocol itself fails. Purges
+    /// this thread from every wait queue so no successor computation can
+    /// ever select a dead thread, then retires it.
+    pub(crate) fn abort_quiet(mut self) {
+        if self.torn_down {
+            return;
+        }
+        self.torn_down = true;
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        let me = self.tid;
+        for m in inner.mutexes.iter_mut() {
+            m.waiters.retain(|w| *w != me);
+        }
+        for c in inner.conds.iter_mut() {
+            c.waiters.retain(|(w, _)| *w != me);
+        }
+        for r in inner.rwlocks.iter_mut() {
+            r.waiters.retain(|(w, _)| *w != me);
+        }
+        if inner.token == Some(me) {
+            inner.token = None;
+            sh.slots.set_token_free(true);
+        }
+        self.holding_token = false;
+        let st = &mut inner.threads[me.index()];
+        st.finished = true;
+        st.panicked = true;
+        if st.panic_msg.is_empty() {
+            st.panic_msg = "shutdown".to_string();
+        }
+        st.exit_clock = self.clock;
+        st.exit_v = self.v;
+        inner.table.finish(me, self.v);
+        if let Some(ws) = self.ws.take() {
+            sh.seg.detach(me);
+            drop(ws);
+        }
+        inner.live -= 1;
+        inner.max_exit_v = inner.max_exit_v.max(self.v);
+        inner.reports.push((me, self.bd));
+        let mut cnt = *self.cnt;
+        cnt.lrc_pages_propagated = 0;
+        inner.counters += cnt;
+        drop(inner);
+        sh.cv.notify_all();
+        for p in sh.parkers.iter() {
+            p.notify_all();
+        }
+    }
+}
+
+impl Ctx {
+    /// Deterministic blocking mutex acquisition (Fig. 7) — or, with
+    /// `Options::polling_locks`, Kendo's §4.1 polling variant: on failure
+    /// the thread keeps its place in the clock order by bumping its clock
+    /// past the contention point and retrying, never departing.
+    ///
+    /// Fails deterministically when the mutex is poisoned (a previous
+    /// owner panicked): the error is delivered under this thread's own
+    /// token grant, so delivery order is the token-grant order.
+    fn lock_inner(&mut self, m: MutexId) -> DmtResult<()> {
+        let m = self.resolve_mutex(m);
+        self.maybe_inject_panic(PanicSite::Lock);
+        self.sync_prologue();
+        loop {
+            let fresh = self.acquire_token()?;
+            let sh = Arc::clone(&self.sh);
+            let mut inner = sh.inner.lock();
+            if let Some(by) = inner.mutexes[m.index()].poisoned {
+                drop(inner);
+                // Leave cleanly: publish buffered stores (a coarsened
+                // chunk may hold deferred commits) and release.
+                self.commit_and_update();
+                let mut inner = sh.inner.lock();
+                inner.table.resume(self.tid, self.clock, self.v);
+                self.release_token_locked(&mut inner);
+                drop(inner);
+                self.last_sync_end_clock = self.clock;
+                return Err(DmtError::MutexPoisoned { mutex: m, by });
+            }
+            let mst = &mut inner.mutexes[m.index()];
+            if mst.owner.is_none() {
+                mst.owner = Some(self.tid);
+                mst.cs_start_clock = self.clock;
+                mst.tickets += 1;
+                let ticket = mst.tickets;
+                let predicted = mst.cs_est.get();
+                self.cnt.lock_acquires += 1;
+                self.sh.cfg.trace.emit(Event::MutexLock {
+                    tid: self.tid,
+                    mutex: m,
+                    ticket,
+                });
+                if let Some(l) = inner.lrc.as_mut() {
+                    l.on_acquire(self.tid, LrcObject::Mutex(m.0));
+                }
+                drop(inner);
+                if fresh {
+                    // Fig. 7 line 6: a fresh acquisition must pull the
+                    // latest committed state before the critical section.
+                    // A coarsened (token-retained) acquisition is already
+                    // current: nobody else could commit meanwhile.
+                    self.commit_and_update();
+                }
+                self.end_op(predicted);
+                return Ok(());
+            }
+            drop(inner);
+            if sh.opts.polling_locks {
+                // Kendo §4.1: release the token, add the tuned increment
+                // to our clock so the next-lowest thread can proceed, and
+                // poll again. Progress for others is preserved, but every
+                // retry costs a full token round trip — the latency the
+                // paper's blocking design eliminates.
+                let mut inner = sh.inner.lock();
+                inner.table.resume(self.tid, self.clock, self.v);
+                self.release_token_locked(&mut inner);
+                drop(inner);
+                let bump = sh.opts.polling_increment.max(1);
+                self.advance(bump, bump / 4);
+                continue;
+            }
+            // Lock held: commit buffered writes (we may hold data of locks
+            // we released inside a coarsened chunk, and blocking with an
+            // unpublished store could starve ad-hoc readers forever), then
+            // remove ourselves from GMIC consideration (clockDepart) and
+            // queue on the lock (Fig. 7 lines 10-13).
+            self.commit_and_update();
+            let mut inner = sh.inner.lock();
+            inner.mutexes[m.index()].waiters.push_back(self.tid);
+            inner.threads[self.tid.index()].saved_clock = self.clock;
+            self.sh.cfg.trace.emit(Event::MutexBlock {
+                tid: self.tid,
+                mutex: m,
+            });
+            self.sh.cfg.trace.emit(Event::Depart {
+                tid: self.tid,
+                clock: self.clock,
+            });
+            inner.table.depart(self.tid, self.v);
+            self.release_token_locked(&mut inner);
+            self.block_until_woken(&mut inner)?;
+        }
+    }
+
+    /// Fallible condition wait. Fails with [`DmtError::CondOwnerDied`]
+    /// when the owner of the associated mutex panics while we wait (the
+    /// mutex can never legally be reacquired), or with the poison error
+    /// from reacquisition itself.
+    fn cond_wait_inner(&mut self, c: CondId, m: MutexId) -> DmtResult<()> {
+        let m = self.resolve_mutex(m);
+        self.sync_prologue();
+        self.cnt.cond_waits += 1;
+        self.acquire_token()?;
+        // Condition operations end any coarsened chunk (§3.1).
+        self.commit_and_update();
+        let sh = Arc::clone(&self.sh);
+        let mut inner = sh.inner.lock();
+        let _ = self.unlock_state(&mut inner, m);
+        inner.conds[c.index()].waiters.push_back((self.tid, m));
+        inner.threads[self.tid.index()].saved_clock = self.clock;
+        self.sh.cfg.trace.emit(Event::CondWait {
+            tid: self.tid,
+            cond: c,
+            mutex: m,
+        });
+        self.sh.cfg.trace.emit(Event::Depart {
+            tid: self.tid,
+            clock: self.clock,
+        });
+        inner.table.depart(self.tid, self.v);
+        self.release_token_locked(&mut inner);
+        self.block_until_woken(&mut inner)?;
+        if let Some(l) = inner.lrc.as_mut() {
+            l.on_acquire(self.tid, LrcObject::Cond(c.0));
+        }
+        drop(inner);
+        self.last_sync_end_clock = self.clock;
+        // Re-acquire the mutex before returning, as pthreads does.
+        self.lock_inner(m)
+    }
+
+    /// Fallible join. Fails with [`DmtError::ThreadPanicked`] when the
+    /// target's job panicked — observed under this thread's own token
+    /// grant, after folding the target's exit time, so the error is as
+    /// deterministic as a successful join.
+    fn join_inner(&mut self, t: Tid) -> DmtResult<()> {
+        assert_ne!(t, self.tid, "thread joining itself");
+        self.sync_prologue();
+        loop {
+            self.acquire_token()?;
+            let sh = Arc::clone(&self.sh);
+            let mut inner = sh.inner.lock();
+            assert!(
+                (t.index()) < inner.threads.len(),
+                "join on unknown thread {t}"
+            );
+            if inner.threads[t.index()].finished {
+                let ev = inner.threads[t.index()].exit_v;
+                let ec = inner.threads[t.index()].exit_clock;
+                self.v = self.v.max(ev);
+                if sh.opts.fast_forward {
+                    self.clock = self.clock.max(ec);
+                }
+                let panicked = inner.threads[t.index()]
+                    .panicked
+                    .then(|| inner.threads[t.index()].panic_msg.clone());
+                if let Some(l) = inner.lrc.as_mut() {
+                    l.on_acquire(self.tid, LrcObject::Thread(t.0));
+                }
+                self.sh.cfg.trace.emit(Event::Join {
+                    tid: self.tid,
+                    target: t,
+                });
+                drop(inner);
+                // Join is an acquire: pull the exited thread's commits.
+                self.commit_and_update();
+                let mut inner = sh.inner.lock();
+                inner.table.resume(self.tid, self.clock, self.v);
+                self.release_token_locked(&mut inner);
+                drop(inner);
+                self.last_sync_end_clock = self.clock;
+                return match panicked {
+                    Some(msg) => Err(DmtError::ThreadPanicked { tid: t, msg }),
+                    None => Ok(()),
+                };
+            }
+            drop(inner);
+            // Commit before blocking: a joiner may hold the only copy of
+            // data an ad-hoc reader is spinning on.
+            self.commit_and_update();
+            let mut inner = sh.inner.lock();
+            inner.threads[t.index()].joiners.push(self.tid);
+            inner.threads[self.tid.index()].saved_clock = self.clock;
+            self.sh.cfg.trace.emit(Event::Depart {
+                tid: self.tid,
+                clock: self.clock,
+            });
+            inner.table.depart(self.tid, self.v);
+            self.release_token_locked(&mut inner);
+            self.block_until_woken(&mut inner)?;
+        }
     }
 }
 
@@ -902,87 +1505,21 @@ impl ThreadCtx for Ctx {
         self.advance(1, self.cost.mem_access(8));
     }
 
-    /// Deterministic blocking mutex acquisition (Fig. 7) — or, with
-    /// `Options::polling_locks`, Kendo's §4.1 polling variant: on failure
-    /// the thread keeps its place in the clock order by bumping its clock
-    /// past the contention point and retrying, never departing.
     fn mutex_lock(&mut self, m: MutexId) {
-        let m = self.resolve_mutex(m);
-        self.sync_prologue();
-        loop {
-            let fresh = self.acquire_token();
-            let sh = Arc::clone(&self.sh);
-            let mut inner = sh.inner.lock();
-            let mst = &mut inner.mutexes[m.index()];
-            if mst.owner.is_none() {
-                mst.owner = Some(self.tid);
-                mst.cs_start_clock = self.clock;
-                mst.tickets += 1;
-                let ticket = mst.tickets;
-                let predicted = mst.cs_est.get();
-                self.cnt.lock_acquires += 1;
-                self.sh.cfg.trace.emit(Event::MutexLock {
-                    tid: self.tid,
-                    mutex: m,
-                    ticket,
-                });
-                if let Some(l) = inner.lrc.as_mut() {
-                    l.on_acquire(self.tid, LrcObject::Mutex(m.0));
-                }
-                drop(inner);
-                if fresh {
-                    // Fig. 7 line 6: a fresh acquisition must pull the
-                    // latest committed state before the critical section.
-                    // A coarsened (token-retained) acquisition is already
-                    // current: nobody else could commit meanwhile.
-                    self.commit_and_update();
-                }
-                self.end_op(predicted);
-                return;
-            }
-            drop(inner);
-            if sh.opts.polling_locks {
-                // Kendo §4.1: release the token, add the tuned increment
-                // to our clock so the next-lowest thread can proceed, and
-                // poll again. Progress for others is preserved, but every
-                // retry costs a full token round trip — the latency the
-                // paper's blocking design eliminates.
-                let mut inner = sh.inner.lock();
-                inner.table.resume(self.tid, self.clock, self.v);
-                self.release_token_locked(&mut inner);
-                drop(inner);
-                let bump = sh.opts.polling_increment.max(1);
-                self.advance(bump, bump / 4);
-                continue;
-            }
-            // Lock held: commit buffered writes (we may hold data of locks
-            // we released inside a coarsened chunk, and blocking with an
-            // unpublished store could starve ad-hoc readers forever), then
-            // remove ourselves from GMIC consideration (clockDepart) and
-            // queue on the lock (Fig. 7 lines 10-13).
-            self.commit_and_update();
-            let mut inner = sh.inner.lock();
-            inner.mutexes[m.index()].waiters.push_back(self.tid);
-            inner.threads[self.tid.index()].saved_clock = self.clock;
-            self.sh.cfg.trace.emit(Event::MutexBlock {
-                tid: self.tid,
-                mutex: m,
-            });
-            self.sh.cfg.trace.emit(Event::Depart {
-                tid: self.tid,
-                clock: self.clock,
-            });
-            inner.table.depart(self.tid, self.v);
-            self.release_token_locked(&mut inner);
-            self.block_until_woken(&mut inner);
+        if let Err(e) = self.lock_inner(m) {
+            self.raise(e);
         }
+    }
+
+    fn try_mutex_lock(&mut self, m: MutexId) -> DmtResult<()> {
+        self.lock_inner(m)
     }
 
     /// Deterministic mutex release (Fig. 9).
     fn mutex_unlock(&mut self, m: MutexId) {
         let m = self.resolve_mutex(m);
         self.sync_prologue();
-        self.acquire_token();
+        self.acquire_token_or_raise();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
         let woke = self.unlock_state(&mut inner, m);
@@ -991,7 +1528,7 @@ impl ThreadCtx for Ctx {
             // already flagged; the fast path's unlock_state notified the
             // one parker that matters.
             self.cnt.broadcast_wakes += 1;
-            sh.cv.notify_all();
+            self.herd_notify();
         }
         drop(inner);
         if woke {
@@ -1009,45 +1546,22 @@ impl ThreadCtx for Ctx {
     }
 
     fn cond_wait(&mut self, c: CondId, m: MutexId) {
-        let m = self.resolve_mutex(m);
-        self.sync_prologue();
-        self.cnt.cond_waits += 1;
-        self.acquire_token();
-        // Condition operations end any coarsened chunk (§3.1).
-        self.commit_and_update();
-        let sh = Arc::clone(&self.sh);
-        let mut inner = sh.inner.lock();
-        let _ = self.unlock_state(&mut inner, m);
-        inner.conds[c.index()].waiters.push_back(self.tid);
-        inner.threads[self.tid.index()].saved_clock = self.clock;
-        self.sh.cfg.trace.emit(Event::CondWait {
-            tid: self.tid,
-            cond: c,
-            mutex: m,
-        });
-        self.sh.cfg.trace.emit(Event::Depart {
-            tid: self.tid,
-            clock: self.clock,
-        });
-        inner.table.depart(self.tid, self.v);
-        self.release_token_locked(&mut inner);
-        self.block_until_woken(&mut inner);
-        if let Some(l) = inner.lrc.as_mut() {
-            l.on_acquire(self.tid, LrcObject::Cond(c.0));
+        if let Err(e) = self.cond_wait_inner(c, m) {
+            self.raise(e);
         }
-        drop(inner);
-        self.last_sync_end_clock = self.clock;
-        // Re-acquire the mutex before returning, as pthreads does.
-        self.mutex_lock(m);
+    }
+
+    fn try_cond_wait(&mut self, c: CondId, m: MutexId) -> DmtResult<()> {
+        self.cond_wait_inner(c, m)
     }
 
     fn cond_signal(&mut self, c: CondId) {
         self.sync_prologue();
-        self.acquire_token();
+        self.acquire_token_or_raise();
         self.commit_and_update();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
-        let woken = inner.conds[c.index()].waiters.pop_front();
+        let woken = inner.conds[c.index()].waiters.pop_front().map(|(w, _)| w);
         self.sh.cfg.trace.emit(Event::CondSignal {
             tid: self.tid,
             cond: c,
@@ -1074,12 +1588,12 @@ impl ThreadCtx for Ctx {
 
     fn cond_broadcast(&mut self, c: CondId) {
         self.sync_prologue();
-        self.acquire_token();
+        self.acquire_token_or_raise();
         self.commit_and_update();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
         let mut woken = 0u32;
-        while let Some(w) = inner.conds[c.index()].waiters.pop_front() {
+        while let Some((w, _)) = inner.conds[c.index()].waiters.pop_front() {
             let wk = self.cost.wakeup;
             self.v += wk;
             self.bd.lib += wk;
@@ -1105,14 +1619,22 @@ impl ThreadCtx for Ctx {
     }
 
     /// Deterministic barrier with two-phase parallel commit (§4.2).
+    ///
+    /// Raises [`DmtError::BarrierBroken`] (contained at the thread
+    /// boundary) when a participant panicked such that the barrier can
+    /// never fill: stragglers cascade out instead of waiting forever.
     fn barrier_wait(&mut self, b: BarrierId) {
+        // Injection fires before arrival registration, so a dying thread
+        // is never counted as an arriver (containment needs no barrier
+        // unwind protocol).
+        self.maybe_inject_panic(PanicSite::Barrier);
         self.sync_prologue();
         self.cnt.barrier_waits += 1;
         // Barrier-phase delay: a straggler arriving arbitrarily late. The
         // arrival set is fixed by the program (parties), so only waiting
         // time can change.
         self.perturb_hit(PerturbSite::Barrier);
-        let fresh = self.acquire_token();
+        let fresh = self.acquire_token_or_raise();
         if !fresh {
             // Arriving out of a coarsened run: data protected by locks we
             // released (with commits deferred) is still buffered, and we
@@ -1128,6 +1650,19 @@ impl ThreadCtx for Ctx {
         let (gen, parties, is_last, pc) = {
             let mut inner = sh.inner.lock();
             loop {
+                if inner.barriers[b.index()].broken || inner.shutdown {
+                    let e = if inner.shutdown {
+                        DmtError::Shutdown
+                    } else {
+                        DmtError::BarrierBroken { barrier: b }
+                    };
+                    // We hold the token: leave the order cleanly before
+                    // unwinding to containment.
+                    inner.table.resume(self.tid, self.clock, self.v);
+                    self.release_token_locked(&mut inner);
+                    drop(inner);
+                    self.raise(e);
+                }
                 if inner.barriers[b.index()].phase == BarPhase::Collecting {
                     break;
                 }
@@ -1175,6 +1710,9 @@ impl ThreadCtx for Ctx {
             if is_last {
                 let bst = &mut inner.barriers[b.index()];
                 if parallel {
+                    // INVARIANT: `pc` is `Some` iff `parallel` (set at
+                    // arrival under the same flag).
+                    #[allow(clippy::expect_used)]
                     pc.as_ref().expect("parallel pc").seal(&sh.seg);
                     bst.phase = BarPhase::Merging;
                     bst.merge_start_v = self.v;
@@ -1219,6 +1757,17 @@ impl ThreadCtx for Ctx {
                 self.release_token_locked(&mut inner);
                 let from = self.v;
                 loop {
+                    if inner.barriers[b.index()].broken || inner.shutdown {
+                        // The breaking thread reactivated us (clock-table
+                        // wise) before setting the flag; cascade out.
+                        let e = if inner.shutdown {
+                            DmtError::Shutdown
+                        } else {
+                            DmtError::BarrierBroken { barrier: b }
+                        };
+                        drop(inner);
+                        self.raise(e);
+                    }
                     let bst = &inner.barriers[b.index()];
                     if bst.gen == gen && bst.phase != BarPhase::Collecting {
                         break;
@@ -1256,6 +1805,15 @@ impl ThreadCtx for Ctx {
             sh.cv.notify_all();
             if is_last {
                 loop {
+                    if inner.barriers[b.index()].broken || inner.shutdown {
+                        let e = if inner.shutdown {
+                            DmtError::Shutdown
+                        } else {
+                            DmtError::BarrierBroken { barrier: b }
+                        };
+                        drop(inner);
+                        self.raise(e);
+                    }
                     if inner.barriers[b.index()].phase2_done == parties {
                         break;
                     }
@@ -1304,6 +1862,15 @@ impl ThreadCtx for Ctx {
             } else {
                 let from = self.v;
                 loop {
+                    if inner.barriers[b.index()].broken || inner.shutdown {
+                        let e = if inner.shutdown {
+                            DmtError::Shutdown
+                        } else {
+                            DmtError::BarrierBroken { barrier: b }
+                        };
+                        drop(inner);
+                        self.raise(e);
+                    }
                     let bst = &inner.barriers[b.index()];
                     if bst.gen == gen && bst.phase == BarPhase::Installed {
                         break;
@@ -1356,9 +1923,14 @@ impl ThreadCtx for Ctx {
     /// writers and strand the whole queue.
     fn rw_read_lock(&mut self, l: RwLockId) {
         self.sync_prologue();
-        let _ = self.acquire_token();
+        let _ = self.acquire_token_or_raise();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
+        if let Some(by) = inner.rwlocks[l.index()].poisoned {
+            drop(inner);
+            self.finish_rw_op();
+            self.raise(DmtError::RwLockPoisoned { lock: l, by });
+        }
         let st = &mut inner.rwlocks[l.index()];
         if st.writer.is_none() && st.waiters.is_empty() {
             st.readers += 1;
@@ -1386,7 +1958,10 @@ impl ThreadCtx for Ctx {
         self.commit_and_update();
         let mut inner = sh.inner.lock();
         self.release_token_locked(&mut inner);
-        self.block_until_woken(&mut inner);
+        if let Err(e) = self.block_until_woken(&mut inner) {
+            drop(inner);
+            self.raise(e);
+        }
         if let Some(t) = inner.lrc.as_mut() {
             t.on_acquire(self.tid, LrcObject::RwLock(l.0));
         }
@@ -1400,7 +1975,7 @@ impl ThreadCtx for Ctx {
     /// queue head.
     fn rw_read_unlock(&mut self, l: RwLockId) {
         self.sync_prologue();
-        self.acquire_token();
+        self.acquire_token_or_raise();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
         let st = &mut inner.rwlocks[l.index()];
@@ -1433,9 +2008,14 @@ impl ThreadCtx for Ctx {
     /// Deterministic exclusive acquisition (direct hand-off when queued).
     fn rw_write_lock(&mut self, l: RwLockId) {
         self.sync_prologue();
-        let _ = self.acquire_token();
+        let _ = self.acquire_token_or_raise();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
+        if let Some(by) = inner.rwlocks[l.index()].poisoned {
+            drop(inner);
+            self.finish_rw_op();
+            self.raise(DmtError::RwLockPoisoned { lock: l, by });
+        }
         let st = &mut inner.rwlocks[l.index()];
         if st.writer.is_none() && st.readers == 0 && st.waiters.is_empty() {
             st.writer = Some(self.tid);
@@ -1462,7 +2042,10 @@ impl ThreadCtx for Ctx {
         self.commit_and_update();
         let mut inner = sh.inner.lock();
         self.release_token_locked(&mut inner);
-        self.block_until_woken(&mut inner);
+        if let Err(e) = self.block_until_woken(&mut inner) {
+            drop(inner);
+            self.raise(e);
+        }
         if let Some(t) = inner.lrc.as_mut() {
             t.on_acquire(self.tid, LrcObject::RwLock(l.0));
         }
@@ -1474,7 +2057,7 @@ impl ThreadCtx for Ctx {
     /// every leading reader.
     fn rw_write_unlock(&mut self, l: RwLockId) {
         self.sync_prologue();
-        self.acquire_token();
+        self.acquire_token_or_raise();
         let sh = Arc::clone(&self.sh);
         let mut inner = sh.inner.lock();
         assert_eq!(
@@ -1516,7 +2099,7 @@ impl ThreadCtx for Ctx {
     /// Deterministic thread creation with pool reuse (§3.3).
     fn spawn(&mut self, job: Job) -> Tid {
         self.sync_prologue();
-        self.acquire_token();
+        self.acquire_token_or_raise();
         // Creation is a release edge: the child must see our writes.
         self.commit_and_update();
         let sh = Arc::clone(&self.sh);
@@ -1544,6 +2127,9 @@ impl ThreadCtx for Ctx {
         });
         let spawn_cost;
         if reuse {
+            // INVARIANT: `reuse` checked the pool non-empty two lines up,
+            // under the same lock hold.
+            #[allow(clippy::expect_used)]
             let entry = inner.pool.pop().expect("checked non-empty");
             let mut ws = entry.ws;
             sh.seg.adopt(&mut ws, child);
@@ -1556,6 +2142,10 @@ impl ThreadCtx for Ctx {
             self.bd.lib += spawn_cost;
             // The worker holds its own Sender clone and re-pools itself
             // with it when this job exits.
+            // INVARIANT: a pooled worker is parked in `rx.recv()` — its
+            // receiver cannot be dropped while its entry is in the pool
+            // (even a panicked job re-pools through `abort`).
+            #[allow(clippy::expect_used)]
             entry
                 .tx
                 .send(Msg::Start {
@@ -1573,6 +2163,9 @@ impl ThreadCtx for Ctx {
             self.v += spawn_cost;
             self.bd.lib += spawn_cost;
             let tx = crate::runtime::spawn_worker(&sh, &mut inner);
+            // INVARIANT: the worker thread was spawned one line up and
+            // blocks on `rx.recv()` before anything can unwind it.
+            #[allow(clippy::expect_used)]
             tx.send(Msg::Start {
                 tid: child,
                 job,
@@ -1591,54 +2184,12 @@ impl ThreadCtx for Ctx {
     }
 
     fn join(&mut self, t: Tid) {
-        assert_ne!(t, self.tid, "thread joining itself");
-        self.sync_prologue();
-        loop {
-            self.acquire_token();
-            let sh = Arc::clone(&self.sh);
-            let mut inner = sh.inner.lock();
-            assert!(
-                (t.index()) < inner.threads.len(),
-                "join on unknown thread {t}"
-            );
-            if inner.threads[t.index()].finished {
-                let ev = inner.threads[t.index()].exit_v;
-                let ec = inner.threads[t.index()].exit_clock;
-                self.v = self.v.max(ev);
-                if sh.opts.fast_forward {
-                    self.clock = self.clock.max(ec);
-                }
-                if let Some(l) = inner.lrc.as_mut() {
-                    l.on_acquire(self.tid, LrcObject::Thread(t.0));
-                }
-                self.sh.cfg.trace.emit(Event::Join {
-                    tid: self.tid,
-                    target: t,
-                });
-                drop(inner);
-                // Join is an acquire: pull the exited thread's commits.
-                self.commit_and_update();
-                let mut inner = sh.inner.lock();
-                inner.table.resume(self.tid, self.clock, self.v);
-                self.release_token_locked(&mut inner);
-                drop(inner);
-                self.last_sync_end_clock = self.clock;
-                return;
-            }
-            drop(inner);
-            // Commit before blocking: a joiner may hold the only copy of
-            // data an ad-hoc reader is spinning on.
-            self.commit_and_update();
-            let mut inner = sh.inner.lock();
-            inner.threads[t.index()].joiners.push(self.tid);
-            inner.threads[self.tid.index()].saved_clock = self.clock;
-            self.sh.cfg.trace.emit(Event::Depart {
-                tid: self.tid,
-                clock: self.clock,
-            });
-            inner.table.depart(self.tid, self.v);
-            self.release_token_locked(&mut inner);
-            self.block_until_woken(&mut inner);
+        if let Err(e) = self.join_inner(t) {
+            self.raise(e);
         }
+    }
+
+    fn try_join(&mut self, t: Tid) -> DmtResult<()> {
+        self.join_inner(t)
     }
 }

@@ -28,6 +28,13 @@
 //!   workspace `DESIGN.md`) and the §5.3 LRC propagation estimator
 //!   ([`lrc`]).
 
+// Robustness gate: runtime code must not panic on recoverable
+// conditions — recoverable failures travel as `DmtError` and workload
+// panics are contained at the thread boundary. The few sanctioned
+// `expect` sites carry `#[allow]` with an invariant comment proving they
+// are unreachable absent caller API misuse. (Tests are exempt.)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod coarsen;
 mod ctx;
 pub mod lrc;

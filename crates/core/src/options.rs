@@ -74,6 +74,22 @@ pub struct Options {
     /// `clockDepart` / publication update is missed. Never enable outside
     /// the stress harness; see `docs/STRESS.md`.
     pub inject_eligibility_bug: bool,
+    /// Watchdog stall threshold in milliseconds: when live threads exist
+    /// but no token is granted for this long, the supervisor checks the
+    /// scheduler's invariants — failing over to the reference table on a
+    /// fast-path violation, or diagnosing a deadlock and shutting the run
+    /// down with [`dmt_api::DmtError::Deadlock`] instead of hanging.
+    /// `None` disables supervision. Pure-compute stalls (threads that
+    /// never synchronize) are indistinguishable from deadlock to a
+    /// logical-progress watchdog; see `docs/ROBUSTNESS.md`.
+    pub watchdog_stall_ms: Option<u64>,
+    /// **Deliberate scheduler corruption** for the robustness harness: at
+    /// the first token grant at or past the given one with a waiter
+    /// queued, drop the fast scheduler's head waiter from its queue (the exact bug class `FastTable::check_invariants`
+    /// catches). The run stalls, the watchdog detects the violation and
+    /// fails over to the reference table, and the run completes with
+    /// `RunReport::degraded` set. Never enable outside tests.
+    pub inject_sched_corruption: Option<u64>,
 }
 
 impl Options {
@@ -99,6 +115,8 @@ impl Options {
             coarsen_min: 16_384,
             coarsen_cap: 4 << 20,
             inject_eligibility_bug: false,
+            watchdog_stall_ms: Some(5_000),
+            inject_sched_corruption: None,
         }
     }
 
@@ -134,6 +152,8 @@ impl Options {
             coarsen_min: 16_384,
             coarsen_cap: 4 << 20,
             inject_eligibility_bug: false,
+            watchdog_stall_ms: Some(5_000),
+            inject_sched_corruption: None,
         }
     }
 

@@ -1,8 +1,14 @@
-//! The Consequence runtime: lifecycle, worker threads, report assembly.
+//! The Consequence runtime: lifecycle, worker threads, report assembly —
+//! and runtime supervision: every workload thread runs inside a panic
+//! boundary (containment, not crash), and a watchdog thread turns silent
+//! deadlocks and scheduler-invariant violations into diagnoses.
 
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dmt_api::{
     Addr, BarrierId, CommonConfig, CondId, Job, MutexId, RunReport, Runtime, RwLockId, Tid,
@@ -142,18 +148,50 @@ impl Runtime for ConsequenceRuntime {
             inner.threads.push(ThreadSt::default());
             inner.table.register(Tid::MAIN, 0, 0);
         }
+        // Supervision: the watchdog turns a silent hang (deadlock, lost
+        // waiter, stalled clock) into a diagnosis — or a recovery.
+        let stop = Arc::new(AtomicBool::new(false));
+        let watchdog = sh.opts.watchdog_stall_ms.map(|ms| {
+            let sh2 = Arc::clone(&sh);
+            let stop2 = Arc::clone(&stop);
+            std::thread::spawn(move || watchdog_loop(sh2, ms, stop2))
+        });
+
         let (ws, _mapped) = sh.seg.new_workspace(Tid::MAIN);
         let mut ctx = Ctx::new(Arc::clone(&sh), Tid::MAIN, ws, 0, 0, None);
-        main(&mut ctx);
-        ctx.finish();
+        // Panic boundary: a panicking main job departs deterministically
+        // (clock, token, poison) instead of tearing the process down.
+        match catch_unwind(AssertUnwindSafe(|| main(&mut ctx))) {
+            Ok(()) => ctx.finish(),
+            Err(payload) => ctx.dispatch_panic(payload),
+        }
 
         // Wait for every spawned thread to finish — and, when pooling, for
         // every worker to park itself back in the pool — then shut down.
-        let (reports, counters, max_v, threads) = {
+        // On watchdog shutdown, blocked threads unwind as they observe the
+        // flag; threads in pure compute can never observe it, so after a
+        // bounded grace period they are abandoned (handles not joined).
+        let (reports, counters, max_v, threads, fault, panics, stuck) = {
             let mut inner = sh.inner.lock();
+            let mut grace = 0u32;
+            let mut stuck = false;
             while inner.live > 0 || (sh.opts.thread_pool && inner.pool.len() < inner.handles.len())
             {
-                sh.cv.wait(&mut inner);
+                if inner.shutdown {
+                    let timed_out = sh
+                        .cv
+                        .wait_for(&mut inner, Duration::from_millis(100))
+                        .timed_out();
+                    if timed_out {
+                        grace += 1;
+                        if grace >= 20 {
+                            stuck = true;
+                            break;
+                        }
+                    }
+                } else {
+                    sh.cv.wait(&mut inner);
+                }
             }
             for entry in inner.pool.drain(..) {
                 let _ = entry.tx.send(Msg::Shutdown);
@@ -165,13 +203,31 @@ impl Runtime for ConsequenceRuntime {
             if let Some(l) = inner.lrc.as_ref() {
                 counters.lrc_pages_propagated = l.pages_propagated();
             }
-            let out = (reports, counters, inner.max_exit_v, inner.next_tid);
+            let out = (
+                reports,
+                counters,
+                inner.max_exit_v,
+                inner.next_tid,
+                inner.fault.take(),
+                std::mem::take(&mut inner.panics),
+                stuck,
+            );
             drop(inner);
-            for h in handles {
-                let _ = h.join();
+            if !stuck {
+                for h in handles {
+                    let _ = h.join();
+                }
             }
             out
         };
+        stop.store(true, Ordering::Release);
+        if let Some(h) = watchdog {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+        if stuck {
+            eprintln!("[conseq] abandoning threads that never observed shutdown");
+        }
 
         let mut breakdown = dmt_api::Breakdown::default();
         for (_, b) in &reports {
@@ -197,6 +253,9 @@ impl Runtime for ConsequenceRuntime {
             threads,
             perturb_seed: sh.cfg.perturb.seed(),
             perturb_plan: sh.cfg.perturb.plan_digest(),
+            panics,
+            fault,
+            degraded: sh.degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -226,17 +285,165 @@ fn worker_loop(sh: Arc<Shared>, rx: Receiver<Msg>, self_tx: Sender<Msg>) {
     }) = rx.recv()
     {
         let mut ctx = Ctx::new(Arc::clone(&sh), tid, ws, clock, v, self_tx.clone());
-        // Under round-robin ordering a newborn thread holds a rotation slot
-        // it will not use until its first synchronization operation, which
-        // would serialize the spawner behind this thread's first chunk
-        // (real DThreads children rendezvous with the runtime at birth).
-        // A null sync op at birth keeps the rotation moving.
-        if sh.opts.order == det_clock::OrderPolicy::RoundRobin {
-            ctx.birth_sync();
+        // Panic boundary: the birth sync runs inside it too — round-robin
+        // rendezvous can itself unwind on shutdown or injected faults.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // Under round-robin ordering a newborn thread holds a rotation
+            // slot it will not use until its first synchronization
+            // operation, which would serialize the spawner behind this
+            // thread's first chunk (real DThreads children rendezvous with
+            // the runtime at birth). A null sync op at birth keeps the
+            // rotation moving.
+            if sh.opts.order == det_clock::OrderPolicy::RoundRobin {
+                ctx.birth_sync();
+            }
+            job(&mut ctx);
+        }));
+        match result {
+            // The exit protocol pools the workspace (or detaches it) while
+            // holding the token, keeping pool contents deterministic.
+            Ok(()) => ctx.finish(),
+            // Containment: the dying thread departs the clock, releases or
+            // reclaims the token, poisons what it held, and wakes joiners —
+            // all under the token, so the departure itself is deterministic.
+            Err(payload) => ctx.dispatch_panic(payload),
         }
-        job(&mut ctx);
-        // The exit protocol pools the workspace (or detaches it) while
-        // holding the token, keeping pool contents deterministic.
-        ctx.finish();
     }
+}
+
+/// Wakes every thread however it might be waiting: the shared condvar and
+/// every per-thread parker. Used on shutdown and failover, when a thread's
+/// chosen wait condvar can no longer be predicted.
+fn wake_everyone(sh: &Shared) {
+    sh.cv.notify_all();
+    for p in sh.parkers.iter() {
+        p.notify_all();
+    }
+}
+
+/// The supervisor: polls the token-grant counter and, when no logical
+/// progress happens for `stall_ms` while threads are live, either
+/// *recovers* (fast-scheduler invariant violation → fail over to the
+/// reference table and keep running) or *diagnoses* (deadlock → emit a
+/// full runtime census as [`dmt_api::DmtError::Deadlock`] and shut the
+/// run down instead of hanging).
+fn watchdog_loop(sh: Arc<Shared>, stall_ms: u64, stop: Arc<AtomicBool>) {
+    let poll = Duration::from_millis((stall_ms / 4).clamp(10, 250));
+    let stall = Duration::from_millis(stall_ms);
+    let mut last_seq = 0u64;
+    let mut last_change = Instant::now();
+    loop {
+        std::thread::park_timeout(poll);
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut inner = sh.inner.lock();
+        if inner.shutdown {
+            return;
+        }
+        if inner.live == 0 || inner.grant_seq != last_seq {
+            last_seq = inner.grant_seq;
+            last_change = Instant::now();
+            continue;
+        }
+        if last_change.elapsed() < stall {
+            continue;
+        }
+        // No token grant for a full stall window with live threads: either
+        // the scheduler lost a waiter (recoverable) or the workload is
+        // deadlocked (diagnosable). Check invariants first.
+        match inner.table.check_invariants() {
+            Err(detail) => {
+                if inner.table.failover() {
+                    eprintln!(
+                        "[conseq] FAST-SCHEDULER INVARIANT VIOLATION: {detail}\n\
+                         [conseq] failing over to the reference scheduler; \
+                         the run continues degraded"
+                    );
+                    sh.degraded.store(true, Ordering::Release);
+                    drop(inner);
+                    wake_everyone(&sh);
+                    last_change = Instant::now();
+                    continue;
+                }
+                // Already on the reference table: the violation is
+                // unrecoverable. Diagnose and shut down.
+                let report = diagnose(&inner, &format!("scheduler invariant violation: {detail}"));
+                eprintln!("{report}");
+                inner.fault = Some(report);
+                inner.shutdown = true;
+                drop(inner);
+                wake_everyone(&sh);
+                return;
+            }
+            Ok(()) => {
+                let report = diagnose(&inner, "no logical progress (deadlock suspected)");
+                eprintln!("{report}");
+                inner.fault = Some(report);
+                inner.shutdown = true;
+                drop(inner);
+                wake_everyone(&sh);
+                return;
+            }
+        }
+    }
+}
+
+/// Renders a census of the stalled runtime: who holds the token, who waits
+/// on what, and the state of every sync object — the diagnosis a hung run
+/// would otherwise never yield.
+fn diagnose(inner: &Inner, cause: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "[conseq] watchdog: {cause}");
+    let _ = writeln!(
+        s,
+        "[conseq] token={:?} last_entrant={:?} grants={} live={}",
+        inner.token, inner.last_entrant, inner.grant_seq, inner.live
+    );
+    for (i, t) in inner.threads.iter().enumerate() {
+        if t.finished && t.joiners.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "[conseq]   t{i}: finished={} panicked={} wake={} wake_err={:?} joiners={:?}",
+            t.finished, t.panicked, t.wake, t.wake_err, t.joiners
+        );
+    }
+    for (i, m) in inner.mutexes.iter().enumerate() {
+        if m.owner.is_some() || !m.waiters.is_empty() || m.poisoned.is_some() {
+            let _ = writeln!(
+                s,
+                "[conseq]   mutex {i}: owner={:?} waiters={:?} poisoned={:?}",
+                m.owner, m.waiters, m.poisoned
+            );
+        }
+    }
+    for (i, c) in inner.conds.iter().enumerate() {
+        if !c.waiters.is_empty() {
+            let _ = writeln!(s, "[conseq]   cond {i}: waiters={:?}", c.waiters);
+        }
+    }
+    for (i, r) in inner.rwlocks.iter().enumerate() {
+        if r.writer.is_some() || r.readers > 0 || !r.waiters.is_empty() || r.poisoned.is_some() {
+            let _ = writeln!(
+                s,
+                "[conseq]   rwlock {i}: writer={:?} readers={} waiters={:?} poisoned={:?}",
+                r.writer, r.readers, r.waiters, r.poisoned
+            );
+        }
+    }
+    for (i, b) in inner.barriers.iter().enumerate() {
+        if !b.arrived.is_empty() || b.broken {
+            let _ = writeln!(
+                s,
+                "[conseq]   barrier {i}: parties={} arrived={:?} phase={:?} broken={}",
+                b.parties, b.arrived, b.phase, b.broken
+            );
+        }
+    }
+    for (t, msg) in &inner.panics {
+        let _ = writeln!(s, "[conseq]   contained panic on {t:?}: {msg}");
+    }
+    s
 }

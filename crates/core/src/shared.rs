@@ -6,11 +6,13 @@ use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use std::sync::atomic::AtomicBool;
+
 use dmt_api::sync::{Condvar, Mutex};
 
 use conversion::{ParallelCommit, Segment, Workspace};
 use det_clock::{SchedTable, Slots};
-use dmt_api::{Breakdown, CachePadded, CommonConfig, Counters, Job, Tid};
+use dmt_api::{Breakdown, CachePadded, CommonConfig, Counters, DmtError, Job, MutexId, Tid};
 
 use crate::coarsen::Ewma;
 use crate::lrc::LrcTracker;
@@ -30,12 +32,18 @@ pub(crate) struct MutexSt {
     /// `tickets + 1`. Trace events use this so two runs can be compared
     /// per-lock, not just globally.
     pub tickets: u64,
+    /// Set (to the dying owner) when a thread panicked while holding this
+    /// mutex. Every subsequent acquirer gets a deterministic
+    /// [`DmtError::MutexPoisoned`] in token-grant order.
+    pub poisoned: Option<Tid>,
 }
 
-/// A deterministic condition variable.
+/// A deterministic condition variable. Waiters carry the mutex they
+/// released so owner-death poisoning can wake them with a deterministic
+/// [`DmtError::CondOwnerDied`].
 #[derive(Debug, Default)]
 pub(crate) struct CondSt {
-    pub waiters: VecDeque<Tid>,
+    pub waiters: VecDeque<(Tid, MutexId)>,
 }
 
 /// A deterministic read-write lock.
@@ -45,6 +53,11 @@ pub(crate) struct RwSt {
     pub readers: u32,
     /// FIFO wait queue; `true` marks a writer.
     pub waiters: VecDeque<(Tid, bool)>,
+    /// Set when the exclusive holder panicked (see [`MutexSt::poisoned`]).
+    /// A dying *reader* cannot poison: reader holds are not attributed per
+    /// thread, so its count leaks instead (documented in ROBUSTNESS.md —
+    /// the watchdog reports the resulting stall).
+    pub poisoned: Option<Tid>,
 }
 
 /// Barrier lifecycle within one generation.
@@ -77,6 +90,10 @@ pub(crate) struct BarrierSt {
     /// to it so update work is deterministic.
     pub install_version: u64,
     pub leaving: usize,
+    /// Set when a participant (or would-be participant) panicked such that
+    /// the barrier can never fill again; every waiter and subsequent
+    /// arriver gets a deterministic [`DmtError::BarrierBroken`].
+    pub broken: bool,
 }
 
 impl BarrierSt {
@@ -94,10 +111,12 @@ impl BarrierSt {
             install_v: 0,
             install_version: 0,
             leaving: 0,
+            broken: false,
         }
     }
 
     /// Resets for the next generation once every party has left.
+    /// A broken barrier stays broken: the departed party can never return.
     pub fn reset(&mut self) {
         self.phase = BarPhase::Collecting;
         self.gen += 1;
@@ -128,6 +147,16 @@ pub(crate) struct ThreadSt {
     pub exit_v: u64,
     /// Logical clock at the thread's most recent departure.
     pub saved_clock: u64,
+    /// This thread's job panicked; `join` reports
+    /// [`DmtError::ThreadPanicked`] instead of succeeding.
+    pub panicked: bool,
+    /// Panic message (best-effort string form of the payload).
+    pub panic_msg: String,
+    /// Error to deliver instead of a successful wake: set by a dying
+    /// owner when it drains this thread from a poisoned queue. Consumed
+    /// by `block_until_woken` together with the wake flag, so delivery
+    /// order is the deterministic wake order.
+    pub wake_err: Option<DmtError>,
 }
 
 /// Message to a worker OS thread.
@@ -175,6 +204,19 @@ pub(crate) struct Inner {
     pub started: bool,
     /// Token-grant schedule, recorded when `Options::record_schedule`.
     pub schedule: Vec<(Tid, u64)>,
+    /// Monotone count of token grants: the watchdog's logical-progress
+    /// signal (GMIC advancing ⇒ grants happening).
+    pub grant_seq: u64,
+    /// Raised by the watchdog (deadlock / unrecoverable invariant) — every
+    /// blocked protocol path unwinds with [`DmtError::Shutdown`].
+    pub shutdown: bool,
+    /// The watchdog's diagnosis when it gave up on the run.
+    pub fault: Option<String>,
+    /// Contained workload panics in containment (token-grant) order.
+    pub panics: Vec<(Tid, String)>,
+    /// The [`Options::inject_sched_corruption`] drill already fired
+    /// (it corrupts exactly once).
+    pub corruption_done: bool,
 }
 
 /// State shared between the runtime handle and every worker thread.
@@ -193,6 +235,11 @@ pub(crate) struct Shared {
     /// `Inner::table` when it is the fast table): publication slots,
     /// head-waiter key, token-free flag, watermark.
     pub slots: Arc<Slots>,
+    /// The fast scheduler failed an invariant check and the watchdog
+    /// failed the run over to the reference table. From then on every
+    /// wake broadcasts to the shared condvar *and* all parkers (threads
+    /// chose their wait condvar before the failover).
+    pub degraded: AtomicBool,
 }
 
 impl Shared {
@@ -236,10 +283,16 @@ impl Shared {
                 } else {
                     Vec::new()
                 },
+                grant_seq: 0,
+                shutdown: false,
+                fault: None,
+                panics: Vec::new(),
+                corruption_done: false,
             }),
             cv: Condvar::new(),
             parkers,
             slots,
+            degraded: AtomicBool::new(false),
             cfg,
             opts,
             seg,

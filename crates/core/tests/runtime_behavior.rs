@@ -508,11 +508,18 @@ fn report_breakdown_accounts_all_threads() {
 }
 
 #[test]
-#[should_panic(expected = "unlocking")]
-fn unlock_without_lock_panics() {
+fn unlock_without_lock_is_contained() {
+    // API misuse panics inside the workload; containment turns it into a
+    // recorded panic on the report instead of crossing `run()`.
     let mut rt = ConsequenceRuntime::new(cfg(), Options::consequence_ic());
     let m = rt.create_mutex();
-    rt.run(Box::new(move |ctx| {
+    let report = rt.run(Box::new(move |ctx| {
         ctx.mutex_unlock(m);
     }));
+    assert_eq!(report.panics.len(), 1);
+    assert!(
+        report.panics[0].1.contains("unlocking"),
+        "panic message should name the misuse: {:?}",
+        report.panics[0].1
+    );
 }

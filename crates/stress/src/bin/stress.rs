@@ -4,6 +4,7 @@
 //! cargo run -p dmt-stress --release --bin stress -- --smoke
 //! cargo run -p dmt-stress --release --bin stress -- --deep
 //! cargo run -p dmt-stress --release --bin stress -- --inject-bug
+//! cargo run -p dmt-stress --release --bin stress -- --inject-panic
 //! cargo run -p dmt-stress --release --bin stress -- --sched-diff
 //! cargo run -p dmt-stress --release --bin stress -- \
 //!     --workloads histogram,kmeans --runtimes consequence-ic --seeds 4
@@ -15,7 +16,11 @@
 //! and 1 otherwise. `--inject-bug` inverts the convention: it *must* catch
 //! the deliberately injected eligibility bug, print the shrunk reproducer
 //! plus the first divergent event, and exit 1; exiting 0 means the harness
-//! failed to detect a real determinism bug. `--sched-diff` runs the seed
+//! failed to detect a real determinism bug. `--inject-panic` kills one
+//! seeded victim thread per run at a lock/barrier/commit site and requires
+//! the death to be contained deterministically — same schedule hash, same
+//! panic set on rerun, no hangs — exiting 0 when containment held
+//! everywhere. `--sched-diff` runs the seed
 //! matrix under both the fast and the reference scheduler and exits 1 on
 //! any schedule-hash or output divergence between them (the PR 4 fast
 //! path must be bit-identical). JSON reports land in `target/stress/`.
@@ -26,7 +31,7 @@ use std::time::Instant;
 
 use dmt_baselines::RuntimeKind;
 use dmt_bench::json::ToJson;
-use dmt_stress::{run_inject_bug, run_matrix, run_sched_diff, StressConfig};
+use dmt_stress::{run_inject_bug, run_matrix, run_panic_inject, run_sched_diff, StressConfig};
 
 fn dump<T: ToJson>(name: &str, value: &T) {
     let dir = "target/stress";
@@ -43,8 +48,9 @@ fn runtime_by_label(label: &str) -> Option<RuntimeKind> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: stress [--smoke|--deep|--inject-bug|--sched-diff] [--workloads a,b,..] \
-         [--runtimes a,b,..] [--seeds N] [--threads N] [--scale N] [--base-seed N]"
+        "usage: stress [--smoke|--deep|--inject-bug|--inject-panic|--sched-diff] \
+         [--workloads a,b,..] [--runtimes a,b,..] [--seeds N] [--threads N] [--scale N] \
+         [--base-seed N]"
     );
     std::process::exit(2);
 }
@@ -65,6 +71,7 @@ fn main() {
     let mut cfg = StressConfig::smoke();
     let mut custom = false;
     let mut inject = false;
+    let mut inject_panic = false;
     let mut sched_diff = false;
     let mut i = 0;
     while i < args.len() {
@@ -87,6 +94,7 @@ fn main() {
                 }
             }
             "--inject-bug" => inject = true,
+            "--inject-panic" => inject_panic = true,
             "--sched-diff" => sched_diff = true,
             "--workloads" => {
                 i += 1;
@@ -147,6 +155,37 @@ fn main() {
         );
         eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
         std::process::exit(0);
+    }
+
+    if inject_panic {
+        println!(
+            "== stress --inject-panic: seeded thread deaths must be contained deterministically"
+        );
+        println!(
+            "{:<16}{:<16}{:>6}{:>6}{:>8}{:>14}{:>11}",
+            "workload", "runtime", "runs", "hits", "panics", "reproducible", "validated"
+        );
+        let report = run_panic_inject(&cfg, |cell| {
+            println!(
+                "{:<16}{:<16}{:>6}{:>6}{:>8}{:>14}{:>11}",
+                cell.workload,
+                cell.runtime,
+                cell.runs,
+                cell.hits,
+                cell.panics,
+                if cell.reproducible { "yes" } else { "NO" },
+                if cell.validated { "yes" } else { "NO" }
+            );
+        });
+        println!(
+            "{}: {} runs, {} injected deaths contained",
+            if report.passed { "PASSED" } else { "FAILED" },
+            report.total_runs,
+            report.total_hits
+        );
+        dump("inject_panic", &report);
+        eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        std::process::exit(if report.passed { 0 } else { 1 });
     }
 
     if sched_diff {

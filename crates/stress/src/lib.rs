@@ -22,6 +22,7 @@
 //! `docs/STRESS.md`.
 
 pub mod inject;
+pub mod panic_inject;
 pub mod report;
 pub mod sched_diff;
 pub mod shrink;
@@ -37,6 +38,7 @@ use dmt_baselines::{make_runtime, RuntimeKind};
 use dmt_workloads::{workload_by_name, Params, Validation};
 
 pub use inject::{run_inject_bug, InjectOutcome};
+pub use panic_inject::{run_panic_inject, PanicCell, PanicInjectReport, PanicInjector};
 pub use report::{CellSummary, StressReport, Violation};
 pub use sched_diff::{run_consequence_workload, run_sched_diff, SchedDiffCell, SchedDiffReport};
 pub use shrink::shrink_plan;
@@ -254,16 +256,23 @@ pub fn investigate(
     });
     let (base_events, _) = (target.record)(PerturbHandle::off());
     *runs += 1;
+    // Divergence under a real bug is timing-dependent, and the timing that
+    // made the shrunk plan fail during shrinking may have drifted by the
+    // time we record traces (e.g. a loaded CI host). Probe the shrunk plan
+    // first, then fall back to the original full-strength plan — a
+    // diagnosis from either names the same first divergent event class.
     let mut diagnosis = None;
-    for _ in 0..5 {
-        let (events, hash) = (target.record)(plan_handle(&shrunk));
-        *runs += 1;
-        if hash == base_hash {
-            continue;
-        }
-        if let Some(d) = diagnose(&base_events, &events) {
-            diagnosis = Some(d.to_string());
-            break;
+    'plans: for candidate in [&shrunk, plan] {
+        for _ in 0..8 {
+            let (events, hash) = (target.record)(plan_handle(candidate));
+            *runs += 1;
+            if hash == base_hash {
+                continue;
+            }
+            if let Some(d) = diagnose(&base_events, &events) {
+                diagnosis = Some(d.to_string());
+                break 'plans;
+            }
         }
     }
     (shrunk, diagnosis)

@@ -1,0 +1,263 @@
+//! `stress --inject-panic`: seeded panic injection against the
+//! containment contract.
+//!
+//! The runtime's robustness claim (see `docs/ROBUSTNESS.md`) is that a
+//! workload thread dying *anywhere* — at a lock acquisition, a barrier
+//! arrival, a chunk commit — is contained deterministically: the dying
+//! thread departs the clock under the token, poisons what it held, and
+//! every survivor observes the fallout (`MutexPoisoned`, `BarrierBroken`,
+//! `ThreadPanicked`) at a schedule point that is a pure function of the
+//! program. In other words, **a panicking run is exactly as reproducible
+//! as a healthy one**.
+//!
+//! This mode attacks that claim the same way the main fuzzer attacks the
+//! timing claim. For every workload × Consequence-backed runtime × seed it
+//! derives a victim `(site, tid, nth)` triple — a pure function of the
+//! seed, so the injected death lands at the same point in the victim's
+//! instruction stream on every rerun — runs the cell twice, and requires
+//! both runs to produce the same schedule hash *and* the same contained
+//! panic set. A cell where no panic fires (the victim never reaches the
+//! armed site) is still a valid probe: the run must then match the
+//! sequential reference like any healthy run. Completing at all is the
+//! third oracle — a hang here is a containment bug, and the runtimes'
+//! watchdog turns it into a diagnosed failure rather than a stuck CI job.
+
+use std::sync::Arc;
+
+use dmt_api::{PanicSite, PerturbHandle, PerturbSite, Perturber, Tid};
+use dmt_baselines::RuntimeKind;
+use dmt_bench::json_struct;
+
+use crate::{mix64, run_workload, CellRun, StressConfig};
+
+/// Kills one thread at one deterministic point: thread `victim`, at its
+/// `nth` operation of class `site`. The decision is a pure function of
+/// `(site, tid, nth)` as `Perturber::panic_at` requires, so reruns die at
+/// the identical point.
+#[derive(Clone, Copy, Debug)]
+pub struct PanicInjector {
+    pub site: PanicSite,
+    pub victim: Tid,
+    pub nth: u64,
+}
+
+impl PanicInjector {
+    /// Derives the victim triple from a seed: site, a non-main thread id
+    /// below `threads`, and a small occurrence index.
+    pub fn from_seed(seed: u64, threads: usize) -> PanicInjector {
+        let h = mix64(seed ^ DEAD_PANIC_SALT);
+        let site = PanicSite::ALL[(h % PanicSite::ALL.len() as u64) as usize];
+        let victim = Tid(1 + ((h >> 8) % threads.max(1) as u64) as u32);
+        let nth = (h >> 32) % 6;
+        PanicInjector { site, victim, nth }
+    }
+}
+
+/// Salt mixed into the seed stream (distinct from the timing fuzzer's).
+const DEAD_PANIC_SALT: u64 = 0xD1E5_EED5;
+
+impl Perturber for PanicInjector {
+    fn hit(&self, _site: PerturbSite, _tid: Tid) -> u64 {
+        0
+    }
+
+    fn panic_at(&self, site: PanicSite, tid: Tid, nth: u64) -> bool {
+        site == self.site && tid == self.victim && nth == self.nth
+    }
+
+    fn seed(&self) -> u64 {
+        0
+    }
+}
+
+/// One workload × runtime cell of the panic-injection matrix.
+#[derive(Clone, Debug)]
+pub struct PanicCell {
+    pub workload: String,
+    pub runtime: String,
+    /// Total runs in the cell: 2 per seed (run + rerun).
+    pub runs: u64,
+    /// Seeds whose injected death actually fired (victim reached the site).
+    pub hits: u64,
+    /// Distinct contained panics observed across all firing seeds.
+    pub panics: u64,
+    /// Every rerun reproduced its run's schedule hash and panic set.
+    pub reproducible: bool,
+    /// Every non-firing run still matched the sequential reference.
+    pub validated: bool,
+}
+
+/// The full panic-injection result.
+#[derive(Clone, Debug)]
+pub struct PanicInjectReport {
+    pub threads: usize,
+    pub seeds: u64,
+    pub base_seed: u64,
+    pub total_runs: u64,
+    /// Runs in which an injected death fired, across the whole matrix.
+    pub total_hits: u64,
+    pub cells: Vec<PanicCell>,
+    pub passed: bool,
+}
+
+json_struct!(PanicCell {
+    workload,
+    runtime,
+    runs,
+    hits,
+    panics,
+    reproducible,
+    validated
+});
+
+json_struct!(PanicInjectReport {
+    threads,
+    seeds,
+    base_seed,
+    total_runs,
+    total_hits,
+    cells,
+    passed
+});
+
+/// The runtimes with panic containment (the Consequence family). Other
+/// kinds (pthreads, dthreads) make no containment promise and are skipped.
+fn contains_panics(kind: RuntimeKind) -> bool {
+    matches!(
+        kind,
+        RuntimeKind::Dwc | RuntimeKind::ConsequenceRr | RuntimeKind::ConsequenceIc
+    )
+}
+
+fn injector_handle(inj: PanicInjector) -> PerturbHandle {
+    PerturbHandle::to(Arc::new(inj))
+}
+
+/// Runs the panic-injection matrix and returns the report.
+///
+/// Passing requires every cell to be reproducible and validated, and at
+/// least one injected death to have fired somewhere — a matrix where no
+/// victim ever dies proves nothing about containment.
+pub fn run_panic_inject(
+    cfg: &StressConfig,
+    mut progress: impl FnMut(&PanicCell),
+) -> PanicInjectReport {
+    let mut cells = Vec::new();
+    let mut total_runs = 0u64;
+    let mut total_hits = 0u64;
+
+    for (wi, name) in cfg.workloads.iter().enumerate() {
+        for (ki, &kind) in cfg.runtimes.iter().enumerate() {
+            if !contains_panics(kind) {
+                continue;
+            }
+            let cell_salt = mix64(cfg.base_seed ^ 0xFA17_0CE5 ^ ((wi as u64) << 32) ^ (ki as u64));
+            let mut hits = 0u64;
+            let mut panics = 0u64;
+            let mut reproducible = true;
+            let mut validated = true;
+
+            for s in 0..cfg.seeds {
+                let inj = PanicInjector::from_seed(cell_salt ^ (s + 1), cfg.threads);
+                let run_once = || -> CellRun {
+                    run_workload(
+                        kind,
+                        name,
+                        cfg.threads,
+                        cfg.scale,
+                        cfg.input_seed,
+                        injector_handle(inj),
+                    )
+                };
+                let a = run_once();
+                let b = run_once();
+                total_runs += 2;
+                let fired = !a.report.panics.is_empty();
+                if fired {
+                    hits += 1;
+                    total_hits += 1;
+                    panics += a.report.panics.len() as u64;
+                } else {
+                    // No death: the armed-but-unhit run must behave like a
+                    // healthy one.
+                    validated &= a.matches_reference && b.matches_reference;
+                }
+                reproducible &= a.schedule_hash == b.schedule_hash
+                    && a.report.panics == b.report.panics
+                    && a.output_hash == b.output_hash;
+            }
+
+            let cell = PanicCell {
+                workload: name.clone(),
+                runtime: kind.label().to_string(),
+                runs: 2 * cfg.seeds,
+                hits,
+                panics,
+                reproducible,
+                validated,
+            };
+            progress(&cell);
+            cells.push(cell);
+        }
+    }
+
+    let passed =
+        !cells.is_empty() && total_hits > 0 && cells.iter().all(|c| c.reproducible && c.validated);
+    PanicInjectReport {
+        threads: cfg.threads,
+        seeds: cfg.seeds,
+        base_seed: cfg.base_seed,
+        total_runs,
+        total_hits,
+        cells,
+        passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_bench::json::ToJson;
+
+    #[test]
+    fn injector_is_a_pure_function_of_the_seed() {
+        let a = PanicInjector::from_seed(7, 4);
+        let b = PanicInjector::from_seed(7, 4);
+        assert_eq!(a.site, b.site);
+        assert_eq!(a.victim, b.victim);
+        assert_eq!(a.nth, b.nth);
+        assert!(a.victim.0 >= 1 && a.victim.0 <= 4, "never kills main");
+        // Different seeds spread over sites and victims.
+        let spread: std::collections::BTreeSet<_> = (0..64)
+            .map(|s| {
+                let i = PanicInjector::from_seed(s, 4);
+                (i.site.name(), i.victim.0, i.nth)
+            })
+            .collect();
+        assert!(spread.len() > 16, "only {} distinct triples", spread.len());
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = PanicInjectReport {
+            threads: 4,
+            seeds: 2,
+            base_seed: 1,
+            total_runs: 4,
+            total_hits: 1,
+            cells: vec![PanicCell {
+                workload: "histogram".into(),
+                runtime: "consequence-ic".into(),
+                runs: 4,
+                hits: 1,
+                panics: 2,
+                reproducible: true,
+                validated: true,
+            }],
+            passed: true,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"total_hits\":1"));
+        assert!(j.contains("\"reproducible\":true"));
+    }
+}

@@ -138,9 +138,20 @@ fn readers_share_under_consequence() {
 }
 
 #[test]
-#[should_panic(expected = "read-unlocking")]
-fn read_unlock_without_lock_panics() {
+fn read_unlock_without_lock_is_contained() {
+    // API misuse unwinds the offending thread, but the containment layer
+    // turns that into a reported panic instead of crashing the process.
     let mut rt = make_runtime(RuntimeKind::ConsequenceIc, cfg());
     let l = rt.create_rwlock();
-    rt.run(Box::new(move |ctx| ctx.rw_read_unlock(l)));
+    let report = rt.run(Box::new(move |ctx| ctx.rw_read_unlock(l)));
+    assert_eq!(
+        report.panics.len(),
+        1,
+        "misuse must be contained: {report:?}"
+    );
+    assert!(
+        report.panics[0].1.contains("read-unlocking"),
+        "unexpected panic message: {:?}",
+        report.panics[0]
+    );
 }
