@@ -196,6 +196,10 @@ pub struct RunReport {
     /// failover to the reference scheduler. The schedule stays correct
     /// (and hash-identical) — only performance degrades.
     pub degraded: bool,
+    /// First-divergent-event diagnosis when this run replayed a recorded
+    /// trace and split from it (rendered via [`crate::trace::Divergence`]);
+    /// `None` for ordinary runs and for replays that matched exactly.
+    pub replay_divergence: Option<String>,
 }
 
 impl RunReport {
@@ -276,6 +280,7 @@ mod tests {
             panics: Vec::new(),
             fault: None,
             degraded: false,
+            replay_divergence: None,
         };
         assert!(r.thread_breakdown(Tid(0)).is_some());
         assert!(r.thread_breakdown(Tid(1)).is_none());

@@ -537,6 +537,12 @@ pub trait TraceSink: Send + Sync {
     fn counts(&self) -> EventCounts {
         EventCounts::default()
     }
+
+    /// First divergence a replay-comparing sink has observed. `None` for
+    /// ordinary sinks and for replays still on script.
+    fn divergence(&self) -> Option<Divergence> {
+        None
+    }
 }
 
 /// Discards every event. With [`TraceHandle::off`] the emission sites
@@ -701,6 +707,12 @@ impl TraceHandle {
         self.0
             .as_ref()
             .map_or_else(EventCounts::default, |s| s.counts())
+    }
+
+    /// The sink's first observed replay divergence (`None` when off or
+    /// when the sink does not compare against a recording).
+    pub fn divergence(&self) -> Option<Divergence> {
+        self.0.as_ref().and_then(|s| s.divergence())
     }
 }
 

@@ -928,6 +928,7 @@ impl Runtime for DThreadsRuntime {
             panics: Vec::new(),
             fault: None,
             degraded: false,
+            replay_divergence: None,
         }
     }
 }

@@ -3,12 +3,15 @@
 //! ```text
 //! cargo run -p dmt-bench --release --bin figures -- all
 //! cargo run -p dmt-bench --release --bin figures -- fig10 [--quick]
+//! cargo run -p dmt-bench --release --bin figures -- replay [traces..]
 //! ```
 //!
 //! Prints the rows/series each figure reports and writes JSON to
 //! `target/figures/figN.json`. The `certify` command prints each
 //! deterministic runtime's schedule hash (see `docs/DETERMINISM.md`) so
-//! recorded experiment runs are self-certifying.
+//! recorded experiment runs are self-certifying. The `replay` command
+//! re-executes recorded `.dmtrace` containers (default: `tests/corpus/`)
+//! and fails on any schedule or output divergence (see `docs/REPLAY.md`).
 
 use std::fs;
 use std::time::Instant;
@@ -419,6 +422,51 @@ fn certify_cmd(c: &Cfg) -> bool {
     ok
 }
 
+/// `figures replay [paths..]`: re-executes recorded `.dmtrace`
+/// containers (default: the committed `tests/corpus/`) and checks each
+/// against its recording. Returns false on any divergence.
+fn replay_cmd(paths: &[&str]) -> bool {
+    let paths: Vec<&str> = if paths.is_empty() {
+        vec!["tests/corpus"]
+    } else {
+        paths.to_vec()
+    };
+    println!("== replay: re-executing recorded traces against the current build");
+    let mut rows = Vec::new();
+    let mut ok = true;
+    for p in &paths {
+        let files = match replay::trace_files(std::path::Path::new(p)) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                ok = false;
+                continue;
+            }
+        };
+        for f in files {
+            match replay::replay_file(&f) {
+                Ok(r) => {
+                    println!("{}", replay::summarize(&r));
+                    if let Some(d) = &r.divergence {
+                        println!("{d}");
+                    }
+                    ok &= r.ok();
+                    rows.push(r);
+                }
+                Err(e) => {
+                    println!("[FAILED] {}: {e}", f.display());
+                    ok = false;
+                }
+            }
+        }
+    }
+    dump("replay", &rows);
+    if !ok {
+        eprintln!("replay FAILED: a recorded schedule did not reproduce on this build");
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -428,6 +476,13 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
+    // `replay` consumes the remaining arguments as trace paths.
+    if which[0] == "replay" {
+        let t0 = Instant::now();
+        let ok = replay_cmd(&which[1..]);
+        eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        std::process::exit(if ok { 0 } else { 1 });
+    }
     let c = cfg(quick);
     let t0 = Instant::now();
     let mut certified = true;
@@ -454,7 +509,9 @@ fn main() {
                 certified &= certify_cmd(&c);
             }
             other => {
-                eprintln!("unknown figure {other}; use fig10..fig16, extras, certify or all");
+                eprintln!(
+                    "unknown figure {other}; use fig10..fig16, extras, certify, replay or all"
+                );
                 std::process::exit(2);
             }
         }

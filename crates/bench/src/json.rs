@@ -212,7 +212,32 @@ json_struct!(RunReport {
     perturb_plan,
     panics,
     fault,
-    degraded
+    degraded,
+    replay_divergence
+});
+
+json_struct!(crate::replay::Recorded {
+    path,
+    events,
+    schedule_hash,
+    output_hash,
+    validated,
+    bytes
+});
+
+json_struct!(crate::replay::Replayed {
+    path,
+    workload,
+    runtime,
+    recorded_events,
+    replayed_events,
+    recorded_hash,
+    replayed_hash,
+    checkpoints_passed,
+    checkpoints_total,
+    output_match,
+    commit_log_match,
+    divergence
 });
 
 json_struct!(crate::Measured {

@@ -9,6 +9,7 @@
 
 pub mod json;
 pub mod jsonparse;
+pub mod replay;
 pub mod sched;
 pub mod stats;
 pub mod vmem;

@@ -1,0 +1,227 @@
+//! Shared record/replay drivers for the CLIs (`stress --record/--replay`,
+//! `figures replay`) and the replay-corpus test.
+//!
+//! Recording runs a named workload under a Consequence preset with a
+//! [`DiskSink`] attached, stamps the run's identity and digests into the
+//! trace META stream, and re-validates the written container immediately.
+//! Replaying opens a container, re-stages the workload it names, drives
+//! the run from the recorded grant script (see `consequence::replay`) and
+//! checks schedule hash, output hash and commit-log hash against the
+//! recording. See `docs/REPLAY.md`.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use consequence::replay::options_for_label;
+use consequence::ConsequenceRuntime;
+use dmt_api::{CommonConfig, CostModel, PerturbHandle, Runtime, TraceHandle};
+use dmt_trace::{DiskSink, Trace, TraceMeta};
+use dmt_workloads::{workload_by_name, Params, Validation};
+
+/// A finished recording.
+#[derive(Clone, Debug)]
+pub struct Recorded {
+    /// Where the container was written.
+    pub path: String,
+    /// Schedule events captured.
+    pub events: u64,
+    /// Schedule hash of the recorded run.
+    pub schedule_hash: u64,
+    /// Output hash of the recorded run.
+    pub output_hash: u64,
+    /// Whether the recorded run's output matched the sequential
+    /// reference.
+    pub validated: bool,
+    /// Container size on disk, in bytes.
+    pub bytes: u64,
+}
+
+/// The result of replaying one container.
+#[derive(Clone, Debug)]
+pub struct Replayed {
+    /// The container replayed.
+    pub path: String,
+    /// Workload the trace names.
+    pub workload: String,
+    /// Runtime the trace names.
+    pub runtime: String,
+    /// Schedule events in the recording.
+    pub recorded_events: u64,
+    /// Schedule events the re-execution produced.
+    pub replayed_events: u64,
+    /// Recorded schedule hash.
+    pub recorded_hash: u64,
+    /// Re-executed schedule hash.
+    pub replayed_hash: u64,
+    /// Cumulative-hash checkpoints that matched.
+    pub checkpoints_passed: u64,
+    /// Checkpoints in the recording.
+    pub checkpoints_total: u64,
+    /// Whether the re-executed output hash matched the recording.
+    pub output_match: bool,
+    /// Whether the re-executed commit-log hash matched the recording.
+    pub commit_log_match: bool,
+    /// First-divergent-event diagnosis, `None` when the schedule tracked
+    /// the recording exactly.
+    pub divergence: Option<String>,
+}
+
+impl Replayed {
+    /// Whether the replay reproduced the recording completely: identical
+    /// schedule (length, every event, every checkpoint, final hash),
+    /// identical output, identical commit log.
+    pub fn ok(&self) -> bool {
+        self.divergence.is_none()
+            && self.recorded_events == self.replayed_events
+            && self.recorded_hash == self.replayed_hash
+            && self.checkpoints_passed == self.checkpoints_total
+            && self.output_match
+            && self.commit_log_match
+    }
+}
+
+/// Records one workload × runtime cell into `dir`, naming the file
+/// `<workload>-<runtime>-t<threads>-s<scale>.dmtrace`, and re-validates
+/// the written container before returning.
+pub fn record_to(
+    dir: &Path,
+    runtime: &str,
+    workload: &str,
+    threads: usize,
+    scale: u32,
+    input_seed: u64,
+) -> Result<Recorded, String> {
+    let opts = options_for_label(runtime)
+        .ok_or_else(|| format!("cannot record runtime {runtime:?}: not a Consequence preset"))?;
+    let w = workload_by_name(workload).ok_or_else(|| format!("unknown workload {workload}"))?;
+    let p = Params::new(threads, scale, input_seed);
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{workload}-{runtime}-t{threads}-s{scale}.dmtrace"));
+
+    let heap_pages = w.heap_pages(&p);
+    let max_threads = 64;
+    let sink =
+        Arc::new(DiskSink::create(&path).map_err(|e| format!("create {}: {e}", path.display()))?);
+    let cfg = CommonConfig {
+        heap_pages,
+        max_threads,
+        cost: CostModel::default(),
+        track_lrc: false,
+        gc_budget: 4,
+        trace: TraceHandle::to(Arc::clone(&sink) as _),
+        perturb: PerturbHandle::off(),
+    };
+    let fingerprint = opts.fingerprint();
+    let mut rt = ConsequenceRuntime::new(cfg, opts);
+    let prepared = w.prepare(&mut rt, &p);
+    let report = rt.run(prepared.job);
+    let v: Validation = (prepared.validate)(&rt);
+
+    let meta = TraceMeta {
+        runtime: runtime.to_string(),
+        workload: workload.to_string(),
+        threads: threads as u64,
+        scale: scale as u64,
+        input_seed,
+        heap_pages: heap_pages as u64,
+        max_threads: max_threads as u64,
+        options_fingerprint: fingerprint,
+        perturb_seed: 0,
+        perturb_plan: 0,
+        event_count: 0,   // stamped by the writer
+        schedule_hash: 0, // stamped by the writer
+        commit_log_hash: report.commit_log_hash,
+        output_hash: v.output_hash,
+        checkpoint_interval: 0, // stamped by the writer
+    };
+    let meta = sink
+        .finish(meta)
+        .map_err(|e| format!("finish {}: {e}", path.display()))?;
+    // Immediate round-trip: a container we cannot re-open is useless.
+    Trace::open(&path).map_err(|e| format!("re-validate {}: {e}", path.display()))?;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    Ok(Recorded {
+        path: path.display().to_string(),
+        events: meta.event_count,
+        schedule_hash: meta.schedule_hash,
+        output_hash: v.output_hash,
+        validated: v.matches_reference,
+        bytes,
+    })
+}
+
+/// Replays one container file: re-stages the workload the trace names,
+/// re-executes it under the recorded grant script, and compares schedule,
+/// output and commit log against the recording.
+pub fn replay_file(path: &Path) -> Result<Replayed, String> {
+    let trace = Trace::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let w = workload_by_name(&trace.meta.workload)
+        .ok_or_else(|| format!("trace names unknown workload {:?}", trace.meta.workload))?;
+    let p = Params::new(
+        trace.meta.threads as usize,
+        trace.meta.scale as u32,
+        trace.meta.input_seed,
+    );
+    let (mut rt, monitor) = ConsequenceRuntime::new_replaying(&trace)
+        .map_err(|e| format!("replay {}: {e}", path.display()))?;
+    let prepared = w.prepare(&mut rt, &p);
+    let mut report = rt.run(prepared.job);
+    let v: Validation = (prepared.validate)(&rt);
+    let outcome = monitor.finish(&mut report);
+    Ok(Replayed {
+        path: path.display().to_string(),
+        workload: trace.meta.workload.clone(),
+        runtime: trace.meta.runtime.clone(),
+        recorded_events: outcome.recorded_events,
+        replayed_events: outcome.replayed_events,
+        recorded_hash: outcome.recorded_hash,
+        replayed_hash: outcome.replayed_hash,
+        checkpoints_passed: outcome.checkpoints_passed,
+        checkpoints_total: outcome.checkpoints_total,
+        output_match: v.output_hash == trace.meta.output_hash,
+        commit_log_match: report.commit_log_hash == trace.meta.commit_log_hash,
+        divergence: outcome.divergence,
+    })
+}
+
+/// Expands `path` into the containers to replay: the file itself, or
+/// every `*.dmtrace` directly inside it (sorted by name) when it is a
+/// directory.
+pub fn trace_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if path.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "dmtrace"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no .dmtrace files in {}", path.display()));
+        }
+        Ok(files)
+    } else if path.exists() {
+        Ok(vec![path.to_path_buf()])
+    } else {
+        Err(format!("{}: no such file or directory", path.display()))
+    }
+}
+
+/// One-line human rendering of a replay result.
+pub fn summarize(r: &Replayed) -> String {
+    let verdict = if r.ok() { "OK" } else { "DIVERGED" };
+    format!(
+        "[{verdict}] {} {} {}: events {}/{} hash {:#018x}/{:#018x} checkpoints {}/{} output={} commits={}",
+        r.workload,
+        r.runtime,
+        r.path,
+        r.replayed_events,
+        r.recorded_events,
+        r.replayed_hash,
+        r.recorded_hash,
+        r.checkpoints_passed,
+        r.checkpoints_total,
+        r.output_match,
+        r.commit_log_match,
+    )
+}

@@ -28,8 +28,10 @@
 
 pub mod fast;
 pub mod overflow;
+pub mod replay;
 pub mod table;
 
 pub use fast::{FastTable, PublishOutcome, SchedKind, SchedTable, Slots};
 pub use overflow::OverflowPolicy;
+pub use replay::ReplayCtl;
 pub use table::{ClockTable, OrderPolicy, ThreadState};

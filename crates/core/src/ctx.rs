@@ -123,6 +123,22 @@ impl Ctx {
         self.sh.opts.sched == SchedKind::Fast && !self.sh.degraded.load(Ordering::Relaxed)
     }
 
+    /// Token-admission predicate. Ordinary runs recompute eligibility
+    /// from published clocks; a replaying run instead asks the recorded
+    /// grant script whether this thread is the scripted next grantee,
+    /// falling back to recomputed eligibility once the script is
+    /// exhausted or abandoned on divergence (so the run always finishes
+    /// and can report *where* it split).
+    #[inline]
+    fn admitted(&self, inner: &mut Inner) -> bool {
+        if let Some(ctl) = &self.sh.replay {
+            if let Some(ok) = ctl.admits(self.tid.0) {
+                return ok;
+            }
+        }
+        inner.table.eligible(self.tid)
+    }
+
     /// Delivers a runtime error through an infallible [`ThreadCtx`]
     /// method: unwind with a [`ContainedError`] payload, caught at the
     /// thread boundary and turned into deterministic containment.
@@ -434,7 +450,7 @@ impl Ctx {
                 return Err(DmtError::Shutdown);
             }
             if inner.token.is_none()
-                && (inner.table.eligible(self.tid)
+                && (self.admitted(&mut inner)
                     // Deliberate determinism bug for `stress --inject-bug`
                     // (Options::inject_eligibility_bug): grab a free token
                     // without the eligibility check, letting physical
@@ -480,6 +496,11 @@ impl Ctx {
             self.cnt.token_wake_loops += 1;
         }
         inner.token = Some(self.tid);
+        if let Some(ctl) = &sh.replay {
+            // Advance the grant script: the next scripted grantee becomes
+            // admissible (and is woken by the broadcast on release).
+            ctl.granted(self.tid.0);
+        }
         // Mirror the grant into the lock-free flag so racing publishers
         // stop hinting wake-ups while the token is held.
         sh.slots.set_token_free(false);

@@ -39,8 +39,10 @@ pub mod coarsen;
 mod ctx;
 pub mod lrc;
 pub mod options;
+pub mod replay;
 pub mod runtime;
 mod shared;
 
 pub use options::Options;
+pub use replay::{run_replayed, ReplayError, ReplayMonitor, ReplayOutcome};
 pub use runtime::ConsequenceRuntime;

@@ -157,6 +157,40 @@ impl Options {
         }
     }
 
+    /// FNV-1a fingerprint of every schedule-relevant option.
+    ///
+    /// A recorded trace is only meaningful for the configuration that
+    /// produced it; the fingerprint is stored in the trace META stream
+    /// and checked before replay. Deliberately **excluded** because they
+    /// cannot change the schedule (and legitimately differ on replay):
+    /// `sched` (fast and reference produce bit-identical schedules —
+    /// replay forces reference for its broadcast wake-ups),
+    /// `record_schedule` (observation only) and `watchdog_stall_ms`
+    /// (supervision only; replay lowers it).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = dmt_api::Fnv1a::new();
+        let mut put = |x: u64| h.update(&x.to_le_bytes());
+        put(self.order as u64);
+        put(self.coarsening as u64);
+        put(self.static_coarsen.unwrap_or(u64::MAX));
+        put(self.fast_forward as u64);
+        put(self.parallel_barrier as u64);
+        put(self.adaptive_overflow as u64);
+        put(self.user_counter_read as u64);
+        put(self.thread_pool as u64);
+        put(self.chunk_limit.unwrap_or(u64::MAX));
+        put(self.single_global_lock as u64);
+        put(self.polling_locks as u64);
+        put(self.polling_increment);
+        put(self.base_overflow);
+        put(self.coarsen_initial);
+        put(self.coarsen_min);
+        put(self.coarsen_cap);
+        put(self.inject_eligibility_bug as u64);
+        put(self.inject_sched_corruption.unwrap_or(u64::MAX));
+        h.digest()
+    }
+
     /// Disables one named optimization, for Figure 13 ablations.
     ///
     /// Recognized names: `"coarsening"`, `"fast_forward"`,

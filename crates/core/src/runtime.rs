@@ -47,13 +47,24 @@ pub struct ConsequenceRuntime {
 impl ConsequenceRuntime {
     /// Creates a runtime with the given configuration and options.
     pub fn new(cfg: CommonConfig, opts: Options) -> ConsequenceRuntime {
+        ConsequenceRuntime::new_with_replay(cfg, opts, None)
+    }
+
+    /// Creates a runtime whose token grants follow a recorded script
+    /// (replay mode) when `replay` is set. Prefer the validated
+    /// [`ConsequenceRuntime::new_replaying`] entry point.
+    pub(crate) fn new_with_replay(
+        cfg: CommonConfig,
+        opts: Options,
+        replay: Option<Arc<det_clock::ReplayCtl>>,
+    ) -> ConsequenceRuntime {
         let name = match (opts.order, opts.single_global_lock) {
             (det_clock::OrderPolicy::InstructionCount, _) => "consequence-ic",
             (det_clock::OrderPolicy::RoundRobin, false) => "consequence-rr",
             (det_clock::OrderPolicy::RoundRobin, true) => "dwc",
         };
         ConsequenceRuntime {
-            sh: Shared::new(cfg, opts),
+            sh: Shared::new_replaying(cfg, opts, replay),
             name,
             ran: false,
         }
@@ -256,6 +267,7 @@ impl Runtime for ConsequenceRuntime {
             panics,
             fault,
             degraded: sh.degraded.load(Ordering::Relaxed),
+            replay_divergence: sh.cfg.trace.divergence().map(|d| d.to_string()),
         }
     }
 }

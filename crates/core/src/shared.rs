@@ -11,7 +11,7 @@ use std::sync::atomic::AtomicBool;
 use dmt_api::sync::{Condvar, Mutex};
 
 use conversion::{ParallelCommit, Segment, Workspace};
-use det_clock::{SchedTable, Slots};
+use det_clock::{ReplayCtl, SchedTable, Slots};
 use dmt_api::{Breakdown, CachePadded, CommonConfig, Counters, DmtError, Job, MutexId, Tid};
 
 use crate::coarsen::Ewma;
@@ -240,10 +240,18 @@ pub(crate) struct Shared {
     /// wake broadcasts to the shared condvar *and* all parkers (threads
     /// chose their wait condvar before the failover).
     pub degraded: AtomicBool,
+    /// Recorded grant script driving this run (replay mode). When set,
+    /// token admission follows the script instead of recomputed
+    /// eligibility until the script is exhausted or marked diverged.
+    pub replay: Option<Arc<ReplayCtl>>,
 }
 
 impl Shared {
-    pub fn new(cfg: CommonConfig, opts: Options) -> Arc<Shared> {
+    pub fn new_replaying(
+        cfg: CommonConfig,
+        opts: Options,
+        replay: Option<Arc<ReplayCtl>>,
+    ) -> Arc<Shared> {
         let mut seg = Segment::new(cfg.heap_pages, cfg.max_threads);
         seg.set_perturb(cfg.perturb.clone());
         let lrc = cfg.track_lrc.then(|| LrcTracker::new(cfg.max_threads));
@@ -293,6 +301,7 @@ impl Shared {
             parkers,
             slots,
             degraded: AtomicBool::new(false),
+            replay,
             cfg,
             opts,
             seg,

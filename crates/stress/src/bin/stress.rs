@@ -6,6 +6,8 @@
 //! cargo run -p dmt-stress --release --bin stress -- --inject-bug
 //! cargo run -p dmt-stress --release --bin stress -- --inject-panic
 //! cargo run -p dmt-stress --release --bin stress -- --sched-diff
+//! cargo run -p dmt-stress --release --bin stress -- --record traces/
+//! cargo run -p dmt-stress --release --bin stress -- --replay traces/
 //! cargo run -p dmt-stress --release --bin stress -- \
 //!     --workloads histogram,kmeans --runtimes consequence-ic --seeds 4
 //! ```
@@ -23,14 +25,21 @@
 //! everywhere. `--sched-diff` runs the seed
 //! matrix under both the fast and the reference scheduler and exits 1 on
 //! any schedule-hash or output divergence between them (the PR 4 fast
-//! path must be bit-identical). JSON reports land in `target/stress/`.
+//! path must be bit-identical). `--record <dir>` writes one `.dmtrace`
+//! container per workload × Consequence runtime of the active matrix
+//! (see `docs/TRACE_FORMAT.md`); `--replay <file-or-dir>` re-executes
+//! recorded containers and exits 1 on any schedule, output or commit-log
+//! divergence, printing the first-divergent-event diagnosis (see
+//! `docs/REPLAY.md`). JSON reports land in `target/stress/`.
 //! See `docs/STRESS.md`.
 
 use std::fs;
 use std::time::Instant;
 
+use consequence::replay;
 use dmt_baselines::RuntimeKind;
 use dmt_bench::json::ToJson;
+use dmt_bench::replay::{record_to, replay_file, summarize, trace_files};
 use dmt_stress::{run_inject_bug, run_matrix, run_panic_inject, run_sched_diff, StressConfig};
 
 fn dump<T: ToJson>(name: &str, value: &T) {
@@ -49,6 +58,7 @@ fn runtime_by_label(label: &str) -> Option<RuntimeKind> {
 fn usage() -> ! {
     eprintln!(
         "usage: stress [--smoke|--deep|--inject-bug|--inject-panic|--sched-diff] \
+         [--record DIR] [--replay FILE-OR-DIR] \
          [--workloads a,b,..] [--runtimes a,b,..] [--seeds N] [--threads N] [--scale N] \
          [--base-seed N]"
     );
@@ -73,9 +83,19 @@ fn main() {
     let mut inject = false;
     let mut inject_panic = false;
     let mut sched_diff = false;
+    let mut record_dir: Option<String> = None;
+    let mut replay_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--record" => {
+                i += 1;
+                record_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--replay" => {
+                i += 1;
+                replay_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--smoke" => {
                 mode = "smoke".into();
                 let c = StressConfig::smoke();
@@ -128,6 +148,84 @@ fn main() {
     }
 
     let t0 = Instant::now();
+    if let Some(dir) = record_dir {
+        println!("== stress --record: persisting one trace per workload x Consequence runtime");
+        let dir = std::path::PathBuf::from(dir);
+        let runtimes: Vec<&str> = cfg
+            .runtimes
+            .iter()
+            .map(|k| k.label())
+            .filter(|l| replay::options_for_label(l).is_some())
+            .collect();
+        if runtimes.is_empty() {
+            eprintln!(
+                "no recordable runtime selected (labels: consequence-ic, consequence-rr, dwc)"
+            );
+            std::process::exit(2);
+        }
+        let mut recorded = Vec::new();
+        let mut failed = false;
+        for name in &cfg.workloads {
+            for label in &runtimes {
+                match record_to(&dir, label, name, cfg.threads, cfg.scale, cfg.input_seed) {
+                    Ok(r) => {
+                        println!(
+                            "[{}] {name} {label}: {} events, hash {:#018x}, {} bytes -> {}",
+                            if r.validated { "ok" } else { "INVALID" },
+                            r.events,
+                            r.schedule_hash,
+                            r.bytes,
+                            r.path
+                        );
+                        failed |= !r.validated;
+                        recorded.push(r);
+                    }
+                    Err(e) => {
+                        println!("[FAILED] {name} {label}: {e}");
+                        failed = true;
+                    }
+                }
+            }
+        }
+        dump("record", &recorded);
+        eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
+    if let Some(path) = replay_path {
+        println!("== stress --replay: re-executing recorded traces");
+        let files = trace_files(std::path::Path::new(&path)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        let mut results = Vec::new();
+        let mut failed = false;
+        for f in &files {
+            match replay_file(f) {
+                Ok(r) => {
+                    println!("{}", summarize(&r));
+                    if let Some(d) = &r.divergence {
+                        println!("{d}");
+                    }
+                    failed |= !r.ok();
+                    results.push(r);
+                }
+                Err(e) => {
+                    println!("[FAILED] {}: {e}", f.display());
+                    failed = true;
+                }
+            }
+        }
+        dump("replay", &results);
+        println!(
+            "{}: {} trace(s) replayed",
+            if failed { "FAILED" } else { "PASSED" },
+            files.len()
+        );
+        eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
     if inject {
         println!("== stress --inject-bug: eligibility-check bypass must be caught");
         let out = run_inject_bug(12, 4, 400);

@@ -1,0 +1,169 @@
+//! The META stream: run identity and the recorded run's digests.
+
+use crate::format::TraceError;
+use crate::varint::{get_u64, put_u64};
+
+/// Everything a replayer needs to reconstruct and check the recorded
+/// run: which workload under which runtime configuration, and the
+/// digests the re-execution must reproduce.
+///
+/// Wall-clock timestamps are deliberately absent — two recordings of the
+/// same run must be byte-identical, so the container can itself be
+/// compared with `cmp`/`sha256sum` across machines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Runtime label, e.g. `"consequence-ic"` (see `dmt-baselines`).
+    pub runtime: String,
+    /// Workload paper name, e.g. `"histogram"` (see `dmt-workloads`).
+    pub workload: String,
+    /// Worker threads the workload was sized for.
+    pub threads: u64,
+    /// Workload problem-size multiplier.
+    pub scale: u64,
+    /// Workload input-generation seed.
+    pub input_seed: u64,
+    /// Heap pages the runtime was created with.
+    pub heap_pages: u64,
+    /// `CommonConfig::max_threads` of the recording.
+    pub max_threads: u64,
+    /// FNV-1a fingerprint of the schedule-relevant runtime options
+    /// (`consequence::Options::fingerprint`); replay refuses a build
+    /// whose options would order synchronization differently.
+    pub options_fingerprint: u64,
+    /// Master seed of the fault-injection plan active while recording
+    /// (0 = no perturbation).
+    pub perturb_seed: u64,
+    /// Digest of that plan (0 = no perturbation).
+    pub perturb_plan: u64,
+    /// Schedule events in the event stream.
+    pub event_count: u64,
+    /// Final schedule hash of the recorded run.
+    pub schedule_hash: u64,
+    /// Final commit-log hash of the recorded run.
+    pub commit_log_hash: u64,
+    /// Output-region digest of the recorded run (0 if not validated).
+    pub output_hash: u64,
+    /// Events per page — the checkpoint interval the CHECKPOINTS stream
+    /// was written at.
+    pub checkpoint_interval: u64,
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, TraceError> {
+    let corrupt = TraceError::Corrupt {
+        what: "meta string",
+    };
+    let len = get_u64(buf, pos).ok_or(TraceError::Truncated { what: "meta" })? as usize;
+    if len > 4096 || *pos + len > buf.len() {
+        return Err(corrupt);
+    }
+    let s = std::str::from_utf8(&buf[*pos..*pos + len]).map_err(|_| TraceError::Corrupt {
+        what: "meta string",
+    })?;
+    *pos += len;
+    Ok(s.to_string())
+}
+
+impl TraceMeta {
+    /// Serializes the META stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96);
+        put_str(&mut out, &self.runtime);
+        put_str(&mut out, &self.workload);
+        for v in [
+            self.threads,
+            self.scale,
+            self.input_seed,
+            self.heap_pages,
+            self.max_threads,
+            self.options_fingerprint,
+            self.perturb_seed,
+            self.perturb_plan,
+            self.event_count,
+            self.schedule_hash,
+            self.commit_log_hash,
+            self.output_hash,
+            self.checkpoint_interval,
+        ] {
+            put_u64(&mut out, v);
+        }
+        out
+    }
+
+    /// Parses a META stream; the whole buffer must be consumed.
+    pub fn from_bytes(buf: &[u8]) -> Result<TraceMeta, TraceError> {
+        let mut pos = 0;
+        let runtime = get_str(buf, &mut pos)?;
+        let workload = get_str(buf, &mut pos)?;
+        let mut next = || -> Result<u64, TraceError> {
+            get_u64(buf, &mut pos).ok_or(TraceError::Truncated { what: "meta" })
+        };
+        let meta = TraceMeta {
+            runtime,
+            workload,
+            threads: next()?,
+            scale: next()?,
+            input_seed: next()?,
+            heap_pages: next()?,
+            max_threads: next()?,
+            options_fingerprint: next()?,
+            perturb_seed: next()?,
+            perturb_plan: next()?,
+            event_count: next()?,
+            schedule_hash: next()?,
+            commit_log_hash: next()?,
+            output_hash: next()?,
+            checkpoint_interval: next()?,
+        };
+        if pos != buf.len() {
+            return Err(TraceError::Corrupt {
+                what: "meta trailing bytes",
+            });
+        }
+        Ok(meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceMeta {
+        TraceMeta {
+            runtime: "consequence-ic".into(),
+            workload: "histogram".into(),
+            threads: 4,
+            scale: 1,
+            input_seed: 42,
+            heap_pages: 2048,
+            max_threads: 64,
+            options_fingerprint: 0xABCD,
+            perturb_seed: 0,
+            perturb_plan: 0,
+            event_count: 12_345,
+            schedule_hash: 0x1111_2222_3333_4444,
+            commit_log_hash: 0x5555,
+            output_hash: 0x6666,
+            checkpoint_interval: 512,
+        }
+    }
+
+    #[test]
+    fn meta_roundtrips() {
+        let m = sample();
+        assert_eq!(TraceMeta::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn meta_rejects_truncation_and_trailers() {
+        let b = sample().to_bytes();
+        assert!(TraceMeta::from_bytes(&b[..b.len() - 1]).is_err());
+        let mut long = b.clone();
+        long.push(0);
+        assert!(TraceMeta::from_bytes(&long).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! The replay comparison sink: recorded schedule vs. live re-execution.
+
+use std::sync::Arc;
+
+use det_clock::ReplayCtl;
+use dmt_api::sync::Mutex;
+use dmt_api::trace::{Divergence, Event, EventCounts, TraceSink};
+use dmt_api::Fnv1a;
+
+use crate::reader::{Checkpoint, Trace};
+
+/// A failed cumulative-hash checkpoint during replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointFailure {
+    /// Event index (count folded) at which the checkpoint was taken.
+    pub events: u64,
+    /// Hash recorded in the trace.
+    pub recorded: u64,
+    /// Hash the replay computed.
+    pub replayed: u64,
+}
+
+struct ReplayState {
+    cursor: usize,
+    hash: Fnv1a,
+    counts: EventCounts,
+    divergence: Option<Divergence>,
+    next_ckpt: usize,
+    checkpoints_passed: u64,
+    checkpoint_failure: Option<CheckpointFailure>,
+}
+
+/// A [`TraceSink`] that checks a re-execution against a recorded trace
+/// event by event.
+///
+/// Attached as the replaying runtime's trace sink, it folds the live
+/// schedule hash exactly like a `HashSink`, compares every schedule
+/// event against the recorded stream, verifies each per-page cumulative
+/// hash checkpoint as it is crossed, and on the first mismatch builds
+/// the same first-divergent-event [`Divergence`] diagnosis the stress
+/// harness produces — then releases the grant script via
+/// [`ReplayCtl::mark_diverged`] so the run completes under recomputed
+/// eligibility instead of deadlocking on an inapplicable schedule.
+///
+/// Call [`finish_check`](ReplaySink::finish_check) after the run: a
+/// replay that stopped *short* of the recorded stream is a divergence
+/// too, which per-event comparison alone cannot see.
+pub struct ReplaySink {
+    recorded: Vec<Event>,
+    checkpoints: Vec<Checkpoint>,
+    ctl: Arc<ReplayCtl>,
+    st: Mutex<ReplayState>,
+}
+
+impl ReplaySink {
+    /// Builds the comparison sink for `trace`, sharing the grant-script
+    /// control the scheduler consults.
+    pub fn new(trace: &Trace, ctl: Arc<ReplayCtl>) -> ReplaySink {
+        ReplaySink {
+            recorded: trace.events.clone(),
+            checkpoints: trace.checkpoints.clone(),
+            ctl,
+            st: Mutex::new(ReplayState {
+                cursor: 0,
+                hash: Fnv1a::new(),
+                counts: EventCounts::default(),
+                divergence: None,
+                next_ckpt: 0,
+                checkpoints_passed: 0,
+                checkpoint_failure: None,
+            }),
+        }
+    }
+
+    fn context_before(&self, index: usize) -> Vec<(usize, Event)> {
+        (index.saturating_sub(5)..index)
+            .map(|i| (i, self.recorded[i]))
+            .collect()
+    }
+
+    /// End-of-run check: a replay that emitted fewer schedule events
+    /// than were recorded diverged at its end. Records that divergence
+    /// (if none was seen earlier) and returns the final verdict.
+    pub fn finish_check(&self) -> Option<Divergence> {
+        let mut st = self.st.lock();
+        if st.divergence.is_none() && st.cursor < self.recorded.len() {
+            st.divergence = Some(Divergence {
+                index: st.cursor,
+                left: Some(self.recorded[st.cursor]),
+                right: None,
+                context: self.context_before(st.cursor),
+            });
+        }
+        st.divergence.clone()
+    }
+
+    /// Schedule events the replay has emitted so far.
+    pub fn replayed_events(&self) -> u64 {
+        self.st.lock().cursor as u64
+    }
+
+    /// Cumulative-hash checkpoints that matched so far.
+    pub fn checkpoints_passed(&self) -> u64 {
+        self.st.lock().checkpoints_passed
+    }
+
+    /// Checkpoints the recorded trace carries in total.
+    pub fn checkpoints_total(&self) -> u64 {
+        self.checkpoints.len() as u64
+    }
+
+    /// The first failed checkpoint, if any. With per-event comparison
+    /// active this only fires when the *hash folding itself* disagrees
+    /// across builds — the cross-build drift the checkpoints exist to
+    /// localize.
+    pub fn checkpoint_failure(&self) -> Option<CheckpointFailure> {
+        self.st.lock().checkpoint_failure
+    }
+}
+
+impl TraceSink for ReplaySink {
+    fn emit(&self, ev: &Event, in_schedule: bool) {
+        let mut st = self.st.lock();
+        st.counts.record(ev.kind());
+        if !in_schedule {
+            return;
+        }
+        ev.fold(&mut st.hash);
+        let i = st.cursor;
+        st.cursor += 1;
+        if st.divergence.is_none() {
+            match self.recorded.get(i) {
+                Some(rec) if rec == ev => {}
+                Some(rec) => {
+                    st.divergence = Some(Divergence {
+                        index: i,
+                        left: Some(*rec),
+                        right: Some(*ev),
+                        context: self.context_before(i),
+                    });
+                    self.ctl.mark_diverged();
+                }
+                None => {
+                    // The replay ran past the end of the recording.
+                    st.divergence = Some(Divergence {
+                        index: i,
+                        left: None,
+                        right: Some(*ev),
+                        context: self.context_before(i),
+                    });
+                    self.ctl.mark_diverged();
+                }
+            }
+        }
+        if let Some(ck) = self.checkpoints.get(st.next_ckpt) {
+            if st.cursor as u64 == ck.events {
+                st.next_ckpt += 1;
+                if st.hash.digest() == ck.hash {
+                    st.checkpoints_passed += 1;
+                } else if st.checkpoint_failure.is_none() {
+                    st.checkpoint_failure = Some(CheckpointFailure {
+                        events: ck.events,
+                        recorded: ck.hash,
+                        replayed: st.hash.digest(),
+                    });
+                    self.ctl.mark_diverged();
+                }
+            }
+        }
+    }
+
+    fn schedule_hash(&self) -> u64 {
+        self.st.lock().hash.digest()
+    }
+
+    fn counts(&self) -> EventCounts {
+        self.st.lock().counts
+    }
+
+    fn divergence(&self) -> Option<Divergence> {
+        self.st.lock().divergence.clone()
+    }
+}

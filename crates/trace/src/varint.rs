@@ -1,0 +1,122 @@
+//! LEB128 varints and zigzag deltas — the container's integer encoding.
+//!
+//! Thread ids, object ids and counts are small; logical clocks and
+//! version ids are large but nearly monotone. LEB128 compresses the
+//! former directly and, combined with zigzag-coded deltas, the latter:
+//! a clock that advances by a few thousand per event costs two bytes
+//! instead of eight.
+
+/// Appends `v` to `out` as an LEB128 varint (1–10 bytes).
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `buf` at `*pos`, advancing it. `None` on
+/// a truncated or over-long (> 10 byte) encoding.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Zigzag-encodes a signed delta so small magnitudes of either sign get
+/// short varints.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends the zigzag-coded difference `to - from` (wrapping).
+pub fn put_delta(out: &mut Vec<u8>, from: u64, to: u64) {
+    put_u64(out, zigzag(to.wrapping_sub(from) as i64));
+}
+
+/// Reads a delta written by [`put_delta`] and applies it to `from`.
+pub fn get_delta(buf: &[u8], pos: &mut usize, from: u64) -> Option<u64> {
+    let d = unzigzag(get_u64(buf, pos)?);
+    Some(from.wrapping_add(d as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrips_across_magnitudes() {
+        let mut buf = Vec::new();
+        let vals = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in vals {
+            buf.clear();
+            put_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(get_u64(&[0x80, 0x80], &mut pos), None);
+        // 11-byte encoding: more continuation bytes than u64 can hold.
+        let long = [0xff; 11];
+        pos = 0;
+        assert_eq!(get_u64(&long, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small.
+        assert!(zigzag(-3) < 8);
+    }
+
+    #[test]
+    fn delta_roundtrips_even_backwards() {
+        let mut buf = Vec::new();
+        for (from, to) in [(100u64, 105u64), (105, 90), (0, u64::MAX), (u64::MAX, 0)] {
+            buf.clear();
+            put_delta(&mut buf, from, to);
+            let mut pos = 0;
+            assert_eq!(get_delta(&buf, &mut pos, from), Some(to));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Streaming container writer and the [`DiskSink`] trace sink.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use dmt_api::sync::Mutex;
+use dmt_api::trace::{Event, EventCounts, TraceSink};
+use dmt_api::Fnv1a;
+
+use crate::codec::{encode, CodecState};
+use crate::format::{fnv_of, header_bytes, DirEntry, StreamId, TraceError, PAGE_EVENTS};
+use crate::meta::TraceMeta;
+
+/// Streams schedule events into a `.dmtrace` container.
+///
+/// Events are buffered into pages of [`PAGE_EVENTS`]; each sealed page
+/// carries its own event count, byte length and FNV-1a digest, and adds
+/// one cumulative-schedule-hash checkpoint. Call
+/// [`finish`](TraceWriter::finish) to append the META, CHECKPOINTS and
+/// PERTURB streams plus the directory and patch the header — a file that
+/// was never finished is rejected by the reader as truncated.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dmt_trace::{TraceMeta, TraceWriter};
+/// use dmt_api::{trace::Event, Tid};
+///
+/// let mut w = TraceWriter::create("run.dmtrace")?;
+/// w.push(&Event::TokenAcquire { tid: Tid(0), clock: 100 })?;
+/// # let meta: TraceMeta = todo!();
+/// w.finish(meta)?; // meta from the finished run's report
+/// # Ok::<(), dmt_trace::TraceError>(())
+/// ```
+pub struct TraceWriter {
+    file: BufWriter<File>,
+    /// Bytes written past the header (== current events-stream length).
+    written: u64,
+    page_buf: Vec<u8>,
+    page_events: u32,
+    codec: CodecState,
+    events_total: u64,
+    hash: Fnv1a,
+    events_fnv: Fnv1a,
+    checkpoints: Vec<(u64, u64)>,
+}
+
+impl TraceWriter {
+    /// Creates `path` (truncating any existing file) and writes the
+    /// provisional header.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<TraceWriter, TraceError> {
+        let mut file = BufWriter::new(File::create(path)?);
+        file.write_all(&header_bytes(0, 0, 0, 0))?;
+        Ok(TraceWriter {
+            file,
+            written: 0,
+            page_buf: Vec::with_capacity(PAGE_EVENTS * 8),
+            page_events: 0,
+            codec: CodecState::default(),
+            events_total: 0,
+            hash: Fnv1a::new(),
+            events_fnv: Fnv1a::new(),
+            checkpoints: Vec::new(),
+        })
+    }
+
+    /// Appends one schedule event, sealing a page when full.
+    pub fn push(&mut self, ev: &Event) -> Result<(), TraceError> {
+        encode(ev, &mut self.codec, &mut self.page_buf);
+        ev.fold(&mut self.hash);
+        self.page_events += 1;
+        self.events_total += 1;
+        if self.page_events as usize >= PAGE_EVENTS {
+            self.seal_page()?;
+        }
+        Ok(())
+    }
+
+    /// Schedule events pushed so far.
+    pub fn events(&self) -> u64 {
+        self.events_total
+    }
+
+    /// Cumulative schedule hash of the events pushed so far.
+    pub fn schedule_hash(&self) -> u64 {
+        self.hash.digest()
+    }
+
+    fn write_stream_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.events_fnv.update(bytes);
+        self.written += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn seal_page(&mut self) -> io::Result<()> {
+        if self.page_events == 0 {
+            return Ok(());
+        }
+        let header_count = self.page_events.to_le_bytes();
+        let header_len = (self.page_buf.len() as u32).to_le_bytes();
+        let header_fnv = fnv_of(&self.page_buf).to_le_bytes();
+        self.write_stream_bytes(&header_count)?;
+        self.write_stream_bytes(&header_len)?;
+        self.write_stream_bytes(&header_fnv)?;
+        let payload = std::mem::take(&mut self.page_buf);
+        self.write_stream_bytes(&payload)?;
+        self.page_buf = payload;
+        self.page_buf.clear();
+        self.page_events = 0;
+        // Delta state resets per page so each page decodes independently
+        // — a truncated tail never poisons earlier pages.
+        self.codec = CodecState::default();
+        self.checkpoints
+            .push((self.events_total, self.hash.digest()));
+        Ok(())
+    }
+
+    /// Seals the final page, writes the remaining streams and directory,
+    /// and patches the header. Consumes the writer; the returned
+    /// [`TraceMeta`] is `meta` with the event count, schedule hash and
+    /// checkpoint interval the writer actually observed stamped in.
+    pub fn finish(mut self, meta: TraceMeta) -> Result<TraceMeta, TraceError> {
+        self.seal_page()?;
+        let meta = TraceMeta {
+            event_count: self.events_total,
+            schedule_hash: self.hash.digest(),
+            checkpoint_interval: PAGE_EVENTS as u64,
+            ..meta
+        };
+
+        let header_len = crate::format::HEADER_LEN as u64;
+        let events_entry = DirEntry {
+            id: StreamId::Events as u32,
+            offset: header_len,
+            len: self.written,
+            fnv: self.events_fnv.digest(),
+        };
+
+        let meta_bytes = meta.to_bytes();
+        let mut ckpt_bytes = Vec::with_capacity(8 + self.checkpoints.len() * 16);
+        ckpt_bytes.extend_from_slice(&(self.checkpoints.len() as u64).to_le_bytes());
+        for (events, digest) in &self.checkpoints {
+            ckpt_bytes.extend_from_slice(&events.to_le_bytes());
+            ckpt_bytes.extend_from_slice(&digest.to_le_bytes());
+        }
+        let mut perturb_bytes = Vec::with_capacity(16);
+        perturb_bytes.extend_from_slice(&meta.perturb_seed.to_le_bytes());
+        perturb_bytes.extend_from_slice(&meta.perturb_plan.to_le_bytes());
+
+        let mut offset = header_len + self.written;
+        let mut entries = vec![events_entry];
+        for (id, bytes) in [
+            (StreamId::Meta, &meta_bytes),
+            (StreamId::Checkpoints, &ckpt_bytes),
+            (StreamId::Perturb, &perturb_bytes),
+        ] {
+            self.file.write_all(bytes)?;
+            entries.push(DirEntry {
+                id: id as u32,
+                offset,
+                len: bytes.len() as u64,
+                fnv: fnv_of(bytes),
+            });
+            offset += bytes.len() as u64;
+        }
+
+        let dir_offset = offset;
+        let mut dir_bytes = Vec::with_capacity(4 * crate::format::DIR_ENTRY_LEN);
+        for e in entries {
+            dir_bytes.extend_from_slice(&e.to_bytes());
+        }
+        self.file.write_all(&dir_bytes)?;
+
+        let header = header_bytes(dir_offset, dir_bytes.len() as u64, fnv_of(&dir_bytes), 4);
+        let mut file = self
+            .file
+            .into_inner()
+            .map_err(|e| TraceError::Io(io::Error::other(e.to_string())))?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.sync_all()?;
+        Ok(meta)
+    }
+}
+
+struct DiskState {
+    writer: Option<TraceWriter>,
+    counts: EventCounts,
+    final_hash: u64,
+    io_error: Option<TraceError>,
+}
+
+/// A [`TraceSink`] that streams schedule events straight to disk.
+///
+/// Attach via `TraceHandle::to` like any other sink; after the run, call
+/// [`finish`](DiskSink::finish) with the run's [`TraceMeta`] to complete
+/// the container. An I/O error mid-run stops writing (the run itself is
+/// unaffected) and is surfaced by `finish`.
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use dmt_api::TraceHandle;
+/// use dmt_trace::DiskSink;
+///
+/// let sink = Arc::new(DiskSink::create("run.dmtrace")?);
+/// let trace = TraceHandle::to(Arc::clone(&sink) as _);
+/// // ... build a runtime with `trace` in its CommonConfig and run ...
+/// # let meta = todo!();
+/// let meta = sink.finish(meta)?;
+/// # Ok::<(), dmt_trace::TraceError>(())
+/// ```
+pub struct DiskSink {
+    st: Mutex<DiskState>,
+}
+
+impl DiskSink {
+    /// Creates the container file and a sink streaming into it.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<DiskSink, TraceError> {
+        Ok(DiskSink {
+            st: Mutex::new(DiskState {
+                writer: Some(TraceWriter::create(path)?),
+                counts: EventCounts::default(),
+                final_hash: 0,
+                io_error: None,
+            }),
+        })
+    }
+
+    /// Completes the container: seals the last page, writes META (from
+    /// `meta`, with the observed event count and schedule hash stamped
+    /// in), CHECKPOINTS, PERTURB and the directory. Returns the final
+    /// meta, or the first error the recording hit.
+    pub fn finish(&self, meta: TraceMeta) -> Result<TraceMeta, TraceError> {
+        let mut st = self.st.lock();
+        if let Some(e) = st.io_error.take() {
+            return Err(e);
+        }
+        let writer = st.writer.take().ok_or(TraceError::Corrupt {
+            what: "sink finished twice",
+        })?;
+        st.final_hash = writer.schedule_hash();
+        writer.finish(meta)
+    }
+}
+
+impl TraceSink for DiskSink {
+    fn emit(&self, ev: &Event, in_schedule: bool) {
+        let mut st = self.st.lock();
+        st.counts.record(ev.kind());
+        if !in_schedule {
+            return;
+        }
+        if let Some(w) = st.writer.as_mut() {
+            if let Err(e) = w.push(ev) {
+                // Stop recording but let the run itself continue; the
+                // error resurfaces at finish().
+                st.io_error = Some(e);
+                st.final_hash = st.writer.as_ref().map_or(0, |w| w.schedule_hash());
+                st.writer = None;
+            }
+        }
+    }
+
+    fn schedule_hash(&self) -> u64 {
+        let st = self.st.lock();
+        st.writer
+            .as_ref()
+            .map_or(st.final_hash, |w| w.schedule_hash())
+    }
+
+    fn counts(&self) -> EventCounts {
+        self.st.lock().counts
+    }
+}

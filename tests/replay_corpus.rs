@@ -1,0 +1,121 @@
+//! Persistent record/replay: round trips through the on-disk container,
+//! replay of the committed trace corpus, and divergence detection on a
+//! tampered recording. See `docs/TRACE_FORMAT.md` and `docs/REPLAY.md`.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use dmt_api::trace::Event;
+use dmt_bench::replay::{record_to, replay_file, trace_files};
+use dmt_trace::Trace;
+
+/// A unique scratch directory per test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dmtrace-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Record a run, replay it, and require a complete match: schedule
+/// length, every event, every checkpoint, final hash, output and commit
+/// log.
+#[test]
+fn record_then_replay_reproduces_the_run() {
+    let dir = Scratch::new("roundtrip");
+    let rec = record_to(&dir.0, "consequence-ic", "histogram", 4, 1, 42).unwrap();
+    assert!(rec.validated, "recorded run failed output validation");
+    assert!(rec.events > 0);
+
+    let rep = replay_file(Path::new(&rec.path)).unwrap();
+    assert!(
+        rep.ok(),
+        "replay diverged: {}",
+        rep.divergence.as_deref().unwrap_or("(no diagnosis)")
+    );
+    assert_eq!(rep.replayed_hash, rec.schedule_hash);
+    assert_eq!(rep.replayed_events, rec.events);
+    assert_eq!(rep.checkpoints_passed, rep.checkpoints_total);
+}
+
+/// Replay applies across presets: round-robin ordering and DWC replay
+/// just as instruction-count does.
+#[test]
+fn record_then_replay_other_presets() {
+    let dir = Scratch::new("presets");
+    for runtime in ["consequence-rr", "dwc"] {
+        let rec = record_to(&dir.0, runtime, "kmeans", 4, 1, 42).unwrap();
+        let rep = replay_file(Path::new(&rec.path)).unwrap();
+        assert!(
+            rep.ok(),
+            "{runtime} replay diverged: {}",
+            rep.divergence.as_deref().unwrap_or("(no diagnosis)")
+        );
+    }
+}
+
+/// Tampering with one recorded event must be caught, and the diagnosis
+/// must name exactly the tampered event index.
+#[test]
+fn tampered_trace_diverges_at_the_tampered_event() {
+    let dir = Scratch::new("tamper");
+    let rec = record_to(&dir.0, "consequence-ic", "histogram", 4, 1, 42).unwrap();
+
+    let mut trace = Trace::open(&rec.path).unwrap();
+    // Bump the clock of a mid-trace token acquisition: the grant order
+    // (and so the replay's course) is unchanged, but the recorded event
+    // no longer matches what the re-execution emits.
+    let target = trace
+        .events
+        .iter()
+        .enumerate()
+        .skip(trace.events.len() / 2)
+        .find_map(|(i, ev)| matches!(ev, Event::TokenAcquire { .. }).then_some(i))
+        .expect("no token acquisition in the second half of the trace");
+    if let Event::TokenAcquire { clock, .. } = &mut trace.events[target] {
+        *clock += 1;
+    }
+    let tampered = dir.0.join("tampered.dmtrace");
+    trace.save(&tampered).unwrap();
+
+    let rep = replay_file(&tampered).unwrap();
+    assert!(!rep.ok(), "tampered trace replayed clean");
+    let diag = rep.divergence.expect("divergence carried no diagnosis");
+    assert!(
+        diag.contains(&format!("diverge at event #{target}")),
+        "diagnosis does not name event #{target}:\n{diag}"
+    );
+}
+
+/// The committed corpus must replay green: every container re-executes
+/// to its recorded schedule and output on the current build.
+#[test]
+fn committed_corpus_replays_clean() {
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let files = trace_files(&corpus).unwrap();
+    assert!(!files.is_empty());
+    for f in files {
+        let rep = replay_file(&f).unwrap();
+        assert!(
+            rep.ok(),
+            "{} diverged: {}",
+            f.display(),
+            rep.divergence.as_deref().unwrap_or("(no diagnosis)")
+        );
+    }
+}
