@@ -30,6 +30,36 @@ impl fmt::Display for Tid {
     }
 }
 
+/// Deterministic token-domain identifier.
+///
+/// A *domain* is one independently tokened partition of the runtime: its
+/// own logical-clock table, its own global token, its own deterministic
+/// total order of synchronization. The unsharded runtimes run everything
+/// in [`DomainId::ROOT`]; the `dmt-shard` subsystem assigns each shard a
+/// distinct domain so schedule hashes and recorded traces distinguish
+/// per-shard interleavings.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// The root (unsharded) domain. Events in this domain hash and encode
+    /// exactly as they did before domains existed, so single-domain
+    /// schedule hashes and recorded traces are stable across versions.
+    pub const ROOT: DomainId = DomainId(0);
+
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
 macro_rules! object_id {
     ($(#[$meta:meta])* $name:ident) => {
         $(#[$meta])*
@@ -81,6 +111,14 @@ mod tests {
         assert!(Tid(1) < Tid(2));
         assert_eq!(Tid::MAIN, Tid(0));
         assert_eq!(Tid(7).index(), 7);
+    }
+
+    #[test]
+    fn domain_ids_order_and_index() {
+        assert_eq!(DomainId::ROOT, DomainId(0));
+        assert!(DomainId(1) < DomainId(2));
+        assert_eq!(DomainId(5).index(), 5);
+        assert_eq!(DomainId(2).to_string(), "D2");
     }
 
     #[test]

@@ -29,13 +29,27 @@
 //! emitted as auxiliary: counted, but never hashed. The nondeterministic
 //! pthreads baseline emits everything as schedule events; its hash varying
 //! across runs is the negative control.
+//!
+//! # Token domains
+//!
+//! The `dmt-shard` subsystem partitions a run into independently tokened
+//! **domains** (see [`crate::DomainId`]), each with its own deterministic
+//! total order. Every emission carries the emitting domain: a
+//! [`TraceHandle`] is bound to one domain at construction
+//! ([`TraceHandle::to_domain`]) and stamps it on every event, so one sink
+//! can absorb several domains' schedules and still tell them apart.
+//! Events in [`crate::DomainId::ROOT`] fold into the schedule hash exactly
+//! as they did before domains existed — unsharded hashes and recorded
+//! traces are stable across versions — while non-root domains fold a
+//! domain prefix, so two shards' interleavings can never collide into one
+//! hash. [`diagnose_domains`] names the divergent domain.
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
 use crate::hash::Fnv1a;
-use crate::ids::{BarrierId, CondId, MutexId, RwLockId, Tid};
+use crate::ids::{BarrierId, CondId, DomainId, MutexId, RwLockId, Tid};
 use crate::sync::Mutex;
 
 /// One synchronization event in a runtime's deterministic total order.
@@ -400,6 +414,23 @@ impl Event {
             }
         }
     }
+
+    /// Folds this event as a member of `domain`.
+    ///
+    /// [`DomainId::ROOT`] folds nothing extra — byte-for-byte the legacy
+    /// encoding, keeping unsharded schedule hashes (and every trace
+    /// recorded before domains existed) stable. Any other domain prefixes
+    /// a tag byte plus the domain id, so the same event sequence hashed
+    /// under two different domains can never collide.
+    pub fn fold_domain(&self, domain: DomainId, h: &mut Fnv1a) {
+        if domain != DomainId::ROOT {
+            // 0xD0 is outside the EventKind tag range, so a domain prefix
+            // can never alias an event boundary.
+            h.update(&[0xD0]);
+            h.update_u64(domain.0 as u64);
+        }
+        self.fold(h);
+    }
 }
 
 impl fmt::Display for Event {
@@ -523,10 +554,13 @@ impl EventCounts {
 /// runtime's global lock; implementations must be cheap and `Sync`.
 /// `in_schedule` is true when the event occupies a slot in the
 /// deterministic total order (see the module docs) — only those events
-/// may enter the schedule hash.
+/// may enter the schedule hash. `domain` is the emitting token domain;
+/// unsharded runtimes always pass [`DomainId::ROOT`], sharded runs may
+/// interleave several domains into one sink (hashing sinks must fold via
+/// [`Event::fold_domain`] so per-domain orders stay distinguishable).
 pub trait TraceSink: Send + Sync {
     /// Records one event.
-    fn emit(&self, ev: &Event, in_schedule: bool);
+    fn emit(&self, ev: &Event, in_schedule: bool, domain: DomainId);
 
     /// The schedule hash accumulated so far (0 for sinks that don't hash).
     fn schedule_hash(&self) -> u64 {
@@ -552,7 +586,7 @@ pub trait TraceSink: Send + Sync {
 pub struct NullSink;
 
 impl TraceSink for NullSink {
-    fn emit(&self, _: &Event, _: bool) {}
+    fn emit(&self, _: &Event, _: bool, _: DomainId) {}
 }
 
 #[derive(Default)]
@@ -578,10 +612,10 @@ impl HashSink {
 }
 
 impl TraceSink for HashSink {
-    fn emit(&self, ev: &Event, in_schedule: bool) {
+    fn emit(&self, ev: &Event, in_schedule: bool, domain: DomainId) {
         let mut st = self.st.lock();
         if in_schedule {
-            ev.fold(&mut st.hash);
+            ev.fold_domain(domain, &mut st.hash);
         }
         st.counts.record(ev.kind());
     }
@@ -596,7 +630,7 @@ impl TraceSink for HashSink {
 }
 
 struct MemoryState {
-    events: VecDeque<Event>,
+    events: VecDeque<(DomainId, Event)>,
     dropped: u64,
     hash: Fnv1a,
     counts: EventCounts,
@@ -629,6 +663,14 @@ impl MemorySink {
     /// buffer. The second value is how many older events were dropped by
     /// the ring bound (0 means the trace is complete).
     pub fn take(&self) -> (Vec<Event>, u64) {
+        let (evs, dropped) = self.take_domains();
+        (evs.into_iter().map(|(_, ev)| ev).collect(), dropped)
+    }
+
+    /// Like [`take`](MemorySink::take), but keeps each event paired with
+    /// its emitting token domain — the form [`diagnose_domains`] wants
+    /// when a sink absorbed a multi-domain (sharded) schedule.
+    pub fn take_domains(&self) -> (Vec<(DomainId, Event)>, u64) {
         let mut st = self.st.lock();
         let dropped = st.dropped;
         st.dropped = 0;
@@ -637,15 +679,15 @@ impl MemorySink {
 }
 
 impl TraceSink for MemorySink {
-    fn emit(&self, ev: &Event, in_schedule: bool) {
+    fn emit(&self, ev: &Event, in_schedule: bool, domain: DomainId) {
         let mut st = self.st.lock();
         if in_schedule {
-            ev.fold(&mut st.hash);
+            ev.fold_domain(domain, &mut st.hash);
             if st.events.len() == self.cap {
                 st.events.pop_front();
                 st.dropped += 1;
             }
-            st.events.push_back(*ev);
+            st.events.push_back((domain, *ev));
         }
         st.counts.record(ev.kind());
     }
@@ -662,49 +704,74 @@ impl TraceSink for MemorySink {
 /// A cloneable, optionally-absent sink reference carried in
 /// [`crate::CommonConfig`]. The default is off; every emission site then
 /// costs one branch.
+///
+/// A handle is bound to one token domain ([`DomainId::ROOT`] unless built
+/// with [`TraceHandle::to_domain`]) and stamps it on every emission, so
+/// runtimes never thread domain ids through their emission sites — the
+/// `dmt-shard` subsystem simply hands each domain's runtime a handle bound
+/// to that domain.
 #[derive(Clone, Default)]
-pub struct TraceHandle(Option<Arc<dyn TraceSink>>);
+pub struct TraceHandle {
+    sink: Option<Arc<dyn TraceSink>>,
+    domain: DomainId,
+}
 
 impl TraceHandle {
     /// Tracing disabled (the default).
     pub fn off() -> TraceHandle {
-        TraceHandle(None)
+        TraceHandle {
+            sink: None,
+            domain: DomainId::ROOT,
+        }
     }
 
-    /// Tracing into `sink`.
+    /// Tracing into `sink`, in the root (unsharded) domain.
     pub fn to(sink: Arc<dyn TraceSink>) -> TraceHandle {
-        TraceHandle(Some(sink))
+        TraceHandle::to_domain(sink, DomainId::ROOT)
+    }
+
+    /// Tracing into `sink`, stamping every emission with `domain`.
+    pub fn to_domain(sink: Arc<dyn TraceSink>, domain: DomainId) -> TraceHandle {
+        TraceHandle {
+            sink: Some(sink),
+            domain,
+        }
     }
 
     /// Whether a sink is attached.
     pub fn enabled(&self) -> bool {
-        self.0.is_some()
+        self.sink.is_some()
+    }
+
+    /// The token domain this handle stamps on emissions.
+    pub fn domain(&self) -> DomainId {
+        self.domain
     }
 
     /// Emits a schedule event (a slot in the deterministic total order).
     #[inline]
     pub fn emit(&self, ev: Event) {
-        if let Some(s) = &self.0 {
-            s.emit(&ev, true);
+        if let Some(s) = &self.sink {
+            s.emit(&ev, true, self.domain);
         }
     }
 
     /// Emits an auxiliary event (counted, never hashed).
     #[inline]
     pub fn emit_aux(&self, ev: Event) {
-        if let Some(s) = &self.0 {
-            s.emit(&ev, false);
+        if let Some(s) = &self.sink {
+            s.emit(&ev, false, self.domain);
         }
     }
 
     /// The sink's schedule hash (0 when off or non-hashing).
     pub fn schedule_hash(&self) -> u64 {
-        self.0.as_ref().map_or(0, |s| s.schedule_hash())
+        self.sink.as_ref().map_or(0, |s| s.schedule_hash())
     }
 
     /// The sink's event counts (zeroes when off).
     pub fn counts(&self) -> EventCounts {
-        self.0
+        self.sink
             .as_ref()
             .map_or_else(EventCounts::default, |s| s.counts())
     }
@@ -712,13 +779,13 @@ impl TraceHandle {
     /// The sink's first observed replay divergence (`None` when off or
     /// when the sink does not compare against a recording).
     pub fn divergence(&self) -> Option<Divergence> {
-        self.0.as_ref().and_then(|s| s.divergence())
+        self.sink.as_ref().and_then(|s| s.divergence())
     }
 }
 
 impl fmt::Debug for TraceHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(if self.0.is_some() {
+        f.write_str(if self.sink.is_some() {
             "TraceHandle(on)"
         } else {
             "TraceHandle(off)"
@@ -737,6 +804,11 @@ pub struct Divergence {
     pub right: Option<Event>,
     /// Up to the last 5 common-prefix events, as `(index, event)`.
     pub context: Vec<(usize, Event)>,
+    /// The token domain the divergence happened in. [`DomainId::ROOT`]
+    /// for unsharded schedules; for sharded schedules
+    /// ([`diagnose_domains`]) the domain of the first differing event —
+    /// i.e. *which shard* split first.
+    pub domain: DomainId,
 }
 
 /// Compares two recorded schedules and reports the first divergence, or
@@ -759,12 +831,53 @@ pub fn diagnose(left: &[Event], right: &[Event]) -> Option<Divergence> {
         left: left.get(common).copied(),
         right: right.get(common).copied(),
         context: (ctx_from..common).map(|i| (i, left[i])).collect(),
+        domain: DomainId::ROOT,
+    })
+}
+
+/// [`diagnose`] for multi-domain (sharded) schedules: compares two
+/// domain-stamped traces and names the token domain of the first
+/// differing event, so a sharded divergence report says *which shard*
+/// split — a domain mismatch at equal events is itself a divergence.
+pub fn diagnose_domains(
+    left: &[(DomainId, Event)],
+    right: &[(DomainId, Event)],
+) -> Option<Divergence> {
+    let common = left
+        .iter()
+        .zip(right.iter())
+        .take_while(|(a, b)| a == b)
+        .count();
+    if common == left.len() && common == right.len() {
+        return None;
+    }
+    let ctx_from = common.saturating_sub(5);
+    // Name the domain of whichever side has an event at the split; a
+    // trace that simply ended inherits the other side's domain.
+    let domain = left
+        .get(common)
+        .or_else(|| right.get(common))
+        .map_or(DomainId::ROOT, |(d, _)| *d);
+    Some(Divergence {
+        index: common,
+        left: left.get(common).map(|(_, ev)| *ev),
+        right: right.get(common).map(|(_, ev)| *ev),
+        context: (ctx_from..common).map(|i| (i, left[i].1)).collect(),
+        domain,
     })
 }
 
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "schedules diverge at event #{}", self.index)?;
+        if self.domain == DomainId::ROOT {
+            writeln!(f, "schedules diverge at event #{}", self.index)?;
+        } else {
+            writeln!(
+                f,
+                "schedules diverge at event #{} in domain {}",
+                self.index, self.domain
+            )?;
+        }
         for (i, ev) in &self.context {
             writeln!(f, "  #{i} (both): {ev}")?;
         }
@@ -793,26 +906,27 @@ mod tests {
     #[test]
     fn hash_sink_is_order_sensitive() {
         let a = HashSink::new();
-        a.emit(&ev(0, 1), true);
-        a.emit(&ev(1, 2), true);
+        a.emit(&ev(0, 1), true, DomainId::ROOT);
+        a.emit(&ev(1, 2), true, DomainId::ROOT);
         let b = HashSink::new();
-        b.emit(&ev(1, 2), true);
-        b.emit(&ev(0, 1), true);
+        b.emit(&ev(1, 2), true, DomainId::ROOT);
+        b.emit(&ev(0, 1), true, DomainId::ROOT);
         assert_ne!(a.schedule_hash(), b.schedule_hash());
     }
 
     #[test]
     fn aux_events_are_counted_but_not_hashed() {
         let a = HashSink::new();
-        a.emit(&ev(0, 1), true);
+        a.emit(&ev(0, 1), true, DomainId::ROOT);
         let b = HashSink::new();
-        b.emit(&ev(0, 1), true);
+        b.emit(&ev(0, 1), true, DomainId::ROOT);
         b.emit(
             &Event::Publish {
                 tid: Tid(3),
                 clock: 99,
             },
             false,
+            DomainId::ROOT,
         );
         assert_eq!(a.schedule_hash(), b.schedule_hash());
         assert_eq!(b.counts().get(EventKind::Publish), 1);
@@ -823,11 +937,43 @@ mod tests {
     fn memory_sink_ring_drops_oldest() {
         let s = MemorySink::new(2);
         for i in 0..5 {
-            s.emit(&ev(0, i), true);
+            s.emit(&ev(0, i), true, DomainId::ROOT);
         }
         let (evs, dropped) = s.take();
         assert_eq!(dropped, 3);
         assert_eq!(evs, vec![ev(0, 3), ev(0, 4)]);
+    }
+
+    #[test]
+    fn root_domain_folds_exactly_like_fold() {
+        let mut plain = Fnv1a::new();
+        ev(2, 7).fold(&mut plain);
+        let mut rooted = Fnv1a::new();
+        ev(2, 7).fold_domain(DomainId::ROOT, &mut rooted);
+        assert_eq!(plain.digest(), rooted.digest());
+    }
+
+    #[test]
+    fn domains_distinguish_identical_event_streams() {
+        let a = HashSink::new();
+        a.emit(&ev(0, 1), true, DomainId(1));
+        let b = HashSink::new();
+        b.emit(&ev(0, 1), true, DomainId(2));
+        let root = HashSink::new();
+        root.emit(&ev(0, 1), true, DomainId::ROOT);
+        assert_ne!(a.schedule_hash(), b.schedule_hash());
+        assert_ne!(a.schedule_hash(), root.schedule_hash());
+    }
+
+    #[test]
+    fn trace_handle_stamps_its_domain() {
+        let sink = Arc::new(MemorySink::new(8));
+        let h = TraceHandle::to_domain(sink.clone(), DomainId(3));
+        assert_eq!(h.domain(), DomainId(3));
+        h.emit(ev(0, 1));
+        let (evs, dropped) = sink.take_domains();
+        assert_eq!(dropped, 0);
+        assert_eq!(evs, vec![(DomainId(3), ev(0, 1))]);
     }
 
     #[test]
@@ -854,6 +1000,31 @@ mod tests {
         assert!(d.left.is_none());
         assert_eq!(d.right, Some(ev(0, 3)));
         assert!(diagnose(&left, &left).is_none());
+    }
+
+    #[test]
+    fn diagnose_domains_names_the_divergent_shard() {
+        let left: Vec<(DomainId, Event)> =
+            (0..6).map(|i| (DomainId(i as u32 % 2), ev(0, i))).collect();
+        let mut right = left.clone();
+        right[5] = (DomainId(1), ev(9, 5));
+        let d = diagnose_domains(&left, &right).expect("must diverge");
+        assert_eq!(d.index, 5);
+        assert_eq!(d.domain, DomainId(1));
+        assert_eq!(d.left, Some(ev(0, 5)));
+        assert_eq!(d.right, Some(ev(9, 5)));
+        let report = d.to_string();
+        assert!(report.contains("in domain D1"), "{report}");
+        assert!(diagnose_domains(&left, &left).is_none());
+    }
+
+    #[test]
+    fn diagnose_domains_flags_domain_only_mismatch() {
+        let left = vec![(DomainId(0), ev(0, 1))];
+        let right = vec![(DomainId(1), ev(0, 1))];
+        let d = diagnose_domains(&left, &right).expect("domains differ");
+        assert_eq!(d.index, 0);
+        assert_eq!(d.left, d.right);
     }
 
     #[test]

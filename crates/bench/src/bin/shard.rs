@@ -1,0 +1,114 @@
+//! `shard` — sharded-token-domain scaling benchmarks.
+//!
+//! ```text
+//! shard [--smoke] [--out PATH]    run the benchmarks, write the JSON artifact
+//! shard --check PATH              validate an existing artifact (CI gate)
+//! ```
+//!
+//! The full run regenerates `BENCH_shard.json` (committed at the repo root
+//! as the performance baseline; always use `--release`). `--smoke` shrinks
+//! repetitions for CI. `--check` parses an emitted document with the
+//! in-tree JSON parser, verifies every shard count is present and
+//! deterministic, that the final store is invariant across shard counts,
+//! and (full mode) that sync-op throughput rises monotonically from 1 to
+//! 4 shards — see `docs/PERF.md` for the schema.
+
+use std::process::ExitCode;
+
+use dmt_bench::json::ToJson;
+use dmt_bench::shard::{run_shard_bench, validate_report};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_shard.json");
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => return usage("--out requires a path"),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => return usage("--check requires a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("shard: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_report(&text) {
+            Ok(()) => {
+                println!("{path}: ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    eprintln!(
+        "running shard bench ({} mode)...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = run_shard_bench(smoke);
+
+    for c in &report.cells {
+        eprintln!(
+            "shards={} ({}x{} workers): {:>9.0} sync-ops/s  {:>8.0} req/s  \
+             hash {:#018x}  {}",
+            c.shards,
+            c.shards,
+            c.workers_per_domain,
+            c.sync_ops_per_s,
+            c.req_per_s,
+            c.schedule_hash,
+            if c.deterministic {
+                "deterministic"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    eprintln!(
+        "store invariant across shard counts: {}",
+        report.store_invariant
+    );
+
+    let text = report.to_json();
+    if let Err(e) = validate_report(&text) {
+        eprintln!("shard: emitted report failed self-validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, text + "\n") {
+        eprintln!("shard: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("shard: {err}");
+    }
+    eprintln!("usage: shard [--smoke] [--out PATH] | shard --check PATH");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

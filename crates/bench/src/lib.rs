@@ -11,6 +11,7 @@ pub mod json;
 pub mod jsonparse;
 pub mod replay;
 pub mod sched;
+pub mod shard;
 pub mod stats;
 pub mod vmem;
 

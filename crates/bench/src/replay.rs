@@ -155,6 +155,29 @@ pub fn record_to(
 /// output and commit log against the recording.
 pub fn replay_file(path: &Path) -> Result<Replayed, String> {
     let trace = Trace::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    if trace
+        .meta
+        .runtime
+        .starts_with(dmt_shard::record::SHARDED_LABEL_PREFIX)
+    {
+        // Sharded containers have no single grant script; they are
+        // verified by deterministic re-execution (see dmt_shard::record).
+        let r = dmt_shard::record::verify_against(&trace, path)?;
+        return Ok(Replayed {
+            path: r.path,
+            workload: trace.meta.workload.clone(),
+            runtime: trace.meta.runtime.clone(),
+            recorded_events: r.recorded_events,
+            replayed_events: r.replayed_events,
+            recorded_hash: r.recorded_hash,
+            replayed_hash: r.replayed_hash,
+            checkpoints_passed: r.checkpoints_passed,
+            checkpoints_total: r.checkpoints_total,
+            output_match: r.output_match,
+            commit_log_match: r.commit_log_match,
+            divergence: r.divergence,
+        });
+    }
     let w = workload_by_name(&trace.meta.workload)
         .ok_or_else(|| format!("trace names unknown workload {:?}", trace.meta.workload))?;
     let p = Params::new(

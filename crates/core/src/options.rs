@@ -90,6 +90,19 @@ pub struct Options {
     /// fails over to the reference table, and the run completes with
     /// `RunReport::degraded` set. Never enable outside tests.
     pub inject_sched_corruption: Option<u64>,
+    /// Number of independently tokened shard domains the `dmt-shard`
+    /// subsystem partitions the run into. `1` (the default) is the
+    /// unsharded runtime: one token, one clock table, [`DomainId::ROOT`]
+    /// only. Schedule-relevant: each domain serializes only its own sync
+    /// ops, so the same program under a different shard count produces a
+    /// different (still deterministic) schedule.
+    ///
+    /// [`DomainId::ROOT`]: dmt_api::DomainId::ROOT
+    pub shard_domains: u32,
+    /// Seed for the deterministic shard map assigning keys to domains.
+    /// Schedule-relevant whenever `shard_domains > 1`: moving a key to a
+    /// different domain moves its sync ops to a different token order.
+    pub shard_map_seed: u64,
 }
 
 impl Options {
@@ -117,6 +130,8 @@ impl Options {
             inject_eligibility_bug: false,
             watchdog_stall_ms: Some(5_000),
             inject_sched_corruption: None,
+            shard_domains: 1,
+            shard_map_seed: 0,
         }
     }
 
@@ -154,6 +169,8 @@ impl Options {
             inject_eligibility_bug: false,
             watchdog_stall_ms: Some(5_000),
             inject_sched_corruption: None,
+            shard_domains: 1,
+            shard_map_seed: 0,
         }
     }
 
@@ -188,6 +205,16 @@ impl Options {
         put(self.coarsen_cap);
         put(self.inject_eligibility_bug as u64);
         put(self.inject_sched_corruption.unwrap_or(u64::MAX));
+        // Shard parameters fold only when non-default, so every
+        // fingerprint recorded before sharding existed stays valid: an
+        // unsharded config hashes exactly as it always did, while a
+        // sharded recording is rejected by an unsharded replayer (and
+        // vice versa).
+        if self.shard_domains != 1 || self.shard_map_seed != 0 {
+            put(0x5AD0);
+            put(self.shard_domains as u64);
+            put(self.shard_map_seed);
+        }
         h.digest()
     }
 
@@ -274,5 +301,23 @@ mod tests {
     #[should_panic(expected = "unknown optimization")]
     fn without_unknown_panics() {
         let _ = Options::consequence_ic().without("warp_drive");
+    }
+
+    #[test]
+    fn shard_parameters_are_fingerprinted() {
+        let base = Options::consequence_ic();
+        let mut sharded = Options::consequence_ic();
+        sharded.shard_domains = 4;
+        assert_ne!(base.fingerprint(), sharded.fingerprint());
+        let mut reseeded = sharded.clone();
+        reseeded.shard_map_seed = 7;
+        assert_ne!(sharded.fingerprint(), reseeded.fingerprint());
+        // The default (unsharded) configuration must fingerprint exactly
+        // as it did before shard options existed — traces recorded by
+        // older builds stay replayable.
+        let mut explicit = Options::consequence_ic();
+        explicit.shard_domains = 1;
+        explicit.shard_map_seed = 0;
+        assert_eq!(base.fingerprint(), explicit.fingerprint());
     }
 }

@@ -207,7 +207,7 @@ fn memory_and_hash_sinks_agree_on_the_hash() {
     assert_eq!(dropped, 0);
     let replay = HashSink::new();
     for ev in &events {
-        dmt_api::trace::TraceSink::emit(&replay, ev, true);
+        dmt_api::trace::TraceSink::emit(&replay, ev, true, dmt_api::DomainId::ROOT);
     }
     assert_eq!(
         dmt_api::trace::TraceSink::schedule_hash(&replay),

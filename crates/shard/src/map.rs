@@ -1,0 +1,103 @@
+//! The deterministic shard map: global key → token domain.
+
+use dmt_api::{DomainId, Fnv1a};
+
+/// A pure function from global keys to shard domains.
+///
+/// The map is the *only* routing authority in the sharded runtime: it
+/// decides which domain owns each key's store cell, which domain serves
+/// each request, and where a cross-shard credit lands. It is a pure
+/// function of `(shards, seed)` — both folded into
+/// `Options::fingerprint()` — so two runs of the same configuration route
+/// identically, and a replay under a different map is rejected before it
+/// starts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+    seed: u64,
+}
+
+impl ShardMap {
+    /// A map over `shards` domains, scrambled by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: u32, seed: u64) -> ShardMap {
+        assert!(shards > 0, "a sharded runtime needs at least one domain");
+        ShardMap { shards, seed }
+    }
+
+    /// Number of domains this map routes into.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The domain index owning `key`, in `0..shards`.
+    pub fn index_of(&self, key: u64) -> usize {
+        let mut h = Fnv1a::new();
+        h.update(&self.seed.to_le_bytes());
+        h.update(&key.to_le_bytes());
+        (h.digest() % self.shards as u64) as usize
+    }
+
+    /// The domain id owning `key`.
+    pub fn domain_of(&self, key: u64) -> DomainId {
+        DomainId(self.index_of(key) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_total_and_stable() {
+        let m = ShardMap::new(4, 7);
+        for k in 0..10_000u64 {
+            let d = m.index_of(k);
+            assert!(d < 4);
+            assert_eq!(d, m.index_of(k), "unstable for key {k}");
+            assert_eq!(m.domain_of(k), DomainId(d as u32));
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_root() {
+        let m = ShardMap::new(1, 999);
+        for k in 0..1000u64 {
+            assert_eq!(m.domain_of(k), DomainId::ROOT);
+        }
+    }
+
+    #[test]
+    fn seed_moves_keys_between_domains() {
+        let a = ShardMap::new(4, 0);
+        let b = ShardMap::new(4, 1);
+        let moved = (0..1000u64)
+            .filter(|&k| a.index_of(k) != b.index_of(k))
+            .count();
+        assert!(moved > 250, "seed change moved only {moved}/1000 keys");
+    }
+
+    #[test]
+    fn domains_are_reasonably_balanced() {
+        let m = ShardMap::new(4, 42);
+        let mut counts = [0usize; 4];
+        for k in 0..4096u64 {
+            counts[m.index_of(k)] += 1;
+        }
+        for (d, &c) in counts.iter().enumerate() {
+            assert!(
+                (640..=1408).contains(&c),
+                "domain {d} owns {c} of 4096 keys"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn zero_shards_panics() {
+        let _ = ShardMap::new(0, 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! The sharded runtime: one token domain per shard, rendezvous between
+//! epochs.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use consequence::{ConsequenceRuntime, Options};
+use dmt_api::trace::{Event, HashSink, MemorySink};
+use dmt_api::{CommonConfig, CostModel, DomainId, Fnv1a, PerturbHandle, Runtime, TraceHandle};
+use dmt_workloads::server::{DomainPlan, DomainServer, Exchange, ServerSpec};
+use dmt_workloads::Params;
+
+use crate::map::ShardMap;
+
+/// What each domain's trace handle captures during a sharded run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaptureMode {
+    /// No tracing — benchmark-true event emission cost (one branch).
+    Off,
+    /// Fold per-domain schedule hashes only (cheap, no event storage).
+    Hash,
+    /// Buffer every schedule event per domain, for differential testing
+    /// and trace recording.
+    Events,
+}
+
+/// Configuration of a sharded server run.
+#[derive(Clone, Debug)]
+pub struct ShardCfg {
+    /// Shard domain count (1 = the unsharded schedule, bit-identical to
+    /// the registry `dmt_server` workload).
+    pub shards: u32,
+    /// Pool workers per domain.
+    pub workers: usize,
+    /// Server sizing (`scale` multiplies traffic, `seed` generates it).
+    pub params: Params,
+    /// Scheduler options for every domain. `shard_domains` and
+    /// `shard_map_seed` are stamped from `shards` and this field's own
+    /// `shard_map_seed` before running, so the fingerprint matches what
+    /// actually executed.
+    pub opts: Options,
+    /// Trace capture mode.
+    pub capture: CaptureMode,
+}
+
+impl ShardCfg {
+    /// A standard configuration: Consequence-IC domains, hash capture.
+    pub fn new(shards: u32, workers: usize, params: Params) -> ShardCfg {
+        ShardCfg {
+            shards,
+            workers,
+            params,
+            opts: Options::consequence_ic(),
+            capture: CaptureMode::Hash,
+        }
+    }
+}
+
+/// One domain's slice of a [`ShardReport`].
+#[derive(Clone, Debug)]
+pub struct DomainReport {
+    /// The domain.
+    pub domain: DomainId,
+    /// The domain's schedule hash (domain-stamped FNV-1a; for
+    /// [`DomainId::ROOT`] identical to the unsharded hash of the same
+    /// event stream).
+    pub schedule_hash: u64,
+    /// Buffered `(domain, event)` stream — empty unless
+    /// [`CaptureMode::Events`].
+    pub events: Vec<(DomainId, Event)>,
+    /// Requests this domain served.
+    pub processed: u64,
+    /// Keys this domain owns.
+    pub keys: u64,
+    /// Final `(global key, value)` pairs of the domain's store slice.
+    pub kv: Vec<(u64, u64)>,
+    /// Domain output digest (store + responses + processed).
+    pub output_hash: u64,
+    /// The domain runtime's commit-log hash (versioned-memory history).
+    pub commit_log_hash: u64,
+    /// Global-token acquisitions inside the domain.
+    pub token_acquisitions: u64,
+    /// Deterministic mutex acquisitions inside the domain.
+    pub lock_acquires: u64,
+    /// Critical-path virtual cycles of the domain.
+    pub virtual_cycles: u64,
+    /// Wall-clock time of the domain's run.
+    pub wall: Duration,
+}
+
+/// The result of a sharded server run.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Domains run, ascending.
+    pub domains: Vec<DomainReport>,
+    /// Combined schedule hash: FNV-1a over `(domain, per-domain hash)` in
+    /// domain order. Bit-identical across runs of one configuration.
+    pub schedule_hash: u64,
+    /// Digest of the final global store, `(key, value)` ascending by key.
+    /// **Invariant across shard counts and map seeds** — every mutation
+    /// commutes — so it is the shard-diff semantic oracle.
+    pub store_hash: u64,
+    /// Combined output digest (per-domain output hashes, domain order).
+    /// Deterministic per configuration; legitimately differs across shard
+    /// counts (`Get` responses depend on serving order).
+    pub output_hash: u64,
+    /// Combined commit-log digest (per-domain commit-log hashes, domain
+    /// order). Deterministic per configuration.
+    pub commit_hash: u64,
+    /// Requests the configuration was sized for.
+    pub requests: u64,
+    /// Requests actually served, summed over domains.
+    pub processed: u64,
+    /// Total sync operations: token acquisitions summed over domains.
+    pub sync_ops: u64,
+    /// Wall-clock time of the whole run (slowest domain).
+    pub wall: Duration,
+}
+
+/// Host-side credit exchange between shard domains.
+///
+/// Domain drivers call [`Exchange::exchange`] once per epoch. The
+/// implementation posts each outgoing credit to its destination domain
+/// (routed by the shard map), meets every sibling at a [`Barrier`], takes
+/// its own inbox, meets them again (so nobody posts epoch `e + 1` credits
+/// into an inbox still being drained), and returns the inbox in canonical
+/// `(source domain, outbox order)` order. Outbox order is deterministic —
+/// each source outbox fills under its domain's token — so the returned
+/// credit sequence is a pure function of `(seed, options)`.
+pub struct StdExchange {
+    map: ShardMap,
+    post: Barrier,
+    take: Barrier,
+    inboxes: Mutex<Vec<Vec<Posted>>>,
+}
+
+/// One posted credit: `(source domain, outbox seq, key, amount)`.
+type Posted = (usize, usize, u64, u64);
+
+impl StdExchange {
+    /// An exchange for the map's domains.
+    pub fn new(map: ShardMap) -> StdExchange {
+        let n = map.shards() as usize;
+        StdExchange {
+            map,
+            post: Barrier::new(n),
+            take: Barrier::new(n),
+            inboxes: Mutex::new(vec![Vec::new(); n]),
+        }
+    }
+}
+
+impl Exchange for StdExchange {
+    fn exchange(&self, domain: usize, _epoch: usize, outgoing: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        {
+            let mut inboxes = self.inboxes.lock().unwrap_or_else(|e| e.into_inner());
+            for (seq, (key, amount)) in outgoing.into_iter().enumerate() {
+                let dst = self.map.index_of(key);
+                inboxes[dst].push((domain, seq, key, amount));
+            }
+        }
+        self.post.wait();
+        let mut mine = {
+            let mut inboxes = self.inboxes.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut inboxes[domain])
+        };
+        self.take.wait();
+        mine.sort_unstable_by_key(|&(src, seq, _, _)| (src, seq));
+        mine.into_iter().map(|(_, _, k, a)| (k, a)).collect()
+    }
+}
+
+/// Runs the deterministic server across `cfg.shards` token domains.
+///
+/// Each domain is a full Consequence runtime — its own clock table, token
+/// and heap — running on its own OS thread, serving the requests whose
+/// keys the shard map assigns it. Domains rendezvous through a
+/// [`StdExchange`] between epochs; everything else is domain-local. The
+/// per-domain schedules are bit-identical per `(seed, options)`, and the
+/// combined store must always equal the sequential reference.
+///
+/// # Panics
+///
+/// Panics if a domain thread panics, if a domain serves a request it does
+/// not own, or if the served request count disagrees with the spec.
+pub fn run_sharded_server(cfg: &ShardCfg) -> ShardReport {
+    let spec = ServerSpec::of(&cfg.params);
+    let mut opts = cfg.opts.clone();
+    opts.shard_domains = cfg.shards;
+    let map = ShardMap::new(cfg.shards, opts.shard_map_seed);
+    let plans = DomainPlan::build(&spec, cfg.shards as usize, &|k| map.index_of(k));
+    let exchange: Arc<StdExchange> = Arc::new(StdExchange::new(map));
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = plans
+        .into_iter()
+        .map(|plan| {
+            let opts = opts.clone();
+            let exchange = Arc::clone(&exchange) as Arc<dyn Exchange>;
+            let capture = cfg.capture;
+            let workers = cfg.workers;
+            std::thread::spawn(move || run_domain(spec, plan, workers, opts, capture, exchange))
+        })
+        .collect();
+    let domains: Vec<DomainReport> = handles
+        .into_iter()
+        .map(|h| h.join().expect("domain thread panicked"))
+        .collect();
+    let wall = t0.elapsed();
+
+    let mut sched = Fnv1a::new();
+    let mut out = Fnv1a::new();
+    let mut commits = Fnv1a::new();
+    let mut kv: Vec<(u64, u64)> = Vec::with_capacity(spec.keys);
+    for d in &domains {
+        sched.update(&u64::from(d.domain.0).to_le_bytes());
+        sched.update(&d.schedule_hash.to_le_bytes());
+        out.update(&d.output_hash.to_le_bytes());
+        commits.update(&d.commit_log_hash.to_le_bytes());
+        kv.extend_from_slice(&d.kv);
+    }
+    kv.sort_unstable_by_key(|&(k, _)| k);
+    let mut store = Fnv1a::new();
+    for (k, v) in &kv {
+        store.update(&k.to_le_bytes());
+        store.update(&v.to_le_bytes());
+    }
+
+    let processed: u64 = domains.iter().map(|d| d.processed).sum();
+    assert_eq!(
+        processed, spec.requests as u64,
+        "served {processed} of {} requests",
+        spec.requests
+    );
+    ShardReport {
+        sync_ops: domains.iter().map(|d| d.token_acquisitions).sum(),
+        schedule_hash: sched.digest(),
+        store_hash: store.digest(),
+        output_hash: out.digest(),
+        commit_hash: commits.digest(),
+        requests: spec.requests as u64,
+        processed,
+        wall,
+        domains,
+    }
+}
+
+fn run_domain(
+    spec: ServerSpec,
+    plan: DomainPlan,
+    workers: usize,
+    opts: Options,
+    capture: CaptureMode,
+    exchange: Arc<dyn Exchange>,
+) -> DomainReport {
+    let domain = DomainId(plan.domain as u32);
+    let (hash_sink, mem_sink, trace) = match capture {
+        CaptureMode::Off => (None, None, TraceHandle::off()),
+        CaptureMode::Hash => {
+            let s = Arc::new(HashSink::new());
+            (
+                Some(Arc::clone(&s)),
+                None,
+                TraceHandle::to_domain(s, domain),
+            )
+        }
+        CaptureMode::Events => {
+            let s = Arc::new(MemorySink::new(1 << 22));
+            (
+                None,
+                Some(Arc::clone(&s)),
+                TraceHandle::to_domain(s, domain),
+            )
+        }
+    };
+    let common = CommonConfig {
+        heap_pages: DomainServer::heap_pages(&spec, plan.keys.len(), workers),
+        max_threads: workers + 2,
+        cost: CostModel::default(),
+        track_lrc: false,
+        gc_budget: usize::MAX,
+        trace,
+        perturb: PerturbHandle::off(),
+    };
+    let mut rt = ConsequenceRuntime::new(common, opts);
+    let (job, srv) = DomainServer::prepare(&mut rt, &spec, &plan, workers, exchange);
+    let report = rt.run(job);
+
+    let (events, dropped) = mem_sink
+        .as_ref()
+        .map_or((Vec::new(), 0), |s| s.take_domains());
+    assert_eq!(dropped, 0, "domain {domain} event buffer overflowed");
+    let schedule_hash = match (&hash_sink, capture) {
+        (Some(s), _) => dmt_api::trace::TraceSink::schedule_hash(s.as_ref()),
+        (None, CaptureMode::Events) => {
+            let mut h = Fnv1a::new();
+            for (d, ev) in &events {
+                ev.fold_domain(*d, &mut h);
+            }
+            h.digest()
+        }
+        _ => 0,
+    };
+    DomainReport {
+        domain,
+        schedule_hash,
+        events,
+        processed: srv.processed(&rt),
+        keys: plan.keys.len() as u64,
+        kv: srv.final_kv(&rt),
+        output_hash: srv.output_hash(&rt),
+        commit_log_hash: report.commit_log_hash,
+        token_acquisitions: report.counters.token_acquisitions,
+        lock_acquires: report.counters.lock_acquires,
+        virtual_cycles: report.virtual_cycles,
+        wall: report.wall,
+    }
+}
+
+impl ShardReport {
+    /// The run's canonical `(domain, event)` stream: every domain's
+    /// events concatenated in domain order. Deterministic per
+    /// configuration (each domain's stream is token-ordered); requires
+    /// [`CaptureMode::Events`].
+    pub fn canonical_events(&self) -> Vec<(DomainId, Event)> {
+        let mut all = Vec::new();
+        for d in &self.domains {
+            all.extend_from_slice(&d.events);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shards: u32) -> ShardCfg {
+        let mut c = ShardCfg::new(shards, 3, Params::new(3, 1, 7));
+        c.capture = CaptureMode::Hash;
+        c
+    }
+
+    #[test]
+    fn sharded_runs_serve_every_request_and_agree_on_the_store() {
+        let r1 = run_sharded_server(&cfg(1));
+        let r2 = run_sharded_server(&cfg(2));
+        assert_eq!(r1.processed, r1.requests);
+        assert_eq!(r2.processed, r2.requests);
+        // The order-invariant store digest must not depend on sharding.
+        assert_eq!(r1.store_hash, r2.store_hash);
+        // The schedules are different partitions of the same traffic.
+        assert_ne!(r1.schedule_hash, r2.schedule_hash);
+        assert_eq!(r2.domains.len(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_schedule_every_time() {
+        let a = run_sharded_server(&cfg(2));
+        let b = run_sharded_server(&cfg(2));
+        assert_eq!(a.schedule_hash, b.schedule_hash);
+        assert_eq!(a.output_hash, b.output_hash);
+        for (da, db) in a.domains.iter().zip(&b.domains) {
+            assert_eq!(da.schedule_hash, db.schedule_hash, "domain {}", da.domain);
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! cargo run -p dmt-stress --release --bin stress -- --inject-bug
 //! cargo run -p dmt-stress --release --bin stress -- --inject-panic
 //! cargo run -p dmt-stress --release --bin stress -- --sched-diff
+//! cargo run -p dmt-stress --release --bin stress -- --shard-diff
 //! cargo run -p dmt-stress --release --bin stress -- --record traces/
 //! cargo run -p dmt-stress --release --bin stress -- --replay traces/
 //! cargo run -p dmt-stress --release --bin stress -- \
@@ -25,8 +26,13 @@
 //! everywhere. `--sched-diff` runs the seed
 //! matrix under both the fast and the reference scheduler and exits 1 on
 //! any schedule-hash or output divergence between them (the PR 4 fast
-//! path must be bit-identical). `--record <dir>` writes one `.dmtrace`
-//! container per workload × Consequence runtime of the active matrix
+//! path must be bit-identical). `--shard-diff` runs the `dmt_server`
+//! workload across 1/2/4 token domains and exits 1 unless every shard
+//! count is run-to-run deterministic, the 1-shard schedule is bit-identical
+//! to the unsharded registry workload, and every final store matches the
+//! sequential reference (see `docs/SHARDING.md`). `--record <dir>` writes one `.dmtrace`
+//! container per workload × Consequence runtime of the active matrix,
+//! plus one sharded-server container (2 token domains)
 //! (see `docs/TRACE_FORMAT.md`); `--replay <file-or-dir>` re-executes
 //! recorded containers and exits 1 on any schedule, output or commit-log
 //! divergence, printing the first-divergent-event diagnosis (see
@@ -40,7 +46,9 @@ use consequence::replay;
 use dmt_baselines::RuntimeKind;
 use dmt_bench::json::ToJson;
 use dmt_bench::replay::{record_to, replay_file, summarize, trace_files};
-use dmt_stress::{run_inject_bug, run_matrix, run_panic_inject, run_sched_diff, StressConfig};
+use dmt_stress::{
+    run_inject_bug, run_matrix, run_panic_inject, run_sched_diff, run_shard_diff, StressConfig,
+};
 
 fn dump<T: ToJson>(name: &str, value: &T) {
     let dir = "target/stress";
@@ -57,7 +65,7 @@ fn runtime_by_label(label: &str) -> Option<RuntimeKind> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: stress [--smoke|--deep|--inject-bug|--inject-panic|--sched-diff] \
+        "usage: stress [--smoke|--deep|--inject-bug|--inject-panic|--sched-diff|--shard-diff] \
          [--record DIR] [--replay FILE-OR-DIR] \
          [--workloads a,b,..] [--runtimes a,b,..] [--seeds N] [--threads N] [--scale N] \
          [--base-seed N]"
@@ -83,6 +91,7 @@ fn main() {
     let mut inject = false;
     let mut inject_panic = false;
     let mut sched_diff = false;
+    let mut shard_diff = false;
     let mut record_dir: Option<String> = None;
     let mut replay_path: Option<String> = None;
     let mut i = 0;
@@ -116,6 +125,7 @@ fn main() {
             "--inject-bug" => inject = true,
             "--inject-panic" => inject_panic = true,
             "--sched-diff" => sched_diff = true,
+            "--shard-diff" => shard_diff = true,
             "--workloads" => {
                 i += 1;
                 let list = args.get(i).unwrap_or_else(|| usage());
@@ -185,6 +195,22 @@ fn main() {
                         failed = true;
                     }
                 }
+            }
+        }
+        // One sharded-server container rides along: 2 token domains, 2
+        // workers each (see dmt_shard::record for the label convention).
+        let sp = dmt_workloads::Params::new(2, cfg.scale, cfg.input_seed);
+        let spath = dir.join(format!("dmt_server-sharded-ic-2-t2-s{}.dmtrace", cfg.scale));
+        match dmt_shard::record_server_trace(2, 2, sp, &spath) {
+            Ok((meta, _)) => println!(
+                "[ok] dmt_server sharded-ic-2: {} events, hash {:#018x} -> {}",
+                meta.event_count,
+                meta.schedule_hash,
+                spath.display()
+            ),
+            Err(e) => {
+                println!("[FAILED] dmt_server sharded-ic-2: {e}");
+                failed = true;
             }
         }
         dump("record", &recorded);
@@ -282,6 +308,49 @@ fn main() {
             report.total_hits
         );
         dump("inject_panic", &report);
+        eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        std::process::exit(if report.passed { 0 } else { 1 });
+    }
+
+    if shard_diff {
+        println!(
+            "== stress --shard-diff: dmt_server across 1/2/4 token domains, {} workers/domain, {} repeats",
+            cfg.threads,
+            cfg.seeds.max(2)
+        );
+        println!(
+            "{:<8}{:>6}{:>20}{:>20}{:>15}{:>10}{:>10}",
+            "shards",
+            "runs",
+            "schedule_hash",
+            "store_hash",
+            "deterministic",
+            "store_ok",
+            "lockstep"
+        );
+        let report = run_shard_diff(&cfg, |cell| {
+            println!(
+                "{:<8}{:>6}{:>#20x}{:>#20x}{:>15}{:>10}{:>10}",
+                cell.shards,
+                cell.runs,
+                cell.schedule_hash,
+                cell.store_hash,
+                cell.deterministic,
+                cell.store_matches_reference,
+                cell.lockstep
+            );
+        });
+        println!(
+            "map-seed check: store_ok={} schedule_moves={}",
+            report.map_seed_store_ok, report.map_seed_schedule_moves
+        );
+        println!(
+            "{}: {} cells, unsharded hash {:#018x}",
+            if report.passed { "PASSED" } else { "FAILED" },
+            report.cells.len(),
+            report.unsharded_hash
+        );
+        dump("shard_diff", &report);
         eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
         std::process::exit(if report.passed { 0 } else { 1 });
     }

@@ -25,6 +25,7 @@ pub mod inject;
 pub mod panic_inject;
 pub mod report;
 pub mod sched_diff;
+pub mod shard_diff;
 pub mod shrink;
 
 use std::collections::BTreeSet;
@@ -41,6 +42,7 @@ pub use inject::{run_inject_bug, InjectOutcome};
 pub use panic_inject::{run_panic_inject, PanicCell, PanicInjectReport, PanicInjector};
 pub use report::{CellSummary, StressReport, Violation};
 pub use sched_diff::{run_consequence_workload, run_sched_diff, SchedDiffCell, SchedDiffReport};
+pub use shard_diff::{run_shard_diff, ShardDiffCell, ShardDiffReport, SHARD_COUNTS};
 pub use shrink::shrink_plan;
 
 /// Events a repro-trace sink retains (oldest dropped beyond this).

@@ -1,0 +1,254 @@
+//! `stress --shard-diff`: differential validation of the sharded runtime.
+//!
+//! The `dmt-shard` subsystem partitions a run into independently tokened
+//! domains (see `docs/SHARDING.md`). Its contract has three legs, and
+//! this mode attacks each one end to end:
+//!
+//! 1. **Per-configuration determinism** — for every shard count, repeated
+//!    runs of one `(seed, options)` produce bit-identical combined
+//!    schedule hashes, per-domain hashes and output hashes;
+//! 2. **1-shard lockstep** — a 1-shard sharded run executes the identical
+//!    job the unsharded `dmt_server` registry workload executes, in the
+//!    root domain, so its domain schedule hash and output hash must equal
+//!    the unsharded run's bit for bit;
+//! 3. **Semantic invariance** — the final store digest must equal the
+//!    sequential reference under *every* shard count and shard-map seed
+//!    (all server mutations commute), even though the schedules
+//!    legitimately differ.
+//!
+//! A single misrouted credit, lost rendezvous message or cross-domain
+//! schedule leak moves one of these digests.
+
+use std::sync::Arc;
+
+use consequence::{ConsequenceRuntime, Options};
+use dmt_api::{CommonConfig, CostModel, Fnv1a, HashSink, PerturbHandle, Runtime, TraceHandle};
+use dmt_bench::json_struct;
+use dmt_shard::{run_sharded_server, CaptureMode, ShardCfg};
+use dmt_workloads::server::ServerSpec;
+use dmt_workloads::{workload_by_name, Params, Validation};
+
+use crate::StressConfig;
+
+/// Shard counts the differential sweeps.
+pub const SHARD_COUNTS: [u32; 3] = [1, 2, 4];
+
+/// One shard count's differential result.
+#[derive(Clone, Debug)]
+pub struct ShardDiffCell {
+    /// Shard domains in this cell.
+    pub shards: u64,
+    /// Repeated runs executed.
+    pub runs: u64,
+    /// Combined schedule hash (identical across all runs when
+    /// `deterministic`).
+    pub schedule_hash: u64,
+    /// Final-store digest (must match the sequential reference).
+    pub store_hash: u64,
+    /// Combined output hash.
+    pub output_hash: u64,
+    /// Every repeat reproduced every per-domain hash and the combined
+    /// hashes bit for bit.
+    pub deterministic: bool,
+    /// The store digest equals the sequential reference's.
+    pub store_matches_reference: bool,
+    /// For the 1-shard cell: the root domain's schedule and output hashes
+    /// equal the unsharded registry workload's. (Vacuously true for
+    /// multi-shard cells.)
+    pub lockstep: bool,
+}
+
+/// The full sharded-differential result.
+#[derive(Clone, Debug)]
+pub struct ShardDiffReport {
+    /// Pool workers per domain.
+    pub threads: usize,
+    /// Problem-size multiplier.
+    pub scale: u64,
+    /// Workload input seed.
+    pub input_seed: u64,
+    /// Runs per cell.
+    pub repeats: u64,
+    /// Schedule hash of the unsharded `dmt_server` registry run.
+    pub unsharded_hash: u64,
+    /// Sequential-reference store digest.
+    pub reference_store_hash: u64,
+    /// A non-zero shard-map seed still reproduced the reference store.
+    pub map_seed_store_ok: bool,
+    /// A non-zero shard-map seed produced a different schedule (the map
+    /// actually routes).
+    pub map_seed_schedule_moves: bool,
+    /// Per-shard-count cells.
+    pub cells: Vec<ShardDiffCell>,
+    /// Every oracle held.
+    pub passed: bool,
+}
+
+json_struct!(ShardDiffCell {
+    shards,
+    runs,
+    schedule_hash,
+    store_hash,
+    output_hash,
+    deterministic,
+    store_matches_reference,
+    lockstep
+});
+
+json_struct!(ShardDiffReport {
+    threads,
+    scale,
+    input_seed,
+    repeats,
+    unsharded_hash,
+    reference_store_hash,
+    map_seed_store_ok,
+    map_seed_schedule_moves,
+    cells,
+    passed
+});
+
+/// Runs the unsharded `dmt_server` registry workload under exactly the
+/// configuration a 1-shard domain runs, returning its schedule hash and
+/// output hash.
+fn run_unsharded(threads: usize, scale: u32, seed: u64) -> (u64, u64) {
+    let w = workload_by_name("dmt_server").expect("registry has dmt_server");
+    let p = Params::new(threads, scale, seed);
+    let sink = Arc::new(HashSink::new());
+    let cfg = CommonConfig {
+        heap_pages: w.heap_pages(&p),
+        max_threads: threads + 2,
+        cost: CostModel::default(),
+        track_lrc: false,
+        gc_budget: usize::MAX,
+        trace: TraceHandle::to(Arc::clone(&sink) as _),
+        perturb: PerturbHandle::off(),
+    };
+    let mut rt = ConsequenceRuntime::new(cfg, Options::consequence_ic());
+    let prepared = w.prepare(&mut rt, &p);
+    let report = rt.run(prepared.job);
+    let v: Validation = (prepared.validate)(&rt);
+    assert!(
+        v.matches_reference,
+        "unsharded dmt_server failed validation"
+    );
+    (report.schedule_hash, v.output_hash)
+}
+
+/// Sequential-reference store digest, folded exactly like
+/// `ShardReport::store_hash`.
+fn reference_store_hash(spec: &ServerSpec) -> u64 {
+    let mut h = Fnv1a::new();
+    for (k, v) in spec.expected_store().iter().enumerate() {
+        h.update(&(k as u64).to_le_bytes());
+        h.update(&v.to_le_bytes());
+    }
+    h.digest()
+}
+
+fn shard_cfg(shards: u32, threads: usize, scale: u32, seed: u64, map_seed: u64) -> ShardCfg {
+    let mut cfg = ShardCfg::new(shards, threads, Params::new(threads, scale, seed));
+    cfg.opts.shard_map_seed = map_seed;
+    cfg.capture = CaptureMode::Hash;
+    cfg
+}
+
+/// Runs the sharded differential and returns the report. `progress` is
+/// called once per finished cell.
+pub fn run_shard_diff(
+    cfg: &StressConfig,
+    mut progress: impl FnMut(&ShardDiffCell),
+) -> ShardDiffReport {
+    let repeats = cfg.seeds.max(2);
+    let spec = ServerSpec::of(&Params::new(cfg.threads, cfg.scale, cfg.input_seed));
+    let reference = reference_store_hash(&spec);
+    let (unsharded_hash, unsharded_out) = run_unsharded(cfg.threads, cfg.scale, cfg.input_seed);
+
+    let mut cells = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let scfg = shard_cfg(shards, cfg.threads, cfg.scale, cfg.input_seed, 0);
+        let first = run_sharded_server(&scfg);
+        let mut deterministic = true;
+        for _ in 1..repeats {
+            let again = run_sharded_server(&scfg);
+            deterministic &= again.schedule_hash == first.schedule_hash
+                && again.output_hash == first.output_hash
+                && again.store_hash == first.store_hash
+                && again
+                    .domains
+                    .iter()
+                    .zip(&first.domains)
+                    .all(|(a, b)| a.schedule_hash == b.schedule_hash);
+        }
+        let lockstep = shards != 1
+            || (first.domains[0].schedule_hash == unsharded_hash
+                && first.domains[0].output_hash == unsharded_out);
+        let cell = ShardDiffCell {
+            shards: shards as u64,
+            runs: repeats,
+            schedule_hash: first.schedule_hash,
+            store_hash: first.store_hash,
+            output_hash: first.output_hash,
+            deterministic,
+            store_matches_reference: first.store_hash == reference,
+            lockstep,
+        };
+        progress(&cell);
+        cells.push(cell);
+    }
+
+    // A scrambled shard map must reroute (different schedule) without
+    // changing semantics (same reference store).
+    let seeded = run_sharded_server(&shard_cfg(
+        4,
+        cfg.threads,
+        cfg.scale,
+        cfg.input_seed,
+        0xB10C,
+    ));
+    let base4 = cells
+        .iter()
+        .find(|c| c.shards == 4)
+        .expect("4-shard cell exists");
+    let map_seed_store_ok = seeded.store_hash == reference;
+    let map_seed_schedule_moves = seeded.schedule_hash != base4.schedule_hash;
+
+    let passed = cells
+        .iter()
+        .all(|c| c.deterministic && c.store_matches_reference && c.lockstep)
+        && map_seed_store_ok
+        && map_seed_schedule_moves;
+    ShardDiffReport {
+        threads: cfg.threads,
+        scale: cfg.scale as u64,
+        input_seed: cfg.input_seed,
+        repeats,
+        unsharded_hash,
+        reference_store_hash: reference,
+        map_seed_store_ok,
+        map_seed_schedule_moves,
+        cells,
+        passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_diff_smoke_passes() {
+        let cfg = StressConfig {
+            threads: 2,
+            scale: 1,
+            seeds: 2,
+            input_seed: 42,
+            ..StressConfig::smoke()
+        };
+        let mut seen = 0;
+        let report = run_shard_diff(&cfg, |_| seen += 1);
+        assert_eq!(seen, SHARD_COUNTS.len());
+        assert!(report.passed, "{report:?}");
+        assert!(report.cells.iter().all(|c| c.runs >= 2));
+    }
+}

@@ -9,12 +9,29 @@
 //! cannot poison its successors' decoding.
 //!
 //! `Option<Tid>` is biased by one: `0` is `None`, `n` is `Tid(n - 1)`.
+//!
+//! # Token domains
+//!
+//! Sharded traces interleave events from several token domains. Rather
+//! than pay a per-event domain field, the codec keeps a *current domain*
+//! in [`CodecState`] (reset to [`DomainId::ROOT`] at each page boundary)
+//! and emits a [`DOMAIN_MARKER`] byte plus a varint domain id only when
+//! an event's domain differs from the current one. Single-domain traces
+//! therefore encode byte-identically to the pre-domain format, and the
+//! marker tag (`0x7F`) can never collide with an [`EventKind`]
+//! discriminant, so a pre-domain reader rejects a sharded trace as
+//! corrupt instead of silently mis-decoding it.
 
 use dmt_api::trace::{Event, EventKind};
-use dmt_api::{BarrierId, CondId, MutexId, RwLockId, Tid};
+use dmt_api::{BarrierId, CondId, DomainId, MutexId, RwLockId, Tid};
 
 use crate::format::TraceError;
 use crate::varint::{get_delta, get_u64, put_delta, put_u64};
+
+/// Tag byte announcing a token-domain switch; followed by the new domain
+/// id as a varint. Deliberately far above every [`EventKind`]
+/// discriminant (they stop at 21).
+pub const DOMAIN_MARKER: u8 = 0x7F;
 
 /// Rolling delta bases, reset at each page boundary.
 #[derive(Clone, Copy, Debug, Default)]
@@ -23,6 +40,9 @@ pub struct CodecState {
     pub prev_clock: u64,
     /// Base for version-valued fields.
     pub prev_version: u64,
+    /// Current token domain; events encode without a domain field until
+    /// a [`DOMAIN_MARKER`] switches it.
+    pub domain: DomainId,
 }
 
 fn put_tid(out: &mut Vec<u8>, t: Tid) {
@@ -143,6 +163,18 @@ pub fn encode(ev: &Event, st: &mut CodecState, out: &mut Vec<u8>) {
             st.prev_clock = to;
         }
     }
+}
+
+/// Encodes one event stamped with its token domain, emitting a
+/// [`DOMAIN_MARKER`] first whenever the domain differs from the codec
+/// state's current one. Root-domain-only streams never emit a marker.
+pub fn encode_in_domain(ev: &Event, domain: DomainId, st: &mut CodecState, out: &mut Vec<u8>) {
+    if domain != st.domain {
+        out.push(DOMAIN_MARKER);
+        put_u64(out, domain.0 as u64);
+        st.domain = domain;
+    }
+    encode(ev, st, out);
 }
 
 fn corrupt(what: &'static str) -> TraceError {
@@ -293,6 +325,20 @@ pub fn decode(buf: &[u8], pos: &mut usize, st: &mut CodecState) -> Result<Event,
     })
 }
 
+/// Decodes one event plus its token domain, consuming any
+/// [`DOMAIN_MARKER`] prefix first.
+pub fn decode_in_domain(
+    buf: &[u8],
+    pos: &mut usize,
+    st: &mut CodecState,
+) -> Result<(DomainId, Event), TraceError> {
+    while buf.get(*pos) == Some(&DOMAIN_MARKER) {
+        *pos += 1;
+        st.domain = DomainId(need_u32(buf, pos, "domain id")?);
+    }
+    Ok((st.domain, decode(buf, pos, st)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +463,63 @@ mod tests {
             assert_eq!(&got, ev, "event {i}");
         }
         assert_eq!(pos, buf.len(), "decoder must consume exactly the buffer");
+    }
+
+    #[test]
+    fn domain_markers_roundtrip_and_root_streams_emit_none() {
+        let mut r = Lcg(0xD011A1);
+        let events: Vec<(DomainId, Event)> = (0..1000)
+            .map(|i| (DomainId((i % 3) as u32), arbitrary_event(&mut r)))
+            .collect();
+        let mut buf = Vec::new();
+        let mut enc = CodecState::default();
+        for (d, ev) in &events {
+            encode_in_domain(ev, *d, &mut enc, &mut buf);
+        }
+        let mut dec = CodecState::default();
+        let mut pos = 0;
+        for (i, want) in events.iter().enumerate() {
+            let got = decode_in_domain(&buf, &mut pos, &mut dec)
+                .unwrap_or_else(|e| panic!("event {i}: {e}"));
+            assert_eq!(&got, want, "event {i}");
+        }
+        assert_eq!(pos, buf.len());
+
+        // A root-only stream must encode byte-identically to plain
+        // `encode` — no marker anywhere.
+        let mut plain = Vec::new();
+        let mut rooted = Vec::new();
+        let mut st_a = CodecState::default();
+        let mut st_b = CodecState::default();
+        for (_, ev) in &events {
+            encode(ev, &mut st_a, &mut plain);
+            encode_in_domain(ev, DomainId::ROOT, &mut st_b, &mut rooted);
+        }
+        assert_eq!(plain, rooted);
+    }
+
+    #[test]
+    fn domain_marker_is_corrupt_to_the_plain_decoder() {
+        // A pre-domain reader must reject a sharded stream, not
+        // mis-decode it: DOMAIN_MARKER is out of EventKind range.
+        let mut buf = Vec::new();
+        let mut st = CodecState::default();
+        encode_in_domain(
+            &Event::TokenAcquire {
+                tid: Tid(1),
+                clock: 7,
+            },
+            DomainId(2),
+            &mut st,
+            &mut buf,
+        );
+        assert_eq!(buf[0], DOMAIN_MARKER);
+        let mut pos = 0;
+        let mut st = CodecState::default();
+        assert!(matches!(
+            decode(&buf, &mut pos, &mut st),
+            Err(TraceError::Corrupt { what: "event tag" })
+        ));
     }
 
     #[test]

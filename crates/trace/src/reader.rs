@@ -4,9 +4,9 @@
 use std::path::Path;
 
 use dmt_api::trace::Event;
-use dmt_api::{Fnv1a, Tid};
+use dmt_api::{DomainId, Fnv1a, Tid};
 
-use crate::codec::{decode, CodecState};
+use crate::codec::{decode_in_domain, CodecState};
 use crate::format::{
     fnv_of, DirEntry, StreamId, TraceError, CODEC_VERSION, CONTAINER_VERSION, DIR_ENTRY_LEN,
     HEADER_LEN, MAGIC,
@@ -51,6 +51,10 @@ pub struct Trace {
     pub meta: TraceMeta,
     /// The decoded schedule-event stream, in deterministic total order.
     pub events: Vec<Event>,
+    /// Token domain of each event, parallel to `events`. All
+    /// [`DomainId::ROOT`] for unsharded traces; sharded traces stamp each
+    /// event with the shard that produced it.
+    pub domains: Vec<DomainId>,
     /// Per-page cumulative-hash checkpoints.
     pub checkpoints: Vec<Checkpoint>,
 }
@@ -193,6 +197,7 @@ impl Trace {
 
         // EVENTS: decode page by page, re-deriving every checkpoint.
         let mut events = Vec::with_capacity(meta.event_count as usize);
+        let mut domains = Vec::with_capacity(meta.event_count as usize);
         let mut hash = Fnv1a::new();
         let mut pos = 0usize;
         let mut page_idx = 0usize;
@@ -216,9 +221,10 @@ impl Trace {
             let mut st = CodecState::default();
             let mut p = 0usize;
             for _ in 0..count {
-                let ev = decode(payload, &mut p, &mut st)?;
-                ev.fold(&mut hash);
+                let (domain, ev) = decode_in_domain(payload, &mut p, &mut st)?;
+                ev.fold_domain(domain, &mut hash);
                 events.push(ev);
+                domains.push(domain);
             }
             if p != payload.len() {
                 return Err(TraceError::Corrupt {
@@ -260,8 +266,18 @@ impl Trace {
         Ok(Trace {
             meta,
             events,
+            domains,
             checkpoints,
         })
+    }
+
+    /// The decoded stream as `(domain, event)` pairs, in schedule order.
+    pub fn domain_events(&self) -> Vec<(DomainId, Event)> {
+        self.domains
+            .iter()
+            .copied()
+            .zip(self.events.iter().copied())
+            .collect()
     }
 
     /// The recorded token-grant order: the emitting thread of every
@@ -284,8 +300,9 @@ impl Trace {
     /// internally valid even if the events were modified.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<TraceMeta, TraceError> {
         let mut w = TraceWriter::create(path)?;
-        for ev in &self.events {
-            w.push(ev)?;
+        for (i, ev) in self.events.iter().enumerate() {
+            let domain = self.domains.get(i).copied().unwrap_or_default();
+            w.push_in_domain(ev, domain)?;
         }
         w.finish(self.meta.clone())
     }

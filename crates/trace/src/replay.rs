@@ -5,7 +5,7 @@ use std::sync::Arc;
 use det_clock::ReplayCtl;
 use dmt_api::sync::Mutex;
 use dmt_api::trace::{Divergence, Event, EventCounts, TraceSink};
-use dmt_api::Fnv1a;
+use dmt_api::{DomainId, Fnv1a};
 
 use crate::reader::{Checkpoint, Trace};
 
@@ -46,7 +46,7 @@ struct ReplayState {
 /// replay that stopped *short* of the recorded stream is a divergence
 /// too, which per-event comparison alone cannot see.
 pub struct ReplaySink {
-    recorded: Vec<Event>,
+    recorded: Vec<(DomainId, Event)>,
     checkpoints: Vec<Checkpoint>,
     ctl: Arc<ReplayCtl>,
     st: Mutex<ReplayState>,
@@ -57,7 +57,7 @@ impl ReplaySink {
     /// control the scheduler consults.
     pub fn new(trace: &Trace, ctl: Arc<ReplayCtl>) -> ReplaySink {
         ReplaySink {
-            recorded: trace.events.clone(),
+            recorded: trace.domain_events(),
             checkpoints: trace.checkpoints.clone(),
             ctl,
             st: Mutex::new(ReplayState {
@@ -74,7 +74,7 @@ impl ReplaySink {
 
     fn context_before(&self, index: usize) -> Vec<(usize, Event)> {
         (index.saturating_sub(5)..index)
-            .map(|i| (i, self.recorded[i]))
+            .map(|i| (i, self.recorded[i].1))
             .collect()
     }
 
@@ -84,11 +84,13 @@ impl ReplaySink {
     pub fn finish_check(&self) -> Option<Divergence> {
         let mut st = self.st.lock();
         if st.divergence.is_none() && st.cursor < self.recorded.len() {
+            let (domain, ev) = self.recorded[st.cursor];
             st.divergence = Some(Divergence {
                 index: st.cursor,
-                left: Some(self.recorded[st.cursor]),
+                left: Some(ev),
                 right: None,
                 context: self.context_before(st.cursor),
+                domain,
             });
         }
         st.divergence.clone()
@@ -119,24 +121,27 @@ impl ReplaySink {
 }
 
 impl TraceSink for ReplaySink {
-    fn emit(&self, ev: &Event, in_schedule: bool) {
+    fn emit(&self, ev: &Event, in_schedule: bool, domain: DomainId) {
         let mut st = self.st.lock();
         st.counts.record(ev.kind());
         if !in_schedule {
             return;
         }
-        ev.fold(&mut st.hash);
+        ev.fold_domain(domain, &mut st.hash);
         let i = st.cursor;
         st.cursor += 1;
         if st.divergence.is_none() {
             match self.recorded.get(i) {
-                Some(rec) if rec == ev => {}
-                Some(rec) => {
+                Some((rec_d, rec)) if rec == ev && *rec_d == domain => {}
+                Some((rec_d, rec)) => {
+                    // Name the recorded side's domain unless only the
+                    // live side exists there.
                     st.divergence = Some(Divergence {
                         index: i,
                         left: Some(*rec),
                         right: Some(*ev),
                         context: self.context_before(i),
+                        domain: *rec_d,
                     });
                     self.ctl.mark_diverged();
                 }
@@ -147,6 +152,7 @@ impl TraceSink for ReplaySink {
                         left: None,
                         right: Some(*ev),
                         context: self.context_before(i),
+                        domain,
                     });
                     self.ctl.mark_diverged();
                 }

@@ -6,9 +6,9 @@ use std::path::Path;
 
 use dmt_api::sync::Mutex;
 use dmt_api::trace::{Event, EventCounts, TraceSink};
-use dmt_api::Fnv1a;
+use dmt_api::{DomainId, Fnv1a};
 
-use crate::codec::{encode, CodecState};
+use crate::codec::{encode_in_domain, CodecState};
 use crate::format::{fnv_of, header_bytes, DirEntry, StreamId, TraceError, PAGE_EVENTS};
 use crate::meta::TraceMeta;
 
@@ -65,10 +65,18 @@ impl TraceWriter {
         })
     }
 
-    /// Appends one schedule event, sealing a page when full.
+    /// Appends one root-domain schedule event, sealing a page when full.
     pub fn push(&mut self, ev: &Event) -> Result<(), TraceError> {
-        encode(ev, &mut self.codec, &mut self.page_buf);
-        ev.fold(&mut self.hash);
+        self.push_in_domain(ev, DomainId::ROOT)
+    }
+
+    /// Appends one schedule event stamped with its token domain. Root
+    /// domain events encode exactly as [`push`](TraceWriter::push); other
+    /// domains cost a domain-switch marker whenever consecutive events
+    /// change domain, and fold the domain into the schedule hash.
+    pub fn push_in_domain(&mut self, ev: &Event, domain: DomainId) -> Result<(), TraceError> {
+        encode_in_domain(ev, domain, &mut self.codec, &mut self.page_buf);
+        ev.fold_domain(domain, &mut self.hash);
         self.page_events += 1;
         self.events_total += 1;
         if self.page_events as usize >= PAGE_EVENTS {
@@ -248,14 +256,14 @@ impl DiskSink {
 }
 
 impl TraceSink for DiskSink {
-    fn emit(&self, ev: &Event, in_schedule: bool) {
+    fn emit(&self, ev: &Event, in_schedule: bool, domain: DomainId) {
         let mut st = self.st.lock();
         st.counts.record(ev.kind());
         if !in_schedule {
             return;
         }
         if let Some(w) = st.writer.as_mut() {
-            if let Err(e) = w.push(ev) {
+            if let Err(e) = w.push_in_domain(ev, domain) {
                 // Stop recording but let the run itself continue; the
                 // error resurfaces at finish().
                 st.io_error = Some(e);

@@ -8,7 +8,8 @@ use dmt_api::{Job, ThreadCtx, Tid};
 
 use crate::spec::Workload;
 
-/// All 19 benchmarks in the paper's presentation order.
+/// All 20 workloads: the paper's 19 benchmarks in presentation order,
+/// plus the `dmt_server` request-serving workload.
 pub fn all() -> Vec<Box<dyn Workload>> {
     vec![
         // Phoenix
@@ -33,6 +34,8 @@ pub fn all() -> Vec<Box<dyn Workload>> {
         Box::new(splash::WaterNsquared),
         Box::new(splash::WaterSpatial),
         Box::new(splash::Radix),
+        // Server
+        Box::new(crate::server::DmtServer),
     ]
 }
 

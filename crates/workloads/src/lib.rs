@@ -1,4 +1,5 @@
-//! The 19 benchmark kernels of the Consequence evaluation.
+//! The benchmark kernels of the Consequence evaluation, plus the
+//! `dmt_server` request-serving workload.
 //!
 //! The paper evaluates Phoenix, PARSEC and SPLASH-2 programs. Those code
 //! bases interpose on pthreads; here each program is reimplemented against
@@ -16,6 +17,7 @@ pub mod kernels;
 pub mod layout;
 pub mod queue;
 pub mod rng;
+pub mod server;
 pub mod spec;
 
 pub use spec::{all_workloads, workload_by_name, Params, Prepared, Validation, Workload};

@@ -61,7 +61,8 @@ pub trait Workload: Send + Sync {
     /// Paper name, e.g. `"reverse_index"`.
     fn name(&self) -> &'static str;
 
-    /// Originating suite: `"phoenix"`, `"parsec"` or `"splash2"`.
+    /// Originating suite: `"phoenix"`, `"parsec"`, `"splash2"`, or
+    /// `"server"` for the repo's own request-serving workload.
     fn suite(&self) -> &'static str;
 
     /// Heap pages the runtime must be created with.
@@ -73,7 +74,8 @@ pub trait Workload: Send + Sync {
     fn prepare(&self, rt: &mut dyn Runtime, p: &Params) -> Prepared;
 }
 
-/// All 19 benchmarks, in the paper's suite order.
+/// All 20 workloads: the paper's 19 benchmarks in suite order, plus
+/// `dmt_server`.
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     crate::kernels::all()
 }
@@ -88,9 +90,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_nineteen_benchmarks() {
+    fn registry_has_the_twenty_workloads() {
         let all = all_workloads();
-        assert_eq!(all.len(), 19);
+        assert_eq!(all.len(), 20);
         let names: Vec<&str> = all.iter().map(|w| w.name()).collect();
         for expected in [
             "histogram",
@@ -112,6 +114,7 @@ mod tests {
             "water_nsquared",
             "water_spatial",
             "radix",
+            "dmt_server",
         ] {
             assert!(names.contains(&expected), "missing {expected}");
         }
@@ -127,7 +130,7 @@ mod tests {
     fn suites_are_labelled() {
         for w in all_workloads() {
             assert!(
-                ["phoenix", "parsec", "splash2"].contains(&w.suite()),
+                ["phoenix", "parsec", "splash2", "server"].contains(&w.suite()),
                 "{} has odd suite {}",
                 w.name(),
                 w.suite()

@@ -8,11 +8,15 @@
 //! * [`det_clock`] — deterministic logical clocks;
 //! * [`dmt_api`] — the runtime-agnostic program interface;
 //! * [`dmt_baselines`] — pthreads, DThreads, DWC, Consequence-RR;
-//! * [`dmt_workloads`] — the 19 evaluation benchmarks.
+//! * [`dmt_shard`] — sharded token domains with deterministic
+//!   cross-shard rendezvous;
+//! * [`dmt_workloads`] — the 20 evaluation benchmarks (including the
+//!   `dmt_server` request-serving workload).
 
 pub use consequence;
 pub use conversion;
 pub use det_clock;
 pub use dmt_api;
 pub use dmt_baselines;
+pub use dmt_shard;
 pub use dmt_workloads;

@@ -102,6 +102,60 @@ fn tampered_trace_diverges_at_the_tampered_event() {
     );
 }
 
+/// Sharded containers round-trip too: record a 2-domain server run,
+/// replay it through the same dispatch the corpus uses, and require the
+/// canonical per-domain event streams to match completely.
+#[test]
+fn sharded_record_then_replay_reproduces_the_run() {
+    let dir = Scratch::new("sharded");
+    let path = dir.0.join("dmt_server-sharded-ic-2-t2-s1.dmtrace");
+    let (meta, _) =
+        dmt_shard::record_server_trace(2, 2, dmt_workloads::Params::new(2, 1, 42), &path).unwrap();
+    assert_eq!(meta.runtime, "sharded-ic-2");
+    assert!(meta.event_count > 0);
+
+    let rep = replay_file(&path).unwrap();
+    assert!(
+        rep.ok(),
+        "sharded replay diverged: {}",
+        rep.divergence.as_deref().unwrap_or("(no diagnosis)")
+    );
+    assert_eq!(rep.recorded_hash, meta.schedule_hash);
+    assert_eq!(rep.replayed_events, meta.event_count);
+    assert_eq!(rep.checkpoints_passed, rep.checkpoints_total);
+}
+
+/// Tampering with a sharded recording must be caught, and the diagnosis
+/// must name the divergent shard domain.
+#[test]
+fn tampered_sharded_trace_names_the_divergent_domain() {
+    let dir = Scratch::new("sharded-tamper");
+    let path = dir.0.join("dmt_server-sharded-ic-2-t2-s1.dmtrace");
+    dmt_shard::record_server_trace(2, 2, dmt_workloads::Params::new(2, 1, 42), &path).unwrap();
+
+    let mut trace = Trace::open(&path).unwrap();
+    // Tamper inside domain D1's slice of the canonical stream.
+    let target = trace
+        .domains
+        .iter()
+        .zip(trace.events.iter())
+        .position(|(d, ev)| *d == dmt_api::DomainId(1) && matches!(ev, Event::TokenAcquire { .. }))
+        .expect("no D1 token acquisition in the trace");
+    if let Event::TokenAcquire { clock, .. } = &mut trace.events[target] {
+        *clock += 1;
+    }
+    let tampered = dir.0.join("tampered.dmtrace");
+    trace.save(&tampered).unwrap();
+
+    let rep = replay_file(&tampered).unwrap();
+    assert!(!rep.ok(), "tampered sharded trace replayed clean");
+    let diag = rep.divergence.expect("divergence carried no diagnosis");
+    assert!(
+        diag.contains("in domain D1"),
+        "diagnosis does not name domain D1:\n{diag}"
+    );
+}
+
 /// The committed corpus must replay green: every container re-executes
 /// to its recorded schedule and output on the current build.
 #[test]
