@@ -51,6 +51,7 @@ pub mod runtime;
 pub mod sync;
 pub mod trace;
 pub mod vclock;
+pub mod witness;
 
 pub use cost::CostModel;
 pub use ctx::{Job, ThreadCtx};
@@ -70,6 +71,7 @@ pub use trace::{
     TraceSink,
 };
 pub use vclock::VectorClock;
+pub use witness::{ResourceBounds, ResourceSample, ResourceWitness, WitnessHandle, WitnessSummary};
 
 /// Page size used by every versioned-memory runtime, in bytes.
 ///

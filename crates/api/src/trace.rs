@@ -577,6 +577,13 @@ pub trait TraceSink: Send + Sync {
     fn divergence(&self) -> Option<Divergence> {
         None
     }
+
+    /// Events currently resident in the sink (0 for sinks that keep no
+    /// buffer). The resource witness samples this as its trace-ring
+    /// gauge: a bounded ring's occupancy must never exceed its capacity.
+    fn occupancy(&self) -> usize {
+        0
+    }
 }
 
 /// Discards every event. With [`TraceHandle::off`] the emission sites
@@ -699,6 +706,10 @@ impl TraceSink for MemorySink {
     fn counts(&self) -> EventCounts {
         self.st.lock().counts
     }
+
+    fn occupancy(&self) -> usize {
+        self.st.lock().events.len()
+    }
 }
 
 /// A cloneable, optionally-absent sink reference carried in
@@ -780,6 +791,11 @@ impl TraceHandle {
     /// when the sink does not compare against a recording).
     pub fn divergence(&self) -> Option<Divergence> {
         self.sink.as_ref().and_then(|s| s.divergence())
+    }
+
+    /// Events currently resident in the sink (0 when off or unbuffered).
+    pub fn occupancy(&self) -> usize {
+        self.sink.as_ref().map_or(0, |s| s.occupancy())
     }
 }
 

@@ -375,6 +375,262 @@ fn extras_cmd(c: &Cfg) {
     dump("extras_pool", &rows);
 }
 
+/// One row of the `paper` parity table: a qualitative claim from the
+/// paper's evaluation, re-checked against this reproduction's numbers.
+struct ParityRow {
+    figure: String,
+    claim: String,
+    observed: String,
+    pass: bool,
+}
+
+dmt_bench::json_struct!(ParityRow {
+    figure,
+    claim,
+    observed,
+    pass
+});
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u32);
+    for x in xs {
+        sum += x.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (sum / n as f64).exp()
+}
+
+/// `figures paper`: the Figure 10–16 parity table. Every row re-runs the
+/// corresponding experiment and checks the paper's *qualitative* claim —
+/// who wins, in which direction — against this reproduction's
+/// deterministic virtual-cycle numbers. Returns false if any claim fails.
+fn paper_cmd(c: &Cfg) -> bool {
+    println!("== paper: Figure 10-16 parity table (deterministic virtual-cycle numbers)");
+    let mut rows: Vec<ParityRow> = Vec::new();
+    let mut row = |figure: &str, claim: &str, observed: String, pass: bool| {
+        println!(
+            "{:<7} {:<58} {:<28} {}",
+            figure,
+            claim,
+            observed,
+            if pass { "ok" } else { "FAIL" }
+        );
+        rows.push(ParityRow {
+            figure: figure.into(),
+            claim: claim.into(),
+            observed,
+            pass,
+        });
+    };
+    println!("{:<7} {:<58} {:<28} parity", "figure", "claim", "observed");
+
+    // Figure 10: best-over-threads slowdown vs pthreads, all runtimes.
+    let sweep: Vec<usize> = c
+        .threads_sweep
+        .iter()
+        .copied()
+        .filter(|t| *t >= 2)
+        .collect();
+    let f10 = fig10(&c.bench, &sweep, &HARD_BENCHMARKS);
+    let g_dt = geomean(f10.iter().map(|r| r.dthreads));
+    let g_dwc = geomean(f10.iter().map(|r| r.dwc));
+    let g_rr = geomean(f10.iter().map(|r| r.consequence_rr));
+    let g_ic = geomean(f10.iter().map(|r| r.consequence_ic));
+    row(
+        "fig10",
+        "Consequence-IC beats DThreads on the hard benchmarks",
+        format!("geomean IC {g_ic:.2}x vs DThreads {g_dt:.2}x"),
+        g_ic < g_dt,
+    );
+    row(
+        "fig10",
+        "Consequence-IC beats DWC on the hard benchmarks",
+        format!("geomean IC {g_ic:.2}x vs DWC {g_dwc:.2}x"),
+        g_ic < g_dwc,
+    );
+    row(
+        "fig10",
+        "IC ordering no worse than RR (geomean, 2% tolerance)",
+        format!("geomean IC {g_ic:.2}x vs RR {g_rr:.2}x"),
+        g_ic <= 1.02 * g_rr,
+    );
+
+    // Figure 11: runtime vs thread count on the scalability-problem set.
+    let f11_benches = ["ocean_cp", "lu_ncb", "kmeans", "canneal"];
+    let f11 = fig11(&c.bench, &c.threads_sweep, &f11_benches);
+    let tmax = *c.threads_sweep.iter().max().unwrap();
+    let at = |rt: &str| {
+        geomean(
+            f11.iter()
+                .filter(|p| p.runtime == rt && p.threads == tmax)
+                .map(|p| p.normalized),
+        )
+    };
+    let (ic_t, dt_t, dwc_t) = (at("consequence-ic"), at("dthreads"), at("dwc"));
+    row(
+        "fig11",
+        "IC beats DThreads and DWC at the highest thread count",
+        format!("@{tmax}t geomean IC {ic_t:.2} DThreads {dt_t:.2} DWC {dwc_t:.2}"),
+        ic_t < dt_t && ic_t < dwc_t,
+    );
+
+    // Figure 12: peak memory must stay bounded as threads grow — the
+    // collector keeps version chains trimmed, so doubling the thread
+    // count must not double the page footprint.
+    let f12_benches = ["canneal", "lu_ncb", "ocean_cp", "reverse_index"];
+    let f12 = fig12(&c.bench, &c.threads_sweep, &f12_benches);
+    let tmin = *c.threads_sweep.iter().min().unwrap();
+    let pages_at = |t: usize| {
+        geomean(
+            f12.iter()
+                .filter(|p| p.runtime == "consequence-ic" && p.threads == t)
+                .map(|p| p.peak_pages as f64),
+        )
+    };
+    let (pg_min, pg_max) = (pages_at(tmin), pages_at(tmax));
+    let thread_ratio = tmax as f64 / tmin as f64;
+    row(
+        "fig12",
+        "Consequence peak memory grows sub-linearly with threads",
+        format!("geomean pages {pg_min:.0}@{tmin}t -> {pg_max:.0}@{tmax}t"),
+        pg_max < thread_ratio * pg_min,
+    );
+
+    // Figure 13: the optimizations help where the paper says they do.
+    let f13 = fig13(&c.bench, c.detail_threads, &HARD_BENCHMARKS);
+    let best_opt = OPTIMIZATIONS
+        .iter()
+        .map(|o| {
+            (
+                o,
+                geomean(
+                    f13.iter()
+                        .filter(|b| b.optimization == *o)
+                        .map(|b| b.speedup),
+                ),
+            )
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    row(
+        "fig13",
+        "at least one optimization speeds up the hard benchmarks",
+        format!("best: {} at {:.2}x geomean", best_opt.0, best_opt.1),
+        best_opt.1 > 1.0,
+    );
+
+    // Figure 14: adaptive coarsening tracks the best static level.
+    let levels = [1_024, 16_384, 262_144];
+    let f14 = fig14(
+        &c.bench,
+        c.detail_threads,
+        &["reverse_index", "ferret"],
+        &levels,
+    );
+    let mut f14_ok = true;
+    let mut f14_obs = String::new();
+    for name in ["reverse_index", "ferret"] {
+        let best_static = f14
+            .iter()
+            .filter(|p| p.benchmark == name && p.level.is_some())
+            .map(|p| p.virtual_cycles)
+            .min()
+            .unwrap() as f64;
+        let adaptive = f14
+            .iter()
+            .find(|p| p.benchmark == name && p.level.is_none())
+            .unwrap()
+            .virtual_cycles as f64;
+        f14_ok &= adaptive <= 1.5 * best_static;
+        f14_obs.push_str(&format!("{name} {:.2}x ", adaptive / best_static));
+    }
+    row(
+        "fig14",
+        "adaptive coarsening within 1.5x of the best static level",
+        f14_obs.trim_end().to_string(),
+        f14_ok,
+    );
+
+    // Figure 15: under Consequence the residual cost is deterministic
+    // *waiting*, not the versioned-memory machinery — commit/update
+    // overhead must stay a small fraction of where the time goes.
+    let f15 = fig15(&c.bench, c.detail_threads, &["kmeans", "reverse_index"]);
+    let share = |rt: &str, f: &dyn Fn(&dmt_api::Breakdown) -> u64| {
+        let (mut w, mut t) = (0u64, 0u64);
+        for b in f15.iter().filter(|b| b.runtime == rt) {
+            w += f(&b.breakdown);
+            t += b.breakdown.total();
+        }
+        w as f64 / t.max(1) as f64
+    };
+    let ic_wait = share("consequence-ic", &|b| b.determ_wait + b.barrier_wait);
+    let ic_mem = share("consequence-ic", &|b| b.commit + b.update);
+    row(
+        "fig15",
+        "IC residual cost is waiting, not commit/update machinery",
+        format!(
+            "share: wait {:.0}% vs commit+update {:.0}%",
+            100.0 * ic_wait,
+            100.0 * ic_mem
+        ),
+        ic_wait > ic_mem,
+    );
+
+    // Figure 16: the LRC study — TSO propagates more pages than the
+    // happens-before lower bound, never fewer.
+    let f16_benches = ["canneal", "lu_ncb", "ocean_cp", "kmeans", "word_count"];
+    let f16 = fig16(&c.bench, c.detail_threads, &f16_benches);
+    let sane = f16.iter().all(|r| r.lrc_pages <= r.tso_pages);
+    let mean_red = f16.iter().map(|r| r.reduction).sum::<f64>() / f16.len() as f64;
+    row(
+        "fig16",
+        "LRC estimate never exceeds TSO pages; reduction positive",
+        format!("mean reduction {:.0}%", 100.0 * mean_red),
+        sane && mean_red > 0.0,
+    );
+
+    dump("paper", &rows);
+    let ok = rows.iter().all(|r| r.pass);
+    if !ok {
+        eprintln!("paper parity FAILED: a qualitative claim does not hold on this build");
+    }
+    ok
+}
+
+/// `figures soak`: the bounded-resource soak (see `docs/SOAK.md` and the
+/// `soak` binary, which CI drives). `--quick` runs the smoke grid.
+fn soak_cmd(quick: bool) -> bool {
+    use dmt_bench::json::ToJson;
+    println!("== soak: bounded-resource determinism at scale");
+    let report = dmt_bench::soak::run_soak_bench(quick);
+    for c in &report.cells {
+        println!(
+            "{:<24} {:>4} threads: {:>3} iters {:>8} samples  {}  {}",
+            c.workload,
+            c.threads,
+            c.iterations,
+            c.samples,
+            if c.within_bounds { "bounded" } else { "LEAKED" },
+            if c.deterministic {
+                "deterministic"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    dump("soak", &report);
+    match dmt_bench::soak::validate_report(&report.to_json()) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("soak FAILED: {e}");
+            false
+        }
+    }
+}
+
 fn certify_cmd(c: &Cfg) -> bool {
     use dmt_baselines::RuntimeKind;
     println!(
@@ -496,6 +752,8 @@ fn main() {
             "fig15" => fig15_cmd(&c),
             "fig16" => fig16_cmd(&c),
             "extras" => extras_cmd(&c),
+            "paper" => certified &= paper_cmd(&c),
+            "soak" => certified &= soak_cmd(quick),
             "certify" => certified &= certify_cmd(&c),
             "all" => {
                 fig10_cmd(&c);
@@ -510,7 +768,8 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown figure {other}; use fig10..fig16, extras, certify, replay or all"
+                    "unknown figure {other}; use fig10..fig16, extras, paper, soak, \
+                     certify, replay or all"
                 );
                 std::process::exit(2);
             }

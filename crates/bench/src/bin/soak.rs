@@ -1,0 +1,119 @@
+//! `soak` — bounded-resource determinism at scale.
+//!
+//! ```text
+//! soak [--smoke] [--out PATH]    run the soak grid, write the JSON artifact
+//! soak --check PATH              validate an existing artifact (CI gate)
+//! ```
+//!
+//! The full run regenerates `BENCH_soak.json` (committed at the repo root;
+//! always use `--release`) by soaking workload kernels and the request
+//! server at 64–256 threads under asserted resource envelopes. `--smoke`
+//! shrinks the grid and the per-cell time budget for CI. `--check` parses
+//! an emitted document with the in-tree JSON parser and verifies every
+//! cell stayed within bounds, reproduced its schedule hash across all
+//! iterations, and validated against the workload reference — see
+//! `docs/SOAK.md` for the schema.
+
+use std::process::ExitCode;
+
+use dmt_bench::json::ToJson;
+use dmt_bench::soak::{run_soak_bench, validate_report};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_soak.json");
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => return usage("--out requires a path"),
+            },
+            "--check" => match it.next() {
+                Some(p) => check = Some(p.clone()),
+                None => return usage("--check requires a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("soak: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_report(&text) {
+            Ok(()) => {
+                println!("{path}: ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    eprintln!(
+        "running soak ({} mode)...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = run_soak_bench(smoke);
+
+    for c in &report.cells {
+        eprintln!(
+            "{:<24} {:<15} {:>4} threads: {:>3} iters  {:>7} samples  \
+             peak {}v/{}p/{}h/{}r  {}  {}",
+            c.workload,
+            c.runtime,
+            c.threads,
+            c.iterations,
+            c.samples,
+            c.maxima.retained_versions,
+            c.maxima.live_pages,
+            c.maxima.clock_history,
+            c.maxima.trace_ring,
+            if c.within_bounds { "bounded" } else { "LEAKED" },
+            if c.deterministic {
+                "deterministic"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    eprintln!(
+        "max threads {}; all bounded: {}; all deterministic: {}",
+        report.max_threads, report.all_within_bounds, report.all_deterministic
+    );
+
+    let text = report.to_json();
+    if let Err(e) = validate_report(&text) {
+        eprintln!("soak: emitted report failed self-validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, text + "\n") {
+        eprintln!("soak: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("soak: {err}");
+    }
+    eprintln!("usage: soak [--smoke] [--out PATH] | soak --check PATH");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -12,6 +12,7 @@ pub mod jsonparse;
 pub mod replay;
 pub mod sched;
 pub mod shard;
+pub mod soak;
 pub mod stats;
 pub mod vmem;
 
@@ -91,6 +92,7 @@ fn common_cfg(pages: usize, gc_budget: usize, track_lrc: bool) -> CommonConfig {
         gc_budget,
         trace: TraceHandle::off(),
         perturb: dmt_api::PerturbHandle::off(),
+        witness: dmt_api::WitnessHandle::off(),
     }
 }
 

@@ -110,6 +110,7 @@ pub fn record_to(
         gc_budget: 4,
         trace: TraceHandle::to(Arc::clone(&sink) as _),
         perturb: PerturbHandle::off(),
+        witness: dmt_api::WitnessHandle::off(),
     };
     let fingerprint = opts.fingerprint();
     let mut rt = ConsequenceRuntime::new(cfg, opts);

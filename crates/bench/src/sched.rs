@@ -239,6 +239,7 @@ fn run_churn(threads: usize, locks: usize, iters: u64, opts: Options) -> ChurnRu
         gc_budget: 4,
         trace: TraceHandle::to(Arc::new(HashSink::new())),
         perturb: dmt_api::PerturbHandle::off(),
+        witness: dmt_api::WitnessHandle::off(),
     };
     let mut opts = opts;
     // Coarsening retains the token across rounds, which is exactly the

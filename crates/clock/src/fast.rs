@@ -867,6 +867,15 @@ impl SchedTable {
         }
     }
 
+    /// Longest per-thread clock history over tids `0..threads` (the
+    /// resource-witness gauge; the pruning watermark must bound it).
+    pub fn max_history_len(&self, threads: u32) -> usize {
+        (0..threads)
+            .map(|t| self.history_len(Tid(t)))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// See [`ClockTable::publish`].
     pub fn publish(&mut self, t: Tid, clock: u64, v: u64) -> bool {
         match self {

@@ -677,6 +677,27 @@ impl Ctx {
                 l.on_commit(self.tid, cr.pages);
             }
         }
+        if self.sh.cfg.witness.enabled() {
+            self.witness_sample();
+        }
+    }
+
+    /// One [`ResourceSample`](dmt_api::ResourceSample) for the attached
+    /// witness: version-chain peak, live pages, longest clock history,
+    /// trace-ring occupancy. Called under the token at every commit epoch,
+    /// so samples land at deterministic schedule points; the observation
+    /// itself costs no virtual time and cannot move the schedule.
+    fn witness_sample(&self) {
+        let clock_history = {
+            let inner = self.sh.inner.lock();
+            inner.table.max_history_len(self.sh.cfg.max_threads as u32)
+        };
+        self.sh.cfg.witness.observe(dmt_api::ResourceSample {
+            retained_versions: self.sh.seg.retained_peak(),
+            live_pages: self.sh.seg.tracker().live(),
+            clock_history,
+            trace_ring: self.sh.cfg.trace.occupancy(),
+        });
     }
 
     /// Ends a coarsenable synchronization operation: either retain the

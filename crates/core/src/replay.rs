@@ -211,6 +211,7 @@ impl ConsequenceRuntime {
             gc_budget: 4,
             trace: TraceHandle::to(Arc::clone(&sink) as _),
             perturb,
+            witness: dmt_api::WitnessHandle::off(),
         };
         let monitor = ReplayMonitor {
             sink,

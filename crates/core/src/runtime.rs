@@ -251,6 +251,20 @@ impl Runtime for ConsequenceRuntime {
         counters.gc_versions_dropped = gc_dropped;
         counters.gc_versions_squashed = gc_squashed;
         counters.page_pool_hits = sh.seg.tracker().pool_hits();
+        // Teardown sample: catches a run whose last epochs never
+        // committed (pure compute tails) and the final trace occupancy.
+        if sh.cfg.witness.enabled() {
+            let clock_history = {
+                let inner = sh.inner.lock();
+                inner.table.max_history_len(sh.cfg.max_threads as u32)
+            };
+            sh.cfg.witness.observe(dmt_api::ResourceSample {
+                retained_versions: sh.seg.retained_peak(),
+                live_pages: sh.seg.tracker().live(),
+                clock_history,
+                trace_ring: sh.cfg.trace.occupancy(),
+            });
+        }
         RunReport {
             virtual_cycles: max_v,
             wall: start.elapsed(),

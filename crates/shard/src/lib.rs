@@ -37,5 +37,6 @@ pub mod runtime;
 pub use map::ShardMap;
 pub use record::{record_server_trace, verify_server_trace, ShardReplay};
 pub use runtime::{
-    run_sharded_server, CaptureMode, DomainReport, ShardCfg, ShardReport, StdExchange,
+    run_sharded_server, run_sharded_server_hooked, CaptureMode, DomainHooks, DomainReport,
+    PhaseGate, ShardCfg, ShardReport, StdExchange,
 };

@@ -1,12 +1,14 @@
 //! The sharded runtime: one token domain per shard, rendezvous between
 //! epochs.
 
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use consequence::{ConsequenceRuntime, Options};
 use dmt_api::trace::{Event, HashSink, MemorySink};
-use dmt_api::{CommonConfig, CostModel, DomainId, Fnv1a, PerturbHandle, Runtime, TraceHandle};
+use dmt_api::{
+    CommonConfig, CostModel, DomainId, Fnv1a, PerturbHandle, Runtime, TraceHandle, WitnessHandle,
+};
 use dmt_workloads::server::{DomainPlan, DomainServer, Exchange, ServerSpec};
 use dmt_workloads::Params;
 
@@ -86,6 +88,9 @@ pub struct DomainReport {
     pub virtual_cycles: u64,
     /// Wall-clock time of the domain's run.
     pub wall: Duration,
+    /// Workload panics contained inside the domain (injected or real),
+    /// `(tid, message)` in containment order.
+    pub panics: Vec<(dmt_api::Tid, String)>,
 }
 
 /// The result of a sharded server run.
@@ -111,26 +116,111 @@ pub struct ShardReport {
     pub requests: u64,
     /// Requests actually served, summed over domains.
     pub processed: u64,
+    /// Whether every request was served (`processed == requests`). Always
+    /// true unless losses were tolerated (see [`DomainHooks`]).
+    pub complete: bool,
+    /// Contained panics summed over domains.
+    pub panics: u64,
     /// Total sync operations: token acquisitions summed over domains.
     pub sync_ops: u64,
     /// Wall-clock time of the whole run (slowest domain).
     pub wall: Duration,
 }
 
+/// A rendezvous gate that tolerates permanent departures.
+///
+/// Behaves like a reusable [`std::sync::Barrier`] over `parties`
+/// participants, except a participant may [`resign`](PhaseGate::resign)
+/// forever: every subsequent phase then needs one fewer arrival. Without
+/// this, one shard domain dying (an injected panic, a contained fault)
+/// would hang every sibling at the next epoch rendezvous — the exact
+/// failure the mixed-scenario matrix composes on purpose.
+///
+/// Determinism: a domain's death epoch is a pure function of `(seed,
+/// options)` — panics are injected at deterministic schedule points — so
+/// the set of domains attending any given phase, and therefore each
+/// phase's outcome, is deterministic even though the *physical* moment of
+/// resignation is not. Resignation only ever happens between phases
+/// (domain drivers never unwind inside a gate), so a resign can never
+/// split one logical phase in two.
+pub struct PhaseGate {
+    parties: usize,
+    st: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    /// Arrivals in the current phase.
+    arrived: usize,
+    /// Permanent departures (never reset).
+    resigned: usize,
+    /// Completed-phase counter; waiters sleep until it moves.
+    gen: u64,
+}
+
+impl PhaseGate {
+    /// A gate over `parties` participants.
+    pub fn new(parties: usize) -> PhaseGate {
+        PhaseGate {
+            parties,
+            st: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arrives at the current phase and blocks until it completes, i.e.
+    /// until every non-resigned participant has arrived.
+    pub fn wait(&self) {
+        let mut st = self.lock();
+        st.arrived += 1;
+        if st.arrived + st.resigned >= self.parties {
+            st.arrived = 0;
+            st.gen += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let gen = st.gen;
+        while st.gen == gen {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Permanently withdraws one participant. If the current phase was
+    /// only waiting on the resigner, it completes now.
+    pub fn resign(&self) {
+        let mut st = self.lock();
+        st.resigned += 1;
+        if st.arrived > 0 && st.arrived + st.resigned >= self.parties {
+            st.arrived = 0;
+            st.gen += 1;
+            self.cv.notify_all();
+        }
+    }
+}
+
 /// Host-side credit exchange between shard domains.
 ///
 /// Domain drivers call [`Exchange::exchange`] once per epoch. The
 /// implementation posts each outgoing credit to its destination domain
-/// (routed by the shard map), meets every sibling at a [`Barrier`], takes
-/// its own inbox, meets them again (so nobody posts epoch `e + 1` credits
-/// into an inbox still being drained), and returns the inbox in canonical
-/// `(source domain, outbox order)` order. Outbox order is deterministic —
-/// each source outbox fills under its domain's token — so the returned
-/// credit sequence is a pure function of `(seed, options)`.
+/// (routed by the shard map), meets every sibling at a [`PhaseGate`],
+/// takes its own inbox, meets them again (so nobody posts epoch `e + 1`
+/// credits into an inbox still being drained), and returns the inbox in
+/// canonical `(source domain, outbox order)` order. Outbox order is
+/// deterministic — each source outbox fills under its domain's token — so
+/// the returned credit sequence is a pure function of `(seed, options)`.
+///
+/// A domain that stops serving early must [`resign`](StdExchange::resign)
+/// so the survivors' gates shrink; [`run_sharded_server`] installs a drop
+/// guard that does this on every domain exit path.
 pub struct StdExchange {
     map: ShardMap,
-    post: Barrier,
-    take: Barrier,
+    post: PhaseGate,
+    take: PhaseGate,
     inboxes: Mutex<Vec<Vec<Posted>>>,
 }
 
@@ -143,10 +233,18 @@ impl StdExchange {
         let n = map.shards() as usize;
         StdExchange {
             map,
-            post: Barrier::new(n),
-            take: Barrier::new(n),
+            post: PhaseGate::new(n),
+            take: PhaseGate::new(n),
             inboxes: Mutex::new(vec![Vec::new(); n]),
         }
+    }
+
+    /// Permanently withdraws one domain from both rendezvous gates.
+    /// Called exactly once per domain, after its runtime can no longer
+    /// call [`Exchange::exchange`].
+    pub fn resign(&self) {
+        self.post.resign();
+        self.take.resign();
     }
 }
 
@@ -170,6 +268,22 @@ impl Exchange for StdExchange {
     }
 }
 
+/// Per-domain instrumentation for [`run_sharded_server_hooked`].
+///
+/// Vectors are indexed by domain and padded with off-handles, so the
+/// empty default instruments nothing.
+#[derive(Clone, Debug, Default)]
+pub struct DomainHooks {
+    /// Fault / panic injectors, one per domain (off when absent).
+    pub perturb: Vec<PerturbHandle>,
+    /// Resource witnesses, one per domain (off when absent).
+    pub witness: Vec<WitnessHandle>,
+    /// Tolerate injected losses: when a domain dies early (contained
+    /// panic of its driver), skip the served-every-request assert and
+    /// report [`ShardReport::complete`] `false` instead.
+    pub tolerate_losses: bool,
+}
+
 /// Runs the deterministic server across `cfg.shards` token domains.
 ///
 /// Each domain is a full Consequence runtime — its own clock table, token
@@ -184,6 +298,14 @@ impl Exchange for StdExchange {
 /// Panics if a domain thread panics, if a domain serves a request it does
 /// not own, or if the served request count disagrees with the spec.
 pub fn run_sharded_server(cfg: &ShardCfg) -> ShardReport {
+    run_sharded_server_hooked(cfg, &DomainHooks::default())
+}
+
+/// [`run_sharded_server`] with per-domain instrumentation attached: fault
+/// injectors, panic plans and resource witnesses ride into each domain's
+/// `CommonConfig`. This is the mixed-scenario matrix entry point — the
+/// composition perturb × panic × shard × record runs through here.
+pub fn run_sharded_server_hooked(cfg: &ShardCfg, hooks: &DomainHooks) -> ShardReport {
     let spec = ServerSpec::of(&cfg.params);
     let mut opts = cfg.opts.clone();
     opts.shard_domains = cfg.shards;
@@ -196,10 +318,24 @@ pub fn run_sharded_server(cfg: &ShardCfg) -> ShardReport {
         .into_iter()
         .map(|plan| {
             let opts = opts.clone();
-            let exchange = Arc::clone(&exchange) as Arc<dyn Exchange>;
+            let exchange = Arc::clone(&exchange);
             let capture = cfg.capture;
             let workers = cfg.workers;
-            std::thread::spawn(move || run_domain(spec, plan, workers, opts, capture, exchange))
+            let perturb = hooks
+                .perturb
+                .get(plan.domain)
+                .cloned()
+                .unwrap_or_else(PerturbHandle::off);
+            let witness = hooks
+                .witness
+                .get(plan.domain)
+                .cloned()
+                .unwrap_or_else(WitnessHandle::off);
+            std::thread::spawn(move || {
+                run_domain(
+                    spec, plan, workers, opts, capture, exchange, perturb, witness,
+                )
+            })
         })
         .collect();
     let domains: Vec<DomainReport> = handles
@@ -227,31 +363,52 @@ pub fn run_sharded_server(cfg: &ShardCfg) -> ShardReport {
     }
 
     let processed: u64 = domains.iter().map(|d| d.processed).sum();
-    assert_eq!(
-        processed, spec.requests as u64,
-        "served {processed} of {} requests",
-        spec.requests
-    );
+    let complete = processed == spec.requests as u64;
+    if !hooks.tolerate_losses {
+        assert_eq!(
+            processed, spec.requests as u64,
+            "served {processed} of {} requests",
+            spec.requests
+        );
+    }
     ShardReport {
         sync_ops: domains.iter().map(|d| d.token_acquisitions).sum(),
+        panics: domains.iter().map(|d| d.panics.len() as u64).sum(),
         schedule_hash: sched.digest(),
         store_hash: store.digest(),
         output_hash: out.digest(),
         commit_hash: commits.digest(),
         requests: spec.requests as u64,
         processed,
+        complete,
         wall,
         domains,
     }
 }
 
+/// Resigns a domain from the exchange on every exit path — normal
+/// completion, contained early death, or a panic out of the report
+/// harvesting — so siblings never hang on a gate the domain will not
+/// attend. Resignation strictly follows the domain's last possible
+/// [`Exchange::exchange`] call (the runtime has returned by then).
+struct ResignOnExit(Arc<StdExchange>);
+
+impl Drop for ResignOnExit {
+    fn drop(&mut self) {
+        self.0.resign();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_domain(
     spec: ServerSpec,
     plan: DomainPlan,
     workers: usize,
     opts: Options,
     capture: CaptureMode,
-    exchange: Arc<dyn Exchange>,
+    exchange: Arc<StdExchange>,
+    perturb: PerturbHandle,
+    witness: WitnessHandle,
 ) -> DomainReport {
     let domain = DomainId(plan.domain as u32);
     let (hash_sink, mem_sink, trace) = match capture {
@@ -280,11 +437,20 @@ fn run_domain(
         track_lrc: false,
         gc_budget: usize::MAX,
         trace,
-        perturb: PerturbHandle::off(),
+        perturb,
+        witness,
     };
     let mut rt = ConsequenceRuntime::new(common, opts);
-    let (job, srv) = DomainServer::prepare(&mut rt, &spec, &plan, workers, exchange);
+    let resign = ResignOnExit(Arc::clone(&exchange));
+    let (job, srv) = DomainServer::prepare(
+        &mut rt,
+        &spec,
+        &plan,
+        workers,
+        exchange as Arc<dyn Exchange>,
+    );
     let report = rt.run(job);
+    drop(resign);
 
     let (events, dropped) = mem_sink
         .as_ref()
@@ -314,6 +480,7 @@ fn run_domain(
         lock_acquires: report.counters.lock_acquires,
         virtual_cycles: report.virtual_cycles,
         wall: report.wall,
+        panics: report.panics,
     }
 }
 
@@ -363,5 +530,76 @@ mod tests {
         for (da, db) in a.domains.iter().zip(&b.domains) {
             assert_eq!(da.schedule_hash, db.schedule_hash, "domain {}", da.domain);
         }
+    }
+
+    #[test]
+    fn phase_gate_absorbs_resignations() {
+        let g = Arc::new(PhaseGate::new(3));
+        g.resign();
+        let g2 = Arc::clone(&g);
+        let h = std::thread::spawn(move || {
+            g2.wait();
+            g2.wait();
+        });
+        g.wait();
+        g.wait();
+        h.join().unwrap();
+        // A second resignation leaves one live party: waits return alone.
+        g.resign();
+        g.wait();
+        g.wait();
+    }
+
+    /// A deterministic assassin: thread `tid` dies at its `nth` operation
+    /// of class `site`, nothing else is perturbed.
+    struct DieAt {
+        site: dmt_api::PanicSite,
+        tid: dmt_api::Tid,
+        nth: u64,
+    }
+
+    impl dmt_api::Perturber for DieAt {
+        fn hit(&self, _: dmt_api::PerturbSite, _: dmt_api::Tid) -> u64 {
+            0
+        }
+        fn panic_at(&self, site: dmt_api::PanicSite, tid: dmt_api::Tid, nth: u64) -> bool {
+            site == self.site && tid == self.tid && nth == self.nth
+        }
+    }
+
+    #[test]
+    fn dead_domain_resigns_and_survivors_complete_reproducibly() {
+        let run = || {
+            let mut c = cfg(2);
+            // The dying domain's workers starve; a short watchdog turns
+            // that into a prompt contained shutdown.
+            c.opts.watchdog_stall_ms = Some(300);
+            let hooks = DomainHooks {
+                perturb: vec![
+                    PerturbHandle::off(),
+                    PerturbHandle::to(Arc::new(DieAt {
+                        site: dmt_api::PanicSite::Commit,
+                        tid: dmt_api::Tid(0),
+                        nth: 1,
+                    })),
+                ],
+                witness: Vec::new(),
+                tolerate_losses: true,
+            };
+            run_sharded_server_hooked(&c, &hooks)
+        };
+        let a = run();
+        // Domain 1's driver died: its tail of the request stream is lost,
+        // but nobody hangs — the exchange gates shrank by resignation.
+        assert!(!a.complete, "driver death must lose requests");
+        assert!(a.processed < a.requests);
+        assert!(a.panics >= 1);
+        // The composition is reproducible: same death point, same
+        // survivor schedule, same final store.
+        let b = run();
+        assert_eq!(a.schedule_hash, b.schedule_hash);
+        assert_eq!(a.processed, b.processed);
+        assert_eq!(a.store_hash, b.store_hash);
+        assert_eq!(a.panics, b.panics);
     }
 }

@@ -9,6 +9,7 @@
 //! cargo run -p dmt-stress --release --bin stress -- --shard-diff
 //! cargo run -p dmt-stress --release --bin stress -- --record traces/
 //! cargo run -p dmt-stress --release --bin stress -- --replay traces/
+//! cargo run -p dmt-stress --release --bin stress -- --soak --smoke
 //! cargo run -p dmt-stress --release --bin stress -- \
 //!     --workloads histogram,kmeans --runtimes consequence-ic --seeds 4
 //! ```
@@ -36,7 +37,13 @@
 //! (see `docs/TRACE_FORMAT.md`); `--replay <file-or-dir>` re-executes
 //! recorded containers and exits 1 on any schedule, output or commit-log
 //! divergence, printing the first-divergent-event diagnosis (see
-//! `docs/REPLAY.md`). JSON reports land in `target/stress/`.
+//! `docs/REPLAY.md`). `--soak` runs the bounded-resource soak grid
+//! (64-thread smoke; 256-thread full with `--deep`) followed by the
+//! mixed-scenario matrix — all 16 on/off compositions of perturbation ×
+//! injected panic × sharding × live recording — and exits 1 unless every
+//! soak cell stayed within its resource envelope and every composition
+//! reproduced its schedule hash and held its semantic oracle (see
+//! `docs/SOAK.md`). JSON reports land in `target/stress/`.
 //! See `docs/STRESS.md`.
 
 use std::fs;
@@ -65,7 +72,7 @@ fn runtime_by_label(label: &str) -> Option<RuntimeKind> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: stress [--smoke|--deep|--inject-bug|--inject-panic|--sched-diff|--shard-diff] \
+        "usage: stress [--smoke|--deep|--inject-bug|--inject-panic|--sched-diff|--shard-diff|--soak] \
          [--record DIR] [--replay FILE-OR-DIR] \
          [--workloads a,b,..] [--runtimes a,b,..] [--seeds N] [--threads N] [--scale N] \
          [--base-seed N]"
@@ -92,6 +99,7 @@ fn main() {
     let mut inject_panic = false;
     let mut sched_diff = false;
     let mut shard_diff = false;
+    let mut soak = false;
     let mut record_dir: Option<String> = None;
     let mut replay_path: Option<String> = None;
     let mut i = 0;
@@ -126,6 +134,7 @@ fn main() {
             "--inject-panic" => inject_panic = true,
             "--sched-diff" => sched_diff = true,
             "--shard-diff" => shard_diff = true,
+            "--soak" => soak = true,
             "--workloads" => {
                 i += 1;
                 let list = args.get(i).unwrap_or_else(|| usage());
@@ -158,6 +167,90 @@ fn main() {
     }
 
     let t0 = Instant::now();
+    if soak {
+        let smoke = mode != "deep";
+        println!(
+            "== stress --soak ({}): bounded-resource soak, then the mixed-scenario matrix",
+            if smoke { "smoke" } else { "full" }
+        );
+        let sr = dmt_bench::soak::run_soak_bench(smoke);
+        for c in &sr.cells {
+            println!(
+                "{:<24}{:<16}{:>4} threads {:>5} iters {:>9} samples  {}  {}",
+                c.workload,
+                c.runtime,
+                c.threads,
+                c.iterations,
+                c.samples,
+                if c.within_bounds { "bounded" } else { "LEAKED" },
+                if c.deterministic {
+                    "deterministic"
+                } else {
+                    "DIVERGED"
+                }
+            );
+        }
+        let soak_ok = match dmt_bench::soak::validate_report(&sr.to_json()) {
+            Ok(()) => true,
+            Err(e) => {
+                println!("soak artifact INVALID: {e}");
+                false
+            }
+        };
+        dump("soak", &sr);
+        println!(
+            "soak: {} cells, max {} threads, all bounded: {}, all deterministic: {}",
+            sr.cells.len(),
+            sr.max_threads,
+            sr.all_within_bounds,
+            sr.all_deterministic
+        );
+
+        println!(
+            "== mixed-scenario matrix: perturb x panic x shard x record, {} workers",
+            cfg.threads
+        );
+        println!(
+            "{:<9}{:<7}{:<7}{:<8}{:>20}{:>8}{:>8}",
+            "perturb", "panic", "shard", "record", "schedule_hash", "panics", "verdict"
+        );
+        let mr = dmt_stress::run_mixed_matrix(
+            cfg.threads,
+            cfg.scale,
+            cfg.input_seed,
+            cfg.base_seed,
+            |cell| {
+                println!(
+                    "{:<9}{:<7}{:<7}{:<8}{:>#20x}{:>8}{:>8}",
+                    if cell.perturb { "on" } else { "-" },
+                    if cell.panic { "on" } else { "-" },
+                    if cell.shard { "on" } else { "-" },
+                    if cell.record { "on" } else { "-" },
+                    cell.schedule_hash,
+                    cell.panics,
+                    if cell.deterministic && cell.oracle_ok && cell.record_ok && cell.invariant {
+                        "ok"
+                    } else {
+                        "FAILED"
+                    }
+                );
+            },
+        );
+        dump("matrix", &mr);
+        println!(
+            "{}: {} compositions, {} runs",
+            if soak_ok && mr.passed {
+                "PASSED"
+            } else {
+                "FAILED"
+            },
+            mr.compositions,
+            mr.total_runs
+        );
+        eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        std::process::exit(if soak_ok && mr.passed { 0 } else { 1 });
+    }
+
     if let Some(dir) = record_dir {
         println!("== stress --record: persisting one trace per workload x Consequence runtime");
         let dir = std::path::PathBuf::from(dir);

@@ -69,6 +69,7 @@ fn contended_cfg(trace: TraceHandle, perturb: PerturbHandle) -> CommonConfig {
         gc_budget: 4,
         trace,
         perturb,
+        witness: dmt_api::WitnessHandle::off(),
     }
 }
 

@@ -22,6 +22,7 @@
 //! `docs/STRESS.md`.
 
 pub mod inject;
+pub mod matrix;
 pub mod panic_inject;
 pub mod report;
 pub mod sched_diff;
@@ -39,6 +40,7 @@ use dmt_baselines::{make_runtime, RuntimeKind};
 use dmt_workloads::{workload_by_name, Params, Validation};
 
 pub use inject::{run_inject_bug, InjectOutcome};
+pub use matrix::{run_mixed_matrix, MatrixCell, MatrixReport, MATRIX_SHARDS};
 pub use panic_inject::{run_panic_inject, PanicCell, PanicInjectReport, PanicInjector};
 pub use report::{CellSummary, StressReport, Violation};
 pub use sched_diff::{run_consequence_workload, run_sched_diff, SchedDiffCell, SchedDiffReport};
@@ -141,6 +143,7 @@ pub(crate) fn cell_cfg(pages: usize, trace: TraceHandle, perturb: PerturbHandle)
         gc_budget: 4,
         trace,
         perturb,
+        witness: dmt_api::WitnessHandle::off(),
     }
 }
 

@@ -1,0 +1,401 @@
+//! `stress --soak`: the mixed-scenario matrix.
+//!
+//! Every adversarial subsystem in this workspace attacks the determinism
+//! contract along **one** axis: timing perturbation (`run_matrix`),
+//! injected deaths (`run_panic_inject`), token-domain sharding
+//! (`run_shard_diff`), live trace recording (`--record`). Real failures
+//! compose. This module runs the deterministic request server under every
+//! on/off combination of the four axes — all 16 compositions, including
+//! perturb × panic × shard × record in a *single run* — and holds each
+//! composition to the same oracles as the single-axis modes:
+//!
+//! 1. **Reproducibility** — two runs of one composition produce identical
+//!    schedule hashes, semantic digests, contained-panic counts and
+//!    completion states;
+//! 2. **Timing invariance** — within a `(panic, shard)` group, turning
+//!    perturbation or recording on must not move the schedule hash: both
+//!    are observation/noise, never schedule input;
+//! 3. **Semantics** — panic-free compositions must serve every request
+//!    and reproduce the sequential reference store; panic compositions
+//!    must actually fire their injected death and (sharded) report the
+//!    loss instead of hanging — the [`dmt_shard::PhaseGate`] resignation
+//!    protocol under test;
+//! 4. **Recording fidelity** — recorded compositions must buffer the full
+//!    event stream (nothing dropped) and the buffered stream must fold to
+//!    the run's schedule hash bit for bit.
+//!
+//! A cross-axis leak — a perturbation draw that feeds the scheduler, a
+//! panic whose containment point depends on recording overhead, a
+//! rendezvous that deadlocks when its peer died — moves exactly one of
+//! these digests. See `docs/SOAK.md`.
+
+use std::sync::Arc;
+
+use consequence::{ConsequenceRuntime, Options};
+use dmt_api::trace::{HashSink, MemorySink};
+use dmt_api::{
+    CommonConfig, CostModel, Fnv1a, PanicSite, PerturbHandle, PerturbPlan, PerturbSite, Perturber,
+    PlanPerturber, Runtime, Tid, TraceHandle, WitnessHandle,
+};
+use dmt_bench::json_struct;
+use dmt_shard::{run_sharded_server_hooked, CaptureMode, DomainHooks, ShardCfg};
+use dmt_workloads::server::ServerSpec;
+use dmt_workloads::{workload_by_name, Params};
+
+use crate::mix64;
+
+/// Token domains of the sharded compositions.
+pub const MATRIX_SHARDS: u32 = 2;
+
+/// Event capacity of the recording compositions' sink — sized so nothing
+/// is ever dropped (fidelity is an oracle here, unlike the soak cells
+/// that assert bounded-ring *occupancy*).
+const MATRIX_RING: usize = 1 << 20;
+
+/// Salt deriving the matrix's perturbation-plan seeds.
+const MATRIX_SALT: u64 = 0x50AC_AB1E;
+
+/// One on/off composition of the four scenario axes.
+#[derive(Clone, Copy, Debug)]
+struct Comp {
+    perturb: bool,
+    panic: bool,
+    shard: bool,
+    record: bool,
+}
+
+impl Comp {
+    /// All 16 compositions, base case first.
+    fn all() -> impl Iterator<Item = Comp> {
+        (0u32..16).map(|bits| Comp {
+            perturb: bits & 1 != 0,
+            panic: bits & 2 != 0,
+            shard: bits & 4 != 0,
+            record: bits & 8 != 0,
+        })
+    }
+}
+
+/// Composes the timing fuzzer with a deterministic assassin so one
+/// perturber handle carries both scenario axes into a runtime. Both
+/// delegates are pure functions of their call arguments, so the
+/// composition is exactly as replayable as its parts.
+struct Composite {
+    timing: Option<PlanPerturber>,
+    killer: Option<(PanicSite, Tid, u64)>,
+}
+
+impl Perturber for Composite {
+    fn hit(&self, site: PerturbSite, tid: Tid) -> u64 {
+        self.timing.as_ref().map_or(0, |t| t.hit(site, tid))
+    }
+
+    fn panic_at(&self, site: PanicSite, tid: Tid, nth: u64) -> bool {
+        self.killer == Some((site, tid, nth))
+    }
+
+    fn seed(&self) -> u64 {
+        self.timing.as_ref().map_or(0, |t| t.seed())
+    }
+}
+
+fn composite(timing: Option<PerturbPlan>, killer: Option<(PanicSite, Tid, u64)>) -> PerturbHandle {
+    if timing.is_none() && killer.is_none() {
+        return PerturbHandle::off();
+    }
+    PerturbHandle::to(Arc::new(Composite {
+        timing: timing.map(PlanPerturber::new),
+        killer,
+    }))
+}
+
+/// What one execution of a composition reports to the oracles.
+struct CompRun {
+    schedule_hash: u64,
+    /// Semantic digest: final-store hash (sharded) or output hash
+    /// (unsharded).
+    semantic_hash: u64,
+    panics: u64,
+    /// Served every request and matched the sequential reference.
+    complete: bool,
+    /// Recording fidelity held (vacuously true when not recording).
+    record_ok: bool,
+}
+
+/// One composition's row in the report.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// Timing perturbation attached.
+    pub perturb: bool,
+    /// Deterministic thread death injected.
+    pub panic: bool,
+    /// Run across token domains.
+    pub shard: bool,
+    /// Live trace recording attached.
+    pub record: bool,
+    /// Runs executed (2: run + rerun).
+    pub runs: u64,
+    /// The composition's schedule hash.
+    pub schedule_hash: u64,
+    /// Contained panics per run.
+    pub panics: u64,
+    /// Both runs agreed on every digest.
+    pub deterministic: bool,
+    /// The composition's semantic oracle held (see module docs).
+    pub oracle_ok: bool,
+    /// Recording fidelity held.
+    pub record_ok: bool,
+    /// Schedule hash matches the composition's `(panic, shard)` group —
+    /// perturbation and recording did not move the schedule.
+    pub invariant: bool,
+}
+
+/// The full mixed-scenario result.
+#[derive(Clone, Debug)]
+pub struct MatrixReport {
+    /// Worker threads per runtime (per domain when sharded).
+    pub threads: usize,
+    /// Master seed of the perturbation plans.
+    pub base_seed: u64,
+    /// Compositions run (16).
+    pub compositions: u64,
+    /// Total executions.
+    pub total_runs: u64,
+    /// Per-composition rows.
+    pub cells: Vec<MatrixCell>,
+    /// Every oracle held in every composition.
+    pub passed: bool,
+}
+
+json_struct!(MatrixCell {
+    perturb,
+    panic,
+    shard,
+    record,
+    runs,
+    schedule_hash,
+    panics,
+    deterministic,
+    oracle_ok,
+    record_ok,
+    invariant
+});
+
+json_struct!(MatrixReport {
+    threads,
+    base_seed,
+    compositions,
+    total_runs,
+    cells,
+    passed
+});
+
+/// The unsharded server under one composition: the registry `dmt_server`
+/// workload on a single Consequence-IC runtime.
+fn run_unsharded(c: Comp, threads: usize, scale: u32, input_seed: u64, base_seed: u64) -> CompRun {
+    let w = workload_by_name("dmt_server").expect("registry has dmt_server");
+    let p = Params::new(threads, scale, input_seed);
+    let mem = c.record.then(|| Arc::new(MemorySink::new(MATRIX_RING)));
+    let trace = match &mem {
+        Some(s) => TraceHandle::to(Arc::clone(s) as _),
+        None => TraceHandle::to(Arc::new(HashSink::new()) as _),
+    };
+    let timing = c
+        .perturb
+        .then(|| PerturbPlan::full(mix64(base_seed ^ MATRIX_SALT)));
+    // The victim is a pool worker (never the driver): its death is
+    // contained, the survivors keep serving, the run completes short.
+    let killer = c.panic.then_some((PanicSite::Commit, Tid(1), 1));
+    let cfg = CommonConfig {
+        heap_pages: w.heap_pages(&p),
+        max_threads: threads + 2,
+        cost: CostModel::default(),
+        track_lrc: false,
+        gc_budget: usize::MAX,
+        trace,
+        perturb: composite(timing, killer),
+        witness: WitnessHandle::off(),
+    };
+    let mut opts = Options::consequence_ic();
+    if c.panic {
+        // A dead worker can starve the epoch; a short watchdog turns that
+        // into a prompt contained shutdown instead of a 5 s stall.
+        opts.watchdog_stall_ms = Some(500);
+    }
+    let mut rt = ConsequenceRuntime::new(cfg, opts);
+    let prepared = w.prepare(&mut rt, &p);
+    let report = rt.run(prepared.job);
+    let v = (prepared.validate)(&rt);
+    let record_ok = mem.is_none_or(|s| {
+        let (events, dropped) = s.take();
+        let mut h = Fnv1a::new();
+        for ev in &events {
+            ev.fold(&mut h);
+        }
+        dropped == 0 && !events.is_empty() && h.digest() == report.schedule_hash
+    });
+    CompRun {
+        schedule_hash: report.schedule_hash,
+        semantic_hash: v.output_hash,
+        panics: report.panics.len() as u64,
+        complete: v.matches_reference,
+        record_ok,
+    }
+}
+
+/// The sharded server under one composition: [`MATRIX_SHARDS`] token
+/// domains, hooks carrying the scenario into each domain's config.
+fn run_sharded(c: Comp, workers: usize, scale: u32, input_seed: u64, base_seed: u64) -> CompRun {
+    let mut cfg = ShardCfg::new(
+        MATRIX_SHARDS,
+        workers,
+        Params::new(workers, scale, input_seed),
+    );
+    cfg.capture = if c.record {
+        CaptureMode::Events
+    } else {
+        CaptureMode::Hash
+    };
+    if c.panic {
+        cfg.opts.watchdog_stall_ms = Some(300);
+    }
+    let reference = reference_store_hash(&ServerSpec::of(&cfg.params));
+    let hooks = DomainHooks {
+        perturb: (0..MATRIX_SHARDS as usize)
+            .map(|d| {
+                let timing = c
+                    .perturb
+                    .then(|| PerturbPlan::full(mix64(base_seed ^ MATRIX_SALT ^ (d as u64 + 1))));
+                // Kill the *driver* of the last domain: the hardest case —
+                // the whole domain goes dark mid-run and its siblings must
+                // resign it from the rendezvous instead of hanging.
+                let killer = (c.panic && d == MATRIX_SHARDS as usize - 1).then_some((
+                    PanicSite::Commit,
+                    Tid(0),
+                    1,
+                ));
+                composite(timing, killer)
+            })
+            .collect(),
+        witness: Vec::new(),
+        tolerate_losses: c.panic,
+    };
+    let r = run_sharded_server_hooked(&cfg, &hooks);
+    let record_ok = !c.record || !r.canonical_events().is_empty();
+    CompRun {
+        schedule_hash: r.schedule_hash,
+        semantic_hash: r.store_hash,
+        panics: r.panics,
+        complete: r.complete && r.store_hash == reference,
+        record_ok,
+    }
+}
+
+/// Sequential-reference store digest, folded exactly like
+/// `ShardReport::store_hash`.
+fn reference_store_hash(spec: &ServerSpec) -> u64 {
+    let mut h = Fnv1a::new();
+    for (k, v) in spec.expected_store().iter().enumerate() {
+        h.update(&(k as u64).to_le_bytes());
+        h.update(&v.to_le_bytes());
+    }
+    h.digest()
+}
+
+fn run_composition(c: Comp, threads: usize, scale: u32, input_seed: u64, seed: u64) -> CompRun {
+    if c.shard {
+        run_sharded(c, threads, scale, input_seed, seed)
+    } else {
+        run_unsharded(c, threads, scale, input_seed, seed)
+    }
+}
+
+/// Runs all 16 compositions and returns the report. `progress` is called
+/// once per finished composition.
+pub fn run_mixed_matrix(
+    threads: usize,
+    scale: u32,
+    input_seed: u64,
+    base_seed: u64,
+    mut progress: impl FnMut(&MatrixCell),
+) -> MatrixReport {
+    // Group anchor: schedule and semantic hash per (panic, shard); the
+    // other two axes must not move either.
+    let mut anchors: [Option<(u64, u64)>; 4] = [None; 4];
+    let mut cells = Vec::with_capacity(16);
+    let mut total_runs = 0u64;
+    for c in Comp::all() {
+        let a = run_composition(c, threads, scale, input_seed, base_seed);
+        let b = run_composition(c, threads, scale, input_seed, base_seed);
+        total_runs += 2;
+        let deterministic = a.schedule_hash == b.schedule_hash
+            && a.semantic_hash == b.semantic_hash
+            && a.panics == b.panics
+            && a.complete == b.complete;
+        let oracle_ok = if c.panic {
+            // The death must fire; sharded, the lost tail must be
+            // reported (not hung, not silently healed).
+            a.panics >= 1 && (!c.shard || !a.complete)
+        } else {
+            a.panics == 0 && a.complete
+        };
+        let group = (c.panic as usize) | ((c.shard as usize) << 1);
+        let anchor = *anchors[group].get_or_insert((a.schedule_hash, a.semantic_hash));
+        let invariant = (a.schedule_hash, a.semantic_hash) == anchor;
+        let cell = MatrixCell {
+            perturb: c.perturb,
+            panic: c.panic,
+            shard: c.shard,
+            record: c.record,
+            runs: 2,
+            schedule_hash: a.schedule_hash,
+            panics: a.panics,
+            deterministic,
+            oracle_ok,
+            record_ok: a.record_ok && b.record_ok,
+            invariant,
+        };
+        progress(&cell);
+        cells.push(cell);
+    }
+    let passed = cells
+        .iter()
+        .all(|c| c.deterministic && c.oracle_ok && c.record_ok && c.invariant);
+    MatrixReport {
+        threads,
+        base_seed,
+        compositions: cells.len() as u64,
+        total_runs,
+        cells,
+        passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_bench::json::ToJson;
+
+    #[test]
+    fn mixed_matrix_passes_at_smoke_size() {
+        let report = run_mixed_matrix(3, 1, 7, 0xC0FF_EE00, |_| {});
+        assert_eq!(report.compositions, 16);
+        for c in &report.cells {
+            assert!(
+                c.deterministic && c.oracle_ok && c.record_ok && c.invariant,
+                "composition failed: {c:?}"
+            );
+        }
+        assert!(report.passed);
+        // The flagship composition — all four axes in one run — must have
+        // actually fired its death.
+        let flagship = report
+            .cells
+            .iter()
+            .find(|c| c.perturb && c.panic && c.shard && c.record)
+            .expect("16 compositions include the full one");
+        assert!(flagship.panics >= 1);
+        let j = report.to_json();
+        assert!(j.contains("\"compositions\":16"));
+    }
+}

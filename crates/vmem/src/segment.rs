@@ -91,6 +91,10 @@ struct SegInner {
     gc_dropped_total: u64,
     /// Cumulative version pairs squashed by the collector.
     gc_squashed_total: u64,
+    /// High-water mark of `versions.len()`, updated at commit *before*
+    /// the collector trims, so the resource witness sees intra-epoch
+    /// spikes the post-GC gauge would hide.
+    retained_peak: usize,
 }
 
 /// A version-controlled memory segment (user-space Conversion).
@@ -131,6 +135,7 @@ impl Segment {
                 gc_seen: None,
                 gc_dropped_total: 0,
                 gc_squashed_total: 0,
+                retained_peak: 0,
             }),
             tracker,
             registry: Registry::new(slots),
@@ -181,6 +186,12 @@ impl Segment {
     /// Number of retained (not yet collected) versions.
     pub fn retained_versions(&self) -> usize {
         self.inner.lock().versions.len()
+    }
+
+    /// High-water mark of retained versions, observed at commit before
+    /// the collector trims (the witness gauge for version-chain growth).
+    pub fn retained_peak(&self) -> usize {
+        self.inner.lock().retained_peak
     }
 
     /// Current commit-log digest (determinism witness).
@@ -325,6 +336,7 @@ impl Segment {
         }
         let npages = pages.len() as u32;
         inner.counts.push_back((id, npages, ws.tid()));
+        inner.retained_peak = inner.retained_peak.max(inner.versions.len() + 1);
         inner.versions.push_back(Version {
             id,
             base_id: id,

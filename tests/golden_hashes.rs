@@ -1,0 +1,148 @@
+//! Seed-stability golden hashes: the schedule digests of fixed
+//! `(workload, runtime, threads, scale, seed)` cells, committed as
+//! constants.
+//!
+//! Everything else in the suite checks determinism *within* a build —
+//! run twice, compare. These constants check determinism *across*
+//! builds: the paper's contract is that a schedule is a pure function of
+//! the program and the options, so an innocent-looking change that moves
+//! a digest here changed scheduling semantics for every user. That is
+//! sometimes intentional (a new event kind, a cost-model fix) — when it
+//! is, regenerate the table: the failure message prints every actual
+//! row ready to paste. What it must never be is *unnoticed*: committed
+//! traces (`tests/corpus/`), committed benchmarks (`BENCH_*.json`) and
+//! saved reproducers all hash with these functions.
+
+use std::sync::Arc;
+
+use consequence_repro::dmt_api::{
+    CommonConfig, CostModel, HashSink, PerturbHandle, TraceHandle, WitnessHandle,
+};
+use consequence_repro::dmt_baselines::{make_runtime, RuntimeKind};
+use consequence_repro::dmt_shard::{run_sharded_server, ShardCfg};
+use consequence_repro::dmt_workloads::{workload_by_name, Params};
+
+/// The fixed cell geometry. Changing any of these invalidates the table.
+const THREADS: usize = 4;
+const SCALE: u32 = 1;
+const SEED: u64 = 42;
+
+/// `(workload, runtime label, schedule hash)` — regenerate by running
+/// this test and pasting the table it prints on mismatch.
+const GOLDEN: &[(&str, &str, u64)] = &[
+    ("histogram", "consequence-ic", 0x50a222204a7684a9),
+    ("histogram", "consequence-rr", 0x53b2a90ec75db5c2),
+    ("histogram", "dwc", 0x2ce2850ae9926e8e),
+    ("kmeans", "consequence-ic", 0xadc31a1d1bca6414),
+    ("kmeans", "consequence-rr", 0x41a3c4d13ebd832c),
+    ("kmeans", "dwc", 0x62f857dc4b0f0b02),
+    ("word_count", "consequence-ic", 0x507f0c2e4efafb2d),
+    ("word_count", "consequence-rr", 0x672b94b514e343f9),
+    ("word_count", "dwc", 0xc25059efb6fda943),
+    ("string_match", "consequence-ic", 0x5ecddfee5172b047),
+    ("string_match", "consequence-rr", 0x99d767796e133821),
+    ("string_match", "dwc", 0xb2b4487894de43cf),
+    ("dmt_server", "consequence-ic", 0x34300d2f73672d92),
+];
+
+/// The 2-domain sharded server's combined schedule digest and its
+/// shard-count-invariant store digest, same geometry.
+const GOLDEN_SHARDED_SCHEDULE: u64 = 0x888a641580c7a3f3;
+const GOLDEN_SHARDED_STORE: u64 = 0x80617159c05a42ac;
+
+fn schedule_hash(label: &str, name: &str) -> u64 {
+    let kind = RuntimeKind::ALL
+        .into_iter()
+        .find(|k| k.label() == label)
+        .unwrap_or_else(|| panic!("unknown runtime label {label}"));
+    let w = workload_by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let p = Params::new(THREADS, SCALE, SEED);
+    let sink = Arc::new(HashSink::new());
+    let cfg = CommonConfig {
+        heap_pages: w.heap_pages(&p),
+        max_threads: 64,
+        cost: CostModel::default(),
+        track_lrc: false,
+        gc_budget: 4,
+        trace: TraceHandle::to(sink as _),
+        perturb: PerturbHandle::off(),
+        witness: WitnessHandle::off(),
+    };
+    let mut rt = make_runtime(kind, cfg);
+    let prepared = w.prepare(rt.as_mut(), &p);
+    let report = rt.run(prepared.job);
+    let v = (prepared.validate)(rt.as_ref());
+    assert!(
+        v.matches_reference,
+        "{name} under {label} failed validation"
+    );
+    report.schedule_hash
+}
+
+#[test]
+fn schedule_hashes_match_the_committed_goldens() {
+    let mut drift = String::new();
+    for &(name, label, want) in GOLDEN {
+        let got = schedule_hash(label, name);
+        if got != want {
+            drift.push_str(&format!("    (\"{name}\", \"{label}\", {got:#018x}),\n"));
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "schedule digests drifted from the committed goldens.\n\
+         If the change to scheduling semantics is intentional, replace the\n\
+         drifted GOLDEN rows in tests/golden_hashes.rs with:\n{drift}"
+    );
+}
+
+#[test]
+fn sharded_hashes_match_the_committed_goldens() {
+    let r = run_sharded_server(&ShardCfg::new(2, 2, Params::new(2, SCALE, SEED)));
+    assert!(
+        r.schedule_hash == GOLDEN_SHARDED_SCHEDULE && r.store_hash == GOLDEN_SHARDED_STORE,
+        "sharded digests drifted from the committed goldens.\n\
+         If intentional, update tests/golden_hashes.rs:\n\
+         const GOLDEN_SHARDED_SCHEDULE: u64 = {:#018x};\n\
+         const GOLDEN_SHARDED_STORE: u64 = {:#018x};",
+        r.schedule_hash,
+        r.store_hash
+    );
+}
+
+/// The goldens are meaningful only if the digest is actually sensitive
+/// to the cell geometry: a different thread count must move every
+/// deterministic runtime's schedule hash. (The input *seed* legitimately
+/// may not — histogram's schedule is data-independent.)
+#[test]
+fn goldens_are_geometry_sensitive() {
+    for label in ["consequence-ic", "consequence-rr", "dwc"] {
+        let kind = RuntimeKind::ALL
+            .into_iter()
+            .find(|k| k.label() == label)
+            .unwrap();
+        let run = |threads| {
+            let w = workload_by_name("histogram").unwrap();
+            let p = Params::new(threads, SCALE, SEED);
+            let sink = Arc::new(HashSink::new());
+            let cfg = CommonConfig {
+                heap_pages: w.heap_pages(&p),
+                max_threads: 64,
+                cost: CostModel::default(),
+                track_lrc: false,
+                gc_budget: 4,
+                trace: TraceHandle::to(sink as _),
+                perturb: PerturbHandle::off(),
+                witness: WitnessHandle::off(),
+            };
+            let mut rt = make_runtime(kind, cfg);
+            let prepared = w.prepare(rt.as_mut(), &p);
+            rt.run(prepared.job).schedule_hash
+        };
+        assert_ne!(
+            run(THREADS),
+            run(THREADS - 1),
+            "{label}: schedule hash is not geometry-sensitive"
+        );
+    }
+}

@@ -187,3 +187,73 @@ fn disjoint_commits_commute() {
         assert_eq!(run([0, 1]), run([1, 0]));
     }
 }
+
+/// The resource witness's bounds are *tight*, not decorative: an
+/// envelope learned from a healthy run (default collector budget) must
+/// be tripped by the same workload under a stalled collector
+/// (`gc_budget: 0` — the paper's Figure 12 "collector cannot keep up"
+/// regime, where version chains grow without trim). A witness that
+/// blesses that run would also bless a real leak.
+#[test]
+fn witness_envelope_is_tight_against_a_stalled_collector() {
+    use consequence_repro::consequence::{ConsequenceRuntime, Options};
+    use consequence_repro::dmt_api::{
+        CommonConfig, CostModel, PerturbHandle, ResourceBounds, ResourceWitness, Runtime,
+        TraceHandle, WitnessHandle,
+    };
+    use consequence_repro::dmt_workloads::{workload_by_name, Params};
+
+    // A commit-heavy workload: the server commits once per served
+    // request, so a stalled collector's chain growth is visible within
+    // one run (histogram commits only once per worker — too few).
+    let run = |gc_budget: usize, witness: WitnessHandle| {
+        let w = workload_by_name("dmt_server").unwrap();
+        let p = Params::new(4, 1, 42);
+        let cfg = CommonConfig {
+            heap_pages: w.heap_pages(&p),
+            max_threads: 8,
+            cost: CostModel::default(),
+            track_lrc: false,
+            gc_budget,
+            trace: TraceHandle::off(),
+            perturb: PerturbHandle::off(),
+            witness,
+        };
+        let mut rt = ConsequenceRuntime::new(cfg, Options::consequence_ic());
+        let prepared = w.prepare(&mut rt, &p);
+        rt.run(prepared.job);
+    };
+
+    // Learn the healthy envelope, exactly as the soak harness does.
+    let probe = ResourceWitness::new(ResourceBounds::unbounded());
+    run(4, WitnessHandle::to(std::sync::Arc::clone(&probe)));
+    let healthy = probe.summary();
+    assert!(healthy.samples > 0, "witness never sampled");
+    let bound = healthy.maxima.retained_versions * 2 + 8;
+
+    // The same run under a dead collector must cross it.
+    let witness = ResourceWitness::new(ResourceBounds {
+        max_retained_versions: bound,
+        ..ResourceBounds::unbounded()
+    });
+    run(0, WitnessHandle::to(std::sync::Arc::clone(&witness)));
+    let leaked = witness.summary();
+    assert!(
+        !leaked.within_bounds() && leaked.violation_count > 0,
+        "stalled-collector run stayed inside the healthy envelope \
+         (peak {} vs bound {bound}): the witness bound is not tight",
+        leaked.maxima.retained_versions
+    );
+    assert!(
+        leaked.maxima.retained_versions > bound,
+        "violation recorded but the retained-versions gauge never crossed"
+    );
+    assert!(
+        leaked
+            .violations
+            .iter()
+            .any(|v| v.contains("retained_versions")),
+        "violations do not name the leaking gauge: {:?}",
+        leaked.violations
+    );
+}

@@ -126,7 +126,11 @@ fn sharded_record_then_replay_reproduces_the_run() {
 }
 
 /// Tampering with a sharded recording must be caught, and the diagnosis
-/// must name the divergent shard domain.
+/// must name *both* coordinates of the divergence: the index in the
+/// canonical `(domain, event)` stream and the shard domain it lives in.
+/// Either alone is unactionable — the index without the domain doesn't
+/// say whose token order broke, the domain without the index doesn't say
+/// where to look.
 #[test]
 fn tampered_sharded_trace_names_the_divergent_domain() {
     let dir = Scratch::new("sharded-tamper");
@@ -151,8 +155,8 @@ fn tampered_sharded_trace_names_the_divergent_domain() {
     assert!(!rep.ok(), "tampered sharded trace replayed clean");
     let diag = rep.divergence.expect("divergence carried no diagnosis");
     assert!(
-        diag.contains("in domain D1"),
-        "diagnosis does not name domain D1:\n{diag}"
+        diag.contains(&format!("diverge at event #{target} in domain D1")),
+        "diagnosis does not name event #{target} in domain D1:\n{diag}"
     );
 }
 
