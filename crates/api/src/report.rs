@@ -113,6 +113,16 @@ pub struct Counters {
     /// Broadcast `notify_all` wake-ups sent on the token path (reference
     /// scheduler, or fast-path fallback).
     pub broadcast_wakes: u64,
+    /// Pages whose byte merge was deferred to the commit pipeline's
+    /// settle pool (published as unsettled shells). Deterministic: a pure
+    /// function of the schedule's merge decisions.
+    pub settle_pages_deferred: u64,
+    /// Copy-on-write faults served from a pre-copied twin prepared by the
+    /// settle pool. Wall-clock-dependent (racy by design): the predictor
+    /// only saves the copy, never changes charging.
+    pub pretwin_hits: u64,
+    /// Pre-copied twins that were stale or unused at fault time.
+    pub pretwin_misses: u64,
 }
 
 impl AddAssign for Counters {
@@ -138,6 +148,9 @@ impl AddAssign for Counters {
         self.token_wake_loops += o.token_wake_loops;
         self.targeted_wakes += o.targeted_wakes;
         self.broadcast_wakes += o.broadcast_wakes;
+        self.settle_pages_deferred += o.settle_pages_deferred;
+        self.pretwin_hits += o.pretwin_hits;
+        self.pretwin_misses += o.pretwin_misses;
     }
 }
 

@@ -80,6 +80,21 @@ fn main() -> ExitCode {
             c.pool_hit_rate * 100.0
         );
     }
+    for c in &report.pipeline {
+        eprintln!(
+            "pipeline t={} {:>2}% dirty: on {:>9.0} pg/s  off {:>9.0} pg/s  speedup {:.2}x  {}",
+            c.threads,
+            c.density_pct,
+            c.on_pages_per_s,
+            c.off_pages_per_s,
+            c.speedup,
+            if c.hashes_match {
+                "digests identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
     eprintln!(
         "gc: {} iters, budget {}, reader lag {}: max retained {} (bound {}) -> {}",
         report.gc.iters,

@@ -20,7 +20,7 @@ use dmt_api::{
     DmtResult, Job, MutexId, PanicSite, PerturbSite, RwLockId, ThreadCtx, Tid,
 };
 
-use crate::coarsen::CoarsenState;
+use crate::coarsen::{CoarsenState, Ewma};
 use crate::lrc::LrcObject;
 use crate::shared::{BarPhase, Inner, Msg, Shared, ThreadSt};
 
@@ -69,6 +69,11 @@ pub(crate) struct Ctx {
     /// The containment teardown decremented `live` and filed reports; a
     /// later quiet pass must not double-count.
     torn_down: bool,
+    /// EWMA of this thread's committed write-set size, driving the
+    /// pre-twin budget handed to the settle pool before each commit.
+    /// Prediction only moves a page copy off the critical path; hits and
+    /// misses charge identically, so it cannot perturb the schedule.
+    pretwin_est: Ewma,
 }
 
 impl Ctx {
@@ -112,6 +117,7 @@ impl Ctx {
             inject_counts: [0; PanicSite::ALL.len()],
             suppress_inject: false,
             torn_down: false,
+            pretwin_est: Ewma::default(),
         }
     }
 
@@ -630,7 +636,10 @@ impl Ctx {
         // so the stall stretches real and virtual time only.
         self.perturb_hit(PerturbSite::Commit);
         let sh = Arc::clone(&self.sh);
+        let hint = self.pretwin_est.get() as usize;
+        self.ws().set_pretwin_hint(hint);
         let cr = sh.seg.commit(self.ws(), None);
+        self.pretwin_est.update(cr.pages as u64);
         let c = self.cost.commit_base
             + cr.pages as u64 * self.cost.page_commit
             + cr.merged as u64 * self.cost.page_merge;
@@ -697,6 +706,7 @@ impl Ctx {
             live_pages: self.sh.seg.tracker().live(),
             clock_history,
             trace_ring: self.sh.cfg.trace.occupancy(),
+            pipeline_backlog: self.sh.seg.pipeline_backlog(),
         });
     }
 

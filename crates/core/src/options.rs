@@ -103,6 +103,18 @@ pub struct Options {
     /// Schedule-relevant whenever `shard_domains > 1`: moving a key to a
     /// different domain moves its sync ops to a different token order.
     pub shard_map_seed: u64,
+    /// Pipelined asynchronous commit: split `Segment::commit` into a
+    /// cheap under-token *publish* (diff + version refs + ordered log
+    /// issue) and a deferred *settle* (byte merge, log folding, GC
+    /// execution, twin preparation) on a background pool. All deferred
+    /// work is charged to the owning thread's logical clock at publish
+    /// time, so schedules and output hashes are bit-identical to the
+    /// serial path (checked by `stress --pipe-diff`); deliberately not
+    /// fingerprinted for the same reason.
+    pub pipeline_commit: bool,
+    /// Settle-pool worker threads when `pipeline_commit` is on. `0` is a
+    /// valid (test-only) stalled regime: jobs queue until a flush.
+    pub pipeline_workers: usize,
 }
 
 impl Options {
@@ -132,6 +144,8 @@ impl Options {
             inject_sched_corruption: None,
             shard_domains: 1,
             shard_map_seed: 0,
+            pipeline_commit: true,
+            pipeline_workers: 2,
         }
     }
 
@@ -171,6 +185,8 @@ impl Options {
             inject_sched_corruption: None,
             shard_domains: 1,
             shard_map_seed: 0,
+            pipeline_commit: true,
+            pipeline_workers: 2,
         }
     }
 
@@ -182,8 +198,12 @@ impl Options {
     /// cannot change the schedule (and legitimately differ on replay):
     /// `sched` (fast and reference produce bit-identical schedules —
     /// replay forces reference for its broadcast wake-ups),
-    /// `record_schedule` (observation only) and `watchdog_stall_ms`
-    /// (supervision only; replay lowers it).
+    /// `record_schedule` (observation only), `watchdog_stall_ms`
+    /// (supervision only; replay lowers it), and
+    /// `pipeline_commit`/`pipeline_workers` (the settle pool's deferred
+    /// work is charged at publish time, so pipeline on/off and any worker
+    /// count produce bit-identical schedules — a pipelined recording
+    /// replays on a serial build and vice versa).
     pub fn fingerprint(&self) -> u64 {
         let mut h = dmt_api::Fnv1a::new();
         let mut put = |x: u64| h.update(&x.to_le_bytes());
@@ -222,7 +242,7 @@ impl Options {
     ///
     /// Recognized names: `"coarsening"`, `"fast_forward"`,
     /// `"parallel_barrier"`, `"adaptive_overflow"`, `"user_counter_read"`,
-    /// `"thread_pool"`, `"fast_sched"`.
+    /// `"thread_pool"`, `"fast_sched"`, `"pipeline_commit"`.
     ///
     /// # Panics
     ///
@@ -236,6 +256,7 @@ impl Options {
             "user_counter_read" => self.user_counter_read = false,
             "thread_pool" => self.thread_pool = false,
             "fast_sched" => self.sched = SchedKind::Reference,
+            "pipeline_commit" => self.pipeline_commit = false,
             other => panic!("unknown optimization {other:?}"),
         }
         self
@@ -274,6 +295,7 @@ mod tests {
             "user_counter_read",
             "thread_pool",
             "fast_sched",
+            "pipeline_commit",
         ] {
             let o = Options::consequence_ic().without(name);
             let disabled = match name {
@@ -284,6 +306,7 @@ mod tests {
                 "user_counter_read" => !o.user_counter_read,
                 "thread_pool" => !o.thread_pool,
                 "fast_sched" => o.sched == SchedKind::Reference,
+                "pipeline_commit" => !o.pipeline_commit,
                 _ => unreachable!(),
             };
             assert!(disabled, "{name} not disabled");
@@ -319,5 +342,18 @@ mod tests {
         explicit.shard_domains = 1;
         explicit.shard_map_seed = 0;
         assert_eq!(base.fingerprint(), explicit.fingerprint());
+    }
+
+    #[test]
+    fn pipeline_options_are_not_fingerprinted() {
+        // Pipeline on/off and any worker count must produce bit-identical
+        // schedules, so a pipelined recording replays on a serial build.
+        let on = Options::consequence_ic();
+        let off = Options::consequence_ic().without("pipeline_commit");
+        assert!(on.pipeline_commit && !off.pipeline_commit);
+        assert_eq!(on.fingerprint(), off.fingerprint());
+        let mut wide = Options::consequence_ic();
+        wide.pipeline_workers = 7;
+        assert_eq!(on.fingerprint(), wide.fingerprint());
     }
 }

@@ -254,6 +254,9 @@ impl Shared {
     ) -> Arc<Shared> {
         let mut seg = Segment::new(cfg.heap_pages, cfg.max_threads);
         seg.set_perturb(cfg.perturb.clone());
+        if opts.pipeline_commit {
+            seg.enable_pipeline(opts.pipeline_workers);
+        }
         let lrc = cfg.track_lrc.then(|| LrcTracker::new(cfg.max_threads));
         let slots = Slots::new(cfg.max_threads);
         let parkers = (0..cfg.max_threads)

@@ -6,6 +6,7 @@
 //! cargo run -p dmt-stress --release --bin stress -- --inject-bug
 //! cargo run -p dmt-stress --release --bin stress -- --inject-panic
 //! cargo run -p dmt-stress --release --bin stress -- --sched-diff
+//! cargo run -p dmt-stress --release --bin stress -- --pipe-diff
 //! cargo run -p dmt-stress --release --bin stress -- --shard-diff
 //! cargo run -p dmt-stress --release --bin stress -- --record traces/
 //! cargo run -p dmt-stress --release --bin stress -- --replay traces/
@@ -27,7 +28,11 @@
 //! everywhere. `--sched-diff` runs the seed
 //! matrix under both the fast and the reference scheduler and exits 1 on
 //! any schedule-hash or output divergence between them (the PR 4 fast
-//! path must be bit-identical). `--shard-diff` runs the `dmt_server`
+//! path must be bit-identical). `--pipe-diff` runs the same matrix with
+//! the commit pipeline on versus the serial oracle
+//! (`Options::without("pipeline_commit")`) and exits 1 on any schedule,
+//! output or commit-log divergence — the asynchronous settle pool must be
+//! unobservable. `--shard-diff` runs the `dmt_server`
 //! workload across 1/2/4 token domains and exits 1 unless every shard
 //! count is run-to-run deterministic, the 1-shard schedule is bit-identical
 //! to the unsharded registry workload, and every final store matches the
@@ -54,7 +59,8 @@ use dmt_baselines::RuntimeKind;
 use dmt_bench::json::ToJson;
 use dmt_bench::replay::{record_to, replay_file, summarize, trace_files};
 use dmt_stress::{
-    run_inject_bug, run_matrix, run_panic_inject, run_sched_diff, run_shard_diff, StressConfig,
+    run_inject_bug, run_matrix, run_panic_inject, run_pipe_diff, run_sched_diff, run_shard_diff,
+    StressConfig,
 };
 
 fn dump<T: ToJson>(name: &str, value: &T) {
@@ -72,7 +78,7 @@ fn runtime_by_label(label: &str) -> Option<RuntimeKind> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: stress [--smoke|--deep|--inject-bug|--inject-panic|--sched-diff|--shard-diff|--soak] \
+        "usage: stress [--smoke|--deep|--inject-bug|--inject-panic|--sched-diff|--pipe-diff|--shard-diff|--soak] \
          [--record DIR] [--replay FILE-OR-DIR] \
          [--workloads a,b,..] [--runtimes a,b,..] [--seeds N] [--threads N] [--scale N] \
          [--base-seed N]"
@@ -98,6 +104,7 @@ fn main() {
     let mut inject = false;
     let mut inject_panic = false;
     let mut sched_diff = false;
+    let mut pipe_diff = false;
     let mut shard_diff = false;
     let mut soak = false;
     let mut record_dir: Option<String> = None;
@@ -133,6 +140,7 @@ fn main() {
             "--inject-bug" => inject = true,
             "--inject-panic" => inject_panic = true,
             "--sched-diff" => sched_diff = true,
+            "--pipe-diff" => pipe_diff = true,
             "--shard-diff" => shard_diff = true,
             "--soak" => soak = true,
             "--workloads" => {
@@ -481,6 +489,47 @@ fn main() {
             report.cells.len()
         );
         dump("sched_diff", &report);
+        eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        std::process::exit(if report.passed { 0 } else { 1 });
+    }
+
+    if pipe_diff {
+        println!(
+            "== stress --pipe-diff: pipelined vs serial commit, {} workloads x {} seeds, {} threads",
+            cfg.workloads.len(),
+            cfg.seeds,
+            cfg.threads
+        );
+        println!(
+            "{:<16}{:<16}{:>6}{:>20}{:>20}{:>11}",
+            "workload", "runtime", "runs", "pipelined_hash", "serial_hash", "verdict"
+        );
+        let report = run_pipe_diff(&cfg, |cell| {
+            println!(
+                "{:<16}{:<16}{:>6}{:>#20x}{:>#20x}{:>11}",
+                cell.workload,
+                cell.runtime,
+                cell.runs,
+                cell.pipelined_hash,
+                cell.serial_hash,
+                if cell.schedules_match
+                    && cell.outputs_match
+                    && cell.commit_logs_match
+                    && cell.validated
+                {
+                    "identical"
+                } else {
+                    "DIVERGED"
+                }
+            );
+        });
+        println!(
+            "{}: {} runs, {} cells",
+            if report.passed { "PASSED" } else { "FAILED" },
+            report.total_runs,
+            report.cells.len()
+        );
+        dump("pipe_diff", &report);
         eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
         std::process::exit(if report.passed { 0 } else { 1 });
     }

@@ -24,6 +24,7 @@
 pub mod inject;
 pub mod matrix;
 pub mod panic_inject;
+pub mod pipe_diff;
 pub mod report;
 pub mod sched_diff;
 pub mod shard_diff;
@@ -42,6 +43,7 @@ use dmt_workloads::{workload_by_name, Params, Validation};
 pub use inject::{run_inject_bug, InjectOutcome};
 pub use matrix::{run_mixed_matrix, MatrixCell, MatrixReport, MATRIX_SHARDS};
 pub use panic_inject::{run_panic_inject, PanicCell, PanicInjectReport, PanicInjector};
+pub use pipe_diff::{run_pipe_diff, PipeDiffCell, PipeDiffReport};
 pub use report::{CellSummary, StressReport, Violation};
 pub use sched_diff::{run_consequence_workload, run_sched_diff, SchedDiffCell, SchedDiffReport};
 pub use shard_diff::{run_shard_diff, ShardDiffCell, ShardDiffReport, SHARD_COUNTS};

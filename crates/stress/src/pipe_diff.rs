@@ -1,0 +1,181 @@
+//! `stress --pipe-diff`: differential validation of the commit pipeline.
+//!
+//! The pipelined asynchronous commit takes byte merging, commit-log
+//! folding, GC execution and twin preparation off the token's critical
+//! path and runs them on a background settle pool. Its contract is the
+//! same shape as the fast scheduler's: the pipeline changes how fast a
+//! commit's bookkeeping happens, never anything the schedule or the
+//! program can observe — every deferred cost is charged to the owning
+//! thread's logical clock at publish time, and the settle pool's ordered
+//! frontier folds the commit log in exactly the serial order.
+//!
+//! This mode checks that contract end to end. For every workload × every
+//! Consequence-backed runtime (dwc, consequence-rr, consequence-ic) it
+//! runs the pipelined configuration and the serial oracle
+//! (`Options::without("pipeline_commit")`) over the same
+//! perturbation-seed matrix the main fuzzer uses, and requires every run
+//! — baseline and perturbed, pipelined and serial — to produce the same
+//! schedule hash, the same output hash **and the same commit-log hash**.
+//! The commit-log digest is the extra oracle the pipeline needs: it folds
+//! `(version, committer, page, page-content hash)` for every committed
+//! page, so a settle that merged wrong bytes, folded out of order, or ran
+//! GC against the wrong chain state diverges even when the program output
+//! happens not to.
+
+use consequence::Options;
+use dmt_api::{PerturbHandle, PerturbPlan};
+use dmt_baselines::RuntimeKind;
+use dmt_bench::json_struct;
+
+use crate::sched_diff::run_consequence_workload;
+use crate::{mix64, plan_handle, StressConfig};
+
+/// The base option presets that run on Consequence's versioned memory.
+/// Other kinds (pthreads, dthreads) have no commit path to pipeline.
+fn kind_options(kind: RuntimeKind) -> Option<Options> {
+    match kind {
+        RuntimeKind::Dwc => Some(Options::dwc()),
+        RuntimeKind::ConsequenceRr => Some(Options::consequence_rr()),
+        RuntimeKind::ConsequenceIc => Some(Options::consequence_ic()),
+        _ => None,
+    }
+}
+
+/// One workload × runtime cell of the pipeline-differential matrix.
+#[derive(Clone, Debug)]
+pub struct PipeDiffCell {
+    pub workload: String,
+    pub runtime: String,
+    /// Total runs in the cell: (pipelined + serial) × (baseline + seeds).
+    pub runs: u64,
+    /// Unperturbed schedule hash with the pipeline on.
+    pub pipelined_hash: u64,
+    /// Unperturbed schedule hash under the serial oracle.
+    pub serial_hash: u64,
+    /// Every run (both modes, every seed) hashed to `pipelined_hash`.
+    pub schedules_match: bool,
+    /// Every run produced the same output hash.
+    pub outputs_match: bool,
+    /// Every run folded the same commit-log digest.
+    pub commit_logs_match: bool,
+    /// Every run matched the sequential reference output.
+    pub validated: bool,
+}
+
+/// The full pipeline-differential result.
+#[derive(Clone, Debug)]
+pub struct PipeDiffReport {
+    pub threads: usize,
+    pub seeds: u64,
+    pub base_seed: u64,
+    pub total_runs: u64,
+    pub cells: Vec<PipeDiffCell>,
+    pub passed: bool,
+}
+
+json_struct!(PipeDiffCell {
+    workload,
+    runtime,
+    runs,
+    pipelined_hash,
+    serial_hash,
+    schedules_match,
+    outputs_match,
+    commit_logs_match,
+    validated
+});
+
+json_struct!(PipeDiffReport {
+    threads,
+    seeds,
+    base_seed,
+    total_runs,
+    cells,
+    passed
+});
+
+/// Runs the pipelined-vs-serial commit matrix and returns the report.
+///
+/// Non-Consequence runtimes in `cfg.runtimes` are skipped. `progress` is
+/// called once per finished cell.
+pub fn run_pipe_diff(
+    cfg: &StressConfig,
+    mut progress: impl FnMut(&PipeDiffCell),
+) -> PipeDiffReport {
+    let mut cells = Vec::new();
+    let mut total_runs = 0u64;
+
+    for (wi, name) in cfg.workloads.iter().enumerate() {
+        for (ki, &kind) in cfg.runtimes.iter().enumerate() {
+            let Some(base_opts) = kind_options(kind) else {
+                continue;
+            };
+            let piped_opts = base_opts.clone();
+            let serial_opts = base_opts.without("pipeline_commit");
+            let run = |opts: &Options, perturb: PerturbHandle| {
+                run_consequence_workload(
+                    opts.clone(),
+                    name,
+                    cfg.threads,
+                    cfg.scale,
+                    cfg.input_seed,
+                    perturb,
+                )
+            };
+
+            let piped = run(&piped_opts, PerturbHandle::off());
+            let serial = run(&serial_opts, PerturbHandle::off());
+            total_runs += 2;
+            let mut schedules_match = piped.schedule_hash == serial.schedule_hash;
+            let mut outputs_match = piped.output_hash == serial.output_hash;
+            let mut commit_logs_match =
+                piped.report.commit_log_hash == serial.report.commit_log_hash;
+            let mut validated = piped.matches_reference && serial.matches_reference;
+            let log_hash = piped.report.commit_log_hash;
+
+            // Same derivation as `run_matrix`, salted so this mode
+            // exercises plans distinct from the other differential modes.
+            let cell_salt = mix64(cfg.base_seed ^ 0x919E_D1FF ^ ((wi as u64) << 32) ^ (ki as u64));
+            for s in 0..cfg.seeds {
+                let plan = PerturbPlan::full(mix64(cell_salt ^ (s + 1)));
+                let pp = run(&piped_opts, plan_handle(&plan));
+                let ps = run(&serial_opts, plan_handle(&plan));
+                total_runs += 2;
+                schedules_match &= pp.schedule_hash == piped.schedule_hash
+                    && ps.schedule_hash == piped.schedule_hash;
+                outputs_match &=
+                    pp.output_hash == piped.output_hash && ps.output_hash == piped.output_hash;
+                commit_logs_match &=
+                    pp.report.commit_log_hash == log_hash && ps.report.commit_log_hash == log_hash;
+                validated &= pp.matches_reference && ps.matches_reference;
+            }
+
+            let cell = PipeDiffCell {
+                workload: name.clone(),
+                runtime: kind.label().to_string(),
+                runs: 2 * (1 + cfg.seeds),
+                pipelined_hash: piped.schedule_hash,
+                serial_hash: serial.schedule_hash,
+                schedules_match,
+                outputs_match,
+                commit_logs_match,
+                validated,
+            };
+            progress(&cell);
+            cells.push(cell);
+        }
+    }
+
+    let passed = !cells.is_empty()
+        && cells
+            .iter()
+            .all(|c| c.schedules_match && c.outputs_match && c.commit_logs_match && c.validated);
+    PipeDiffReport {
+        threads: cfg.threads,
+        seeds: cfg.seeds,
+        base_seed: cfg.base_seed,
+        total_runs,
+        cells,
+        passed,
+    }
+}

@@ -285,6 +285,164 @@ mod tests {
         assert_eq!(serial, parallel);
     }
 
+    /// Deterministic LCG (MMIX constants) driving the property cases.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Everything an interleaved history can observe about a segment.
+    #[derive(Debug, PartialEq, Eq)]
+    struct Observed {
+        bytes: Vec<u8>,
+        log_hash: u64,
+        latest_id: u64,
+        retained_peak: usize,
+        gc_totals: (u64, u64),
+    }
+
+    /// Drives one scripted interleaved commit/update/GC history against a
+    /// segment (optionally pipelined) and returns every observable.
+    fn run_history(seed: u64, workers: Option<usize>) -> Observed {
+        const PAGES: usize = 6;
+        const THREADS: usize = 3;
+        let mut seg = Segment::new(PAGES, THREADS);
+        if let Some(w) = workers {
+            seg.enable_pipeline(w);
+        }
+        let mut ws: Vec<Workspace> = (0..THREADS)
+            .map(|t| seg.new_workspace(Tid(t as u32)).0)
+            .collect();
+        let mut rng = Lcg(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        for _ in 0..120 {
+            let t = rng.below(THREADS as u64) as usize;
+            for _ in 0..1 + rng.below(3) {
+                let addr = rng.below((PAGES * dmt_api::PAGE_SIZE) as u64) as usize;
+                ws[t].write_bytes(addr, &[rng.next() as u8]);
+            }
+            seg.commit(&mut ws[t], None);
+            seg.update(&mut ws[t]);
+            // Occasionally bring another (clean) workspace forward too, so
+            // histories interleave updates from lagging bases.
+            if rng.below(3) == 0 {
+                let o = (t + 1) % THREADS;
+                seg.update(&mut ws[o]);
+            }
+            seg.gc(rng.below(4) as usize);
+        }
+        for w in ws.iter_mut() {
+            seg.commit(w, None);
+            seg.update(w);
+        }
+        seg.flush_pipeline();
+        let mut bytes = vec![0u8; seg.len()];
+        seg.read_latest(0, &mut bytes);
+        Observed {
+            bytes,
+            log_hash: seg.log_hash(),
+            latest_id: seg.latest_id(),
+            retained_peak: seg.retained_peak(),
+            gc_totals: seg.gc_totals(),
+        }
+    }
+
+    /// The pipelined settle path must be observationally identical to the
+    /// serial oracle across interleaved commit/update/GC histories: same
+    /// final bytes, same commit-log digest, same `retained_peak`
+    /// accounting, same collector totals — for a busy pool and for a
+    /// single worker (maximum settle lag short of stalling).
+    #[test]
+    fn pipelined_settle_matches_serial_across_interleaved_histories() {
+        for seed in 0..6u64 {
+            let serial = run_history(seed, None);
+            let piped = run_history(seed, Some(2));
+            assert_eq!(serial, piped, "seed {seed}: pipelined (2 workers) diverged");
+            let lagged = run_history(seed, Some(1));
+            assert_eq!(serial, lagged, "seed {seed}: pipelined (1 worker) diverged");
+        }
+    }
+
+    /// A stalled pool (zero workers) accumulates backlog — every commit
+    /// and planned GC pass queues — and `flush_pipeline` then settles to
+    /// exactly the serial observables. Single-writer disjoint pages keep
+    /// the history merge-free, so nothing blocks on an unfilled shell.
+    #[test]
+    fn stalled_pool_backlog_settles_to_serial_state_on_flush() {
+        let run = |workers: Option<usize>| {
+            let mut seg = Segment::new(4, 1);
+            if let Some(w) = workers {
+                seg.enable_pipeline(w);
+            }
+            let (mut a, _) = seg.new_workspace(Tid(0));
+            for i in 0..10u64 {
+                a.write_bytes((i % 4) as usize * dmt_api::PAGE_SIZE, &[i as u8 + 1]);
+                seg.commit(&mut a, None);
+                seg.update(&mut a);
+                seg.gc(2);
+            }
+            if workers == Some(0) {
+                assert!(
+                    seg.pipeline_backlog() >= 10,
+                    "stalled pool must accumulate at least one job per commit, got {}",
+                    seg.pipeline_backlog()
+                );
+            }
+            seg.flush_pipeline();
+            assert_eq!(seg.pipeline_backlog(), 0, "flush drains the backlog");
+            let mut bytes = vec![0u8; seg.len()];
+            seg.read_latest(0, &mut bytes);
+            (bytes, seg.log_hash(), seg.gc_totals(), seg.retained_peak())
+        };
+        assert_eq!(run(None), run(Some(0)));
+    }
+
+    /// Parallel barrier commits on a pipelined segment go through the
+    /// ordered log frontier and must digest identically to the serial
+    /// segment's immediate folding.
+    #[test]
+    fn pipelined_barrier_install_matches_serial_log() {
+        let run = |workers: Option<usize>| {
+            let mut seg = Segment::new(3, 4);
+            if let Some(w) = workers {
+                seg.enable_pipeline(w);
+            }
+            let mut ws: Vec<Workspace> = (0..3).map(|t| seg.new_workspace(Tid(t)).0).collect();
+            // An ordinary commit first, so the barrier merges real bases.
+            ws[0].write_bytes(0, &[9]);
+            seg.commit(&mut ws[0], None);
+            for (i, w) in ws.iter_mut().enumerate() {
+                seg.update(w);
+                w.write_bytes(i * 7, &[i as u8 + 1]);
+                w.write_bytes(4096 + i, &[i as u8 + 10]);
+            }
+            let pc = ParallelCommit::new();
+            for w in ws.iter_mut() {
+                pc.register(&seg, w, None);
+            }
+            pc.seal(&seg);
+            for i in 0..3 {
+                pc.merge_for(i);
+            }
+            pc.install(&seg);
+            let mut bytes = vec![0u8; seg.len()];
+            seg.read_latest(0, &mut bytes);
+            (bytes, seg.log_hash(), seg.latest_id())
+        };
+        assert_eq!(run(None), run(Some(2)));
+        assert_eq!(run(None), run(Some(0)));
+    }
+
     #[test]
     fn later_registrant_wins_conflicting_bytes() {
         let seg = Segment::new(1, 4);

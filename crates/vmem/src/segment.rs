@@ -9,6 +9,7 @@ use dmt_api::{Addr, Fnv1a, PerturbHandle, PerturbSite, Tid, VectorClock, PAGE_SI
 
 use crate::merge;
 use crate::page::{PageBuf, PageRef, PageTracker};
+use crate::pipeline::{Job, MergeJob, PipelineTotals, SettlePool, TwinStash};
 use crate::registry::Registry;
 use crate::version::Version;
 use crate::workspace::Workspace;
@@ -62,7 +63,7 @@ pub struct UpdateResult {
     pub versions_applied: u64,
 }
 
-struct SegInner {
+pub(crate) struct SegInner {
     /// Id the next commit will receive; the latest committed id is
     /// `next_id - 1` (id 0 is the implicit zero-filled initial version).
     next_id: u64,
@@ -95,6 +96,12 @@ struct SegInner {
     /// the collector trims, so the resource witness sees intra-epoch
     /// spikes the post-GC gauge would hide.
     retained_peak: usize,
+    /// Pipelined mode only: logical `(id, base_id)` mirror of `versions`
+    /// with every *planned* (possibly not yet executed) collector pass
+    /// already applied. GC decisions and `retained_peak` come from here,
+    /// so they are pure functions of the commit/GC call sequence — the
+    /// settle pool's wall-clock lag is invisible to them.
+    mirror: VecDeque<(u64, u64)>,
 }
 
 /// A version-controlled memory segment (user-space Conversion).
@@ -106,7 +113,7 @@ struct SegInner {
 /// deterministic points. The segment then guarantees deterministic
 /// contents: byte-granularity last-writer-wins in commit order.
 pub struct Segment {
-    inner: Mutex<SegInner>,
+    inner: Arc<Mutex<SegInner>>,
     tracker: Arc<PageTracker>,
     registry: Registry,
     npages: usize,
@@ -114,6 +121,9 @@ pub struct Segment {
     /// default. Real-time jitter only — the segment has no virtual-time
     /// accounting of its own.
     perturb: PerturbHandle,
+    /// Background settle pool: `Some` on the pipelined commit path,
+    /// `None` on the serial oracle path.
+    pipeline: Option<SettlePool>,
 }
 
 impl Segment {
@@ -124,7 +134,7 @@ impl Segment {
             .map(|_| Arc::new(PageBuf::zeroed(&tracker)))
             .collect();
         Segment {
-            inner: Mutex::new(SegInner {
+            inner: Arc::new(Mutex::new(SegInner {
                 next_id: 1,
                 first_retained: 1,
                 versions: VecDeque::new(),
@@ -136,12 +146,59 @@ impl Segment {
                 gc_dropped_total: 0,
                 gc_squashed_total: 0,
                 retained_peak: 0,
-            }),
-            tracker,
+                mirror: VecDeque::new(),
+            })),
+            tracker: Arc::clone(&tracker),
             registry: Registry::new(slots),
             npages,
             perturb: PerturbHandle::off(),
+            pipeline: None,
         }
+    }
+
+    /// Switches this segment to the pipelined commit path with `workers`
+    /// background settle threads. Must be called before any workspace is
+    /// created. `workers == 0` is the *stalled-pool* regime: jobs queue
+    /// but only [`Segment::flush_pipeline`] executes them — used by the
+    /// witness tightness tests to measure unbounded backlog growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline was already enabled.
+    pub fn enable_pipeline(&mut self, workers: usize) {
+        assert!(self.pipeline.is_none(), "pipeline already enabled");
+        self.pipeline = Some(SettlePool::new(
+            workers,
+            Arc::clone(&self.inner),
+            Arc::clone(&self.tracker),
+        ));
+    }
+
+    /// Whether the pipelined commit path is active.
+    pub fn pipelined(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Blocks until every queued settle/GC job has executed (executing
+    /// them inline if the pool has no workers). No-op on the serial path.
+    pub fn flush_pipeline(&self) {
+        if let Some(p) = &self.pipeline {
+            p.flush();
+        }
+    }
+
+    /// Pipeline backlog gauge for the resource witness: unfinalized
+    /// settle/GC jobs plus prepared twin copies parked in stashes. Zero
+    /// on the serial path.
+    pub fn pipeline_backlog(&self) -> usize {
+        self.pipeline.as_ref().map_or(0, |p| {
+            (p.stats().pending_settles() + p.stats().pretwinned()) as usize
+        })
+    }
+
+    /// Report-only pipeline totals, or `None` on the serial path.
+    pub fn pipeline_totals(&self) -> Option<PipelineTotals> {
+        self.pipeline.as_ref().map(|p| p.totals())
     }
 
     /// Attaches a fault injector that stalls commits and updates (see
@@ -194,8 +251,12 @@ impl Segment {
         self.inner.lock().retained_peak
     }
 
-    /// Current commit-log digest (determinism witness).
+    /// Current commit-log digest (determinism witness). Drains the
+    /// settle pool first so the digest covers every published commit —
+    /// making it, like the serial path's, a pure function of the commit
+    /// sequence.
     pub fn log_hash(&self) -> u64 {
+        self.flush_pipeline();
         self.inner.lock().log.digest()
     }
 
@@ -252,7 +313,11 @@ impl Segment {
         drop(inner);
         self.registry.set_base(tid, base);
         let n = snap.len();
-        (Workspace::new(tid, base, snap), n)
+        let mut ws = Workspace::new(tid, base, snap);
+        if let Some(p) = &self.pipeline {
+            ws.attach_pretwin(TwinStash::new(self.npages, Arc::clone(p.stats())));
+        }
+        (ws, n)
     }
 
     /// Detaches `tid`'s workspace from GC consideration.
@@ -282,8 +347,17 @@ impl Segment {
     /// token). Pages whose working copy equals its twin are dropped; pages
     /// whose underlying latest page changed since fault time are merged at
     /// byte granularity, local changes winning.
+    ///
+    /// On the pipelined path only the *publish* half runs here: diffs,
+    /// version identity, and the commit result. Merging, page hashing and
+    /// log folding are settled by the background pool; the returned
+    /// `CommitResult` (and therefore everything schedule-visible) is
+    /// identical to the serial path's.
     pub fn commit(&self, ws: &mut Workspace, vc: Option<Arc<VectorClock>>) -> CommitResult {
         self.perturb.jitter(PerturbSite::Commit, ws.tid());
+        if let Some(pool) = &self.pipeline {
+            return self.commit_pipelined(pool, ws, vc);
+        }
         let dirty = ws.take_dirty();
         let mut inner = self.inner.lock();
         let mut pages: Vec<(u32, PageRef)> = Vec::with_capacity(dirty.len());
@@ -352,8 +426,121 @@ impl Segment {
         }
     }
 
+    /// The publish half of a pipelined commit: everything the schedule can
+    /// see (diff outcomes, version identity, the commit result) is decided
+    /// here under the lock, exactly as the serial path decides it; the
+    /// byte merges, page hashes and log folds are queued for the pool.
+    fn commit_pipelined(
+        &self,
+        pool: &SettlePool,
+        ws: &mut Workspace,
+        vc: Option<Arc<VectorClock>>,
+    ) -> CommitResult {
+        // Backpressure before the lock: bounds background memory without
+        // ever holding segment state hostage.
+        pool.throttle();
+        let dirty = ws.take_dirty();
+        let mut inner = self.inner.lock();
+        let mut pages: Vec<(u32, PageRef)> = Vec::with_capacity(dirty.len());
+        let mut merges: Vec<MergeJob> = Vec::new();
+        let mut merged = 0u32;
+        for (p, d) in dirty {
+            let map = merge::DirtyMap::diff(d.twin.bytes(), d.work.bytes());
+            if map.is_clean() {
+                continue;
+            }
+            let latest = &inner.latest[p as usize];
+            let new_ref: PageRef = if Arc::ptr_eq(latest, &d.twin) {
+                // No remote commit touched this page: adopt the working
+                // copy wholesale, same as the serial path.
+                PageRef::from(d.work)
+            } else {
+                // Conflicted page: publish a deferred shell now, merge in
+                // the background. Readers block on the shell's settle
+                // latch, so content is exactly the serial merge's.
+                let out: PageRef = Arc::new(PageBuf::deferred(&self.tracker));
+                merges.push(MergeJob {
+                    map,
+                    twin: Arc::clone(&d.twin),
+                    work: PageRef::from(d.work),
+                    base: Arc::clone(latest),
+                    out: Arc::clone(&out),
+                });
+                merged += 1;
+                out
+            };
+            inner.latest[p as usize] = Arc::clone(&new_ref);
+            ws.snap_mut()[p as usize] = Arc::clone(&new_ref);
+            pages.push((p, new_ref));
+        }
+        if pages.is_empty() {
+            return CommitResult {
+                version: inner.next_id - 1,
+                pages: 0,
+                merged: 0,
+                page_set: 0,
+            };
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let mut page_set = Fnv1a::new();
+        for (p, _) in &pages {
+            page_set.update_u64(*p as u64);
+        }
+        let npages = pages.len() as u32;
+        inner.counts.push_back((id, npages, ws.tid()));
+        // The mirror already reflects planned GC, so its post-push length
+        // equals the serial path's `versions.len() + 1` at this point.
+        inner.mirror.push_back((id, id));
+        inner.retained_peak = inner.retained_peak.max(inner.mirror.len());
+        let log: Vec<(u32, PageRef)> = pages.iter().map(|(p, r)| (*p, Arc::clone(r))).collect();
+        inner.versions.push_back(Version {
+            id,
+            base_id: id,
+            committer: ws.tid(),
+            pages,
+            vc,
+        });
+        pool.note_deferred(merges.len() as u64);
+        // Enqueue under the lock: queue order = issue order, which is what
+        // lets workers' deferred reads always point at earlier fills.
+        let seq = pool.issue_seq();
+        pool.enqueue(Job::Settle {
+            seq,
+            id,
+            tid: ws.tid(),
+            merges,
+            log,
+        });
+        // Predictive pre-twinning: have the pool pre-copy this chunk's
+        // written pages (the EWMA-capped prediction of the next chunk's
+        // write set) so the next faults skip their copy. Wall-clock only —
+        // fault accounting is unchanged whether or not a copy is ready.
+        if let Some((stash, hint)) = ws.pretwin_request() {
+            if hint > 0 {
+                let last = inner.versions.back().expect("just pushed");
+                let pre: Vec<(u32, PageRef)> = last
+                    .pages
+                    .iter()
+                    .take(hint)
+                    .map(|(p, r)| (*p, Arc::clone(r)))
+                    .collect();
+                pool.enqueue(Job::PreTwin { stash, pages: pre });
+            }
+        }
+        CommitResult {
+            version: id,
+            pages: npages,
+            merged,
+            page_set: page_set.digest(),
+        }
+    }
+
     /// Installs pre-merged versions produced by a
     /// [`crate::ParallelCommit`]. Caller must serialize with other commits.
+    /// On the pipelined path the already-merged pages install immediately
+    /// but their log folding goes through the ordered frontier, so barrier
+    /// commits and background settles land in one consistent digest order.
     pub(crate) fn install_versions(&self, built: Vec<BuiltVersion>) -> Vec<u64> {
         let mut inner = self.inner.lock();
         let mut ids = Vec::with_capacity(built.len());
@@ -363,14 +550,28 @@ impl Segment {
             }
             let id = inner.next_id;
             inner.next_id += 1;
-            inner.log.update_u64(id);
-            inner.log.update_u64(tid.0 as u64);
             for (p, r) in &pages {
                 inner.latest[*p as usize] = Arc::clone(r);
-                inner.log.update_u64(*p as u64);
-                inner.log.update_u64(Fnv1a::hash(r.bytes()));
             }
             inner.counts.push_back((id, pages.len() as u32, tid));
+            if let Some(pool) = &self.pipeline {
+                inner.mirror.push_back((id, id));
+                let seq = pool.issue_seq();
+                pool.enqueue(Job::Settle {
+                    seq,
+                    id,
+                    tid,
+                    merges: Vec::new(),
+                    log: pages.clone(),
+                });
+            } else {
+                inner.log.update_u64(id);
+                inner.log.update_u64(tid.0 as u64);
+                for (p, r) in &pages {
+                    inner.log.update_u64(*p as u64);
+                    inner.log.update_u64(Fnv1a::hash(r.bytes()));
+                }
+            }
             inner.versions.push_back(Version {
                 id,
                 base_id: id,
@@ -525,6 +726,9 @@ impl Segment {
         // change between the read and the scan makes the early-out snapshot
         // conservative (stale generation → next call rescans), never unsafe.
         let gen = self.registry.generation();
+        if let Some(pool) = &self.pipeline {
+            return self.gc_pipelined(pool, gen, budget);
+        }
         let mut inner = self.inner.lock();
         if inner.gc_seen == Some((gen, inner.next_id)) {
             return GcResult::default();
@@ -563,32 +767,7 @@ impl Segment {
                     break;
                 }
             }
-            let va = inner.versions.pop_front().expect("len checked");
-            let vb = inner.versions.front_mut().expect("len checked");
-            // Union, newer (vb) content winning; both lists are sorted.
-            let mut merged: Vec<(u32, PageRef)> =
-                Vec::with_capacity(va.pages.len() + vb.pages.len());
-            let mut ai = va.pages.into_iter().peekable();
-            let mut bi = std::mem::take(&mut vb.pages).into_iter().peekable();
-            loop {
-                match (ai.peek(), bi.peek()) {
-                    (Some((pa, _)), Some((pb, _))) => {
-                        if pa < pb {
-                            merged.push(ai.next().expect("peeked"));
-                        } else if pb < pa {
-                            merged.push(bi.next().expect("peeked"));
-                        } else {
-                            let _ = ai.next();
-                            merged.push(bi.next().expect("peeked"));
-                        }
-                    }
-                    (Some(_), None) => merged.push(ai.next().expect("peeked")),
-                    (None, Some(_)) => merged.push(bi.next().expect("peeked")),
-                    (None, None) => break,
-                }
-            }
-            vb.pages = merged;
-            vb.base_id = va.base_id;
+            squash_oldest_pair(&mut inner.versions);
             res.squashed += 1;
         }
         inner.gc_dropped_total += res.dropped as u64;
@@ -601,6 +780,121 @@ impl Segment {
             None
         };
         res
+    }
+
+    /// Pipelined collector pass: *plan* on the logical mirror under the
+    /// lock (deterministic — the mirror never lags a plan), queue the
+    /// *execution* for the pool's ordered frontier. The returned counts,
+    /// the totals and the early-out state are bit-identical to what the
+    /// serial pass would produce at the same call point.
+    fn gc_pipelined(&self, pool: &SettlePool, gen: u64, budget: usize) -> GcResult {
+        let mut inner = self.inner.lock();
+        if inner.gc_seen == Some((gen, inner.next_id)) {
+            return GcResult::default();
+        }
+        let min = self.registry.min_live_base().unwrap_or(inner.next_id - 1);
+        let mut res = GcResult::default();
+        while res.spent() < budget {
+            match inner.mirror.front() {
+                Some((id, _)) if *id <= min => {
+                    inner.mirror.pop_front();
+                    res.dropped += 1;
+                }
+                _ => break,
+            }
+        }
+        while res.spent() < budget && inner.mirror.len() >= 2 {
+            let lo = inner.mirror[0].1;
+            let hi = inner.mirror[1].0;
+            if inner.pins.range(lo..hi).next().is_some() {
+                break;
+            }
+            let (_, base) = inner.mirror.pop_front().expect("len checked");
+            inner.mirror.front_mut().expect("len checked").1 = base;
+            res.squashed += 1;
+        }
+        inner.gc_dropped_total += res.dropped as u64;
+        inner.gc_squashed_total += res.squashed as u64;
+        inner.gc_seen = if res.spent() < budget {
+            Some((gen, inner.next_id))
+        } else {
+            None
+        };
+        if res.spent() > 0 {
+            let seq = pool.issue_seq();
+            pool.enqueue(Job::Gc {
+                seq,
+                drops: res.dropped,
+                squashes: res.squashed,
+            });
+        }
+        res
+    }
+}
+
+/// Squashes the two oldest retained versions into one: union of their
+/// page sets (newer content winning — both lists are page-sorted), id of
+/// the newer, base id of the older.
+fn squash_oldest_pair(versions: &mut VecDeque<Version>) {
+    let va = versions.pop_front().expect("squash needs two versions");
+    let vb = versions.front_mut().expect("squash needs two versions");
+    let mut merged: Vec<(u32, PageRef)> = Vec::with_capacity(va.pages.len() + vb.pages.len());
+    let mut ai = va.pages.into_iter().peekable();
+    let mut bi = std::mem::take(&mut vb.pages).into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some((pa, _)), Some((pb, _))) => {
+                if pa < pb {
+                    merged.push(ai.next().expect("peeked"));
+                } else if pb < pa {
+                    merged.push(bi.next().expect("peeked"));
+                } else {
+                    let _ = ai.next();
+                    merged.push(bi.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => merged.push(ai.next().expect("peeked")),
+            (None, Some(_)) => merged.push(bi.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    vb.pages = merged;
+    vb.base_id = va.base_id;
+}
+
+/// Frontier callback: folds one settled version's log material into the
+/// segment's running digest, in exactly the serial path's field order.
+pub(crate) fn fold_commit_log(inner: &mut SegInner, id: u64, tid: Tid, entries: &[(u64, u64)]) {
+    inner.log.update_u64(id);
+    inner.log.update_u64(tid.0 as u64);
+    for (p, h) in entries {
+        inner.log.update_u64(*p);
+        inner.log.update_u64(*h);
+    }
+}
+
+/// Frontier callback: executes a planned collector pass against the real
+/// version chain. The counts were fixed at plan time against the mirror,
+/// so by frontier order the chain is guaranteed to have the planned
+/// structure available.
+pub(crate) fn exec_gc_plan(inner: &mut SegInner, drops: usize, squashes: usize) {
+    for _ in 0..drops {
+        let v = inner
+            .versions
+            .pop_front()
+            .expect("planned drop has a version");
+        while inner
+            .counts
+            .front()
+            .map(|(id, _, _)| *id <= v.id)
+            .unwrap_or(false)
+        {
+            inner.counts.pop_front();
+        }
+        inner.first_retained += 1;
+    }
+    for _ in 0..squashes {
+        squash_oldest_pair(&mut inner.versions);
     }
 }
 

@@ -146,3 +146,44 @@ fn goldens_are_geometry_sensitive() {
         );
     }
 }
+
+/// The commit pipeline defaults on, so the main golden table already
+/// pins the pipelined digests; this pins the *equivalence*: disabling
+/// the pipeline (`Options::without("pipeline_commit")`) must reproduce
+/// the identical schedule hash and commit-log digest, because every
+/// deferred settle cost is charged at publish time. A drift here means
+/// the pipeline became schedule-observable — exactly the regression the
+/// goldens exist to catch.
+#[test]
+fn pipeline_on_and_off_hash_identically() {
+    use consequence_repro::consequence::Options;
+    use consequence_repro::dmt_baselines::make_consequence;
+
+    let run = |opts: Options| {
+        let w = workload_by_name("dmt_server").unwrap();
+        let p = Params::new(THREADS, SCALE, SEED);
+        let sink = Arc::new(HashSink::new());
+        let cfg = CommonConfig {
+            heap_pages: w.heap_pages(&p),
+            max_threads: 64,
+            cost: CostModel::default(),
+            track_lrc: false,
+            gc_budget: 4,
+            trace: TraceHandle::to(sink as _),
+            perturb: PerturbHandle::off(),
+            witness: WitnessHandle::off(),
+        };
+        let mut rt = make_consequence(cfg, opts);
+        let prepared = w.prepare(rt.as_mut(), &p);
+        let report = rt.run(prepared.job);
+        (report.schedule_hash, report.commit_log_hash)
+    };
+    let on = run(Options::consequence_ic());
+    let off = run(Options::consequence_ic().without("pipeline_commit"));
+    assert_eq!(
+        on, off,
+        "pipelined and serial commit paths diverged (schedule, commit-log)"
+    );
+    // And the golden table's committed digest is the pipelined one.
+    assert_eq!(on.0, 0x34300d2f73672d92, "dmt_server golden moved");
+}
