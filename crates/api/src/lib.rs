@@ -61,8 +61,8 @@ pub use ids::{Addr, BarrierId, CondId, DomainId, MutexId, RwLockId, Tid};
 pub use mem::{MemExt, RuntimeMemExt};
 pub use pad::CachePadded;
 pub use perturb::{
-    InjectedPanic, PanicSite, PerturbEntry, PerturbHandle, PerturbPlan, PerturbSite, Perturber,
-    PlanPerturber,
+    FixedPanic, InjectedPanic, IoFaultKind, IoFaultPlan, PanicSite, PerturbEntry, PerturbHandle,
+    PerturbPlan, PerturbSite, Perturber, PlanPerturber,
 };
 pub use report::{Breakdown, Counters, RunReport};
 pub use runtime::{CommonConfig, Runtime};

@@ -141,6 +141,21 @@ impl PanicSite {
             PanicSite::Commit => "commit",
         }
     }
+
+    /// Stable 1-based wire code, as stored in trace metadata (0 there
+    /// means "no injected panic", so codes start at 1).
+    pub fn code(self) -> u64 {
+        self as u64 + 1
+    }
+
+    /// Parses a [`code`](PanicSite::code) back into a site. `Some` only
+    /// for codes this build knows.
+    pub fn from_code(code: u64) -> Option<PanicSite> {
+        match code {
+            0 => None,
+            n => PanicSite::ALL.get(n as usize - 1).copied(),
+        }
+    }
 }
 
 impl fmt::Display for PanicSite {
@@ -212,6 +227,63 @@ pub trait Perturber: Send + Sync {
     /// FNV-1a digest of the driving plan (0 when not plan-driven).
     fn plan_digest(&self) -> u64 {
         0
+    }
+
+    /// The single `(site, victim, nth)` panic this perturber injects, if
+    /// it injects exactly one. Recorders stamp this into trace metadata
+    /// so a salvaged crashed run carries its own panic reproducer;
+    /// perturbers that inject no panics (the default) or more than one
+    /// return `None`.
+    fn panic_triple(&self) -> Option<(PanicSite, Tid, u64)> {
+        None
+    }
+}
+
+/// A [`Perturber`] injecting exactly one predetermined panic — thread
+/// `victim` dies at its `nth` operation of class `site` — while
+/// delegating every timing decision to an inner perturber. This is the
+/// executor replay builds from a trace's recorded panic triple: the
+/// replayed run re-injects the same deterministic death the recording
+/// contained.
+pub struct FixedPanic {
+    /// Operation class the panic fires at.
+    pub site: PanicSite,
+    /// The thread that dies.
+    pub victim: Tid,
+    /// 0-based occurrence index on the victim.
+    pub nth: u64,
+    /// Timing perturber everything else is delegated to
+    /// ([`PerturbHandle::off`] for an unperturbed recording).
+    pub inner: PerturbHandle,
+}
+
+impl Perturber for FixedPanic {
+    fn hit(&self, site: PerturbSite, tid: Tid) -> u64 {
+        self.inner.hit(site, tid)
+    }
+
+    fn overflow_interval(&self, tid: Tid, interval: u64) -> u64 {
+        self.inner.overflow_interval(tid, interval)
+    }
+
+    fn spurious_wake(&self, tid: Tid) -> bool {
+        self.inner.spurious_wake(tid)
+    }
+
+    fn panic_at(&self, site: PanicSite, tid: Tid, nth: u64) -> bool {
+        site == self.site && tid == self.victim && nth == self.nth
+    }
+
+    fn seed(&self) -> u64 {
+        self.inner.seed()
+    }
+
+    fn plan_digest(&self) -> u64 {
+        self.inner.plan_digest()
+    }
+
+    fn panic_triple(&self) -> Option<(PanicSite, Tid, u64)> {
+        Some((self.site, self.victim, self.nth))
     }
 }
 
@@ -502,6 +574,12 @@ impl PerturbHandle {
         }
     }
 
+    /// The attached perturber's single injected panic, if any (`None`
+    /// when off). See [`Perturber::panic_triple`].
+    pub fn panic_triple(&self) -> Option<(PanicSite, Tid, u64)> {
+        self.0.as_ref().and_then(|p| p.panic_triple())
+    }
+
     /// Master seed of the attached plan (0 when off).
     pub fn seed(&self) -> u64 {
         self.0.as_ref().map_or(0, |p| p.seed())
@@ -510,6 +588,77 @@ impl PerturbHandle {
     /// Plan digest of the attached plan (0 when off).
     pub fn plan_digest(&self) -> u64 {
         self.0.as_ref().map_or(0, |p| p.plan_digest())
+    }
+}
+
+/// A storage-fault class the trace-chaos harness injects under a
+/// recording's [`TraceMedia`](crate::trace) — exercising the salvage
+/// path with every way a real disk write dies mid-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// The medium absorbs only part of a write, then fails — a torn
+    /// page in the middle of the stream.
+    ShortWrite,
+    /// Every write past the trigger point fails with `ENOSPC`.
+    NoSpace,
+    /// Writes past the trigger point are silently dropped (the classic
+    /// lost-tail tear: the file *looks* fine until its digests are
+    /// checked).
+    TornTail,
+}
+
+impl IoFaultKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [IoFaultKind; 3] = [
+        IoFaultKind::ShortWrite,
+        IoFaultKind::NoSpace,
+        IoFaultKind::TornTail,
+    ];
+
+    /// Stable lowercase name (used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFaultKind::ShortWrite => "short_write",
+            IoFaultKind::NoSpace => "no_space",
+            IoFaultKind::TornTail => "torn_tail",
+        }
+    }
+}
+
+impl fmt::Display for IoFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One seeded storage fault: `kind` fires once the medium has absorbed
+/// `at_byte` bytes. Like every perturbation in this module the fault is
+/// a pure function of its seed, so a chaos cell that found a
+/// non-reproducing salvage is itself reproducible from the seed alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    /// The fault class to inject.
+    pub kind: IoFaultKind,
+    /// Byte position at which the medium starts failing.
+    pub at_byte: u64,
+}
+
+impl IoFaultPlan {
+    /// Derives a fault plan from `seed`: the kind cycles through
+    /// [`IoFaultKind::ALL`] and the trigger offset lands anywhere from
+    /// inside the header to several event pages deep.
+    pub fn from_seed(seed: u64) -> IoFaultPlan {
+        let r = mix(lcg(seed ^ 0x10FA_017E));
+        IoFaultPlan {
+            kind: IoFaultKind::ALL[(r % 3) as usize],
+            at_byte: (r >> 8) % (48 * 1024),
+        }
+    }
+}
+
+impl fmt::Display for IoFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.kind, self.at_byte)
     }
 }
 

@@ -584,6 +584,29 @@ pub trait TraceSink: Send + Sync {
     fn occupancy(&self) -> usize {
         0
     }
+
+    /// A fault that degraded (but did not abort) the sink mid-run — e.g.
+    /// a disk-recording sink whose medium failed, leaving the run itself
+    /// healthy but its recording truncated. The runtime folds this into
+    /// `RunReport::fault` so a degraded recording is visible at the point
+    /// of failure, not first at `finish()`. `None` for healthy sinks.
+    fn fault(&self) -> Option<String> {
+        None
+    }
+
+    /// Durable flushes the sink has performed so far (0 for sinks with
+    /// no durability notion). Sampled into the resource witness so runs
+    /// can bound the freshness of their crash-salvageable prefix.
+    fn durable_flushes(&self) -> u64 {
+        0
+    }
+
+    /// Event pages this sink's schedule was salvaged from (0 for live
+    /// recordings; nonzero only on replay sinks driving a recovered
+    /// prefix). Sampled into the resource witness.
+    fn salvaged_pages(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards every event. With [`TraceHandle::off`] the emission sites
@@ -796,6 +819,24 @@ impl TraceHandle {
     /// Events currently resident in the sink (0 when off or unbuffered).
     pub fn occupancy(&self) -> usize {
         self.sink.as_ref().map_or(0, |s| s.occupancy())
+    }
+
+    /// The sink's degraded-recording fault, if it hit one (`None` when
+    /// off or healthy).
+    pub fn fault(&self) -> Option<String> {
+        self.sink.as_ref().and_then(|s| s.fault())
+    }
+
+    /// Durable flushes the sink has performed (0 when off or
+    /// non-durable).
+    pub fn durable_flushes(&self) -> u64 {
+        self.sink.as_ref().map_or(0, |s| s.durable_flushes())
+    }
+
+    /// Event pages the attached sink's schedule was salvaged from (0
+    /// when off, or for live recordings).
+    pub fn salvaged_pages(&self) -> u64 {
+        self.sink.as_ref().map_or(0, |s| s.salvaged_pages())
     }
 }
 

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use consequence::replay::options_for_label;
 use consequence::ConsequenceRuntime;
 use dmt_api::{CommonConfig, CostModel, PerturbHandle, Runtime, TraceHandle};
-use dmt_trace::{DiskSink, Trace, TraceMeta};
+use dmt_trace::{DiskSink, PartialTrace, Trace, TraceError, TraceMeta};
 use dmt_workloads::{workload_by_name, Params, Validation};
 
 /// A finished recording.
@@ -64,25 +64,91 @@ pub struct Replayed {
     /// First-divergent-event diagnosis, `None` when the schedule tracked
     /// the recording exactly.
     pub divergence: Option<String>,
+    /// Whether the recording was a salvaged partial trace (a crashed or
+    /// torn container recovered by `Trace::salvage`).
+    pub partial: bool,
+    /// Partial replays: live event index at which the recovered prefix
+    /// ran out (`None` when the live run ended at the prefix boundary,
+    /// or for full traces).
+    pub exhausted_at: Option<u64>,
+    /// Partial replays: live schedule hash at the prefix boundary — must
+    /// equal `recorded_hash` for bit-identical prefix reproduction.
+    pub prefix_hash: Option<u64>,
+    /// Partial replays: file bytes past the tear the salvage gave up on
+    /// (0 for full traces).
+    pub bytes_lost: u64,
 }
 
 impl Replayed {
-    /// Whether the replay reproduced the recording completely: identical
-    /// schedule (length, every event, every checkpoint, final hash),
-    /// identical output, identical commit log.
+    /// Whether the replay reproduced the recording completely. Full
+    /// traces: identical schedule (length, every event, every checkpoint,
+    /// final hash), identical output, identical commit log. Salvaged
+    /// partials: the recovered prefix replayed bit-identically (no
+    /// divergence inside it, prefix hash equal, every checkpoint passed,
+    /// live run at least as long); output/commit digests are compared
+    /// only when the recording carries them.
     pub fn ok(&self) -> bool {
+        let schedule_ok = if self.partial {
+            self.replayed_events >= self.recorded_events
+                && self.prefix_hash == Some(self.recorded_hash)
+        } else {
+            self.recorded_events == self.replayed_events && self.recorded_hash == self.replayed_hash
+        };
         self.divergence.is_none()
-            && self.recorded_events == self.replayed_events
-            && self.recorded_hash == self.replayed_hash
+            && schedule_ok
             && self.checkpoints_passed == self.checkpoints_total
             && self.output_match
             && self.commit_log_match
     }
 }
 
+/// The write-ahead identity record for a recording about to start: the
+/// run's full identity with the not-yet-known digests zeroed, and the
+/// perturber's injected-panic triple (if any) stamped in so a salvaged
+/// crashed run carries its own reproducer.
+#[allow(clippy::too_many_arguments)] // mirrors TraceMeta's identity fields one-for-one
+pub fn ident_meta(
+    runtime: &str,
+    workload: &str,
+    threads: usize,
+    scale: u32,
+    input_seed: u64,
+    heap_pages: usize,
+    max_threads: usize,
+    options_fingerprint: u64,
+    perturb: &PerturbHandle,
+) -> TraceMeta {
+    let (panic_site, panic_victim, panic_nth) = perturb
+        .panic_triple()
+        .map_or((0, 0, 0), |(s, t, n)| (s.code(), t.0 as u64, n));
+    TraceMeta {
+        runtime: runtime.to_string(),
+        workload: workload.to_string(),
+        threads: threads as u64,
+        scale: scale as u64,
+        input_seed,
+        heap_pages: heap_pages as u64,
+        max_threads: max_threads as u64,
+        options_fingerprint,
+        perturb_seed: perturb.seed(),
+        perturb_plan: perturb.plan_digest(),
+        event_count: 0,   // stamped by the writer at finish
+        schedule_hash: 0, // stamped by the writer at finish
+        commit_log_hash: 0,
+        output_hash: 0,
+        checkpoint_interval: 0, // stamped by the writer at finish
+        panic_site,
+        panic_victim,
+        panic_nth,
+    }
+}
+
 /// Records one workload × runtime cell into `dir`, naming the file
 /// `<workload>-<runtime>-t<threads>-s<scale>.dmtrace`, and re-validates
-/// the written container before returning.
+/// the written container before returning. Recording is **crash-durable**:
+/// a write-ahead identity record goes in at file start and the container
+/// is flushed every `Options::trace_flush_pages` pages, so a run killed
+/// mid-recording leaves a salvageable trace (`Trace::salvage`).
 pub fn record_to(
     dir: &Path,
     runtime: &str,
@@ -90,6 +156,31 @@ pub fn record_to(
     threads: usize,
     scale: u32,
     input_seed: u64,
+) -> Result<Recorded, String> {
+    record_perturbed(
+        dir,
+        runtime,
+        workload,
+        threads,
+        scale,
+        input_seed,
+        PerturbHandle::off(),
+    )
+}
+
+/// [`record_to`] with a caller-supplied perturber (timing plan and/or
+/// injected panic) active during the recording. The perturber's identity
+/// — seed, plan digest, panic triple — is stamped into both the
+/// write-ahead identity record and the final META, so the trace remains
+/// a complete reproducer.
+pub fn record_perturbed(
+    dir: &Path,
+    runtime: &str,
+    workload: &str,
+    threads: usize,
+    scale: u32,
+    input_seed: u64,
+    perturb: PerturbHandle,
 ) -> Result<Recorded, String> {
     let opts = options_for_label(runtime)
         .ok_or_else(|| format!("cannot record runtime {runtime:?}: not a Consequence preset"))?;
@@ -100,8 +191,22 @@ pub fn record_to(
 
     let heap_pages = w.heap_pages(&p);
     let max_threads = 64;
-    let sink =
-        Arc::new(DiskSink::create(&path).map_err(|e| format!("create {}: {e}", path.display()))?);
+    let fingerprint = opts.fingerprint();
+    let ident = ident_meta(
+        runtime,
+        workload,
+        threads,
+        scale,
+        input_seed,
+        heap_pages,
+        max_threads,
+        fingerprint,
+        &perturb,
+    );
+    let sink = Arc::new(
+        DiskSink::create_durable(&path, &ident, opts.trace_flush_pages)
+            .map_err(|e| format!("create {}: {e}", path.display()))?,
+    );
     let cfg = CommonConfig {
         heap_pages,
         max_threads,
@@ -109,31 +214,18 @@ pub fn record_to(
         track_lrc: false,
         gc_budget: 4,
         trace: TraceHandle::to(Arc::clone(&sink) as _),
-        perturb: PerturbHandle::off(),
+        perturb,
         witness: dmt_api::WitnessHandle::off(),
     };
-    let fingerprint = opts.fingerprint();
     let mut rt = ConsequenceRuntime::new(cfg, opts);
     let prepared = w.prepare(&mut rt, &p);
     let report = rt.run(prepared.job);
     let v: Validation = (prepared.validate)(&rt);
 
     let meta = TraceMeta {
-        runtime: runtime.to_string(),
-        workload: workload.to_string(),
-        threads: threads as u64,
-        scale: scale as u64,
-        input_seed,
-        heap_pages: heap_pages as u64,
-        max_threads: max_threads as u64,
-        options_fingerprint: fingerprint,
-        perturb_seed: 0,
-        perturb_plan: 0,
-        event_count: 0,   // stamped by the writer
-        schedule_hash: 0, // stamped by the writer
         commit_log_hash: report.commit_log_hash,
         output_hash: v.output_hash,
-        checkpoint_interval: 0, // stamped by the writer
+        ..ident
     };
     let meta = sink
         .finish(meta)
@@ -154,8 +246,49 @@ pub fn record_to(
 /// Replays one container file: re-stages the workload the trace names,
 /// re-executes it under the recorded grant script, and compares schedule,
 /// output and commit log against the recording.
+///
+/// Containers that fail to open because they are torn — killed
+/// mid-recording, truncated, or checksum-broken — are transparently
+/// salvaged with [`Trace::salvage`] and replayed as partial traces: the
+/// recovered prefix must reproduce bit-identically, and the live run
+/// continuing past the recording's end is reported as clean exhaustion,
+/// not divergence. Unsalvageable files (bad magic, wrong version, I/O
+/// errors) still fail with the original open error.
 pub fn replay_file(path: &Path) -> Result<Replayed, String> {
-    let trace = Trace::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let (trace, loss) = match Trace::open(path) {
+        Ok(t) => (t, None),
+        Err(
+            e @ (TraceError::Truncated { .. }
+            | TraceError::ChecksumMismatch { .. }
+            | TraceError::Corrupt { .. }),
+        ) => {
+            // A torn container: salvage the durable prefix. Keep the
+            // original open error if salvage cannot help either.
+            let partial = Trace::salvage(path)
+                .map_err(|s| format!("open {}: {e} (salvage failed: {s})", path.display()))?;
+            if partial.trace.meta.event_count == 0 {
+                return Err(format!(
+                    "open {}: {e} (salvage recovered no complete events — nothing to replay)",
+                    path.display()
+                ));
+            }
+            if partial
+                .trace
+                .meta
+                .runtime
+                .starts_with(dmt_shard::record::SHARDED_LABEL_PREFIX)
+            {
+                return Err(format!(
+                    "open {}: {e} (salvaged a sharded container; partial replay of sharded \
+                     traces is unsupported)",
+                    path.display()
+                ));
+            }
+            let loss = partial.loss;
+            (partial.trace, Some(loss))
+        }
+        Err(e) => return Err(format!("open {}: {e}", path.display())),
+    };
     if trace
         .meta
         .runtime
@@ -177,6 +310,10 @@ pub fn replay_file(path: &Path) -> Result<Replayed, String> {
             output_match: r.output_match,
             commit_log_match: r.commit_log_match,
             divergence: r.divergence,
+            partial: false,
+            exhausted_at: None,
+            prefix_hash: None,
+            bytes_lost: 0,
         });
     }
     let w = workload_by_name(&trace.meta.workload)
@@ -186,12 +323,27 @@ pub fn replay_file(path: &Path) -> Result<Replayed, String> {
         trace.meta.scale as u32,
         trace.meta.input_seed,
     );
-    let (mut rt, monitor) = ConsequenceRuntime::new_replaying(&trace)
-        .map_err(|e| format!("replay {}: {e}", path.display()))?;
+    let (mut rt, monitor) = match &loss {
+        Some(l) => {
+            let partial = PartialTrace {
+                trace: trace.clone(),
+                loss: *l,
+            };
+            ConsequenceRuntime::new_replaying_partial(&partial)
+        }
+        None => ConsequenceRuntime::new_replaying(&trace),
+    }
+    .map_err(|e| format!("replay {}: {e}", path.display()))?;
     let prepared = w.prepare(&mut rt, &p);
     let mut report = rt.run(prepared.job);
     let v: Validation = (prepared.validate)(&rt);
     let outcome = monitor.finish(&mut report);
+    // Salvaged partials lost the finish-time digests: META carries the
+    // write-ahead identity record, whose output/commit hashes are zero.
+    // Compare only digests the recording actually has.
+    let output_match = trace.meta.output_hash == 0 || v.output_hash == trace.meta.output_hash;
+    let commit_log_match =
+        trace.meta.commit_log_hash == 0 || report.commit_log_hash == trace.meta.commit_log_hash;
     Ok(Replayed {
         path: path.display().to_string(),
         workload: trace.meta.workload.clone(),
@@ -202,9 +354,13 @@ pub fn replay_file(path: &Path) -> Result<Replayed, String> {
         replayed_hash: outcome.replayed_hash,
         checkpoints_passed: outcome.checkpoints_passed,
         checkpoints_total: outcome.checkpoints_total,
-        output_match: v.output_hash == trace.meta.output_hash,
-        commit_log_match: report.commit_log_hash == trace.meta.commit_log_hash,
+        output_match,
+        commit_log_match,
         divergence: outcome.divergence,
+        partial: outcome.partial,
+        exhausted_at: outcome.exhausted_at,
+        prefix_hash: outcome.prefix_hash,
+        bytes_lost: loss.map_or(0, |l| l.bytes_lost),
     })
 }
 
@@ -234,8 +390,18 @@ pub fn trace_files(path: &Path) -> Result<Vec<PathBuf>, String> {
 /// One-line human rendering of a replay result.
 pub fn summarize(r: &Replayed) -> String {
     let verdict = if r.ok() { "OK" } else { "DIVERGED" };
+    let salvage = if r.partial {
+        format!(
+            " [salvaged prefix, {} bytes lost, prefix hash {}]",
+            r.bytes_lost,
+            r.prefix_hash
+                .map_or_else(|| "unreached".to_string(), |h| format!("{h:#018x}")),
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "[{verdict}] {} {} {}: events {}/{} hash {:#018x}/{:#018x} checkpoints {}/{} output={} commits={}",
+        "[{verdict}] {} {} {}: events {}/{} hash {:#018x}/{:#018x} checkpoints {}/{} output={} commits={}{salvage}",
         r.workload,
         r.runtime,
         r.path,

@@ -115,6 +115,14 @@ pub struct Options {
     /// Settle-pool worker threads when `pipeline_commit` is on. `0` is a
     /// valid (test-only) stalled regime: jobs queue until a flush.
     pub pipeline_workers: usize,
+    /// Durable-flush cadence for disk trace recording: flush the
+    /// container to the OS after every this many sealed event pages, so
+    /// a SIGKILLed recording loses at most that much schedule to the
+    /// salvage path (`dmt_trace::Trace::salvage`). `0` flushes only at
+    /// finish (the pre-durability behavior). Observation-only — flushing
+    /// never touches logical time — so deliberately **not** part of the
+    /// options fingerprint, like the other schedule-neutral knobs.
+    pub trace_flush_pages: u32,
 }
 
 impl Options {
@@ -146,6 +154,7 @@ impl Options {
             shard_map_seed: 0,
             pipeline_commit: true,
             pipeline_workers: 2,
+            trace_flush_pages: 8,
         }
     }
 
@@ -187,6 +196,7 @@ impl Options {
             shard_map_seed: 0,
             pipeline_commit: true,
             pipeline_workers: 2,
+            trace_flush_pages: 8,
         }
     }
 
@@ -199,11 +209,12 @@ impl Options {
     /// `sched` (fast and reference produce bit-identical schedules —
     /// replay forces reference for its broadcast wake-ups),
     /// `record_schedule` (observation only), `watchdog_stall_ms`
-    /// (supervision only; replay lowers it), and
+    /// (supervision only; replay lowers it),
     /// `pipeline_commit`/`pipeline_workers` (the settle pool's deferred
     /// work is charged at publish time, so pipeline on/off and any worker
     /// count produce bit-identical schedules — a pipelined recording
-    /// replays on a serial build and vice versa).
+    /// replays on a serial build and vice versa), and `trace_flush_pages`
+    /// (durability of the recording medium; never touches logical time).
     pub fn fingerprint(&self) -> u64 {
         let mut h = dmt_api::Fnv1a::new();
         let mut put = |x: u64| h.update(&x.to_le_bytes());
@@ -355,5 +366,18 @@ mod tests {
         let mut wide = Options::consequence_ic();
         wide.pipeline_workers = 7;
         assert_eq!(on.fingerprint(), wide.fingerprint());
+    }
+
+    #[test]
+    fn trace_flush_cadence_is_not_fingerprinted() {
+        // Durable-flush cadence changes only when bytes reach the OS,
+        // never the schedule: any cadence must replay any other's trace.
+        let base = Options::consequence_ic();
+        let mut eager = Options::consequence_ic();
+        eager.trace_flush_pages = 1;
+        let mut never = Options::consequence_ic();
+        never.trace_flush_pages = 0;
+        assert_eq!(base.fingerprint(), eager.fingerprint());
+        assert_eq!(base.fingerprint(), never.fingerprint());
     }
 }

@@ -27,10 +27,10 @@ use std::sync::Arc;
 
 use det_clock::{ReplayCtl, SchedKind};
 use dmt_api::{
-    CommonConfig, CostModel, Job, PerturbHandle, PerturbPlan, PlanPerturber, RunReport, Runtime,
-    TraceHandle, TraceSink,
+    CommonConfig, CostModel, FixedPanic, Job, PanicSite, PerturbHandle, PerturbPlan, PlanPerturber,
+    RunReport, Runtime, Tid, TraceHandle, TraceSink,
 };
-use dmt_trace::{ReplaySink, Trace, TraceError, TraceMeta};
+use dmt_trace::{PartialTrace, ReplaySink, Trace, TraceError, TraceMeta};
 
 use crate::options::Options;
 use crate::runtime::ConsequenceRuntime;
@@ -116,16 +116,53 @@ pub struct ReplayOutcome {
     /// Rendered first-divergent-event diagnosis, `None` when the replay
     /// tracked the recording exactly (including its length).
     pub divergence: Option<String>,
+    /// Whether the recording was a salvaged prefix
+    /// ([`ConsequenceRuntime::new_replaying_partial`]): the live run
+    /// outliving it is clean exhaustion, not divergence.
+    pub partial: bool,
+    /// Partial replays: live event index at which the recorded prefix
+    /// ran out, `None` when the live run ended at or before the
+    /// recording's length.
+    pub exhausted_at: Option<u64>,
+    /// Live schedule hash at the moment the replay had consumed exactly
+    /// the recorded events — the bit-identical-prefix check. `None` when
+    /// the live run ended inside the prefix.
+    pub prefix_hash: Option<u64>,
 }
 
 impl ReplayOutcome {
     /// Whether the re-execution reproduced the recorded schedule exactly:
-    /// same events, same length, same hash, every checkpoint passed.
+    /// same events, same length, same hash, every checkpoint passed. For
+    /// partial recordings use
+    /// [`prefix_matches`](ReplayOutcome::prefix_matches).
     pub fn matches(&self) -> bool {
         self.divergence.is_none()
             && self.replayed_events == self.recorded_events
             && self.replayed_hash == self.recorded_hash
             && self.checkpoints_passed == self.checkpoints_total
+    }
+
+    /// Whether the re-execution reproduced the recorded *prefix* exactly:
+    /// no divergence inside it, every checkpoint passed, the live hash at
+    /// the crossing point equal to the recorded prefix hash, and the live
+    /// run at least as long as the recording. This is the partial-trace
+    /// verdict: a salvaged crashed run replays to (at least) its fault
+    /// point bit-identically.
+    pub fn prefix_matches(&self) -> bool {
+        self.divergence.is_none()
+            && self.replayed_events >= self.recorded_events
+            && self.prefix_hash == Some(self.recorded_hash)
+            && self.checkpoints_passed == self.checkpoints_total
+    }
+
+    /// The verdict appropriate to the recording's kind: `matches` for
+    /// full traces, `prefix_matches` for salvaged partials.
+    pub fn reproduced(&self) -> bool {
+        if self.partial {
+            self.prefix_matches()
+        } else {
+            self.matches()
+        }
     }
 }
 
@@ -136,12 +173,14 @@ pub struct ReplayMonitor {
     ctl: Arc<ReplayCtl>,
     recorded_events: u64,
     recorded_hash: u64,
+    partial: bool,
 }
 
 impl ReplayMonitor {
     /// Final verdict. Runs the end-of-trace check (a replay that stopped
-    /// short diverged at its end), stamps the rendered diagnosis into
-    /// `report.replay_divergence`, and returns the outcome.
+    /// short diverged at its end — in partial mode too: the salvaged
+    /// prefix itself must replay fully), stamps the rendered diagnosis
+    /// into `report.replay_divergence`, and returns the outcome.
     pub fn finish(self, report: &mut RunReport) -> ReplayOutcome {
         let divergence = self.sink.finish_check().map(|d| d.to_string());
         report.replay_divergence = divergence.clone();
@@ -153,6 +192,9 @@ impl ReplayMonitor {
             checkpoints_passed: self.sink.checkpoints_passed(),
             checkpoints_total: self.sink.checkpoints_total(),
             divergence,
+            partial: self.partial,
+            exhausted_at: self.sink.exhausted_at(),
+            prefix_hash: self.sink.prefix_hash(),
         }
     }
 
@@ -185,6 +227,29 @@ impl ConsequenceRuntime {
     pub fn new_replaying(
         trace: &Trace,
     ) -> Result<(ConsequenceRuntime, ReplayMonitor), ReplayError> {
+        ConsequenceRuntime::new_replaying_inner(trace, false)
+    }
+
+    /// Like [`new_replaying`](ConsequenceRuntime::new_replaying), but for
+    /// a salvaged [`PartialTrace`]: the comparison sink runs in partial
+    /// mode (the live run outliving the recovered prefix is clean
+    /// exhaustion, not divergence), and if the recording carried an
+    /// injected-panic triple the same deterministic death is re-injected
+    /// — so replaying a salvaged crashed run drives it back to the same
+    /// fault point. The grant script is exactly the recovered prefix;
+    /// once it is exhausted the scheduler falls back to recomputed
+    /// eligibility, which is deterministic and therefore completes a
+    /// healthy run's tail identically on every replay.
+    pub fn new_replaying_partial(
+        partial: &PartialTrace,
+    ) -> Result<(ConsequenceRuntime, ReplayMonitor), ReplayError> {
+        ConsequenceRuntime::new_replaying_inner(&partial.trace, true)
+    }
+
+    fn new_replaying_inner(
+        trace: &Trace,
+        partial: bool,
+    ) -> Result<(ConsequenceRuntime, ReplayMonitor), ReplayError> {
         let mut opts = options_for_label(&trace.meta.runtime)
             .ok_or_else(|| ReplayError::UnsupportedRuntime(trace.meta.runtime.clone()))?;
         let current = opts.fingerprint();
@@ -202,7 +267,11 @@ impl ConsequenceRuntime {
 
         let perturb = reconstruct_perturb(&trace.meta)?;
         let ctl = Arc::new(ReplayCtl::new(trace.grants().iter().map(|t| t.0).collect()));
-        let sink = Arc::new(ReplaySink::new(trace, Arc::clone(&ctl)));
+        let sink = Arc::new(if partial {
+            ReplaySink::new_partial(trace, Arc::clone(&ctl))
+        } else {
+            ReplaySink::new(trace, Arc::clone(&ctl))
+        });
         let cfg = CommonConfig {
             heap_pages: trace.meta.heap_pages as usize,
             max_threads: trace.meta.max_threads as usize,
@@ -218,6 +287,7 @@ impl ConsequenceRuntime {
             ctl: Arc::clone(&ctl),
             recorded_events: trace.meta.event_count,
             recorded_hash: trace.meta.schedule_hash,
+            partial,
         };
         Ok((
             ConsequenceRuntime::new_with_replay(cfg, opts, Some(ctl)),
@@ -227,20 +297,41 @@ impl ConsequenceRuntime {
 }
 
 /// Rebuilds the perturbation handle a trace was recorded under: off, or
-/// a full-strength seeded plan. Anything else (a shrunk plan) cannot be
-/// reconstructed from the seed and is refused.
+/// a full-strength seeded plan — anything else (a shrunk plan) cannot be
+/// reconstructed from the seed and is refused — then, when the metadata
+/// carries an injected-panic triple, wraps it in a [`FixedPanic`] so the
+/// replay re-injects the same deterministic death the recording died of.
 fn reconstruct_perturb(meta: &TraceMeta) -> Result<PerturbHandle, ReplayError> {
-    if meta.perturb_seed == 0 && meta.perturb_plan == 0 {
-        return Ok(PerturbHandle::off());
+    let timing = if meta.perturb_seed == 0 && meta.perturb_plan == 0 {
+        PerturbHandle::off()
+    } else {
+        let plan = PerturbPlan::full(meta.perturb_seed);
+        if plan.digest() != meta.perturb_plan {
+            return Err(ReplayError::UnsupportedPerturbation {
+                seed: meta.perturb_seed,
+                plan: meta.perturb_plan,
+            });
+        }
+        PerturbHandle::to(Arc::new(PlanPerturber::new(plan)))
+    };
+    if meta.panic_site == 0 {
+        return Ok(timing);
     }
-    let plan = PerturbPlan::full(meta.perturb_seed);
-    if plan.digest() != meta.perturb_plan {
-        return Err(ReplayError::UnsupportedPerturbation {
-            seed: meta.perturb_seed,
-            plan: meta.perturb_plan,
-        });
-    }
-    Ok(PerturbHandle::to(Arc::new(PlanPerturber::new(plan))))
+    let site =
+        PanicSite::from_code(meta.panic_site).ok_or(ReplayError::Trace(TraceError::Corrupt {
+            what: "panic site code",
+        }))?;
+    let victim = u32::try_from(meta.panic_victim).map(Tid).map_err(|_| {
+        ReplayError::Trace(TraceError::Corrupt {
+            what: "panic victim",
+        })
+    })?;
+    Ok(PerturbHandle::to(Arc::new(FixedPanic {
+        site,
+        victim,
+        nth: meta.panic_nth,
+        inner: timing,
+    })))
 }
 
 /// One-call replay: opens `path`, rebuilds the recorded runtime, lets

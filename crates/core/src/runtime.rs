@@ -275,7 +275,17 @@ impl Runtime for ConsequenceRuntime {
                 trace_ring: sh.cfg.trace.occupancy(),
                 pipeline_backlog: sh.seg.pipeline_backlog(),
             });
+            sh.cfg.witness.record_durability(
+                sh.cfg.trace.durable_flushes(),
+                sh.cfg.trace.salvaged_pages(),
+            );
         }
+        // A degraded recording (disk sink hit a write fault mid-run) is a
+        // run fault even though the computation itself finished: the
+        // promised reproducer is truncated at the point of failure.
+        let trace_fault = sh.cfg.trace.fault();
+        let degraded = sh.degraded.load(Ordering::Relaxed) || trace_fault.is_some();
+        let fault = fault.or(trace_fault);
         RunReport {
             virtual_cycles: max_v,
             wall: start.elapsed(),
@@ -291,7 +301,7 @@ impl Runtime for ConsequenceRuntime {
             perturb_plan: sh.cfg.perturb.plan_digest(),
             panics,
             fault,
-            degraded: sh.degraded.load(Ordering::Relaxed),
+            degraded,
             replay_divergence: sh.cfg.trace.divergence().map(|d| d.to_string()),
         }
     }

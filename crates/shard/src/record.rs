@@ -119,6 +119,9 @@ pub fn record_server_trace(
         commit_log_hash: report.commit_hash,
         output_hash: report.output_hash,
         checkpoint_interval: 0, // stamped by the writer
+        panic_site: 0,
+        panic_victim: 0,
+        panic_nth: 0,
     };
     let meta = w
         .finish(meta)

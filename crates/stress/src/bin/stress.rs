@@ -11,6 +11,7 @@
 //! cargo run -p dmt-stress --release --bin stress -- --record traces/
 //! cargo run -p dmt-stress --release --bin stress -- --replay traces/
 //! cargo run -p dmt-stress --release --bin stress -- --soak --smoke
+//! cargo run -p dmt-stress --release --bin stress -- --trace-chaos
 //! cargo run -p dmt-stress --release --bin stress -- \
 //!     --workloads histogram,kmeans --runtimes consequence-ic --seeds 4
 //! ```
@@ -48,7 +49,12 @@
 //! injected panic × sharding × live recording — and exits 1 unless every
 //! soak cell stayed within its resource envelope and every composition
 //! reproduced its schedule hash and held its semantic oracle (see
-//! `docs/SOAK.md`). JSON reports land in `target/stress/`.
+//! `docs/SOAK.md`). `--trace-chaos` records under injected failure —
+//! simulated crashes, seeded thread deaths, short writes, ENOSPC, torn
+//! tails, and a real SIGKILL of a recording child — then salvages each
+//! torn container and replays it to its fault point, exiting 1 on any
+//! unsalvageable container or unreproduced failure (see
+//! `docs/TRACE_FORMAT.md`). JSON reports land in `target/stress/`.
 //! See `docs/STRESS.md`.
 
 use std::fs;
@@ -78,7 +84,7 @@ fn runtime_by_label(label: &str) -> Option<RuntimeKind> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: stress [--smoke|--deep|--inject-bug|--inject-panic|--sched-diff|--pipe-diff|--shard-diff|--soak] \
+        "usage: stress [--smoke|--deep|--inject-bug|--inject-panic|--sched-diff|--pipe-diff|--shard-diff|--soak|--trace-chaos] \
          [--record DIR] [--replay FILE-OR-DIR] \
          [--workloads a,b,..] [--runtimes a,b,..] [--seeds N] [--threads N] [--scale N] \
          [--base-seed N]"
@@ -107,11 +113,18 @@ fn main() {
     let mut pipe_diff = false;
     let mut shard_diff = false;
     let mut soak = false;
+    let mut trace_chaos = false;
     let mut record_dir: Option<String> = None;
     let mut replay_path: Option<String> = None;
+    let mut chaos_child: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace-chaos" => trace_chaos = true,
+            "--chaos-child" => {
+                i += 1;
+                chaos_child = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--record" => {
                 i += 1;
                 record_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -174,7 +187,60 @@ fn main() {
         i += 1;
     }
 
+    // Internal: the SIGKILL chaos scenario's child half. Records durable
+    // containers in a loop until the parent kills it. Never returns.
+    if let Some(dir) = chaos_child {
+        dmt_stress::run_chaos_child(
+            std::path::Path::new(&dir),
+            cfg.threads,
+            cfg.scale,
+            cfg.base_seed,
+        );
+    }
+
     let t0 = Instant::now();
+    if trace_chaos {
+        let rounds = cfg.seeds.clamp(1, 2);
+        println!(
+            "== stress --trace-chaos: crash-durable recording under injected failure, {rounds} round(s)"
+        );
+        println!(
+            "{:<16}{:<12}{:>10}{:>12}{:>10}{:>12}{:>14}",
+            "scenario", "workload", "salvaged", "events", "lost", "reproduced", "deterministic"
+        );
+        let report =
+            dmt_stress::run_trace_chaos(cfg.threads, cfg.scale, rounds, cfg.base_seed, |cell| {
+                println!(
+                    "{:<16}{:<12}{:>10}{:>12}{:>10}{:>12}{:>14}",
+                    cell.scenario,
+                    cell.workload,
+                    if cell.salvaged { "yes" } else { "NO" },
+                    cell.salvaged_events,
+                    cell.bytes_lost,
+                    if cell.reproduced { "yes" } else { "NO" },
+                    if cell.deterministic { "yes" } else { "NO" }
+                );
+            });
+        for cell in report
+            .cells
+            .iter()
+            .filter(|c| !(c.salvaged && c.reproduced && c.deterministic))
+        {
+            println!(
+                "UNREPRODUCED [{}] seed {:#x}: {}",
+                cell.scenario, cell.seed, cell.fault
+            );
+        }
+        println!(
+            "{}: {} cells, {} runs",
+            if report.passed { "PASSED" } else { "FAILED" },
+            report.cells.len(),
+            report.total_runs
+        );
+        dump("trace_chaos", &report);
+        eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+        std::process::exit(if report.passed { 0 } else { 1 });
+    }
     if soak {
         let smoke = mode != "deep";
         println!(

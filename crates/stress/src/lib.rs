@@ -29,6 +29,7 @@ pub mod report;
 pub mod sched_diff;
 pub mod shard_diff;
 pub mod shrink;
+pub mod trace_chaos;
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -48,6 +49,7 @@ pub use report::{CellSummary, StressReport, Violation};
 pub use sched_diff::{run_consequence_workload, run_sched_diff, SchedDiffCell, SchedDiffReport};
 pub use shard_diff::{run_shard_diff, ShardDiffCell, ShardDiffReport, SHARD_COUNTS};
 pub use shrink::shrink_plan;
+pub use trace_chaos::{run_chaos_child, run_trace_chaos, ChaosCell, FaultyMedia, TraceChaosReport};
 
 /// Events a repro-trace sink retains (oldest dropped beyond this).
 pub const TRACE_CAP: usize = 1 << 16;

@@ -178,11 +178,32 @@ pub fn fnv_of(bytes: &[u8]) -> u64 {
     h.digest()
 }
 
+/// Byte offset, within the header, of the write-ahead identity record's
+/// length field (`u32`), followed at [`IDENT_FNV_OFFSET`] by its FNV-1a
+/// digest (`u64`). Both are zero in containers written before durable
+/// recording existed (the fields live in the formerly-reserved header
+/// tail, so such files keep parsing identically).
+pub const IDENT_LEN_OFFSET: usize = 48;
+
+/// Byte offset of the write-ahead identity record's FNV-1a digest.
+pub const IDENT_FNV_OFFSET: usize = 52;
+
 /// Assembles the fixed 64-byte header.
 ///
 /// `dir_offset`/`dir_len`/`dir_fnv` are zero while the recording is in
 /// progress and patched in by [`crate::TraceWriter::finish`].
-pub fn header_bytes(dir_offset: u64, dir_len: u64, dir_fnv: u64, streams: u32) -> [u8; HEADER_LEN] {
+/// `ident_len`/`ident_fnv` describe the write-ahead identity record
+/// (a provisional META image written immediately after the header at
+/// recording start, so crashed runs can be salvaged); both are zero for
+/// writers that do not emit one.
+pub fn header_bytes(
+    dir_offset: u64,
+    dir_len: u64,
+    dir_fnv: u64,
+    streams: u32,
+    ident_len: u32,
+    ident_fnv: u64,
+) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[0..8].copy_from_slice(&MAGIC);
     h[8..12].copy_from_slice(&CONTAINER_VERSION.to_le_bytes());
@@ -192,7 +213,9 @@ pub fn header_bytes(dir_offset: u64, dir_len: u64, dir_fnv: u64, streams: u32) -
     h[32..40].copy_from_slice(&dir_fnv.to_le_bytes());
     h[40..44].copy_from_slice(&CODEC_VERSION.to_le_bytes());
     h[44..48].copy_from_slice(&streams.to_le_bytes());
-    // bytes 48..64 reserved (zero)
+    h[IDENT_LEN_OFFSET..IDENT_FNV_OFFSET].copy_from_slice(&ident_len.to_le_bytes());
+    h[IDENT_FNV_OFFSET..IDENT_FNV_OFFSET + 8].copy_from_slice(&ident_fnv.to_le_bytes());
+    // bytes 60..64 reserved (zero)
     h
 }
 
@@ -213,7 +236,7 @@ mod tests {
 
     #[test]
     fn header_carries_magic_and_versions() {
-        let h = header_bytes(100, 64, 7, 4);
+        let h = header_bytes(100, 64, 7, 4, 0, 0);
         assert_eq!(&h[0..8], &MAGIC);
         assert_eq!(u32::from_le_bytes([h[8], h[9], h[10], h[11]]), 1);
         assert_eq!(
@@ -221,5 +244,26 @@ mod tests {
             100,
             "directory offset"
         );
+    }
+
+    #[test]
+    fn header_carries_identity_fields_in_the_reserved_tail() {
+        let h = header_bytes(100, 64, 7, 4, 33, 0xFEED_F00D);
+        assert_eq!(
+            u32::from_le_bytes(h[IDENT_LEN_OFFSET..IDENT_FNV_OFFSET].try_into().unwrap()),
+            33
+        );
+        assert_eq!(
+            u64::from_le_bytes(
+                h[IDENT_FNV_OFFSET..IDENT_FNV_OFFSET + 8]
+                    .try_into()
+                    .unwrap()
+            ),
+            0xFEED_F00D
+        );
+        // Without an identity record the tail is all zero — byte-identical
+        // to headers written before durable recording existed.
+        let legacy = header_bytes(100, 64, 7, 4, 0, 0);
+        assert!(legacy[IDENT_LEN_OFFSET..].iter().all(|&b| b == 0));
     }
 }

@@ -14,6 +14,9 @@
 //!   versions, every digest, checkpoint re-derivation) before returning.
 //! * Replaying: feed [`Trace::grants`] to a `det_clock::ReplayCtl` and
 //!   attach a [`ReplaySink`] to compare the re-execution event by event.
+//! * Salvaging: [`Trace::salvage`] recovers the digest-valid prefix of a
+//!   recording that crashed before `finish` (panic, SIGKILL, I/O fault),
+//!   returning a [`PartialTrace`] with a typed loss report.
 //!
 //! The crate has no dependencies outside the workspace and performs no
 //! I/O except through [`TraceWriter`]/[`Trace::open`].
@@ -25,6 +28,7 @@ pub mod format;
 pub mod meta;
 pub mod reader;
 pub mod replay;
+pub mod salvage;
 pub mod varint;
 pub mod writer;
 
@@ -35,4 +39,5 @@ pub use format::{
 pub use meta::TraceMeta;
 pub use reader::{Checkpoint, Trace};
 pub use replay::{CheckpointFailure, ReplaySink};
-pub use writer::{DiskSink, TraceWriter};
+pub use salvage::{LossReport, PartialTrace};
+pub use writer::{DiskSink, TraceMedia, TraceWriter};

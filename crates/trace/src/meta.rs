@@ -46,6 +46,17 @@ pub struct TraceMeta {
     /// Events per page — the checkpoint interval the CHECKPOINTS stream
     /// was written at.
     pub checkpoint_interval: u64,
+    /// Panic-injection site code active during the recording
+    /// (`dmt_api::PanicSite::code`; 0 = no injected panic). Together with
+    /// the two fields below this makes a panic-injected recording a
+    /// complete reproducer: replay rebuilds the same fixed `(site,
+    /// victim, nth)` injector. Extension fields — absent from containers
+    /// written before durable recording existed, parsed as 0.
+    pub panic_site: u64,
+    /// Thread id of the injected victim (0 when `panic_site` is 0).
+    pub panic_victim: u64,
+    /// 0-based occurrence index the injected panic fires at.
+    pub panic_nth: u64,
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -91,34 +102,51 @@ impl TraceMeta {
         ] {
             put_u64(&mut out, v);
         }
+        // Extension fields (durable recording / replay-to-fault). Old
+        // readers never see them: they only read finished containers,
+        // whose META was written by the same build.
+        for v in [self.panic_site, self.panic_victim, self.panic_nth] {
+            put_u64(&mut out, v);
+        }
         out
     }
 
-    /// Parses a META stream; the whole buffer must be consumed.
+    /// Parses a META stream; the whole buffer must be consumed. A buffer
+    /// ending after the base fields (a container written before the
+    /// panic-injection extension existed) parses with the extension
+    /// fields zeroed.
     pub fn from_bytes(buf: &[u8]) -> Result<TraceMeta, TraceError> {
+        fn next(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+            get_u64(buf, pos).ok_or(TraceError::Truncated { what: "meta" })
+        }
         let mut pos = 0;
         let runtime = get_str(buf, &mut pos)?;
         let workload = get_str(buf, &mut pos)?;
-        let mut next = || -> Result<u64, TraceError> {
-            get_u64(buf, &mut pos).ok_or(TraceError::Truncated { what: "meta" })
-        };
-        let meta = TraceMeta {
+        let mut meta = TraceMeta {
             runtime,
             workload,
-            threads: next()?,
-            scale: next()?,
-            input_seed: next()?,
-            heap_pages: next()?,
-            max_threads: next()?,
-            options_fingerprint: next()?,
-            perturb_seed: next()?,
-            perturb_plan: next()?,
-            event_count: next()?,
-            schedule_hash: next()?,
-            commit_log_hash: next()?,
-            output_hash: next()?,
-            checkpoint_interval: next()?,
+            threads: next(buf, &mut pos)?,
+            scale: next(buf, &mut pos)?,
+            input_seed: next(buf, &mut pos)?,
+            heap_pages: next(buf, &mut pos)?,
+            max_threads: next(buf, &mut pos)?,
+            options_fingerprint: next(buf, &mut pos)?,
+            perturb_seed: next(buf, &mut pos)?,
+            perturb_plan: next(buf, &mut pos)?,
+            event_count: next(buf, &mut pos)?,
+            schedule_hash: next(buf, &mut pos)?,
+            commit_log_hash: next(buf, &mut pos)?,
+            output_hash: next(buf, &mut pos)?,
+            checkpoint_interval: next(buf, &mut pos)?,
+            panic_site: 0,
+            panic_victim: 0,
+            panic_nth: 0,
         };
+        if pos < buf.len() {
+            meta.panic_site = next(buf, &mut pos)?;
+            meta.panic_victim = next(buf, &mut pos)?;
+            meta.panic_nth = next(buf, &mut pos)?;
+        }
         if pos != buf.len() {
             return Err(TraceError::Corrupt {
                 what: "meta trailing bytes",
@@ -149,6 +177,9 @@ mod tests {
             commit_log_hash: 0x5555,
             output_hash: 0x6666,
             checkpoint_interval: 512,
+            panic_site: 0,
+            panic_victim: 0,
+            panic_nth: 0,
         }
     }
 
@@ -156,6 +187,27 @@ mod tests {
     fn meta_roundtrips() {
         let m = sample();
         assert_eq!(TraceMeta::from_bytes(&m.to_bytes()).unwrap(), m);
+        let injected = TraceMeta {
+            panic_site: 2,
+            panic_victim: 3,
+            panic_nth: 5,
+            ..sample()
+        };
+        assert_eq!(
+            TraceMeta::from_bytes(&injected.to_bytes()).unwrap(),
+            injected
+        );
+    }
+
+    #[test]
+    fn meta_without_extension_fields_parses_with_zeroes() {
+        // A META image from before the panic-injection extension: base
+        // fields only. It must parse, with the extension zeroed.
+        let full = sample().to_bytes();
+        // The extension is exactly three zero varints (one byte each).
+        let legacy = &full[..full.len() - 3];
+        let m = TraceMeta::from_bytes(legacy).unwrap();
+        assert_eq!(m, sample());
     }
 
     #[test]

@@ -59,17 +59,22 @@ pub struct Trace {
     pub checkpoints: Vec<Checkpoint>,
 }
 
-fn read_u32(b: &[u8], at: usize) -> u32 {
+pub(crate) fn read_u32(b: &[u8], at: usize) -> u32 {
     u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
 }
 
-fn read_u64(b: &[u8], at: usize) -> u64 {
+pub(crate) fn read_u64(b: &[u8], at: usize) -> u64 {
     let mut a = [0u8; 8];
     a.copy_from_slice(&b[at..at + 8]);
     u64::from_le_bytes(a)
 }
 
-fn slice<'a>(b: &'a [u8], off: u64, len: u64, what: &'static str) -> Result<&'a [u8], TraceError> {
+pub(crate) fn slice<'a>(
+    b: &'a [u8],
+    off: u64,
+    len: u64,
+    what: &'static str,
+) -> Result<&'a [u8], TraceError> {
     let off = usize::try_from(off).map_err(|_| TraceError::Corrupt { what })?;
     let len = usize::try_from(len).map_err(|_| TraceError::Corrupt { what })?;
     let end = off.checked_add(len).ok_or(TraceError::Corrupt { what })?;

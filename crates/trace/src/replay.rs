@@ -28,6 +28,13 @@ struct ReplayState {
     next_ckpt: usize,
     checkpoints_passed: u64,
     checkpoint_failure: Option<CheckpointFailure>,
+    /// Partial mode: live event index at which the recording ran out
+    /// (clean exhaustion, not divergence).
+    exhausted_at: Option<u64>,
+    /// Live schedule hash at the moment the cursor crossed the end of
+    /// the recording — the value compared against the (partial) trace's
+    /// recorded prefix hash.
+    prefix_hash: Option<u64>,
 }
 
 /// A [`TraceSink`] that checks a re-execution against a recorded trace
@@ -49,6 +56,9 @@ pub struct ReplaySink {
     recorded: Vec<(DomainId, Event)>,
     checkpoints: Vec<Checkpoint>,
     ctl: Arc<ReplayCtl>,
+    /// Partial mode: the recording is a salvaged prefix of a longer run,
+    /// so the live run outliving it is *exhaustion*, not divergence.
+    partial: bool,
     st: Mutex<ReplayState>,
 }
 
@@ -56,10 +66,30 @@ impl ReplaySink {
     /// Builds the comparison sink for `trace`, sharing the grant-script
     /// control the scheduler consults.
     pub fn new(trace: &Trace, ctl: Arc<ReplayCtl>) -> ReplaySink {
+        ReplaySink::build(trace, ctl, false)
+    }
+
+    /// Builds the sink in **partial mode**, for a trace salvaged from a
+    /// crashed recording ([`crate::PartialTrace`]): the live run emitting
+    /// more events than were recorded is reported as clean exhaustion
+    /// ([`exhausted_at`](ReplaySink::exhausted_at)) rather than
+    /// divergence, and the live hash at the crossing point is captured
+    /// as [`prefix_hash`](ReplaySink::prefix_hash). Every event *within*
+    /// the recorded prefix is still compared exactly as in full mode.
+    pub fn new_partial(trace: &Trace, ctl: Arc<ReplayCtl>) -> ReplaySink {
+        ReplaySink::build(trace, ctl, true)
+    }
+
+    fn build(trace: &Trace, ctl: Arc<ReplayCtl>, partial: bool) -> ReplaySink {
+        let recorded = trace.domain_events();
+        // An empty recording is already exhausted: its prefix hash is
+        // the empty-stream hash.
+        let prefix_hash = recorded.is_empty().then(|| Fnv1a::new().digest());
         ReplaySink {
-            recorded: trace.domain_events(),
+            recorded,
             checkpoints: trace.checkpoints.clone(),
             ctl,
+            partial,
             st: Mutex::new(ReplayState {
                 cursor: 0,
                 hash: Fnv1a::new(),
@@ -68,6 +98,8 @@ impl ReplaySink {
                 next_ckpt: 0,
                 checkpoints_passed: 0,
                 checkpoint_failure: None,
+                exhausted_at: None,
+                prefix_hash,
             }),
         }
     }
@@ -118,6 +150,22 @@ impl ReplaySink {
     pub fn checkpoint_failure(&self) -> Option<CheckpointFailure> {
         self.st.lock().checkpoint_failure
     }
+
+    /// Partial mode only: the live event index at which the recorded
+    /// prefix ran out. `None` means the live run never outlived the
+    /// recording (or the sink is in full mode, where that is divergence).
+    pub fn exhausted_at(&self) -> Option<u64> {
+        self.st.lock().exhausted_at
+    }
+
+    /// The live cumulative schedule hash at the moment the replay
+    /// finished consuming exactly the recorded events — the value to
+    /// compare against the recording's schedule hash for bit-identical
+    /// prefix reproduction. `None` while the replay is still inside the
+    /// prefix.
+    pub fn prefix_hash(&self) -> Option<u64> {
+        self.st.lock().prefix_hash
+    }
 }
 
 impl TraceSink for ReplaySink {
@@ -145,6 +193,13 @@ impl TraceSink for ReplaySink {
                     });
                     self.ctl.mark_diverged();
                 }
+                None if self.partial => {
+                    // A salvaged prefix ran out mid-run: the recording
+                    // ends here by construction, not by disagreement.
+                    if st.exhausted_at.is_none() {
+                        st.exhausted_at = Some(i as u64);
+                    }
+                }
                 None => {
                     // The replay ran past the end of the recording.
                     st.divergence = Some(Divergence {
@@ -157,6 +212,9 @@ impl TraceSink for ReplaySink {
                     self.ctl.mark_diverged();
                 }
             }
+        }
+        if st.cursor == self.recorded.len() && st.prefix_hash.is_none() {
+            st.prefix_hash = Some(st.hash.digest());
         }
         if let Some(ck) = self.checkpoints.get(st.next_ckpt) {
             if st.cursor as u64 == ck.events {
@@ -181,6 +239,14 @@ impl TraceSink for ReplaySink {
 
     fn counts(&self) -> EventCounts {
         self.st.lock().counts
+    }
+
+    fn salvaged_pages(&self) -> u64 {
+        if self.partial {
+            self.checkpoints.len() as u64
+        } else {
+            0
+        }
     }
 
     fn divergence(&self) -> Option<Divergence> {

@@ -9,8 +9,29 @@ use dmt_api::trace::{Event, EventCounts, TraceSink};
 use dmt_api::{DomainId, Fnv1a};
 
 use crate::codec::{encode_in_domain, CodecState};
-use crate::format::{fnv_of, header_bytes, DirEntry, StreamId, TraceError, PAGE_EVENTS};
+use crate::format::{
+    fnv_of, header_bytes, DirEntry, StreamId, TraceError, HEADER_LEN, PAGE_EVENTS,
+};
 use crate::meta::TraceMeta;
+
+/// The storage a [`TraceWriter`] streams into. [`File`] is the normal
+/// medium; the stress harness substitutes seeded fallible media (short
+/// writes, ENOSPC, torn tails) to drill the salvage path.
+///
+/// `sync_data` is called once at [`TraceWriter::finish`]; media without a
+/// durability notion keep the no-op default.
+pub trait TraceMedia: Write + Seek + Send {
+    /// Flushes written bytes to durable storage (no-op by default).
+    fn sync_data(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl TraceMedia for File {
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.sync_all()
+    }
+}
 
 /// Streams schedule events into a `.dmtrace` container.
 ///
@@ -19,7 +40,10 @@ use crate::meta::TraceMeta;
 /// one cumulative-schedule-hash checkpoint. Call
 /// [`finish`](TraceWriter::finish) to append the META, CHECKPOINTS and
 /// PERTURB streams plus the directory and patch the header — a file that
-/// was never finished is rejected by the reader as truncated.
+/// was never finished is rejected by [`crate::Trace::open`] as truncated,
+/// but remains recoverable by [`crate::Trace::salvage`] when it was
+/// created with a write-ahead identity record
+/// ([`create_with_identity`](TraceWriter::create_with_identity)).
 ///
 /// # Examples
 ///
@@ -34,9 +58,14 @@ use crate::meta::TraceMeta;
 /// # Ok::<(), dmt_trace::TraceError>(())
 /// ```
 pub struct TraceWriter {
-    file: BufWriter<File>,
-    /// Bytes written past the header (== current events-stream length).
+    file: BufWriter<Box<dyn TraceMedia>>,
+    /// Bytes written past the events-stream start (== its length so far).
     written: u64,
+    /// File offset the events stream starts at (`HEADER_LEN` plus the
+    /// write-ahead identity record, when one was emitted).
+    events_start: u64,
+    ident_len: u32,
+    ident_fnv: u64,
     page_buf: Vec<u8>,
     page_events: u32,
     codec: CodecState,
@@ -44,17 +73,71 @@ pub struct TraceWriter {
     hash: Fnv1a,
     events_fnv: Fnv1a,
     checkpoints: Vec<(u64, u64)>,
+    /// Durable-flush cadence: flush the OS-visible file after every this
+    /// many sealed pages (0 = only at finish). Bounds how much schedule a
+    /// SIGKILL can cost the salvage path.
+    flush_every_pages: u32,
+    pages_since_flush: u32,
+    durable_flushes: u64,
 }
 
 impl TraceWriter {
     /// Creates `path` (truncating any existing file) and writes the
-    /// provisional header.
+    /// provisional header. No identity record, no durable-flush cadence:
+    /// the resulting container is salvageable only once finished.
     pub fn create<P: AsRef<Path>>(path: P) -> Result<TraceWriter, TraceError> {
-        let mut file = BufWriter::new(File::create(path)?);
-        file.write_all(&header_bytes(0, 0, 0, 0))?;
+        TraceWriter::create_on(Box::new(File::create(path)?), None, 0)
+    }
+
+    /// Creates `path` with a **write-ahead identity record**: `ident`
+    /// (digests need not be known yet — zeros are fine) is serialized
+    /// immediately after the header, and its length/digest are stamped
+    /// into the header's identity fields, so a recording that never
+    /// reaches [`finish`](TraceWriter::finish) can still be salvaged
+    /// ([`crate::Trace::salvage`]). `flush_every_pages` sets the
+    /// durable-flush cadence (0 = only at finish).
+    pub fn create_with_identity<P: AsRef<Path>>(
+        path: P,
+        ident: &TraceMeta,
+        flush_every_pages: u32,
+    ) -> Result<TraceWriter, TraceError> {
+        TraceWriter::create_on(
+            Box::new(File::create(path)?),
+            Some(ident),
+            flush_every_pages,
+        )
+    }
+
+    /// Like [`create_with_identity`](TraceWriter::create_with_identity),
+    /// but onto caller-supplied [`TraceMedia`] — the hook the stress
+    /// harness uses to inject I/O faults under the writer.
+    pub fn create_on(
+        media: Box<dyn TraceMedia>,
+        ident: Option<&TraceMeta>,
+        flush_every_pages: u32,
+    ) -> Result<TraceWriter, TraceError> {
+        let ident_bytes = ident.map(|m| m.to_bytes());
+        let (ident_len, ident_fnv) = match &ident_bytes {
+            Some(b) => (b.len() as u32, fnv_of(b)),
+            None => (0, 0),
+        };
+        let mut file = BufWriter::new(media);
+        file.write_all(&header_bytes(0, 0, 0, 0, ident_len, ident_fnv))?;
+        if let Some(b) = &ident_bytes {
+            file.write_all(b)?;
+        }
+        // The header + identity record are the salvage anchor: make them
+        // OS-visible immediately so even an instant kill leaves a
+        // well-formed (zero-event) salvageable container.
+        if ident_bytes.is_some() {
+            file.flush()?;
+        }
         Ok(TraceWriter {
             file,
             written: 0,
+            events_start: HEADER_LEN as u64 + ident_len as u64,
+            ident_len,
+            ident_fnv,
             page_buf: Vec::with_capacity(PAGE_EVENTS * 8),
             page_events: 0,
             codec: CodecState::default(),
@@ -62,6 +145,9 @@ impl TraceWriter {
             hash: Fnv1a::new(),
             events_fnv: Fnv1a::new(),
             checkpoints: Vec::new(),
+            flush_every_pages,
+            pages_since_flush: 0,
+            durable_flushes: 0,
         })
     }
 
@@ -95,6 +181,24 @@ impl TraceWriter {
         self.hash.digest()
     }
 
+    /// Durable flushes performed so far (cadence flushes plus explicit
+    /// [`checkpoint_now`](TraceWriter::checkpoint_now) calls).
+    pub fn durable_flushes(&self) -> u64 {
+        self.durable_flushes
+    }
+
+    /// Seals the current partial page (if any) and flushes everything to
+    /// the OS — a durability checkpoint. After this call the whole
+    /// schedule so far is recoverable by [`crate::Trace::salvage`] even
+    /// if the process is killed before [`finish`](TraceWriter::finish).
+    pub fn checkpoint_now(&mut self) -> Result<(), TraceError> {
+        self.seal_page()?;
+        self.file.flush()?;
+        self.durable_flushes += 1;
+        self.pages_since_flush = 0;
+        Ok(())
+    }
+
     fn write_stream_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.file.write_all(bytes)?;
         self.events_fnv.update(bytes);
@@ -122,6 +226,14 @@ impl TraceWriter {
         self.codec = CodecState::default();
         self.checkpoints
             .push((self.events_total, self.hash.digest()));
+        if self.flush_every_pages > 0 {
+            self.pages_since_flush += 1;
+            if self.pages_since_flush >= self.flush_every_pages {
+                self.file.flush()?;
+                self.durable_flushes += 1;
+                self.pages_since_flush = 0;
+            }
+        }
         Ok(())
     }
 
@@ -138,10 +250,9 @@ impl TraceWriter {
             ..meta
         };
 
-        let header_len = crate::format::HEADER_LEN as u64;
         let events_entry = DirEntry {
             id: StreamId::Events as u32,
-            offset: header_len,
+            offset: self.events_start,
             len: self.written,
             fnv: self.events_fnv.digest(),
         };
@@ -157,7 +268,7 @@ impl TraceWriter {
         perturb_bytes.extend_from_slice(&meta.perturb_seed.to_le_bytes());
         perturb_bytes.extend_from_slice(&meta.perturb_plan.to_le_bytes());
 
-        let mut offset = header_len + self.written;
+        let mut offset = self.events_start + self.written;
         let mut entries = vec![events_entry];
         for (id, bytes) in [
             (StreamId::Meta, &meta_bytes),
@@ -181,14 +292,21 @@ impl TraceWriter {
         }
         self.file.write_all(&dir_bytes)?;
 
-        let header = header_bytes(dir_offset, dir_bytes.len() as u64, fnv_of(&dir_bytes), 4);
+        let header = header_bytes(
+            dir_offset,
+            dir_bytes.len() as u64,
+            fnv_of(&dir_bytes),
+            4,
+            self.ident_len,
+            self.ident_fnv,
+        );
         let mut file = self
             .file
             .into_inner()
             .map_err(|e| TraceError::Io(io::Error::other(e.to_string())))?;
         file.seek(SeekFrom::Start(0))?;
         file.write_all(&header)?;
-        file.sync_all()?;
+        file.sync_data()?;
         Ok(meta)
     }
 }
@@ -198,6 +316,10 @@ struct DiskState {
     counts: EventCounts,
     final_hash: u64,
     io_error: Option<TraceError>,
+    /// Human-readable fault description recorded the moment a mid-run
+    /// write error degraded the recording (events captured until then).
+    fault: Option<String>,
+    durable_flushes: u64,
 }
 
 /// A [`TraceSink`] that streams schedule events straight to disk.
@@ -205,7 +327,9 @@ struct DiskState {
 /// Attach via `TraceHandle::to` like any other sink; after the run, call
 /// [`finish`](DiskSink::finish) with the run's [`TraceMeta`] to complete
 /// the container. An I/O error mid-run stops writing (the run itself is
-/// unaffected) and is surfaced by `finish`.
+/// unaffected), is surfaced immediately through [`TraceSink::fault`] —
+/// which the runtime stamps into `RunReport::fault` as a degraded
+/// recording — and again by `finish`.
 ///
 /// # Examples
 ///
@@ -226,16 +350,68 @@ pub struct DiskSink {
 }
 
 impl DiskSink {
-    /// Creates the container file and a sink streaming into it.
+    /// Creates the container file and a sink streaming into it (no
+    /// identity record — the pre-durability layout).
     pub fn create<P: AsRef<Path>>(path: P) -> Result<DiskSink, TraceError> {
-        Ok(DiskSink {
+        Ok(DiskSink::on_writer(TraceWriter::create(path)?))
+    }
+
+    /// Creates a **crash-durable** sink: writes the write-ahead identity
+    /// record `ident` at the start of the container and flushes after
+    /// every `flush_every_pages` sealed pages, so a killed recording
+    /// loses at most that many pages plus the unsealed tail (see
+    /// [`crate::Trace::salvage`]).
+    pub fn create_durable<P: AsRef<Path>>(
+        path: P,
+        ident: &TraceMeta,
+        flush_every_pages: u32,
+    ) -> Result<DiskSink, TraceError> {
+        Ok(DiskSink::on_writer(TraceWriter::create_with_identity(
+            path,
+            ident,
+            flush_every_pages,
+        )?))
+    }
+
+    /// A sink over caller-supplied [`TraceMedia`] (the stress harness's
+    /// fault-injection hook).
+    pub fn create_on(
+        media: Box<dyn TraceMedia>,
+        ident: Option<&TraceMeta>,
+        flush_every_pages: u32,
+    ) -> Result<DiskSink, TraceError> {
+        Ok(DiskSink::on_writer(TraceWriter::create_on(
+            media,
+            ident,
+            flush_every_pages,
+        )?))
+    }
+
+    fn on_writer(writer: TraceWriter) -> DiskSink {
+        DiskSink {
             st: Mutex::new(DiskState {
-                writer: Some(TraceWriter::create(path)?),
+                writer: Some(writer),
                 counts: EventCounts::default(),
                 final_hash: 0,
                 io_error: None,
+                fault: None,
+                durable_flushes: 0,
             }),
-        })
+        }
+    }
+
+    /// Seals and flushes the current page — a durability checkpoint
+    /// making everything recorded so far salvageable. No-op after a
+    /// write fault or `finish`.
+    pub fn seal_and_flush(&self) -> Result<(), TraceError> {
+        let mut st = self.st.lock();
+        if let Some(w) = st.writer.as_mut() {
+            let r = w.checkpoint_now();
+            let flushes = w.durable_flushes();
+            st.durable_flushes = flushes;
+            r?;
+        }
+        Ok(())
     }
 
     /// Completes the container: seals the last page, writes META (from
@@ -251,6 +427,7 @@ impl DiskSink {
             what: "sink finished twice",
         })?;
         st.final_hash = writer.schedule_hash();
+        st.durable_flushes = writer.durable_flushes();
         writer.finish(meta)
     }
 }
@@ -262,14 +439,24 @@ impl TraceSink for DiskSink {
         if !in_schedule {
             return;
         }
+        let mut failed = None;
         if let Some(w) = st.writer.as_mut() {
             if let Err(e) = w.push_in_domain(ev, domain) {
-                // Stop recording but let the run itself continue; the
-                // error resurfaces at finish().
-                st.io_error = Some(e);
-                st.final_hash = st.writer.as_ref().map_or(0, |w| w.schedule_hash());
-                st.writer = None;
+                failed = Some((e, w.events(), w.schedule_hash(), w.durable_flushes()));
             }
+        }
+        if let Some((e, events, hash, flushes)) = failed {
+            // Stop recording but let the run itself continue. The fault
+            // is visible immediately (RunReport::fault marks the run's
+            // recording as degraded) and the error object itself
+            // resurfaces at finish().
+            st.fault = Some(format!(
+                "degraded recording: trace write failed at event #{events}: {e}"
+            ));
+            st.final_hash = hash;
+            st.durable_flushes = flushes;
+            st.io_error = Some(e);
+            st.writer = None;
         }
     }
 
@@ -282,5 +469,16 @@ impl TraceSink for DiskSink {
 
     fn counts(&self) -> EventCounts {
         self.st.lock().counts
+    }
+
+    fn fault(&self) -> Option<String> {
+        self.st.lock().fault.clone()
+    }
+
+    fn durable_flushes(&self) -> u64 {
+        let st = self.st.lock();
+        st.writer
+            .as_ref()
+            .map_or(st.durable_flushes, |w| w.durable_flushes())
     }
 }

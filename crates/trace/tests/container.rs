@@ -71,6 +71,9 @@ fn meta() -> TraceMeta {
         commit_log_hash: 7,
         output_hash: 9,
         checkpoint_interval: 0,
+        panic_site: 0,
+        panic_victim: 0,
+        panic_nth: 0,
     }
 }
 
